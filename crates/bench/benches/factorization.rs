@@ -1,0 +1,126 @@
+//! Criterion micro-benchmarks: end-to-end numeric factorization per
+//! solver per matrix class (small instances; the paper-scale runs live in
+//! the `src/bin/` harnesses).
+
+use basker::{Basker, BaskerOptions, SyncMode};
+use basker_klu::{KluOptions, KluSymbolic};
+use basker_matgen::{circuit, mesh2d, powergrid, CircuitParams, PowergridParams};
+use basker_snlu::{Snlu, SnluOptions};
+use basker_sparse::CscMat;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn matrices() -> Vec<(&'static str, CscMat)> {
+    vec![
+        (
+            "powergrid",
+            powergrid(&PowergridParams {
+                nfeeders: 20,
+                feeder_len: 24,
+                loop_prob: 0.2,
+                seed: 1,
+            }),
+        ),
+        (
+            "circuit",
+            circuit(&CircuitParams {
+                nsub: 6,
+                sub_size: 80,
+                ..CircuitParams::default()
+            }),
+        ),
+        ("mesh2d", mesh2d(24, 2)),
+    ]
+}
+
+fn bench_factor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("factor");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (name, a) in matrices() {
+        let klu = KluSymbolic::analyze(&a, &KluOptions::default()).unwrap();
+        g.bench_with_input(BenchmarkId::new("klu", name), &a, |b, a| {
+            b.iter(|| klu.factor(a).unwrap())
+        });
+        let bsk = Basker::analyze(
+            &a,
+            &BaskerOptions {
+                nthreads: 2,
+                nd_threshold: 64,
+                sync_mode: SyncMode::PointToPoint,
+                ..BaskerOptions::default()
+            },
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new("basker_p2", name), &a, |b, a| {
+            b.iter(|| bsk.factor(a).unwrap())
+        });
+        let snlu = Snlu::analyze(
+            &a,
+            &SnluOptions {
+                nthreads: 2,
+                ..SnluOptions::default()
+            },
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new("pmkl_p2", name), &a, |b, a| {
+            b.iter(|| snlu.factor(a).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_refactor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("refactor");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (name, a) in matrices() {
+        let klu = KluSymbolic::analyze(&a, &KluOptions::default()).unwrap();
+        let mut knum = klu.factor(&a).unwrap();
+        g.bench_with_input(BenchmarkId::new("klu", name), &a, |b, a| {
+            b.iter(|| knum.refactor(a).unwrap())
+        });
+        let bsk = Basker::analyze(
+            &a,
+            &BaskerOptions {
+                nthreads: 2,
+                nd_threshold: 64,
+                ..BaskerOptions::default()
+            },
+        )
+        .unwrap();
+        let mut bnum = bsk.factor(&a).unwrap();
+        g.bench_with_input(BenchmarkId::new("basker", name), &a, |b, a| {
+            b.iter(|| bnum.refactor(a).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for (name, a) in matrices() {
+        let rhs = vec![1.0; a.ncols()];
+        let klu = KluSymbolic::analyze(&a, &KluOptions::default()).unwrap();
+        let knum = klu.factor(&a).unwrap();
+        g.bench_with_input(BenchmarkId::new("klu", name), &rhs, |b, rhs| {
+            b.iter(|| knum.solve(rhs))
+        });
+        let bsk = Basker::analyze(
+            &a,
+            &BaskerOptions {
+                nthreads: 2,
+                nd_threshold: 64,
+                ..BaskerOptions::default()
+            },
+        )
+        .unwrap();
+        let bnum = bsk.factor(&a).unwrap();
+        g.bench_with_input(BenchmarkId::new("basker", name), &rhs, |b, rhs| {
+            b.iter(|| bnum.solve(rhs))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_factor, bench_refactor, bench_solve);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks of the ordering substrates: AMD, BTF
+//! (matching + SCC), bottleneck MWCM and nested dissection.
+
+use basker_matgen::{circuit, mesh2d, CircuitParams};
+use basker_ordering::amd::amd_order;
+use basker_ordering::btf::btf_form;
+use basker_ordering::mwcm::mwcm_bottleneck;
+use basker_ordering::nd::nested_dissection;
+use basker_ordering::scc::strongly_connected_components;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_orderings(c: &mut Criterion) {
+    let mesh = mesh2d(28, 5);
+    let circ = circuit(&CircuitParams {
+        nsub: 8,
+        sub_size: 80,
+        feedthrough: 0.5,
+        ..CircuitParams::default()
+    });
+    let mut g = c.benchmark_group("orderings");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    g.bench_function("amd_mesh", |b| b.iter(|| amd_order(&mesh)));
+    g.bench_function("amd_circuit", |b| b.iter(|| amd_order(&circ)));
+    g.bench_function("mwcm_circuit", |b| b.iter(|| mwcm_bottleneck(&circ)));
+    g.bench_function("scc_circuit", |b| {
+        b.iter(|| strongly_connected_components(&circ))
+    });
+    g.bench_function("btf_circuit", |b| b.iter(|| btf_form(&circ).unwrap()));
+    g.bench_function("nd_mesh_4leaves", |b| b.iter(|| nested_dissection(&mesh, 2)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_orderings);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Diagnostic: ND structure quality and per-phase cost on a given suite
+//! entry (not part of the paper reproduction; a development tool).
+
+use basker::structure::BlockKind;
+use basker::{Basker, BaskerOptions, SyncMode};
+use basker_klu::{KluOptions, KluSymbolic};
+use basker_matgen::{table1_suite, Scale};
+use std::time::Instant;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Freescale1_like".into());
+    let entry = table1_suite()
+        .into_iter()
+        .find(|e| e.name == name)
+        .expect("unknown entry");
+    let a = entry.generate(Scale::Bench);
+    println!("{}: n = {}, nnz = {}", name, a.nrows(), a.nnz());
+
+    let t = Instant::now();
+    let klu = KluSymbolic::analyze(&a, &KluOptions::default()).unwrap();
+    println!("klu analyze: {:.3}s, blocks = {}", t.elapsed().as_secs_f64(), klu.nblocks());
+    let t = Instant::now();
+    let knum = klu.factor(&a).unwrap();
+    println!(
+        "klu factor: {:.3}s, |L+U| = {}, flops = {:.2e}",
+        t.elapsed().as_secs_f64(),
+        knum.lu_nnz(),
+        knum.flops()
+    );
+
+    for p in [1usize, 2, 4] {
+        let t = Instant::now();
+        let sym = Basker::analyze(
+            &a,
+            &BaskerOptions {
+                nthreads: p,
+                sync_mode: SyncMode::PointToPoint,
+                ..BaskerOptions::default()
+            },
+        )
+        .unwrap();
+        let analyze_s = t.elapsed().as_secs_f64();
+        for (b, kind) in sym.structure().kinds.iter().enumerate() {
+            if let BlockKind::NdBig(nds) = kind {
+                let sizes: Vec<usize> = nds.nd.nodes.iter().map(|n| n.len()).collect();
+                println!(
+                    "p={p} ND block {b}: node sizes {sizes:?} (total {})",
+                    sizes.iter().sum::<usize>()
+                );
+            }
+        }
+        let t = Instant::now();
+        let num = sym.factor(&a).unwrap();
+        println!(
+            "p={p}: analyze {:.3}s, factor {:.3}s, |L+U| = {}, flops = {:.2e}, sync = {:.1}%",
+            analyze_s,
+            t.elapsed().as_secs_f64(),
+            num.lu_nnz(),
+            num.stats.flops,
+            100.0 * num.stats.sync_fraction()
+        );
+    }
+}

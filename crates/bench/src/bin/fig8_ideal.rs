@@ -1,0 +1,102 @@
+//! **Figure 8 reproduction** — self-relative speedup scatter on each
+//! solver's *ideal* inputs: Basker on the six lowest fill-density circuit
+//! matrices vs the PMKL stand-in on the six 2/3-D mesh problems, with
+//! least-squares trend lines.
+//!
+//! Paper claim to check: the two trend lines are similar — parallel
+//! Gilbert–Peierls scales on its ideal inputs like a supernodal solver
+//! does on meshes.
+//!
+//! Usage: `fig8_ideal [test|bench]` (default `bench`).
+
+use basker::SyncMode;
+use basker_bench::{print_markdown_table, run_solver, trend_slope, SolverKind};
+use basker_matgen::{mesh_suite, table1_suite, Scale};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("test") => Scale::Test,
+        _ => Scale::Bench,
+    };
+    let threads = [1usize, 2, 4];
+    println!("# Figure 8 analogue: self-relative speedup on ideal inputs\n");
+
+    // Basker's ideal: the six lowest fill-density suite entries.
+    let low: Vec<_> = table1_suite().into_iter().take(6).collect();
+    // PMKL's ideal: the mesh suite.
+    let meshes = mesh_suite();
+
+    let mut rows = Vec::new();
+    let mut xs_b = Vec::new();
+    let mut ys_b = Vec::new();
+    let mut xs_p = Vec::new();
+    let mut ys_p = Vec::new();
+
+    for e in &low {
+        let a = e.generate(scale);
+        let t1 = run_solver(
+            &a,
+            SolverKind::Basker {
+                threads: 1,
+                sync: SyncMode::PointToPoint,
+            },
+            0.15,
+            4,
+        )
+        .map(|r| r.factor_seconds)
+        .unwrap_or(f64::NAN);
+        for &p in &threads {
+            let tp = run_solver(
+                &a,
+                SolverKind::Basker {
+                    threads: p,
+                    sync: SyncMode::PointToPoint,
+                },
+                0.15,
+                4,
+            )
+            .map(|r| r.factor_seconds)
+            .unwrap_or(f64::NAN);
+            let s = t1 / tp;
+            xs_b.push(p as f64);
+            ys_b.push(s);
+            rows.push(vec![
+                "Basker".into(),
+                e.name.to_string(),
+                p.to_string(),
+                format!("{s:.2}x"),
+            ]);
+        }
+    }
+    for e in &meshes {
+        let a = e.generate(scale);
+        let t1 = run_solver(&a, SolverKind::Pmkl { threads: 1 }, 0.15, 4)
+            .map(|r| r.factor_seconds)
+            .unwrap_or(f64::NAN);
+        for &p in &threads {
+            let tp = run_solver(&a, SolverKind::Pmkl { threads: p }, 0.15, 4)
+                .map(|r| r.factor_seconds)
+                .unwrap_or(f64::NAN);
+            let s = t1 / tp;
+            xs_p.push(p as f64);
+            ys_p.push(s);
+            rows.push(vec![
+                "PMKL".into(),
+                e.name.to_string(),
+                p.to_string(),
+                format!("{s:.2}x"),
+            ]);
+        }
+    }
+    print_markdown_table(&["solver", "matrix", "threads", "self speedup"], &rows);
+
+    let sb = trend_slope(&xs_b, &ys_b);
+    let sp = trend_slope(&xs_p, &ys_p);
+    println!();
+    println!(
+        "Trend slopes (speedup per thread): Basker on low-fill {sb:.2}, \
+         PMKL on meshes {sp:.2} (paper Fig. 8(a): similar slopes on \
+         SandyBridge; ratio here {:.2}).",
+        sb / sp
+    );
+}

@@ -1,0 +1,40 @@
+//! **Table II reproduction** — the 2/3-D mesh problems used to measure
+//! the supernodal comparator at its best (paper §V-E).
+//!
+//! Usage: `table2_meshes [test|bench]` (default `bench`).
+
+use basker_bench::{analyze, fmt_eng, print_markdown_table, SolverKind};
+use basker_matgen::{mesh_suite, Scale};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("test") => Scale::Test,
+        _ => Scale::Bench,
+    };
+    println!("# Table II analogue: 2/3D mesh problems (PMKL's ideal inputs)\n");
+    let mut rows = Vec::new();
+    for e in mesh_suite() {
+        let a = e.generate(scale);
+        let lu = analyze(&a, SolverKind::Pmkl { threads: 2 })
+            .and_then(|h| h.factor(&a))
+            .map(|n| n.lu_nnz() as f64)
+            .unwrap_or(f64::NAN);
+        rows.push(vec![
+            e.name.to_string(),
+            a.nrows().to_string(),
+            fmt_eng(a.nnz() as f64),
+            fmt_eng(lu),
+            format!("{:.1}", lu / a.nnz() as f64),
+            format!(
+                "paper: n={} |A|={} |L+U|={}",
+                fmt_eng(e.paper.n),
+                fmt_eng(e.paper.nnz),
+                fmt_eng(e.paper.fill_klu * e.paper.nnz)
+            ),
+        ]);
+    }
+    print_markdown_table(
+        &["matrix", "n", "|A|", "|L+U| (PMKL)", "fill", "paper reference"],
+        &rows,
+    );
+}

@@ -1,0 +1,140 @@
+//! **§V-F reproduction** — the Xyce transient sequence: a long sequence
+//! of matrices with fixed structure and drifting/switching values.
+//!
+//! The paper's semantics: every solver **reuses its symbolic analysis**
+//! across the sequence but redoes the **numeric factorization with
+//! pivoting** for every matrix ("Each factorization may require a
+//! different permutation due to pivoting... a solver package must reuse
+//! the symbolic factorization for all matrices in the sequence").
+//!
+//! Paper numbers for 1000 matrices: Basker 175.21 s, KLU 914.77 s, PMKL
+//! 951.34 s → Basker 5.43× vs PMKL and 5.22× vs KLU on 16 cores. The
+//! shape to check here: Basker beats both; the margin compresses with 2
+//! cores.
+//!
+//! A second table reports the *value-only refactorization* fast path
+//! (this library's extension; KLU offers the same), which skips pivoting
+//! entirely and is the right tool when values drift gently.
+//!
+//! Usage: `xyce_sequence [nsteps] [test|bench]` (defaults: 200, bench).
+
+use basker::{Basker, BaskerOptions, SyncMode};
+use basker_klu::{KluOptions, KluSymbolic};
+use basker_matgen::{CircuitParams, XyceSequence, XyceSequenceParams};
+use basker_snlu::{Snlu, SnluOptions};
+use basker_sparse::util::relative_residual;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nsteps: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let scale_test = args.get(2).map(|s| s == "test").unwrap_or(false);
+
+    let seq = XyceSequence::new(&XyceSequenceParams {
+        circuit: CircuitParams {
+            nsub: if scale_test { 4 } else { 16 },
+            sub_size: if scale_test { 32 } else { 220 },
+            feedthrough: 0.7,
+            ..CircuitParams::default()
+        },
+        nsteps,
+        switching_fraction: 0.04,
+        seed: 99,
+    });
+    let a0 = seq.pattern().clone();
+    println!(
+        "# Xyce sequence analogue: {nsteps} matrices, n = {}, |A| = {}\n",
+        a0.nrows(),
+        a0.nnz()
+    );
+
+    // ---- symbolic analyses, once per solver ----
+    let bsk = Basker::analyze(
+        &a0,
+        &BaskerOptions {
+            nthreads: 2,
+            sync_mode: SyncMode::PointToPoint,
+            ..BaskerOptions::default()
+        },
+    )
+    .expect("basker analyze");
+    let klu = KluSymbolic::analyze(&a0, &KluOptions::default()).expect("klu analyze");
+    let pmkl = Snlu::analyze(
+        &a0,
+        &SnluOptions {
+            nthreads: 2,
+            ..SnluOptions::default()
+        },
+    )
+    .expect("snlu analyze");
+
+    // ---- paper semantics: numeric factorization (with pivoting) per step
+    let t0 = Instant::now();
+    let mut last = None;
+    for s in 0..nsteps {
+        let m = seq.matrix_at(s);
+        last = Some(bsk.factor(&m).expect("basker factor"));
+    }
+    let basker_secs = t0.elapsed().as_secs_f64();
+    let b = vec![1.0; a0.ncols()];
+    let lastm = seq.matrix_at(nsteps - 1);
+    let resid = relative_residual(&lastm, &last.unwrap().solve(&b), &b);
+    assert!(resid < 1e-8, "basker residual {resid}");
+
+    let t0 = Instant::now();
+    for s in 0..nsteps {
+        let m = seq.matrix_at(s);
+        let _ = klu.factor(&m).expect("klu factor");
+    }
+    let klu_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    for s in 0..nsteps {
+        let m = seq.matrix_at(s);
+        let _ = pmkl.factor(&m).expect("snlu factor");
+    }
+    let pmkl_secs = t0.elapsed().as_secs_f64();
+
+    println!("## numeric factorization per step (the paper's experiment)\n");
+    println!("| solver | total seconds |");
+    println!("|---|---|");
+    println!("| Basker (2 threads) | {basker_secs:.2} |");
+    println!("| KLU | {klu_secs:.2} |");
+    println!("| PMKL stand-in (2 threads) | {pmkl_secs:.2} |");
+    println!();
+    println!(
+        "Basker speedup: {:.2}x vs KLU (paper 5.22x on 16 cores), {:.2}x vs \
+         PMKL (paper 5.43x). Compressed by the 2-core container.",
+        klu_secs / basker_secs,
+        pmkl_secs / basker_secs
+    );
+
+    // ---- extension: value-only refactorization fast path ----
+    let t0 = Instant::now();
+    let mut num = bsk.factor(&a0).expect("factor");
+    let mut fallbacks = 0usize;
+    for s in 1..nsteps {
+        let m = seq.matrix_at(s);
+        if num.refactor(&m).is_err() {
+            num = bsk.factor(&m).expect("re-pivot");
+            fallbacks += 1;
+        }
+    }
+    let basker_re = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let mut knum = klu.factor(&a0).expect("factor");
+    let mut kfallbacks = 0usize;
+    for s in 1..nsteps {
+        let m = seq.matrix_at(s);
+        if knum.refactor(&m).is_err() {
+            knum = klu.factor(&m).expect("re-pivot");
+            kfallbacks += 1;
+        }
+    }
+    let klu_re = t0.elapsed().as_secs_f64();
+    println!("\n## value-only refactorization variant (extension)\n");
+    println!("| solver | total seconds | pivot fallbacks |");
+    println!("|---|---|---|");
+    println!("| Basker refactor | {basker_re:.2} | {fallbacks} |");
+    println!("| KLU refactor | {klu_re:.2} | {kfallbacks} |");
+}

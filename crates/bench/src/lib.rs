@@ -1,0 +1,340 @@
+//! Shared harness for the paper-reproduction experiments.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper; this library provides the solver drivers (uniform timing of the
+//! *numeric* phase, which is what the paper compares), the synthetic
+//! suites (via `basker-matgen`) and markdown table output helpers.
+
+use basker::{Basker, BaskerNumeric, BaskerOptions, SyncMode};
+use basker_klu::{KluNumeric, KluOptions, KluSymbolic};
+use basker_snlu::{Snlu, SnluMode, SnluNumeric, SnluOptions};
+use basker_sparse::spmv::spmv;
+use basker_sparse::util::relative_residual;
+use basker_sparse::CscMat;
+use std::time::Instant;
+
+/// Which solver to drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// This paper's solver.
+    Basker {
+        /// Thread-team size (power of two).
+        threads: usize,
+        /// Synchronization mode for the ND numeric phase.
+        sync: SyncMode,
+    },
+    /// The serial Gilbert–Peierls baseline (KLU work-alike).
+    Klu,
+    /// The supernodal comparator in Pardiso-like mode (PMKL stand-in).
+    Pmkl {
+        /// Level-set worker threads.
+        threads: usize,
+    },
+    /// The supernodal comparator in SuperLU-MT-like 1-D mode.
+    SluMt {
+        /// Level-set worker threads.
+        threads: usize,
+    },
+}
+
+impl SolverKind {
+    /// Short display name matching the paper's legends.
+    pub fn label(&self) -> String {
+        match self {
+            SolverKind::Basker { threads, sync } => match sync {
+                SyncMode::PointToPoint => format!("Basker(p={threads})"),
+                SyncMode::Barrier => format!("Basker-barrier(p={threads})"),
+            },
+            SolverKind::Klu => "KLU".to_string(),
+            SolverKind::Pmkl { threads } => format!("PMKL(p={threads})"),
+            SolverKind::SluMt { threads } => format!("SLU-MT(p={threads})"),
+        }
+    }
+}
+
+/// One measured run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Seconds in the symbolic/analysis phase (once).
+    pub analyze_seconds: f64,
+    /// Best-of-k seconds of the numeric factorization.
+    pub factor_seconds: f64,
+    /// `|L+U|` as the solver reports it.
+    pub lu_nnz: usize,
+    /// Relative residual of a solve against a random right-hand side.
+    pub residual: f64,
+    /// Synchronization overhead fraction (Basker only, 0 otherwise).
+    pub sync_fraction: f64,
+}
+
+/// Pre-analyzed solver handles so sequences can reuse the symbolic phase.
+pub enum SolverHandle {
+    /// Basker symbolic handle.
+    Basker(Basker),
+    /// KLU symbolic handle.
+    Klu(KluSymbolic),
+    /// Supernodal symbolic handle.
+    Snlu(Snlu),
+}
+
+/// Analyzes once.
+pub fn analyze(a: &CscMat, kind: SolverKind) -> Result<SolverHandle, String> {
+    match kind {
+        SolverKind::Basker { threads, sync } => {
+            let opts = BaskerOptions {
+                nthreads: threads,
+                sync_mode: sync,
+                ..BaskerOptions::default()
+            };
+            Basker::analyze(a, &opts)
+                .map(SolverHandle::Basker)
+                .map_err(|e| e.to_string())
+        }
+        SolverKind::Klu => KluSymbolic::analyze(a, &KluOptions::default())
+            .map(SolverHandle::Klu)
+            .map_err(|e| e.to_string()),
+        SolverKind::Pmkl { threads } => Snlu::analyze(
+            a,
+            &SnluOptions {
+                nthreads: threads,
+                mode: SnluMode::Pardiso,
+                ..SnluOptions::default()
+            },
+        )
+        .map(SolverHandle::Snlu)
+        .map_err(|e| e.to_string()),
+        SolverKind::SluMt { threads } => Snlu::analyze(
+            a,
+            &SnluOptions {
+                nthreads: threads,
+                mode: SnluMode::SluMt,
+                ..SnluOptions::default()
+            },
+        )
+        .map(SolverHandle::Snlu)
+        .map_err(|e| e.to_string()),
+    }
+}
+
+/// Factored product of one numeric run.
+pub enum NumericHandle {
+    /// Basker factors.
+    Basker(BaskerNumeric),
+    /// KLU factors.
+    Klu(KluNumeric),
+    /// Supernodal factors.
+    Snlu(SnluNumeric),
+}
+
+impl SolverHandle {
+    /// One numeric factorization.
+    pub fn factor(&self, a: &CscMat) -> Result<NumericHandle, String> {
+        match self {
+            SolverHandle::Basker(s) => s
+                .factor(a)
+                .map(NumericHandle::Basker)
+                .map_err(|e| e.to_string()),
+            SolverHandle::Klu(s) => s.factor(a).map(NumericHandle::Klu).map_err(|e| e.to_string()),
+            SolverHandle::Snlu(s) => s
+                .factor(a)
+                .map(NumericHandle::Snlu)
+                .map_err(|e| e.to_string()),
+        }
+    }
+}
+
+impl NumericHandle {
+    /// `|L+U|` as the solver reports it.
+    pub fn lu_nnz(&self) -> usize {
+        match self {
+            NumericHandle::Basker(n) => n.lu_nnz(),
+            NumericHandle::Klu(n) => n.lu_nnz(),
+            NumericHandle::Snlu(n) => n.lu_nnz,
+        }
+    }
+
+    /// Solves against `b` (`a` needed for the refined supernodal solve).
+    pub fn solve(&self, a: &CscMat, b: &[f64]) -> Vec<f64> {
+        match self {
+            NumericHandle::Basker(n) => n.solve(b),
+            NumericHandle::Klu(n) => n.solve(b),
+            NumericHandle::Snlu(n) => n.solve(a, b),
+        }
+    }
+
+    /// Sync-wait fraction (Basker only).
+    pub fn sync_fraction(&self) -> f64 {
+        match self {
+            NumericHandle::Basker(n) => n.stats.sync_fraction(),
+            _ => 0.0,
+        }
+    }
+}
+
+/// Times the numeric phase: repeats until `min_secs` total or `max_reps`,
+/// reports the minimum.
+pub fn run_solver(a: &CscMat, kind: SolverKind, min_secs: f64, max_reps: usize) -> Result<RunResult, String> {
+    let t0 = Instant::now();
+    let handle = analyze(a, kind)?;
+    let analyze_seconds = t0.elapsed().as_secs_f64();
+
+    let mut best = f64::INFINITY;
+    let mut reps = 0usize;
+    let mut last = None;
+    let tstart = Instant::now();
+    while reps < max_reps && (reps < 1 || tstart.elapsed().as_secs_f64() < min_secs) {
+        let t = Instant::now();
+        let num = handle.factor(a)?;
+        best = best.min(t.elapsed().as_secs_f64());
+        last = Some(num);
+        reps += 1;
+    }
+    let num = last.expect("at least one rep");
+
+    let xtrue: Vec<f64> = (0..a.ncols()).map(|i| 1.0 + (i % 9) as f64 * 0.25).collect();
+    let b = spmv(a, &xtrue);
+    let x = num.solve(a, &b);
+    let residual = relative_residual(a, &x, &b);
+
+    Ok(RunResult {
+        analyze_seconds,
+        factor_seconds: best,
+        lu_nnz: num.lu_nnz(),
+        residual,
+        sync_fraction: num.sync_fraction(),
+    })
+}
+
+/// Geometric mean of a nonempty slice.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Performance-profile points: for each solver (row of `times`), the
+/// fraction of problems solved within factor `tau` of the per-problem
+/// best, evaluated at each `tau` in `taus`. `f64::INFINITY` marks a
+/// failed run (never within any factor).
+pub fn performance_profile(times: &[Vec<f64>], taus: &[f64]) -> Vec<Vec<f64>> {
+    let nsolvers = times.len();
+    let nprobs = times.first().map_or(0, |t| t.len());
+    let best: Vec<f64> = (0..nprobs)
+        .map(|p| {
+            (0..nsolvers)
+                .map(|s| times[s][p])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    (0..nsolvers)
+        .map(|s| {
+            taus.iter()
+                .map(|&tau| {
+                    let within = (0..nprobs)
+                        .filter(|&p| best[p].is_finite() && times[s][p] <= tau * best[p])
+                        .count();
+                    within as f64 / nprobs.max(1) as f64
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Formats seconds compactly.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}µs", s * 1e6)
+    }
+}
+
+/// Formats a count in engineering notation like the paper ("6.9E5").
+pub fn fmt_eng(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    let exp = x.abs().log10().floor();
+    let mant = x / 10f64.powf(exp);
+    format!("{mant:.1}E{exp:.0}")
+}
+
+/// Prints a markdown table.
+pub fn print_markdown_table(headers: &[&str], rows: &[Vec<String>]) {
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Least-squares slope of `y` against `x` through the origin (speedup
+/// trend lines of Fig. 8).
+pub fn trend_slope(x: &[f64], y: &[f64]) -> f64 {
+    let num: f64 = x.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+    let den: f64 = x.iter().map(|a| a * a).sum();
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basker_matgen::{mesh2d, powergrid, PowergridParams};
+
+    #[test]
+    fn run_all_solvers_on_small_inputs() {
+        let grid = mesh2d(8, 1);
+        let pg = powergrid(&PowergridParams {
+            nfeeders: 5,
+            feeder_len: 12,
+            loop_prob: 0.2,
+            seed: 3,
+        });
+        for a in [&grid, &pg] {
+            for kind in [
+                SolverKind::Klu,
+                SolverKind::Basker {
+                    threads: 2,
+                    sync: SyncMode::PointToPoint,
+                },
+                SolverKind::Pmkl { threads: 2 },
+                SolverKind::SluMt { threads: 2 },
+            ] {
+                let r = run_solver(a, kind, 0.0, 1).unwrap_or_else(|e| {
+                    panic!("{} failed: {e}", kind.label());
+                });
+                assert!(
+                    r.residual < 1e-8,
+                    "{}: residual {}",
+                    kind.label(),
+                    r.residual
+                );
+                assert!(r.lu_nnz > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_mean_and_profiles() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        let times = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let prof = performance_profile(&times, &[1.0, 2.0]);
+        assert_eq!(prof[0], vec![0.5, 1.0]);
+        assert_eq!(prof[1], vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_eng(690000.0), "6.9E5");
+        assert_eq!(fmt_secs(2.0), "2.00s");
+        assert!(fmt_secs(0.002).contains("ms"));
+        assert!((trend_slope(&[1.0, 2.0], &[2.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,615 @@
+//! # Basker: threaded sparse LU with hierarchical parallelism
+//!
+//! A from-scratch Rust reproduction of *Basker: A Threaded Sparse LU
+//! Factorization Utilizing Hierarchical Parallelism and Data Layouts*
+//! (Booth, Rajamanickam, Thornquist — IPDPS 2016).
+//!
+//! Basker targets low fill-in matrices (circuits, power grids) where
+//! supernodal/BLAS solvers stall. It exposes parallelism at two levels:
+//!
+//! * a **coarse BTF** structure whose small diagonal blocks factor
+//!   independently (paper Alg. 2), and
+//! * a **fine ND** 2-D block structure over each large diagonal block,
+//!   where a static thread team runs the first *parallel* Gilbert–Peierls
+//!   factorization (paper Alg. 3–4), synchronizing point-to-point.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use basker::{Basker, BaskerOptions};
+//! use basker_sparse::CscMat;
+//!
+//! // A small diagonally dominant system.
+//! let a = CscMat::from_dense(&[
+//!     vec![10.0, 2.0, 0.0],
+//!     vec![3.0, 12.0, 4.0],
+//!     vec![0.0, 1.0, 9.0],
+//! ]);
+//! let solver = Basker::analyze(&a, &BaskerOptions::default()).unwrap();
+//! let num = solver.factor(&a).unwrap();
+//! let x = num.solve(&[12.0, 19.0, 10.0]);
+//! assert!(basker_sparse::util::relative_residual(&a, &x, &[12.0, 19.0, 10.0]) < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fine_btf;
+pub mod parnum;
+pub mod reduce;
+pub mod refactor;
+pub mod solve;
+pub mod stats;
+pub mod structure;
+pub mod symbolic;
+pub mod sync;
+
+pub use stats::BaskerStats;
+pub use sync::SyncMode;
+
+use crate::fine_btf::{factor_small_blocks, partition_by_flops, SmallBlock};
+use crate::parnum::{factor_nd_parallel, NdFactors};
+use crate::solve::solve_nd_in_place;
+use crate::structure::{BlockKind, NdBlocks, Structure};
+use basker_klu::gp::BlockFactor;
+use basker_ordering::symbolic::symbolic_gp;
+use basker_sparse::blocks::extract_range;
+use basker_sparse::{CscMat, Perm, Result, SparseError};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Tuning options for Basker.
+#[derive(Debug, Clone)]
+pub struct BaskerOptions {
+    /// Requested threads; rounded **down** to a power of two (the ND tree
+    /// is binary — paper §III-C: "Basker is limited to using a power of
+    /// two threads").
+    pub nthreads: usize,
+    /// Threshold partial-pivoting tolerance (diagonal kept when within
+    /// `pivot_tol` of the column max).
+    pub pivot_tol: f64,
+    /// Apply the coarse BTF structure.
+    pub use_btf: bool,
+    /// Use the bottleneck MWCM transversal for the BTF.
+    pub use_mwcm: bool,
+    /// BTF blocks at least this large get the fine ND treatment; smaller
+    /// ones use the fine BTF path.
+    pub nd_threshold: usize,
+    /// Synchronization strategy for the ND numeric phase.
+    pub sync_mode: SyncMode,
+}
+
+impl Default for BaskerOptions {
+    fn default() -> Self {
+        BaskerOptions {
+            nthreads: 2,
+            pivot_tol: 0.001,
+            use_btf: true,
+            use_mwcm: true,
+            nd_threshold: 128,
+            sync_mode: SyncMode::PointToPoint,
+        }
+    }
+}
+
+struct SymInner {
+    opts: BaskerOptions,
+    structure: Structure,
+    pool: rayon::ThreadPool,
+    small_blocks: Vec<SmallBlock>,
+    small_chunks: Vec<Vec<usize>>,
+    threads: usize,
+    estimates: symbolic::SymbolicEstimates,
+}
+
+/// The symbolic handle: orderings, block structure, thread pool and fill
+/// estimates, reusable across a sequence of matrices with one pattern.
+#[derive(Clone)]
+pub struct Basker {
+    inner: Arc<SymInner>,
+}
+
+impl Basker {
+    /// Analyzes the pattern of `a` (paper Alg. 2 + Alg. 3): BTF, AMD/ND
+    /// refinement, symbolic estimates and thread partitioning.
+    pub fn analyze(a: &CscMat, opts: &BaskerOptions) -> Result<Basker> {
+        let threads = opts.nthreads.max(1);
+        let threads = if threads.is_power_of_two() {
+            threads
+        } else {
+            threads.next_power_of_two() / 2
+        };
+        let structure =
+            Structure::build(a, opts.use_btf, opts.use_mwcm, opts.nd_threshold, threads)?;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .thread_name(|i| format!("basker-{i}"))
+            .build()
+            .map_err(|e| SparseError::InvalidStructure(format!("thread pool: {e}")))?;
+
+        // Per-small-block flop estimates (Alg. 2 line 3) drive the static
+        // partition of blocks over threads (line 5).
+        let ap = Perm::permute_both(&structure.row_perm, &structure.col_perm, a);
+        let mut small_blocks = Vec::new();
+        for b in 0..structure.nblocks() {
+            if let BlockKind::Small = structure.kinds[b] {
+                let (lo, hi) = (structure.bounds[b], structure.bounds[b + 1]);
+                let est_flops = if hi - lo > 1 {
+                    let diag = extract_range(&ap, lo..hi, lo..hi);
+                    symbolic_gp(&diag).flops
+                } else {
+                    1.0
+                };
+                small_blocks.push(SmallBlock {
+                    btf_index: b,
+                    lo,
+                    hi,
+                    est_flops,
+                });
+            }
+        }
+        let small_chunks = partition_by_flops(&small_blocks, threads);
+        let estimates = symbolic::SymbolicEstimates::compute(&ap, &structure, &pool);
+
+        Ok(Basker {
+            inner: Arc::new(SymInner {
+                opts: opts.clone(),
+                structure,
+                pool,
+                small_blocks,
+                small_chunks,
+                threads,
+                estimates,
+            }),
+        })
+    }
+
+    /// The effective (power-of-two) thread count.
+    pub fn threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// The underlying block structure.
+    pub fn structure(&self) -> &Structure {
+        &self.inner.structure
+    }
+
+    /// Symbolic fill estimates (paper Alg. 3).
+    pub fn estimates(&self) -> &symbolic::SymbolicEstimates {
+        &self.inner.estimates
+    }
+
+    /// Numeric factorization of `a` (same pattern as analyzed), with fresh
+    /// pivoting. This is the call a circuit simulator makes for every
+    /// matrix of a transient sequence (paper §V-F) — the symbolic phase is
+    /// reused, the numeric phase redone.
+    pub fn factor(&self, a: &CscMat) -> Result<BaskerNumeric> {
+        let t0 = Instant::now();
+        let inner = &self.inner;
+        let st = &inner.structure;
+        let ap = Perm::permute_both(&st.row_perm, &st.col_perm, a);
+
+        // Fine BTF path: all small blocks in parallel.
+        let small = factor_small_blocks(
+            &ap,
+            &inner.small_blocks,
+            &inner.small_chunks,
+            inner.opts.pivot_tol,
+            &inner.pool,
+        )?;
+        let mut small_iter = small.into_iter();
+
+        // Fine ND path: each large block with the whole team.
+        let mut factors: Vec<BlockFactors> = Vec::with_capacity(st.nblocks());
+        let mut sync_wait = vec![0u64; inner.threads];
+        let mut nd_blocks_ct = 0usize;
+        for b in 0..st.nblocks() {
+            match &st.kinds[b] {
+                BlockKind::Small => {
+                    let (bi, blu) = small_iter.next().expect("small factor missing");
+                    debug_assert_eq!(bi, b);
+                    factors.push(BlockFactors::Small(blu));
+                }
+                BlockKind::NdBig(nds) => {
+                    let lo = st.bounds[b];
+                    let blocks = NdBlocks::extract(&ap, lo, nds);
+                    let f = factor_nd_parallel(
+                        &blocks,
+                        nds,
+                        inner.opts.pivot_tol,
+                        inner.opts.sync_mode,
+                        lo,
+                        &inner.pool,
+                    )?;
+                    for (t, w) in f.wait_ns.iter().enumerate() {
+                        sync_wait[t] += w;
+                    }
+                    nd_blocks_ct += 1;
+                    factors.push(BlockFactors::Nd { blocks, f });
+                }
+            }
+        }
+
+        let offdiag = upper_block_part(&ap, &st.block_of);
+        let mut num = BaskerNumeric {
+            sym: self.clone(),
+            factors,
+            offdiag,
+            stats: BaskerStats::default(),
+        };
+        let lu_nnz = num.lu_nnz();
+        let flops = num.flops();
+        num.stats = BaskerStats {
+            lu_nnz,
+            flops,
+            numeric_seconds: t0.elapsed().as_secs_f64(),
+            sync_wait_ns: sync_wait,
+            btf_blocks: st.nblocks(),
+            nd_blocks: nd_blocks_ct,
+            threads: inner.threads,
+        };
+        Ok(num)
+    }
+}
+
+/// Extracts the strictly-upper-block couplings between BTF blocks.
+fn upper_block_part(ap: &CscMat, block_of: &[usize]) -> CscMat {
+    let n = ap.ncols();
+    let mut colptr = Vec::with_capacity(n + 1);
+    let mut rowind = Vec::new();
+    let mut values = Vec::new();
+    colptr.push(0);
+    for j in 0..n {
+        for (i, v) in ap.col_iter(j) {
+            if block_of[i] < block_of[j] {
+                rowind.push(i);
+                values.push(v);
+            }
+        }
+        colptr.push(rowind.len());
+    }
+    CscMat::from_parts_unchecked(n, n, colptr, rowind, values)
+}
+
+/// Numeric factors of one BTF block.
+pub enum BlockFactors {
+    /// A small block factored serially (scalar fast path for 1×1 blocks).
+    Small(BlockFactor),
+    /// A large block factored by the team; the extracted `A` blocks are
+    /// retained for refactorization.
+    Nd {
+        /// The extracted 2-D `A` blocks.
+        blocks: NdBlocks,
+        /// The factors.
+        f: NdFactors,
+    },
+}
+
+/// The numeric factorization: factors per BTF block + BTF couplings.
+pub struct BaskerNumeric {
+    sym: Basker,
+    factors: Vec<BlockFactors>,
+    offdiag: CscMat,
+    /// Statistics of the (re)factorization that produced these factors.
+    pub stats: BaskerStats,
+}
+
+impl BaskerNumeric {
+    /// The symbolic handle.
+    pub fn symbolic(&self) -> &Basker {
+        &self.sym
+    }
+
+    /// Per-block factors (tests/diagnostics).
+    pub fn factors(&self) -> &[BlockFactors] {
+        &self.factors
+    }
+
+    /// `|L+U|` over the factored blocks only (the paper's Table I memory
+    /// metric; off-diagonal BTF couplings are reused from `A`, not
+    /// factored, so fill density can fall below 1).
+    pub fn lu_nnz(&self) -> usize {
+        self.factors
+            .iter()
+            .map(|f| match f {
+                BlockFactors::Small(b) => b.lu_nnz(),
+                BlockFactors::Nd { f, .. } => f.lu_nnz(),
+            })
+            .sum()
+    }
+
+    /// Total stored entries including the retained off-diagonal couplings.
+    pub fn total_storage_nnz(&self) -> usize {
+        self.lu_nnz() + self.offdiag.nnz()
+    }
+
+    /// Numeric flops of the factorization kernels.
+    pub fn flops(&self) -> f64 {
+        self.factors
+            .iter()
+            .map(|f| match f {
+                BlockFactors::Small(b) => b.flops(),
+                BlockFactors::Nd { f, .. } => f.flops,
+            })
+            .sum()
+    }
+
+    /// Solves `A·x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let st = &self.sym.inner.structure;
+        assert_eq!(b.len(), st.n);
+        let mut y = st.row_perm.apply_vec(b);
+        for blk in (0..st.nblocks()).rev() {
+            let (lo, hi) = (st.bounds[blk], st.bounds[blk + 1]);
+            match &self.factors[blk] {
+                BlockFactors::Small(blu) => blu.solve_in_place(&mut y[lo..hi]),
+                BlockFactors::Nd { f, .. } => {
+                    let BlockKind::NdBig(nds) = &st.kinds[blk] else {
+                        unreachable!("factor kind mismatch");
+                    };
+                    solve_nd_in_place(nds, f, &mut y[lo..hi]);
+                }
+            }
+            // push contributions into earlier blocks
+            for c in lo..hi {
+                let xc = y[c];
+                if xc != 0.0 {
+                    for (i, v) in self.offdiag.col_iter(c) {
+                        y[i] -= v * xc;
+                    }
+                }
+            }
+        }
+        let mut x = vec![0.0; st.n];
+        for (k, &orig) in st.col_perm.as_slice().iter().enumerate() {
+            x[orig] = y[k];
+        }
+        x
+    }
+
+    /// Solves for several right-hand sides.
+    pub fn solve_multi(&self, b: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        b.iter().map(|rhs| self.solve(rhs)).collect()
+    }
+
+    /// Refactorizes with new values (identical pattern), reusing patterns
+    /// **and pivot sequences** — no graph search, no new pivoting. Fails
+    /// with [`SparseError::ZeroPivot`] if a pivot collapses; callers then
+    /// fall back to [`Basker::factor`].
+    pub fn refactor(&mut self, a: &CscMat) -> Result<()> {
+        let t0 = Instant::now();
+        let sym = self.sym.clone();
+        let inner = &sym.inner;
+        let st = &inner.structure;
+        let ap = Perm::permute_both(&st.row_perm, &st.col_perm, a);
+        for b in 0..st.nblocks() {
+            let (lo, hi) = (st.bounds[b], st.bounds[b + 1]);
+            match &mut self.factors[b] {
+                BlockFactors::Small(blu) => {
+                    blu.refactor_range(&ap, lo, hi)?;
+                }
+                BlockFactors::Nd { blocks, f } => {
+                    let BlockKind::NdBig(nds) = &st.kinds[b] else {
+                        unreachable!();
+                    };
+                    *blocks = NdBlocks::extract(&ap, lo, nds);
+                    refactor::refactor_nd_serial(blocks, nds, f, lo)?;
+                }
+            }
+        }
+        self.offdiag = upper_block_part(&ap, &st.block_of);
+        self.stats.numeric_seconds = t0.elapsed().as_secs_f64();
+        self.stats.lu_nnz = self.lu_nnz();
+        self.stats.flops = self.flops();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basker_sparse::spmv::spmv;
+    use basker_sparse::util::relative_residual;
+    use basker_sparse::TripletMat;
+
+    fn grid2d_unsym(k: usize) -> CscMat {
+        let n = k * k;
+        let idx = |r: usize, c: usize| r * k + c;
+        let mut t = TripletMat::new(n, n);
+        for r in 0..k {
+            for c in 0..k {
+                let u = idx(r, c);
+                t.push(u, u, 8.0 + (u % 3) as f64);
+                if r + 1 < k {
+                    t.push(u, idx(r + 1, c), -1.0);
+                    t.push(idx(r + 1, c), u, -2.0);
+                }
+                if c + 1 < k {
+                    t.push(u, idx(r, c + 1), -1.5);
+                    t.push(idx(r, c + 1), u, -0.5);
+                }
+            }
+        }
+        t.to_csc()
+    }
+
+    fn mixed_matrix() -> CscMat {
+        // grid (irreducible, big) + tiny blocks + couplings
+        let g = grid2d_unsym(7); // 49
+        let n = 49 + 8;
+        let mut t = TripletMat::new(n, n);
+        for (i, j, v) in g.iter() {
+            t.push(i, j, v);
+        }
+        for k in 49..n {
+            t.push(k, k, 5.0 + (k % 4) as f64);
+        }
+        t.push(5, 50, 1.0);
+        t.push(20, 53, -0.5);
+        t.push(49, 55, 0.25);
+        t.to_csc()
+    }
+
+    fn check_solver(a: &CscMat, opts: &BaskerOptions) {
+        let sym = Basker::analyze(a, opts).unwrap();
+        let num = sym.factor(a).unwrap();
+        let xtrue: Vec<f64> = (0..a.ncols()).map(|i| 0.5 + (i % 5) as f64).collect();
+        let b = spmv(a, &xtrue);
+        let x = num.solve(&b);
+        assert!(
+            relative_residual(a, &x, &b) < 1e-11,
+            "residual too large (threads={})",
+            opts.nthreads
+        );
+    }
+
+    #[test]
+    fn nd_path_end_to_end() {
+        for p in [1usize, 2, 4] {
+            check_solver(
+                &grid2d_unsym(8),
+                &BaskerOptions {
+                    nthreads: p,
+                    nd_threshold: 16,
+                    ..BaskerOptions::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_structure_end_to_end() {
+        check_solver(
+            &mixed_matrix(),
+            &BaskerOptions {
+                nthreads: 2,
+                nd_threshold: 32,
+                ..BaskerOptions::default()
+            },
+        );
+    }
+
+    #[test]
+    fn barrier_mode_end_to_end() {
+        check_solver(
+            &grid2d_unsym(8),
+            &BaskerOptions {
+                nthreads: 4,
+                nd_threshold: 16,
+                sync_mode: SyncMode::Barrier,
+                ..BaskerOptions::default()
+            },
+        );
+    }
+
+    #[test]
+    fn pure_small_block_path() {
+        // diagonal-ish matrix: everything below nd_threshold
+        let mut t = TripletMat::new(12, 12);
+        for i in 0..12 {
+            t.push(i, i, 3.0);
+        }
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 0.5);
+        let a = t.to_csc();
+        check_solver(
+            &a,
+            &BaskerOptions {
+                nthreads: 2,
+                ..BaskerOptions::default()
+            },
+        );
+    }
+
+    #[test]
+    fn thread_rounding() {
+        let a = grid2d_unsym(4);
+        let sym = Basker::analyze(
+            &a,
+            &BaskerOptions {
+                nthreads: 3,
+                ..BaskerOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sym.threads(), 2);
+        let sym = Basker::analyze(
+            &a,
+            &BaskerOptions {
+                nthreads: 6,
+                ..BaskerOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sym.threads(), 4);
+    }
+
+    #[test]
+    fn results_deterministic_across_factor_calls() {
+        let a = grid2d_unsym(8);
+        let opts = BaskerOptions {
+            nthreads: 2,
+            nd_threshold: 16,
+            ..BaskerOptions::default()
+        };
+        let sym = Basker::analyze(&a, &opts).unwrap();
+        let n1 = sym.factor(&a).unwrap();
+        let n2 = sym.factor(&a).unwrap();
+        let b = vec![1.0; a.ncols()];
+        assert_eq!(n1.solve(&b), n2.solve(&b));
+    }
+
+    #[test]
+    fn refactor_matches_factor() {
+        let a = mixed_matrix();
+        let opts = BaskerOptions {
+            nthreads: 2,
+            nd_threshold: 32,
+            ..BaskerOptions::default()
+        };
+        let sym = Basker::analyze(&a, &opts).unwrap();
+        let mut num = sym.factor(&a).unwrap();
+        // scale values, same pattern
+        let a2 = CscMat::from_parts_unchecked(
+            a.nrows(),
+            a.ncols(),
+            a.colptr().to_vec(),
+            a.rowind().to_vec(),
+            a.values().iter().map(|v| v * 1.25 + 0.001).collect(),
+        );
+        num.refactor(&a2).unwrap();
+        let xtrue: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.1).cos()).collect();
+        let b = spmv(&a2, &xtrue);
+        let x = num.solve(&b);
+        assert!(relative_residual(&a2, &x, &b) < 1e-11);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let a = grid2d_unsym(8);
+        let opts = BaskerOptions {
+            nthreads: 2,
+            nd_threshold: 16,
+            ..BaskerOptions::default()
+        };
+        let sym = Basker::analyze(&a, &opts).unwrap();
+        let num = sym.factor(&a).unwrap();
+        assert!(num.stats.lu_nnz >= a.nnz() / 2);
+        assert!(num.stats.flops > 0.0);
+        assert!(num.stats.numeric_seconds > 0.0);
+        assert_eq!(num.stats.threads, 2);
+        assert_eq!(num.stats.nd_blocks, 1);
+        assert!(num.stats.fill_density(a.nnz()) > 0.0);
+    }
+
+    #[test]
+    fn rejects_structurally_singular() {
+        let mut t = TripletMat::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 1.0);
+        let a = t.to_csc();
+        assert!(matches!(
+            Basker::analyze(&a, &BaskerOptions::default()),
+            Err(SparseError::StructurallySingular { .. })
+        ));
+    }
+}

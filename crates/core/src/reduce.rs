@@ -1,0 +1,161 @@
+//! Block reductions: `Â = A − Σ L·U` (paper Alg. 4 lines 18 & 24).
+//!
+//! Each reduction subtracts the products of already-factored `L` blocks
+//! with freshly computed `U` panel blocks from a block of `A`. The paper
+//! describes it as "multiple parallel sparse matrix–vector multiplication"
+//! followed by a subtraction; here both phases are fused column by column
+//! through a sparse accumulator.
+
+use basker_sparse::CscMat;
+
+/// Computes `A − Σᵢ Lᵢ·Uᵢ` where every `Lᵢ` is `m x kᵢ` and every `Uᵢ` is
+/// `kᵢ x nc`, with `A` of shape `m x nc`. Returns the result with sorted
+/// columns. Patterns are formed exactly (no cancellation pruning, so a
+/// refactorization with different values reuses the same pattern).
+pub fn reduce_block(a: &CscMat, terms: &[(&CscMat, &CscMat)]) -> CscMat {
+    let m = a.nrows();
+    let nc = a.ncols();
+    for (l, u) in terms {
+        assert_eq!(l.nrows(), m, "L term row mismatch");
+        assert_eq!(u.ncols(), nc, "U term col mismatch");
+        assert_eq!(l.ncols(), u.nrows(), "L/U inner dimension mismatch");
+    }
+    const UNSET: usize = usize::MAX;
+    let mut x = vec![0.0f64; m];
+    let mut mark = vec![UNSET; m];
+    let mut pat: Vec<usize> = Vec::new();
+
+    let mut colptr = Vec::with_capacity(nc + 1);
+    let mut rowind: Vec<usize> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    colptr.push(0);
+
+    for c in 0..nc {
+        pat.clear();
+        for (i, v) in a.col_iter(c) {
+            x[i] = v;
+            mark[i] = c;
+            pat.push(i);
+        }
+        for (l, u) in terms {
+            for (t, uv) in u.col_iter(c) {
+                if uv == 0.0 {
+                    // keep the pattern contribution even for exact zeros
+                    for (r, _) in l.col_iter(t) {
+                        if mark[r] != c {
+                            mark[r] = c;
+                            x[r] = 0.0;
+                            pat.push(r);
+                        }
+                    }
+                    continue;
+                }
+                for (r, lv) in l.col_iter(t) {
+                    if mark[r] != c {
+                        mark[r] = c;
+                        x[r] = 0.0;
+                        pat.push(r);
+                    }
+                    x[r] -= lv * uv;
+                }
+            }
+        }
+        pat.sort_unstable();
+        for &r in &pat {
+            rowind.push(r);
+            values.push(x[r]);
+            x[r] = 0.0;
+        }
+        colptr.push(rowind.len());
+    }
+    CscMat::from_parts_unchecked(m, nc, colptr, rowind, values)
+}
+
+/// Estimated flop count of a reduction (2 per multiply-add).
+pub fn reduce_flops(terms: &[(&CscMat, &CscMat)]) -> f64 {
+    let mut fl = 0.0;
+    for (l, u) in terms {
+        for c in 0..u.ncols() {
+            for (t, _) in u.col_iter(c) {
+                fl += 2.0 * (l.colptr()[t + 1] - l.colptr()[t]) as f64;
+            }
+        }
+    }
+    fl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(rows: &[Vec<f64>]) -> CscMat {
+        CscMat::from_dense(rows)
+    }
+
+    #[test]
+    fn single_term_matches_dense_math() {
+        let a = dense(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let l = dense(&[vec![1.0, 0.0], vec![0.0, 2.0], vec![1.0, 1.0]]);
+        let u = dense(&[vec![1.0, 1.0], vec![0.0, 1.0]]);
+        let r = reduce_block(&a, &[(&l, &u)]);
+        // A - L*U
+        let expect = [
+            [1.0 - 1.0, 2.0 - (1.0 + 0.0)],
+            [3.0 - 0.0, 4.0 - 2.0],
+            [5.0 - 1.0, 6.0 - (1.0 + 1.0)],
+        ];
+        let rd = r.to_dense();
+        for i in 0..3 {
+            for j in 0..2 {
+                assert!((rd[i][j] - expect[i][j]).abs() < 1e-14, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_terms_accumulate() {
+        let a = dense(&[vec![10.0]]);
+        let l1 = dense(&[vec![2.0]]);
+        let u1 = dense(&[vec![3.0]]);
+        let l2 = dense(&[vec![1.0]]);
+        let u2 = dense(&[vec![4.0]]);
+        let r = reduce_block(&a, &[(&l1, &u1), (&l2, &u2)]);
+        assert_eq!(r.get(0, 0), 10.0 - 6.0 - 4.0);
+    }
+
+    #[test]
+    fn empty_terms_is_copy() {
+        let a = dense(&[vec![1.0, 0.0], vec![0.0, 2.0]]);
+        let r = reduce_block(&a, &[]);
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a = CscMat::zero(3, 2);
+        let l = CscMat::zero(3, 0);
+        let u = CscMat::zero(0, 2);
+        let r = reduce_block(&a, &[(&l, &u)]);
+        assert_eq!(r.nnz(), 0);
+        assert_eq!(r.nrows(), 3);
+    }
+
+    #[test]
+    fn pattern_kept_on_cancellation() {
+        // A and L*U identical: values cancel but pattern must remain so a
+        // later refactor with different values fits.
+        let a = dense(&[vec![6.0]]);
+        let l = dense(&[vec![2.0]]);
+        let u = dense(&[vec![3.0]]);
+        let r = reduce_block(&a, &[(&l, &u)]);
+        assert_eq!(r.nnz(), 1);
+        assert_eq!(r.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn flops_counted() {
+        let l = dense(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let u = dense(&[vec![1.0], vec![1.0]]);
+        assert_eq!(reduce_flops(&[(&l, &u)]), 8.0);
+    }
+}

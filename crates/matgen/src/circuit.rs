@@ -1,0 +1,222 @@
+//! Modified-nodal-analysis style circuit matrix generator.
+//!
+//! Real SPICE matrices are unions of device *stamps* over a netlist. This
+//! generator reproduces the structural features Table I varies:
+//!
+//! * **subcircuit structure** — the netlist is a collection of subcircuit
+//!   instances; couplings between them are either *directed* (signal
+//!   flow: output feeds input, keeping subcircuits in separate BTF
+//!   blocks) or *bidirectional* (loading: merges SCCs into one large
+//!   irreducible block). `feedthrough` interpolates between the two.
+//! * **internal topology** — `mesh_like` subcircuits sit on a local grid
+//!   (low fill under AMD, the classic circuit regime); otherwise internal
+//!   nets connect randomly (higher fill, the `G2_Circuit`/`twotone`
+//!   regime).
+//! * **unsymmetry** — a fraction of devices are controlled sources
+//!   (VCCS), stamping one-directional conductances.
+
+use basker_sparse::{CscMat, TripletMat};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the circuit generator.
+#[derive(Debug, Clone)]
+pub struct CircuitParams {
+    /// Number of subcircuit instances.
+    pub nsub: usize,
+    /// Nodes per subcircuit.
+    pub sub_size: usize,
+    /// Average internal devices (two-terminal stamps) per node.
+    pub devices_per_node: f64,
+    /// Fraction of inter-subcircuit couplings that are bidirectional
+    /// (resistive loading) rather than directed (signal flow). 0.0 keeps
+    /// every subcircuit its own BTF block; 1.0 merges everything into one
+    /// irreducible block.
+    pub feedthrough: f64,
+    /// Number of inter-subcircuit couplings per subcircuit.
+    pub couplings_per_sub: f64,
+    /// Fraction of devices that are unsymmetric controlled sources.
+    pub vccs_fraction: f64,
+    /// Lay subcircuit nodes on a local 2-D grid (low fill) instead of a
+    /// random internal graph (high fill).
+    pub mesh_like: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CircuitParams {
+    fn default() -> Self {
+        CircuitParams {
+            nsub: 16,
+            sub_size: 64,
+            devices_per_node: 2.5,
+            feedthrough: 0.5,
+            couplings_per_sub: 2.0,
+            vccs_fraction: 0.15,
+            mesh_like: true,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates an MNA-style circuit matrix. Structurally nonsingular by
+/// construction: every node has a ground-leak stamp on the diagonal.
+pub fn circuit(p: &CircuitParams) -> CscMat {
+    let n = p.nsub * p.sub_size;
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut t = TripletMat::with_capacity(n, n, (n as f64 * p.devices_per_node * 4.0) as usize);
+
+    // Ground leak keeps the diagonal present and the matrix dominant-ish.
+    for i in 0..n {
+        t.push(i, i, 1.0 + rng.gen_range(0.0..0.5));
+    }
+
+    let stamp_resistor = |t: &mut TripletMat, a: usize, b: usize, g: f64| {
+        t.push(a, a, g);
+        t.push(b, b, g);
+        t.push(a, b, -g);
+        t.push(b, a, -g);
+    };
+    // VCCS: current into (out) controlled by voltage at (inp): stamps only
+    // the one-directional entries — the unsymmetric part of SPICE matrices.
+    let stamp_vccs = |t: &mut TripletMat, out: usize, inp: usize, gm: f64| {
+        t.push(out, inp, gm);
+        t.push(out, out, gm.abs() * 0.1);
+    };
+
+    for s in 0..p.nsub {
+        let base = s * p.sub_size;
+        let m = p.sub_size;
+        // internal devices
+        let ndev = (m as f64 * p.devices_per_node) as usize;
+        if p.mesh_like {
+            // local grid topology: nodes on a ceil(sqrt(m)) grid
+            let k = (m as f64).sqrt().ceil() as usize;
+            for i in 0..m {
+                let c = i % k;
+                let right = if c + 1 < k && i + 1 < m { Some(i + 1) } else { None };
+                let down = if i + k < m { Some(i + k) } else { None };
+                for nb in [right, down].into_iter().flatten() {
+                    let g = 10f64.powf(rng.gen_range(-1.0..1.0));
+                    if rng.gen_bool(p.vccs_fraction) {
+                        stamp_vccs(&mut t, base + i, base + nb, g);
+                    } else {
+                        stamp_resistor(&mut t, base + i, base + nb, g);
+                    }
+                }
+            }
+            // a few medium-range devices roughen the pattern; kept local
+            // (within a few grid rows) the way placed netlists are
+            for _ in 0..m / 24 {
+                let a = rng.gen_range(0..m);
+                let hop = rng.gen_range(2..=(3 * k).min(m - 1));
+                let b = (a + hop) % m;
+                if a != b {
+                    stamp_resistor(&mut t, base + a, base + b, 10f64.powf(rng.gen_range(-1.0..0.5)));
+                }
+            }
+        } else {
+            // random internal graph: higher fill under factorization
+            for _ in 0..ndev {
+                let a = base + rng.gen_range(0..m);
+                let b = base + rng.gen_range(0..m);
+                if a == b {
+                    continue;
+                }
+                let g = 10f64.powf(rng.gen_range(-1.0..1.0));
+                if rng.gen_bool(p.vccs_fraction) {
+                    stamp_vccs(&mut t, a, b, g);
+                } else {
+                    stamp_resistor(&mut t, a, b, g);
+                }
+            }
+        }
+    }
+
+    // inter-subcircuit couplings: mostly between neighbouring instances
+    // (chip placement gives circuit graphs strong locality)
+    let ncouple = (p.nsub as f64 * p.couplings_per_sub) as usize;
+    for _ in 0..ncouple {
+        let s1 = rng.gen_range(0..p.nsub);
+        let hop = 1 + rng.gen_range(0..2usize);
+        let s2 = if rng.gen_bool(0.9) {
+            (s1 + hop) % p.nsub
+        } else {
+            rng.gen_range(0..p.nsub)
+        };
+        if s1 == s2 {
+            continue;
+        }
+        let a = s1 * p.sub_size + rng.gen_range(0..p.sub_size);
+        let b = s2 * p.sub_size + rng.gen_range(0..p.sub_size);
+        let g = 10f64.powf(rng.gen_range(-1.0..0.0));
+        if rng.gen_bool(p.feedthrough) {
+            stamp_resistor(&mut t, a, b, g);
+        } else {
+            // directed signal flow: later subcircuit listens to earlier
+            let (from, to) = if s1 < s2 { (a, b) } else { (b, a) };
+            stamp_vccs(&mut t, to, from, g);
+        }
+    }
+
+    t.to_csc()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basker_ordering::btf::btf_form;
+    use basker_ordering::matching::max_transversal;
+
+    #[test]
+    fn structurally_nonsingular() {
+        let a = circuit(&CircuitParams::default());
+        assert!(max_transversal(&a).is_perfect());
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = CircuitParams::default();
+        assert_eq!(circuit(&p), circuit(&p));
+        let p2 = CircuitParams { seed: 43, ..p };
+        assert_ne!(circuit(&p2), circuit(&CircuitParams::default()));
+    }
+
+    #[test]
+    fn feedthrough_controls_btf_blocks() {
+        let flow = circuit(&CircuitParams {
+            feedthrough: 0.0,
+            nsub: 8,
+            sub_size: 24,
+            seed: 7,
+            ..CircuitParams::default()
+        });
+        let loaded = circuit(&CircuitParams {
+            feedthrough: 1.0,
+            nsub: 8,
+            sub_size: 24,
+            couplings_per_sub: 6.0,
+            seed: 7,
+            ..CircuitParams::default()
+        });
+        let bf = btf_form(&flow).unwrap();
+        let bl = btf_form(&loaded).unwrap();
+        assert!(
+            bf.nblocks() > bl.nblocks(),
+            "directed {} vs loaded {}",
+            bf.nblocks(),
+            bl.nblocks()
+        );
+    }
+
+    #[test]
+    fn sizes_scale() {
+        let a = circuit(&CircuitParams {
+            nsub: 4,
+            sub_size: 10,
+            ..CircuitParams::default()
+        });
+        assert_eq!(a.nrows(), 40);
+        assert!(a.nnz() > 40);
+    }
+}

@@ -1,0 +1,98 @@
+//! Finite-difference mesh matrices (the supernodal solver's ideal input).
+
+use basker_sparse::{CscMat, TripletMat};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `k x k` five-point stencil with mild unsymmetric perturbations
+/// (convection-like terms). Diagonally dominant; fill density grows with
+/// `k` under any ordering — the "2/3D mesh problems" of Table II.
+pub fn mesh2d(k: usize, seed: u64) -> CscMat {
+    let n = k * k;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x2d2d);
+    let idx = |r: usize, c: usize| r * k + c;
+    let mut t = TripletMat::with_capacity(n, n, 5 * n);
+    for r in 0..k {
+        for c in 0..k {
+            let u = idx(r, c);
+            t.push(u, u, 4.0 + rng.gen_range(0.0..0.5));
+            if r + 1 < k {
+                let w = 1.0 + rng.gen_range(0.0..0.3);
+                t.push(u, idx(r + 1, c), -w);
+                t.push(idx(r + 1, c), u, -(w - rng.gen_range(0.0..0.2)));
+            }
+            if c + 1 < k {
+                let w = 1.0 + rng.gen_range(0.0..0.3);
+                t.push(u, idx(r, c + 1), -w);
+                t.push(idx(r, c + 1), u, -(w - rng.gen_range(0.0..0.2)));
+            }
+        }
+    }
+    t.to_csc()
+}
+
+/// `k x k x k` seven-point stencil — the high-fill regime (fill densities
+/// in the tens, like `twotone`/`onetone1`/`apache2` in the paper).
+pub fn mesh3d(k: usize, seed: u64) -> CscMat {
+    let n = k * k * k;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3d3d);
+    let idx = |x: usize, y: usize, z: usize| (x * k + y) * k + z;
+    let mut t = TripletMat::with_capacity(n, n, 7 * n);
+    for x in 0..k {
+        for y in 0..k {
+            for z in 0..k {
+                let u = idx(x, y, z);
+                t.push(u, u, 6.0 + rng.gen_range(0.0..0.5));
+                if x + 1 < k {
+                    let w = 1.0 + rng.gen_range(0.0..0.2);
+                    t.push(u, idx(x + 1, y, z), -w);
+                    t.push(idx(x + 1, y, z), u, -(w - 0.05));
+                }
+                if y + 1 < k {
+                    let w = 1.0 + rng.gen_range(0.0..0.2);
+                    t.push(u, idx(x, y + 1, z), -w);
+                    t.push(idx(x, y + 1, z), u, -(w - 0.05));
+                }
+                if z + 1 < k {
+                    let w = 1.0 + rng.gen_range(0.0..0.2);
+                    t.push(u, idx(x, y, z + 1), -w);
+                    t.push(idx(x, y, z + 1), u, -(w - 0.05));
+                }
+            }
+        }
+    }
+    t.to_csc()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh2d_shape() {
+        let a = mesh2d(10, 1);
+        assert_eq!(a.nrows(), 100);
+        assert!(a.nnz() > 4 * 100 && a.nnz() < 6 * 100);
+        // diagonally dominant
+        for j in 0..100 {
+            let d = a.get(j, j).abs();
+            let off: f64 = a.col_iter(j).filter(|&(i, _)| i != j).map(|(_, v)| v.abs()).sum();
+            assert!(d > off * 0.8, "col {j} not near-dominant");
+        }
+    }
+
+    #[test]
+    fn mesh3d_shape() {
+        let a = mesh3d(5, 2);
+        assert_eq!(a.nrows(), 125);
+        // 125 diagonal + 2 per interior edge (3·k²·(k−1) edges)
+        assert_eq!(a.nnz(), 125 + 2 * 3 * 25 * 4);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(mesh2d(8, 7), mesh2d(8, 7));
+        assert_eq!(mesh3d(4, 7), mesh3d(4, 7));
+        assert_ne!(mesh2d(8, 7), mesh2d(8, 8));
+    }
+}

@@ -1,0 +1,266 @@
+//! Permutation to upper block triangular form (BTF).
+//!
+//! Combines a transversal (zero-free diagonal) with the SCC condensation
+//! (paper §III-A: `Pc·Pm1·A·Pcᵀ`). The result permutes `A` so that
+//!
+//! ```text
+//! P·A·Q = [ A11 A12 ... A1k ]
+//!         [     A22 ...  :  ]
+//!         [          .   :  ]
+//!         [             Akk ]
+//! ```
+//!
+//! with all blocks below the diagonal empty. Only the diagonal blocks need
+//! factoring; the off-diagonal blocks are used in the block back-solve.
+
+use crate::matching::Matching;
+use crate::mwcm::mwcm_bottleneck;
+use crate::scc::strongly_connected_components;
+use basker_sparse::{CscMat, Perm, Result, SparseError};
+
+/// The BTF decomposition of a square matrix.
+#[derive(Debug, Clone)]
+pub struct BtfForm {
+    /// Row permutation (gather convention: position `k` takes original row
+    /// `row_perm[k]`).
+    pub row_perm: Perm,
+    /// Column permutation.
+    pub col_perm: Perm,
+    /// Cumulative block boundaries: block `b` spans
+    /// `bounds[b]..bounds[b+1]` in the permuted matrix; `bounds[0] == 0`,
+    /// `bounds.last() == n`.
+    pub bounds: Vec<usize>,
+    /// The bottleneck value of the transversal used (diagnostic).
+    pub bottleneck: f64,
+}
+
+impl BtfForm {
+    /// Number of diagonal blocks.
+    pub fn nblocks(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Size of block `b`.
+    pub fn block_size(&self, b: usize) -> usize {
+        self.bounds[b + 1] - self.bounds[b]
+    }
+
+    /// Applies the permutations: returns `P·A·Q`.
+    pub fn permute(&self, a: &CscMat) -> CscMat {
+        Perm::permute_both(&self.row_perm, &self.col_perm, a)
+    }
+
+    /// Fraction of rows living in blocks of size `<= small` — the paper's
+    /// "BTF %" column of Table I (percent of matrix in small independent
+    /// subblocks).
+    pub fn small_block_fraction(&self, small: usize) -> f64 {
+        let n = *self.bounds.last().unwrap();
+        if n == 0 {
+            return 0.0;
+        }
+        let covered: usize = (0..self.nblocks())
+            .map(|b| self.block_size(b))
+            .filter(|&s| s <= small)
+            .sum();
+        covered as f64 / n as f64
+    }
+}
+
+/// Computes the BTF form of `a`, using a bottleneck MWCM transversal
+/// (`use_mwcm = true`) or a plain maximum transversal.
+///
+/// Fails with [`SparseError::StructurallySingular`] when no full
+/// transversal exists.
+pub fn btf_form_with(a: &CscMat, use_mwcm: bool) -> Result<BtfForm> {
+    assert!(a.is_square(), "BTF requires a square matrix");
+    let n = a.nrows();
+
+    let (matching, bottleneck): (Matching, f64) = if use_mwcm {
+        let r = mwcm_bottleneck(a);
+        (r.matching, r.bottleneck)
+    } else {
+        (crate::matching::max_transversal(a), 0.0)
+    };
+    if !matching.is_perfect() {
+        return Err(SparseError::StructurallySingular {
+            rank: matching.size,
+        });
+    }
+
+    // Matched matrix B = P_match · A has B[j, j] != 0 where row
+    // `row_of_col[j]` of A moved to position j. In gather convention the
+    // row permutation vector is exactly `row_of_col`.
+    let pmatch = Perm::from_vec(matching.row_of_col.clone())
+        .expect("perfect matching is a permutation");
+    let b = pmatch.permute_rows(a);
+
+    // SCC condensation of B's digraph; completion order = upper BTF order.
+    let scc = strongly_connected_components(&b);
+
+    // Column permutation: components in completion order.
+    let col_perm = Perm::from_vec(scc.order.clone()).expect("scc order is a permutation");
+    // Rows follow their matched columns: row at final position k is the row
+    // of A matched to column order[k].
+    let row_perm_vec: Vec<usize> = scc
+        .order
+        .iter()
+        .map(|&j| matching.row_of_col[j])
+        .collect();
+    let row_perm = Perm::from_vec(row_perm_vec).expect("matching rows form a permutation");
+
+    let mut bounds = scc.comp_ptr.clone();
+    debug_assert_eq!(*bounds.last().unwrap(), n);
+    if bounds.is_empty() {
+        bounds.push(0);
+    }
+
+    Ok(BtfForm {
+        row_perm,
+        col_perm,
+        bounds,
+        bottleneck,
+    })
+}
+
+/// BTF with the MWCM transversal (Basker's default path).
+pub fn btf_form(a: &CscMat) -> Result<BtfForm> {
+    btf_form_with(a, true)
+}
+
+/// Verifies that `m` is upper block triangular with respect to `bounds`:
+/// no stored entry below the diagonal blocks. Exposed for tests.
+pub fn is_upper_block_triangular(m: &CscMat, bounds: &[usize]) -> bool {
+    // block id lookup per index
+    let n = m.nrows();
+    let mut block_of = vec![0usize; n];
+    for b in 0..bounds.len() - 1 {
+        for k in bounds[b]..bounds[b + 1] {
+            block_of[k] = b;
+        }
+    }
+    for (i, j, _) in m.iter() {
+        if block_of[i] > block_of[j] {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basker_sparse::TripletMat;
+
+    fn circuitish(n: usize, seed: u64) -> CscMat {
+        // A connected-but-reducible pattern: strong diagonal plus random
+        // upper-biased couplings and a few cycles.
+        let mut t = TripletMat::new(n, n);
+        let mut s = seed;
+        let mut rnd = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as usize
+        };
+        for i in 0..n {
+            t.push(i, i, 10.0 + (i % 7) as f64);
+        }
+        for _ in 0..2 * n {
+            let i = rnd() % n;
+            let j = rnd() % n;
+            if i != j {
+                t.push(i, j, 1.0 + (rnd() % 5) as f64);
+            }
+        }
+        t.to_csc()
+    }
+
+    #[test]
+    fn identity_is_n_blocks() {
+        let a = CscMat::identity(6);
+        let f = btf_form(&a).unwrap();
+        assert_eq!(f.nblocks(), 6);
+        assert!(is_upper_block_triangular(&f.permute(&a), &f.bounds));
+    }
+
+    #[test]
+    fn full_cycle_is_one_block() {
+        // Companion-like cycle: no reduction possible.
+        let n = 5;
+        let mut t = TripletMat::new(n, n);
+        for j in 0..n {
+            t.push((j + 1) % n, j, 1.0);
+            t.push(j, j, 0.5);
+        }
+        let a = t.to_csc();
+        let f = btf_form(&a).unwrap();
+        assert_eq!(f.nblocks(), 1);
+    }
+
+    #[test]
+    fn triangular_matrix_fully_reduces() {
+        let a = CscMat::from_dense(&[
+            vec![1.0, 2.0, 3.0],
+            vec![0.0, 4.0, 5.0],
+            vec![0.0, 0.0, 6.0],
+        ]);
+        let f = btf_form(&a).unwrap();
+        assert_eq!(f.nblocks(), 3);
+        let p = f.permute(&a);
+        assert!(is_upper_block_triangular(&p, &f.bounds));
+        // Diagonal must be zero free.
+        for k in 0..3 {
+            assert_ne!(p.get(k, k), 0.0);
+        }
+    }
+
+    #[test]
+    fn permuted_matrix_is_upper_btf_with_nonzero_diagonal() {
+        for seed in [1u64, 7, 42, 1234] {
+            let a = circuitish(40, seed);
+            let f = btf_form(&a).unwrap();
+            let p = f.permute(&a);
+            assert!(is_upper_block_triangular(&p, &f.bounds), "seed {seed}");
+            for k in 0..40 {
+                assert_ne!(p.get(k, k), 0.0, "zero diag at {k}, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn structurally_singular_rejected() {
+        let mut t = TripletMat::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 1.0);
+        t.push(0, 2, 1.0);
+        t.push(1, 0, 1.0);
+        let a = t.to_csc();
+        match btf_form(&a) {
+            Err(SparseError::StructurallySingular { rank }) => assert_eq!(rank, 2),
+            other => panic!("expected structural singularity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_diagonal_input_splits() {
+        // Two decoupled 2x2 cycles -> exactly two blocks of size 2.
+        let mut t = TripletMat::new(4, 4);
+        for (i, j) in [(0, 1), (1, 0), (2, 3), (3, 2)] {
+            t.push(i, j, 1.0);
+        }
+        for i in 0..4 {
+            t.push(i, i, 3.0);
+        }
+        let a = t.to_csc();
+        let f = btf_form(&a).unwrap();
+        assert_eq!(f.nblocks(), 2);
+        assert_eq!(f.block_size(0), 2);
+        assert_eq!(f.block_size(1), 2);
+    }
+
+    #[test]
+    fn small_block_fraction_definition() {
+        let a = CscMat::identity(4);
+        let f = btf_form(&a).unwrap();
+        assert_eq!(f.small_block_fraction(1), 1.0);
+        assert_eq!(f.small_block_fraction(0), 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Maximum weight-cardinality matching, bottleneck variant (MC64-style).
+//!
+//! Among all maximum-cardinality matchings, find one whose *smallest* edge
+//! magnitude is as large as possible. Permuting the matched rows onto the
+//! diagonal then maximizes the smallest diagonal magnitude, which is what
+//! Basker uses to reduce the need for numerical pivoting (paper §III-A:
+//! `Pm1`, and §III-C: `Pm2`; §V: "Our MWCM implementation is similar to
+//! MC64 bottleneck ordering, unlike SuperLU-Dist's product/sum based MC64").
+//!
+//! Implementation: binary search over the sorted distinct entry magnitudes;
+//! for a candidate threshold `t`, a maximum matching restricted to edges
+//! with `|a_ij| >= t` is computed (reusing the MC21 engine); the largest
+//! feasible `t` wins.
+
+use crate::matching::{max_matching_filtered, Matching, MatchingWorkspace};
+use basker_sparse::CscMat;
+
+/// Result of the bottleneck matching.
+#[derive(Debug, Clone)]
+pub struct MwcmResult {
+    /// The matching achieving the optimal bottleneck value.
+    pub matching: Matching,
+    /// The optimal bottleneck: the smallest |value| used by the matching.
+    pub bottleneck: f64,
+}
+
+/// Computes the bottleneck maximum matching of a square (or rectangular)
+/// sparse matrix.
+///
+/// Returns the matching together with the achieved bottleneck value. When
+/// the matrix has no full transversal the matching is maximum-cardinality
+/// and the bottleneck refers to the best achievable at that cardinality.
+pub fn mwcm_bottleneck(a: &CscMat) -> MwcmResult {
+    let mut ws = MatchingWorkspace::new(a.nrows(), a.ncols());
+
+    // Distinct magnitudes, ascending. Zero entries can never help a
+    // bottleneck matching beat threshold 0, but keep them so structurally
+    // full / numerically deficient matrices still get maximum cardinality.
+    let mut mags: Vec<f64> = a.values().iter().map(|v| v.abs()).collect();
+    mags.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    mags.dedup();
+
+    if mags.is_empty() {
+        let matching = max_matching_filtered(a, |_| true, &mut ws);
+        return MwcmResult {
+            matching,
+            bottleneck: 0.0,
+        };
+    }
+
+    // Cardinality achievable with all edges = the target cardinality.
+    let full = max_matching_filtered(a, |_| true, &mut ws);
+    let target = full.size;
+
+    // Binary search the largest threshold index that still reaches the
+    // target cardinality; the predicate "size(matching restricted to
+    // |v| >= t) == target" is monotone in t. Threshold mags[0] is always
+    // feasible (it admits every edge).
+    let mut best = full;
+    let mut best_t = mags[0];
+    let mut lo_k = 0usize;
+    let mut hi_k = mags.len() - 1;
+    // Quick accept: try the largest threshold first (cheap when the matrix
+    // is diagonally dominant already).
+    {
+        let t = mags[hi_k];
+        let m = max_matching_filtered(a, |v| v >= t, &mut ws);
+        if m.size == target {
+            return MwcmResult {
+                matching: m,
+                bottleneck: t,
+            };
+        }
+    }
+    while lo_k <= hi_k {
+        let mid = lo_k + (hi_k - lo_k) / 2;
+        let t = mags[mid];
+        let m = max_matching_filtered(a, |v| v >= t, &mut ws);
+        if m.size == target {
+            best = m;
+            best_t = t;
+            lo_k = mid + 1;
+        } else {
+            if mid == 0 {
+                break;
+            }
+            hi_k = mid - 1;
+        }
+    }
+    MwcmResult {
+        matching: best,
+        bottleneck: best_t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basker_sparse::TripletMat;
+
+    #[test]
+    fn picks_large_diagonal() {
+        // [10  1]
+        // [ 2 10]  -> identity matching, bottleneck 10.
+        let mut t = TripletMat::new(2, 2);
+        t.push(0, 0, 10.0);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 2.0);
+        t.push(1, 1, 10.0);
+        let r = mwcm_bottleneck(&t.to_csc());
+        assert!(r.matching.is_perfect());
+        assert_eq!(r.bottleneck, 10.0);
+        assert_eq!(r.matching.row_of_col, vec![0, 1]);
+    }
+
+    #[test]
+    fn prefers_off_diagonal_when_better() {
+        // [0.1  9 ]
+        // [ 8  0.1] -> anti-diagonal matching, bottleneck 8.
+        let mut t = TripletMat::new(2, 2);
+        t.push(0, 0, 0.1);
+        t.push(0, 1, 9.0);
+        t.push(1, 0, 8.0);
+        t.push(1, 1, 0.1);
+        let r = mwcm_bottleneck(&t.to_csc());
+        assert!(r.matching.is_perfect());
+        assert_eq!(r.bottleneck, 8.0);
+        assert_eq!(r.matching.row_of_col, vec![1, 0]);
+    }
+
+    #[test]
+    fn forced_small_edge_sets_bottleneck() {
+        // Column 1 only has a tiny entry; it must be used.
+        let mut t = TripletMat::new(2, 2);
+        t.push(0, 0, 5.0);
+        t.push(1, 0, 6.0);
+        t.push(1, 1, 0.01);
+        let r = mwcm_bottleneck(&t.to_csc());
+        assert!(r.matching.is_perfect());
+        assert_eq!(r.bottleneck, 0.01);
+        // col1 must take row1, so col0 takes row0.
+        assert_eq!(r.matching.row_of_col, vec![0, 1]);
+    }
+
+    #[test]
+    fn bottleneck_is_optimal_vs_bruteforce() {
+        // 4x4 dense-ish: compare against brute force over permutations.
+        let vals = [
+            [3.0, 7.0, 0.0, 1.0],
+            [2.0, 0.0, 5.0, 4.0],
+            [0.0, 6.0, 2.0, 8.0],
+            [9.0, 1.0, 3.0, 0.0],
+        ];
+        let mut t = TripletMat::new(4, 4);
+        for (i, row) in vals.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    t.push(i, j, v);
+                }
+            }
+        }
+        let a = t.to_csc();
+        let r = mwcm_bottleneck(&a);
+        assert!(r.matching.is_perfect());
+        // Brute force all 24 permutations.
+        let mut best = 0.0f64;
+        let perms = permutations(4);
+        for p in perms {
+            let mut mn = f64::INFINITY;
+            let mut ok = true;
+            for (j, &i) in p.iter().enumerate() {
+                if vals[i][j] == 0.0 {
+                    ok = false;
+                    break;
+                }
+                mn = mn.min(vals[i][j]);
+            }
+            if ok {
+                best = best.max(mn);
+            }
+        }
+        assert_eq!(r.bottleneck, best);
+    }
+
+    fn permutations(n: usize) -> Vec<Vec<usize>> {
+        if n == 1 {
+            return vec![vec![0]];
+        }
+        let smaller = permutations(n - 1);
+        let mut out = Vec::new();
+        for p in smaller {
+            for pos in 0..n {
+                let mut q: Vec<usize> = p.iter().map(|&x| if x >= pos { x + 1 } else { x }).collect();
+                q.insert(0, pos);
+                // normalize: we want all perms of 0..n; this builds them
+                out.push(q);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn structurally_singular_still_returns_partial() {
+        let mut t = TripletMat::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 2.0);
+        let r = mwcm_bottleneck(&t.to_csc());
+        assert_eq!(r.matching.size, 1);
+        assert_eq!(r.bottleneck, 2.0); // best single edge for max cardinality
+    }
+
+    #[test]
+    fn uniform_values_any_perfect_matching() {
+        let mut t = TripletMat::new(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                t.push(i, j, 1.0);
+            }
+        }
+        let r = mwcm_bottleneck(&t.to_csc());
+        assert!(r.matching.is_perfect());
+        assert_eq!(r.bottleneck, 1.0);
+    }
+}

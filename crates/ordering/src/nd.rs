@@ -1,0 +1,923 @@
+//! Nested dissection ordering (the Scotch stand-in).
+//!
+//! Basker reorders its large BTF blocks with a nested-dissection ordering
+//! whose binary separator tree has exactly `p` leaves for `p` threads
+//! (paper §III-C: "Basker currently limits the number of leafs in the ND
+//! tree to the number of threads available... current implementations of ND
+//! provide only a binary tree, and therefore, Basker is limited to using a
+//! power of two threads").
+//!
+//! This implementation recursively bisects the symmetrized graph: a BFS
+//! level structure from a pseudo-peripheral vertex provides a balanced
+//! *edge* bisection, and the vertex separator is extracted as a **minimum
+//! vertex cover of the cut edges** (bipartite matching + König's
+//! theorem), which keeps separators thin. Leaves and separators are
+//! AMD-ordered internally. Two safety valves keep pathological graphs in
+//! check: disconnected subgraphs split along components with an empty
+//! separator, and expander-like subgraphs whose smallest separator would
+//! exceed a quarter of the vertices are not split at all (one thread
+//! factors them serially rather than exploding fill).
+
+use crate::amd::amd_order;
+use basker_sparse::blocks::extract_general;
+use basker_sparse::{CscMat, Perm};
+use std::ops::Range;
+
+/// One node of the separator tree, in *recursive block order* (left
+/// subtree's nodes, right subtree's nodes, then the separator/leaf itself —
+/// the order the blocks appear in the permuted matrix).
+#[derive(Debug, Clone)]
+pub struct NdNode {
+    /// Parent node index (`None` for the root separator).
+    pub parent: Option<usize>,
+    /// Child node indices `(left, right)`; `None` for leaves.
+    pub children: Option<(usize, usize)>,
+    /// Depth from the root (root = 0, leaves = `levels`).
+    pub depth: usize,
+    /// Column/row range of this block in the permuted matrix.
+    pub range: Range<usize>,
+}
+
+impl NdNode {
+    /// True when the node is a leaf domain (no children).
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_none()
+    }
+
+    /// Block size.
+    pub fn len(&self) -> usize {
+        self.range.end - self.range.start
+    }
+
+    /// True for zero-size blocks.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+}
+
+/// A nested-dissection decomposition with its separator tree.
+#[derive(Debug, Clone)]
+pub struct NdDecomposition {
+    /// The fill-reducing ND permutation (gather convention).
+    pub perm: Perm,
+    /// Tree nodes in recursive block order; `nodes.len() == 2p - 1`.
+    pub nodes: Vec<NdNode>,
+    /// Number of leaves `p = 2^levels`.
+    pub p_leaves: usize,
+    /// Number of bisection levels (`log2 p`).
+    pub levels: usize,
+}
+
+impl NdDecomposition {
+    /// Indices of the leaf nodes in block order.
+    pub fn leaves(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_leaf())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The root separator's node index (the last block).
+    pub fn root(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Ancestor chain of `node` from its parent up to the root.
+    pub fn ancestors(&self, node: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes[node].parent;
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.nodes[p].parent;
+        }
+        out
+    }
+
+    /// Tree level counted from the leaves (leaves = 0, root = `levels`);
+    /// the paper's `treelevel` for separators is `levels - depth`.
+    pub fn tree_level(&self, node: usize) -> usize {
+        self.levels - self.nodes[node].depth
+    }
+
+    /// All node indices in the subtree rooted at `node` (inclusive), in
+    /// block order. Because of the recursive numbering these are exactly
+    /// the contiguous indices ending at `node`.
+    pub fn subtree(&self, node: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        collect_subtree(&self.nodes, node, &mut out);
+        out.sort_unstable();
+        out
+    }
+}
+
+fn collect_subtree(nodes: &[NdNode], node: usize, out: &mut Vec<usize>) {
+    out.push(node);
+    if let Some((l, r)) = nodes[node].children {
+        collect_subtree(nodes, l, out);
+        collect_subtree(nodes, r, out);
+    }
+}
+
+/// Computes a nested-dissection decomposition with `2^levels` leaves.
+///
+/// `a` must be square; its symmetrized pattern defines the graph.
+pub fn nested_dissection(a: &CscMat, levels: usize) -> NdDecomposition {
+    assert!(a.is_square(), "nested dissection requires a square matrix");
+    let sym = if a.is_pattern_symmetric() {
+        a.clone()
+    } else {
+        a.symmetrize()
+    };
+    let n = sym.ncols();
+
+    let mut builder = Builder {
+        graph: &sym,
+        member_stamp: vec![usize::MAX; n],
+        stamp: 0,
+        perm: Vec::with_capacity(n),
+        nodes: Vec::with_capacity((1 << (levels + 1)) - 1),
+    };
+    let all: Vec<usize> = (0..n).collect();
+    builder.dissect(all, levels, 0);
+
+    debug_assert_eq!(builder.perm.len(), n);
+    NdDecomposition {
+        perm: Perm::from_vec(builder.perm).expect("ND produced an invalid permutation"),
+        nodes: builder.nodes,
+        p_leaves: 1 << levels,
+        levels,
+    }
+}
+
+struct Builder<'a> {
+    graph: &'a CscMat,
+    member_stamp: Vec<usize>,
+    stamp: usize,
+    perm: Vec<usize>,
+    nodes: Vec<NdNode>,
+}
+
+impl<'a> Builder<'a> {
+    /// Recursively dissects `verts`; returns the index of the node created
+    /// for this subtree's top block (leaf or separator).
+    fn dissect(&mut self, verts: Vec<usize>, levels_left: usize, depth: usize) -> usize {
+        if levels_left == 0 {
+            let start = self.perm.len();
+            self.emit_amd_ordered(&verts);
+            self.nodes.push(NdNode {
+                parent: None,
+                children: None,
+                depth,
+                range: start..self.perm.len(),
+            });
+            return self.nodes.len() - 1;
+        }
+
+        let (half_a, half_b, sep) = self.bisect(&verts);
+        let left = self.dissect(half_a, levels_left - 1, depth + 1);
+        let right = self.dissect(half_b, levels_left - 1, depth + 1);
+        let start = self.perm.len();
+        self.emit_amd_ordered(&sep);
+        self.nodes.push(NdNode {
+            parent: None,
+            children: Some((left, right)),
+            depth,
+            range: start..self.perm.len(),
+        });
+        let me = self.nodes.len() - 1;
+        self.nodes[left].parent = Some(me);
+        self.nodes[right].parent = Some(me);
+        me
+    }
+
+    /// Appends `verts` to the permutation in AMD order of the induced
+    /// subgraph (fill reduction inside the block).
+    fn emit_amd_ordered(&mut self, verts: &[usize]) {
+        if verts.len() <= 2 {
+            self.perm.extend_from_slice(verts);
+            return;
+        }
+        let sub = extract_general(self.graph, verts, verts);
+        let p = amd_order(&sub);
+        for &local in p.as_slice() {
+            self.perm.push(verts[local]);
+        }
+    }
+
+    /// Splits `verts` into `(A, B, S)`: no edge joins A and B directly.
+    fn bisect(&mut self, verts: &[usize]) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+        let nv = verts.len();
+        if nv == 0 {
+            return (Vec::new(), Vec::new(), Vec::new());
+        }
+        if nv == 1 {
+            return (vec![verts[0]], Vec::new(), Vec::new());
+        }
+
+        // membership stamp for this subset
+        self.stamp += 1;
+        let stamp = self.stamp;
+        for &v in verts {
+            self.member_stamp[v] = stamp;
+        }
+        let in_set = |ms: &[usize], v: usize| ms[v] == stamp;
+
+        // --- connected components; multi-component graphs split freely ---
+        let comps = self.components(verts, stamp);
+        if comps.len() > 1 {
+            // Greedy balance components into two halves, empty separator.
+            let mut sized: Vec<(usize, usize)> = comps
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.len(), i))
+                .collect();
+            sized.sort_unstable_by(|a, b| b.cmp(a));
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            for (_, ci) in sized {
+                if a.len() <= b.len() {
+                    a.extend_from_slice(&comps[ci]);
+                } else {
+                    b.extend_from_slice(&comps[ci]);
+                }
+            }
+            return (a, b, Vec::new());
+        }
+
+        // --- single component: multilevel edge bisection, then the vertex
+        // separator is extracted as a *minimum vertex cover* of the cut
+        // edges (König), which is what makes separators thin. ---
+        let _ = in_set;
+        // Materialize the induced local graph (local ids = positions in
+        // `verts`), unit weights.
+        let mut local_of: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::with_capacity(nv);
+        for (li, &v) in verts.iter().enumerate() {
+            local_of.insert(v, li);
+        }
+        let mut ladj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); nv];
+        for (li, &v) in verts.iter().enumerate() {
+            for &u in self.graph.col_rows(v) {
+                if u != v && self.member_stamp[u] == stamp {
+                    ladj[li].push((local_of[&u], 1));
+                }
+            }
+        }
+        let lvw: Vec<u64> = vec![1; nv];
+        let side = crate::nd::multilevel::bisect(&ladj, &lvw);
+        let mut a: Vec<usize> = Vec::new();
+        let mut b: Vec<usize> = Vec::new();
+        for (li, &v) in verts.iter().enumerate() {
+            if side[li] {
+                b.push(v);
+            } else {
+                a.push(v);
+            }
+        }
+        if a.is_empty() || b.is_empty() {
+            return (verts.to_vec(), Vec::new(), Vec::new());
+        }
+        let (a, b, s) = self.cover_separator(a, b);
+        // Fallback: if the separator is a large fraction of the subgraph
+        // (expander-like block), splitting would explode fill — keep the
+        // block whole and let one thread factor it serially (the paper
+        // relies on Scotch finding good separators; when none exist, 1-D
+        // is the honest answer).
+        if s.len() > (nv / 4).max(8) {
+            return (verts.to_vec(), Vec::new(), Vec::new());
+        }
+        (a, b, s)
+    }
+
+    /// Given an edge bisection `(A, B)`, extracts a minimum vertex cover
+    /// of the A–B cut edges via bipartite matching + König's theorem and
+    /// removes it from the halves, returning `(A', B', S)` with no edge
+    /// between `A'` and `B'`.
+    fn cover_separator(
+        &mut self,
+        a: Vec<usize>,
+        b: Vec<usize>,
+    ) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+        // Stamp sides: bstamp for B membership.
+        self.stamp += 1;
+        let bstamp = self.stamp;
+        for &v in &b {
+            self.member_stamp[v] = bstamp;
+        }
+        self.stamp += 1;
+        let astamp = self.stamp;
+        for &v in &a {
+            self.member_stamp[v] = astamp;
+        }
+        // Collect boundary vertices and cut edges (local ids).
+        let mut x_ids: Vec<usize> = Vec::new(); // A-side boundary verts
+        let mut x_of: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut y_ids: Vec<usize> = Vec::new(); // B-side boundary verts
+        let mut y_of: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut adj: Vec<Vec<usize>> = Vec::new(); // x -> list of y
+        for &v in &a {
+            let mut nbrs: Vec<usize> = Vec::new();
+            for &u in self.graph.col_rows(v) {
+                if self.member_stamp[u] == bstamp {
+                    let yi = *y_of.entry(u).or_insert_with(|| {
+                        y_ids.push(u);
+                        y_ids.len() - 1
+                    });
+                    nbrs.push(yi);
+                }
+            }
+            if !nbrs.is_empty() {
+                x_of.insert(v, x_ids.len());
+                x_ids.push(v);
+                adj.push(nbrs);
+            }
+        }
+        if x_ids.is_empty() {
+            return (a, b, Vec::new());
+        }
+        // Maximum bipartite matching (augmenting DFS with stamps).
+        let nx = x_ids.len();
+        let ny = y_ids.len();
+        let mut match_x = vec![usize::MAX; nx];
+        let mut match_y = vec![usize::MAX; ny];
+        let mut visited = vec![usize::MAX; ny];
+        fn augment(
+            x: usize,
+            adj: &[Vec<usize>],
+            match_x: &mut [usize],
+            match_y: &mut [usize],
+            visited: &mut [usize],
+            round: usize,
+        ) -> bool {
+            for &y in &adj[x] {
+                if visited[y] == round {
+                    continue;
+                }
+                visited[y] = round;
+                if match_y[y] == usize::MAX
+                    || augment(match_y[y], adj, match_x, match_y, visited, round)
+                {
+                    match_x[x] = y;
+                    match_y[y] = x;
+                    return true;
+                }
+            }
+            false
+        }
+        for x in 0..nx {
+            augment(x, &adj, &mut match_x, &mut match_y, &mut visited, x);
+        }
+        // König: Z = vertices reachable from unmatched X via alternating
+        // paths; cover = (X \ Z_X) ∪ (Y ∩ Z_Y).
+        let mut zx = vec![false; nx];
+        let mut zy = vec![false; ny];
+        let mut queue: std::collections::VecDeque<usize> = (0..nx)
+            .filter(|&x| match_x[x] == usize::MAX)
+            .collect();
+        for &x in &queue {
+            zx[x] = true;
+        }
+        while let Some(x) = queue.pop_front() {
+            for &y in &adj[x] {
+                if !zy[y] {
+                    zy[y] = true;
+                    let x2 = match_y[y];
+                    if x2 != usize::MAX && !zx[x2] {
+                        zx[x2] = true;
+                        queue.push_back(x2);
+                    }
+                }
+            }
+        }
+        let mut in_cover: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for x in 0..nx {
+            if !zx[x] {
+                in_cover.insert(x_ids[x]);
+            }
+        }
+        for y in 0..ny {
+            if zy[y] {
+                in_cover.insert(y_ids[y]);
+            }
+        }
+        let s: Vec<usize> = in_cover.iter().copied().collect();
+        let mut s = s;
+        s.sort_unstable();
+        let a2: Vec<usize> = a.into_iter().filter(|v| !in_cover.contains(v)).collect();
+        let b2: Vec<usize> = b.into_iter().filter(|v| !in_cover.contains(v)).collect();
+        (a2, b2, s)
+    }
+
+    /// Connected components of the stamped subset.
+    fn components(&mut self, verts: &[usize], stamp: usize) -> Vec<Vec<usize>> {
+        let mut seen_stamp = vec![false; 0];
+        let _ = &mut seen_stamp;
+        let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut comps = Vec::new();
+        for &start in verts {
+            if seen.contains(&start) {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(start);
+            seen.insert(start);
+            while let Some(v) = queue.pop_front() {
+                comp.push(v);
+                for &u in self.graph.col_rows(v) {
+                    if self.member_stamp[u] == stamp && !seen.contains(&u) {
+                        seen.insert(u);
+                        queue.push_back(u);
+                    }
+                }
+            }
+            comps.push(comp);
+        }
+        comps
+    }
+}
+
+/// Multilevel edge bisection (the quality core of the Scotch stand-in):
+/// heavy-edge-matching coarsening, a BFS initial partition on the coarsest
+/// graph, and weighted greedy FM refinement at every level on the way
+/// back up. Single vertex moves at coarse levels move whole clusters of
+/// the fine graph, which is what lets the cut migrate to a narrow waist
+/// (e.g. the sparse couplings between subcircuits of a netlist) that
+/// purely local refinement cannot reach.
+pub(crate) mod multilevel {
+    /// Bisects a weighted undirected local graph (`adj[v]` lists
+    /// `(neighbour, edge weight)`, both directions present). Returns side
+    /// flags: `false` = A, `true` = B.
+    pub fn bisect(adj: &[Vec<(usize, u64)>], vw: &[u64]) -> Vec<bool> {
+        let n = adj.len();
+        if n <= 1 {
+            return vec![false; n];
+        }
+        if n <= 96 {
+            let mut side = initial_partition(adj, vw);
+            fm_refine(adj, vw, &mut side, 8);
+            return side;
+        }
+        let (cadj, cvw, map) = coarsen(adj, vw);
+        if cadj.len() * 10 > n * 9 {
+            // matching stalled (near-clique): stop coarsening
+            let mut side = initial_partition(adj, vw);
+            fm_refine(adj, vw, &mut side, 8);
+            return side;
+        }
+        let cside = bisect(&cadj, &cvw);
+        let mut side: Vec<bool> = (0..n).map(|v| cside[map[v]]).collect();
+        fm_refine(adj, vw, &mut side, 4);
+        side
+    }
+
+    /// One level of heavy-edge-matching coarsening. Returns the coarse
+    /// graph, coarse vertex weights and the fine→coarse map.
+    fn coarsen(
+        adj: &[Vec<(usize, u64)>],
+        vw: &[u64],
+    ) -> (Vec<Vec<(usize, u64)>>, Vec<u64>, Vec<usize>) {
+        let n = adj.len();
+        let mut mate = vec![usize::MAX; n];
+        // visit lighter vertices first so clusters stay balanced
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by_key(|&v| (vw[v], v));
+        for &v in &order {
+            if mate[v] != usize::MAX {
+                continue;
+            }
+            let mut best: Option<(u64, usize)> = None;
+            for &(u, w) in &adj[v] {
+                if u != v && mate[u] == usize::MAX {
+                    let cand = (w, usize::MAX - u); // heaviest edge, then smallest u
+                    if best.map_or(true, |b| cand > b) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            match best {
+                Some((_, enc)) => {
+                    let u = usize::MAX - enc;
+                    mate[v] = u;
+                    mate[u] = v;
+                }
+                None => mate[v] = v, // singleton
+            }
+        }
+        // assign coarse ids
+        let mut map = vec![usize::MAX; n];
+        let mut nc = 0usize;
+        for v in 0..n {
+            if map[v] != usize::MAX {
+                continue;
+            }
+            map[v] = nc;
+            let m = mate[v];
+            if m != v && m != usize::MAX {
+                map[m] = nc;
+            }
+            nc += 1;
+        }
+        // coarse weights and adjacency (merge parallel edges)
+        let mut cvw = vec![0u64; nc];
+        for v in 0..n {
+            cvw[map[v]] += vw[v];
+        }
+        let mut cadj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); nc];
+        let mut acc: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); nc];
+        for v in 0..n {
+            members[map[v]].push(v);
+        }
+        for c in 0..nc {
+            acc.clear();
+            for &v in &members[c] {
+                for &(u, w) in &adj[v] {
+                    let cu = map[u];
+                    if cu != c {
+                        *acc.entry(cu).or_insert(0) += w;
+                    }
+                }
+            }
+            let mut list: Vec<(usize, u64)> = acc.iter().map(|(&u, &w)| (u, w)).collect();
+            list.sort_unstable();
+            cadj[c] = list;
+        }
+        (cadj, cvw, map)
+    }
+
+    /// Initial partition: BFS from a pseudo-peripheral vertex, gathering
+    /// vertices until half the total weight is reached.
+    fn initial_partition(adj: &[Vec<(usize, u64)>], vw: &[u64]) -> Vec<bool> {
+        let n = adj.len();
+        let total: u64 = vw.iter().sum();
+        // double-sweep pseudo-peripheral
+        let mut start = 0usize;
+        for _ in 0..2 {
+            let order = bfs_order(adj, start);
+            start = *order.last().unwrap();
+        }
+        let order = bfs_order(adj, start);
+        let mut side = vec![true; n];
+        let mut acc = 0u64;
+        for &v in &order {
+            if acc * 2 >= total {
+                break;
+            }
+            side[v] = false;
+            acc += vw[v];
+        }
+        side
+    }
+
+    fn bfs_order(adj: &[Vec<(usize, u64)>], start: usize) -> Vec<usize> {
+        let n = adj.len();
+        let mut seen = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(start);
+        seen[start] = true;
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &(u, _) in &adj[v] {
+                if !seen[u] {
+                    seen[u] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        // cover disconnected remainders (callers pass connected graphs,
+        // but coarse graphs of near-disconnected inputs can fragment)
+        for v in 0..n {
+            if !seen[v] {
+                order.push(v);
+            }
+        }
+        order
+    }
+
+    /// Greedy weighted FM: move positive-gain boundary vertices while the
+    /// balance constraint (each side ≥ 35 % of total weight) holds.
+    fn fm_refine(adj: &[Vec<(usize, u64)>], vw: &[u64], side: &mut [bool], passes: usize) {
+        let n = adj.len();
+        let total: u64 = vw.iter().sum();
+        let min_side = (total as f64 * 0.35) as u64;
+        let mut wa: u64 = (0..n).filter(|&v| !side[v]).map(|v| vw[v]).sum();
+        let mut wb: u64 = total - wa;
+        for _ in 0..passes {
+            let mut moved_any = false;
+            let mut candidates: Vec<(i64, usize)> = Vec::new();
+            for v in 0..n {
+                let mut gain = 0i64;
+                for &(u, w) in &adj[v] {
+                    if side[u] != side[v] {
+                        gain += w as i64;
+                    } else {
+                        gain -= w as i64;
+                    }
+                }
+                if gain > 0 {
+                    candidates.push((gain, v));
+                }
+            }
+            candidates.sort_unstable_by(|x, y| y.cmp(x));
+            for (_, v) in candidates {
+                let vb = side[v];
+                if (vb && wb.saturating_sub(vw[v]) < min_side)
+                    || (!vb && wa.saturating_sub(vw[v]) < min_side)
+                {
+                    continue;
+                }
+                // re-verify the gain (earlier moves shift it)
+                let mut gain = 0i64;
+                for &(u, w) in &adj[v] {
+                    if side[u] != side[v] {
+                        gain += w as i64;
+                    } else {
+                        gain -= w as i64;
+                    }
+                }
+                if gain > 0 {
+                    side[v] = !vb;
+                    if vb {
+                        wb -= vw[v];
+                        wa += vw[v];
+                    } else {
+                        wa -= vw[v];
+                        wb += vw[v];
+                    }
+                    moved_any = true;
+                }
+            }
+            if !moved_any {
+                break;
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn path_graph(n: usize) -> (Vec<Vec<(usize, u64)>>, Vec<u64>) {
+            let mut adj = vec![Vec::new(); n];
+            for v in 0..n - 1 {
+                adj[v].push((v + 1, 1));
+                adj[v + 1].push((v, 1));
+            }
+            (adj, vec![1; n])
+        }
+
+        #[test]
+        fn path_graph_cut_is_one_edge() {
+            let (adj, vw) = path_graph(200);
+            let side = bisect(&adj, &vw);
+            // count cut edges
+            let mut cut = 0;
+            for v in 0..200 {
+                for &(u, _) in &adj[v] {
+                    if u > v && side[u] != side[v] {
+                        cut += 1;
+                    }
+                }
+            }
+            assert_eq!(cut, 1, "a path must split at a single edge");
+            let na = side.iter().filter(|&&s| !s).count();
+            assert!((60..=140).contains(&na), "balance {na}/200");
+        }
+
+        #[test]
+        fn two_cliques_with_bridge() {
+            // two 30-cliques joined by one edge: the cut must be the bridge
+            let n = 60;
+            let mut adj = vec![Vec::new(); n];
+            for a in 0..30 {
+                for b in 0..30 {
+                    if a != b {
+                        adj[a].push((b, 1));
+                        adj[30 + a].push((30 + b, 1));
+                    }
+                }
+            }
+            adj[29].push((30, 1));
+            adj[30].push((29, 1));
+            let side = bisect(&adj, &vec![1; n]);
+            let mut cut = 0;
+            for v in 0..n {
+                for &(u, _) in &adj[v] {
+                    if u > v && side[u] != side[v] {
+                        cut += 1;
+                    }
+                }
+            }
+            assert_eq!(cut, 1, "bridge must be the only cut edge");
+        }
+
+        #[test]
+        fn coarsening_preserves_total_weight() {
+            let (adj, vw) = path_graph(100);
+            let (cadj, cvw, map) = coarsen(&adj, &vw);
+            assert_eq!(cvw.iter().sum::<u64>(), 100);
+            assert!(cadj.len() < 100);
+            assert!(map.iter().all(|&c| c < cadj.len()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basker_sparse::TripletMat;
+
+    fn grid2d(k: usize) -> CscMat {
+        let n = k * k;
+        let idx = |r: usize, c: usize| r * k + c;
+        let mut t = TripletMat::new(n, n);
+        for r in 0..k {
+            for c in 0..k {
+                let u = idx(r, c);
+                t.push(u, u, 4.0);
+                if r + 1 < k {
+                    t.push(u, idx(r + 1, c), -1.0);
+                    t.push(idx(r + 1, c), u, -1.0);
+                }
+                if c + 1 < k {
+                    t.push(u, idx(r, c + 1), -1.0);
+                    t.push(idx(r, c + 1), u, -1.0);
+                }
+            }
+        }
+        t.to_csc()
+    }
+
+    fn check_separator_property(a: &CscMat, nd: &NdDecomposition) {
+        // For every edge (u,v) of the permuted matrix, the blocks must be
+        // ancestor-related: no edge between two blocks where neither is an
+        // ancestor of the other.
+        let p = Perm::permute_both(&nd.perm, &nd.perm, a);
+        let n = p.nrows();
+        let mut block_of = vec![0usize; n];
+        for (bi, node) in nd.nodes.iter().enumerate() {
+            for k in node.range.clone() {
+                block_of[k] = bi;
+            }
+        }
+        let ancestor_related = |x: usize, y: usize| -> bool {
+            if x == y {
+                return true;
+            }
+            nd.ancestors(x).contains(&y) || nd.ancestors(y).contains(&x)
+        };
+        for (i, j, _) in p.iter() {
+            assert!(
+                ancestor_related(block_of[i], block_of[j]),
+                "edge between unrelated blocks {} and {}",
+                block_of[i],
+                block_of[j]
+            );
+        }
+    }
+
+    #[test]
+    fn tree_shape_and_ranges() {
+        let a = grid2d(8);
+        let nd = nested_dissection(&a, 2);
+        assert_eq!(nd.p_leaves, 4);
+        assert_eq!(nd.nodes.len(), 7);
+        assert_eq!(nd.root(), 6);
+        // Ranges partition 0..n contiguously in block order.
+        let mut cursor = 0;
+        for node in &nd.nodes {
+            assert_eq!(node.range.start, cursor);
+            cursor = node.range.end;
+        }
+        assert_eq!(cursor, 64);
+        // Leaves are nodes 0,1,3,4; separators 2,5,6.
+        assert!(nd.nodes[0].is_leaf());
+        assert!(nd.nodes[1].is_leaf());
+        assert!(!nd.nodes[2].is_leaf());
+        assert!(nd.nodes[3].is_leaf());
+        assert!(nd.nodes[4].is_leaf());
+        assert!(!nd.nodes[5].is_leaf());
+        assert!(!nd.nodes[6].is_leaf());
+        assert_eq!(nd.nodes[2].children, Some((0, 1)));
+        assert_eq!(nd.nodes[5].children, Some((3, 4)));
+        assert_eq!(nd.nodes[6].children, Some((2, 5)));
+        assert_eq!(nd.nodes[0].parent, Some(2));
+        assert_eq!(nd.nodes[2].parent, Some(6));
+    }
+
+    #[test]
+    fn separator_property_holds_on_grid() {
+        for levels in [1usize, 2, 3] {
+            let a = grid2d(10);
+            let nd = nested_dissection(&a, levels);
+            check_separator_property(&a, &nd);
+        }
+    }
+
+    #[test]
+    fn separator_property_holds_on_random_graph() {
+        let mut s = 77u64;
+        let mut rnd = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as usize
+        };
+        let n = 60;
+        let mut t = TripletMat::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 1.0);
+        }
+        for _ in 0..3 * n {
+            let (i, j) = (rnd() % n, rnd() % n);
+            if i != j {
+                t.push(i, j, 1.0);
+                t.push(j, i, 1.0);
+            }
+        }
+        let a = t.to_csc();
+        let nd = nested_dissection(&a, 2);
+        check_separator_property(&a, &nd);
+    }
+
+    #[test]
+    fn disconnected_graph_gets_empty_separators() {
+        // Two decoupled chains.
+        let n = 20;
+        let mut t = TripletMat::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 1.0);
+        }
+        for i in 0..9 {
+            t.push(i, i + 1, 1.0);
+            t.push(i + 1, i, 1.0);
+        }
+        for i in 10..19 {
+            t.push(i, i + 1, 1.0);
+            t.push(i + 1, i, 1.0);
+        }
+        let a = t.to_csc();
+        let nd = nested_dissection(&a, 1);
+        check_separator_property(&a, &nd);
+        // Root separator should be empty: the graph splits cleanly.
+        assert_eq!(nd.nodes[nd.root()].len(), 0);
+        // Both leaves have 10 vertices.
+        assert_eq!(nd.nodes[0].len(), 10);
+        assert_eq!(nd.nodes[1].len(), 10);
+    }
+
+    #[test]
+    fn grid_separator_is_small() {
+        let k = 12;
+        let a = grid2d(k);
+        let nd = nested_dissection(&a, 1);
+        let root = &nd.nodes[nd.root()];
+        // A good 12x12 grid separator is ~one grid line (12 vertices);
+        // allow slack but reject grossly fat separators.
+        assert!(
+            root.len() <= 3 * k,
+            "root separator has {} vertices",
+            root.len()
+        );
+        let balance = nd.nodes[0].len().min(nd.nodes[1].len()) as f64
+            / nd.nodes[0].len().max(nd.nodes[1].len()).max(1) as f64;
+        assert!(balance > 0.3, "leaves too unbalanced: {balance}");
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        for n in [0usize, 1, 2, 3] {
+            let a = CscMat::identity(n);
+            let nd = nested_dissection(&a, 1);
+            assert_eq!(nd.nodes.len(), 3);
+            assert_eq!(nd.perm.len(), n);
+            let total: usize = nd.nodes.iter().map(|x| x.len()).sum();
+            assert_eq!(total, n);
+        }
+    }
+
+    #[test]
+    fn deeper_than_graph_still_valid() {
+        // More levels than vertices: lots of empty blocks, still a valid
+        // partition.
+        let a = grid2d(2); // n = 4
+        let nd = nested_dissection(&a, 3); // 8 leaves
+        assert_eq!(nd.nodes.len(), 15);
+        let total: usize = nd.nodes.iter().map(|x| x.len()).sum();
+        assert_eq!(total, 4);
+        check_separator_property(&a, &nd);
+    }
+
+    #[test]
+    fn subtree_is_contiguous_prefix() {
+        let a = grid2d(8);
+        let nd = nested_dissection(&a, 2);
+        assert_eq!(nd.subtree(2), vec![0, 1, 2]);
+        assert_eq!(nd.subtree(5), vec![3, 4, 5]);
+        assert_eq!(nd.subtree(6), vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(nd.tree_level(0), 0);
+        assert_eq!(nd.tree_level(2), 1);
+        assert_eq!(nd.tree_level(6), 2);
+    }
+}

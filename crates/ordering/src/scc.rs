@@ -1,0 +1,213 @@
+//! Strongly connected components (iterative Tarjan).
+//!
+//! The BTF coarse structure (paper §III-A) is the SCC condensation of the
+//! digraph of the diagonally-matched matrix: each component becomes one
+//! diagonal block. Tarjan completes components in reverse topological order
+//! of the condensation, which is exactly the block order that yields an
+//! *upper* block triangular matrix.
+
+use basker_sparse::CscMat;
+
+/// SCC decomposition of a square matrix's digraph.
+///
+/// Vertex `u` has an edge to `v` when column `u` stores row `v` (`A[v,u]`
+/// nonzero, `u != v`). Components are numbered `0..ncomp` in Tarjan
+/// completion order; with that numbering every edge `u → v` satisfies
+/// `comp_of[v] <= comp_of[u]`.
+#[derive(Debug, Clone)]
+pub struct Scc {
+    /// Number of components.
+    pub ncomp: usize,
+    /// Component id of each vertex.
+    pub comp_of: Vec<usize>,
+    /// Vertices grouped by component: component `c`'s vertices are
+    /// `order[comp_ptr[c]..comp_ptr[c + 1]]`.
+    pub order: Vec<usize>,
+    /// Component boundaries into `order` (length `ncomp + 1`).
+    pub comp_ptr: Vec<usize>,
+}
+
+/// Computes strongly connected components of the digraph of `a`.
+pub fn strongly_connected_components(a: &CscMat) -> Scc {
+    assert!(a.is_square(), "SCC requires a square matrix");
+    let n = a.nrows();
+    const UNSET: usize = usize::MAX;
+
+    let mut index = vec![UNSET; n]; // discovery index
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp_of = vec![UNSET; n];
+    let mut tarjan_stack: Vec<usize> = Vec::new();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut comp_ptr: Vec<usize> = vec![0];
+    let mut next_index = 0usize;
+    let mut ncomp = 0usize;
+
+    // Explicit DFS stack: (vertex, next edge position).
+    let mut dfs: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        dfs.push((start, 0));
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        tarjan_stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&(u, pos)) = dfs.last() {
+            let col = a.col_rows(u);
+            if pos < col.len() {
+                dfs.last_mut().unwrap().1 += 1;
+                let v = col[pos];
+                if v == u {
+                    continue; // self-loop irrelevant to SCC structure
+                }
+                if index[v] == UNSET {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    tarjan_stack.push(v);
+                    on_stack[v] = true;
+                    dfs.push((v, 0));
+                } else if on_stack[v] {
+                    lowlink[u] = lowlink[u].min(index[v]);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[u]);
+                }
+                if lowlink[u] == index[u] {
+                    // u is the root of a component: pop it off.
+                    let begin = order.len();
+                    loop {
+                        let w = tarjan_stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp_of[w] = ncomp;
+                        order.push(w);
+                        if w == u {
+                            break;
+                        }
+                    }
+                    // Keep vertices within a component in ascending index
+                    // order for deterministic output.
+                    order[begin..].sort_unstable();
+                    comp_ptr.push(order.len());
+                    ncomp += 1;
+                }
+            }
+        }
+    }
+
+    Scc {
+        ncomp,
+        comp_of,
+        order,
+        comp_ptr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basker_sparse::TripletMat;
+
+    fn digraph(n: usize, edges: &[(usize, usize)]) -> CscMat {
+        // edge u -> v stored as A[v, u] = 1
+        let mut t = TripletMat::new(n, n);
+        for &(u, v) in edges {
+            t.push(v, u, 1.0);
+        }
+        t.to_csc()
+    }
+
+    #[test]
+    fn diagonal_matrix_gives_singletons() {
+        let a = CscMat::identity(4);
+        let s = strongly_connected_components(&a);
+        assert_eq!(s.ncomp, 4);
+        for c in 0..4 {
+            assert_eq!(s.comp_ptr[c + 1] - s.comp_ptr[c], 1);
+        }
+    }
+
+    #[test]
+    fn simple_cycle_is_one_component() {
+        let a = digraph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let s = strongly_connected_components(&a);
+        assert_eq!(s.ncomp, 1);
+        assert_eq!(s.order.len(), 3);
+    }
+
+    #[test]
+    fn two_components_with_edge_between() {
+        // Component {0,1} (cycle), component {2,3} (cycle), edge 0 -> 2.
+        let a = digraph(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (0, 2)]);
+        let s = strongly_connected_components(&a);
+        assert_eq!(s.ncomp, 2);
+        // Edge 0->2 means comp(2) <= comp(0): {2,3} completes first.
+        assert!(s.comp_of[2] < s.comp_of[0]);
+        assert_eq!(s.comp_of[0], s.comp_of[1]);
+        assert_eq!(s.comp_of[2], s.comp_of[3]);
+    }
+
+    #[test]
+    fn completion_order_is_reverse_topological() {
+        // Chain of singletons: 0 -> 1 -> 2 -> 3.
+        let a = digraph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let s = strongly_connected_components(&a);
+        assert_eq!(s.ncomp, 4);
+        // Every edge u->v must satisfy comp(v) <= comp(u).
+        assert!(s.comp_of[1] < s.comp_of[0]);
+        assert!(s.comp_of[2] < s.comp_of[1]);
+        assert!(s.comp_of[3] < s.comp_of[2]);
+    }
+
+    #[test]
+    fn nested_cycles() {
+        // {0,1,2} cycle with an extra inner edge; {3} alone; 2 -> 3.
+        let a = digraph(4, &[(0, 1), (1, 2), (2, 0), (1, 0), (2, 3)]);
+        let s = strongly_connected_components(&a);
+        assert_eq!(s.ncomp, 2);
+        assert!(s.comp_of[3] < s.comp_of[0]);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let a = digraph(2, &[(0, 0), (1, 1)]);
+        let s = strongly_connected_components(&a);
+        assert_eq!(s.ncomp, 2);
+    }
+
+    #[test]
+    fn edge_condition_holds_on_random_digraphs() {
+        let mut seed = 999u64;
+        let mut rnd = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for trial in 0..10 {
+            let n = 10 + 3 * trial;
+            let mut edges = Vec::new();
+            for _ in 0..3 * n {
+                edges.push((rnd() % n, rnd() % n));
+            }
+            let a = digraph(n, &edges);
+            let s = strongly_connected_components(&a);
+            // Validate comp_ptr partitions order.
+            assert_eq!(*s.comp_ptr.last().unwrap(), n);
+            // Every edge u -> v: comp(v) <= comp(u).
+            for &(u, v) in &edges {
+                if u != v {
+                    assert!(
+                        s.comp_of[v] <= s.comp_of[u],
+                        "edge {u}->{v} violates block order"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,469 @@
+//! Numeric phase of the supernodal solver: panel factorization over etree
+//! level sets, dense suffix updates, static pivot perturbation, and the
+//! refined solve.
+
+use crate::symbolic::Snlu;
+use basker_sparse::trisolve::{lower_solve_in_place, upper_solve_in_place};
+use basker_sparse::util::mat_norm_inf;
+use basker_sparse::{CscMat, Perm, Result};
+use rayon::prelude::*;
+use std::sync::OnceLock;
+
+/// One factored supernode: a dense column-major panel of `L` values plus
+/// the `U` row segments of its columns.
+struct SnodeFactor {
+    d0: usize,
+    /// Panel rows: the supernode's own columns `d0..d1` first, then the
+    /// below-diagonal row union (ascending).
+    rows: Vec<usize>,
+    width: usize,
+    /// Column-major `rows.len() x width`; entries at panel positions above
+    /// a column's diagonal are zero.
+    panel: Vec<f64>,
+    /// Per column: ascending `(tmin, values)` segments of `U(:, j)`; each
+    /// segment spans `tmin..tmin+len` rows of one earlier supernode.
+    u_segments: Vec<Vec<(usize, Vec<f64>)>>,
+    /// Per column: the (possibly perturbed) pivot.
+    pivots: Vec<f64>,
+    /// Dense flops spent on this supernode.
+    flops: f64,
+    /// Pivots perturbed in this supernode.
+    perturbed: usize,
+}
+
+/// The numeric factorization: assembled triangular factors + metadata.
+pub struct SnluNumeric {
+    row_perm: Perm,
+    col_perm: Perm,
+    l: CscMat,
+    u: CscMat,
+    /// `|L+U|` counting dense panel storage (the supernodal memory
+    /// footprint reported as the PMKL column of Table I).
+    pub lu_nnz: usize,
+    /// Dense flops of the factorization.
+    pub flops: f64,
+    /// Number of statically perturbed pivots.
+    pub perturbed_pivots: usize,
+    /// Iterative-refinement sweeps applied by [`solve`](Self::solve).
+    pub refine_steps: usize,
+}
+
+impl Snlu {
+    /// Numeric factorization of `a` (same pattern as analyzed).
+    pub fn factor(&self, a: &CscMat) -> Result<SnluNumeric> {
+        let n = self.n;
+        let ap = Perm::permute_both(&self.row_perm, &self.col_perm, a);
+        let norm = mat_norm_inf(&ap);
+        let pivot_floor = if norm > 0.0 {
+            self.opts.pivot_eps * norm
+        } else {
+            f64::MIN_POSITIVE
+        };
+
+        let nsn = self.nsupernodes();
+        let slots: Vec<OnceLock<SnodeFactor>> = (0..nsn).map(|_| OnceLock::new()).collect();
+
+        for level in &self.levels {
+            self.pool.install(|| {
+                level.par_iter().for_each_init(
+                    || vec![0.0f64; n],
+                    |x, &s| {
+                        let f = self.factor_snode(s, &ap, pivot_floor, &slots, x);
+                        slots[s].set(f).ok().expect("supernode factored twice");
+                    },
+                );
+            });
+        }
+
+        // ---- assemble L and U, gather stats, drop panels ----
+        let mut lu_nnz = 0usize;
+        let mut flops = 0.0f64;
+        let mut perturbed = 0usize;
+        let mut lcolptr = Vec::with_capacity(n + 1);
+        let mut lrows: Vec<usize> = Vec::new();
+        let mut lvals: Vec<f64> = Vec::new();
+        let mut ucolptr = Vec::with_capacity(n + 1);
+        let mut urows: Vec<usize> = Vec::new();
+        let mut uvals: Vec<f64> = Vec::new();
+        lcolptr.push(0);
+        ucolptr.push(0);
+        for s in 0..nsn {
+            let f = slots[s].get().expect("missing supernode");
+            flops += f.flops;
+            perturbed += f.perturbed;
+            let nr = f.rows.len();
+            for c in 0..f.width {
+                let j = f.d0 + c;
+                // L column: unit diagonal + panel entries below the diag.
+                lrows.push(j);
+                lvals.push(1.0);
+                for idx in (c + 1)..nr {
+                    lrows.push(f.rows[idx]);
+                    lvals.push(f.panel[c * nr + idx]);
+                }
+                lcolptr.push(lrows.len());
+                // U column: ascending segments then the pivot.
+                for (tmin, vals) in &f.u_segments[c] {
+                    for (k, &v) in vals.iter().enumerate() {
+                        urows.push(tmin + k);
+                        uvals.push(v);
+                    }
+                }
+                urows.push(j);
+                uvals.push(f.pivots[c]);
+                ucolptr.push(urows.len());
+                lu_nnz += (nr - c) + f.u_segments[c].iter().map(|(_, v)| v.len()).sum::<usize>();
+            }
+        }
+        let l = CscMat::from_parts_unchecked(n, n, lcolptr, lrows, lvals);
+        let u = CscMat::from_parts_unchecked(n, n, ucolptr, urows, uvals);
+
+        Ok(SnluNumeric {
+            row_perm: self.row_perm.clone(),
+            col_perm: self.col_perm.clone(),
+            l,
+            u,
+            lu_nnz,
+            flops,
+            perturbed_pivots: perturbed,
+            refine_steps: self.opts.refine_steps,
+        })
+    }
+
+    /// Factors one supernode (columns `d0..d1`): external dense updates
+    /// from earlier panels, internal dense elimination, static pivoting.
+    fn factor_snode(
+        &self,
+        s: usize,
+        ap: &CscMat,
+        pivot_floor: f64,
+        slots: &[OnceLock<SnodeFactor>],
+        x: &mut [f64],
+    ) -> SnodeFactor {
+        let d0 = self.sn_bounds[s];
+        let d1 = self.sn_bounds[s + 1];
+        let width = d1 - d0;
+
+        // Panel rows: own columns + below-row union of the L patterns.
+        let mut below: Vec<usize> = Vec::new();
+        for j in d0..d1 {
+            for &r in self.lpat.col(j) {
+                if r >= d1 {
+                    below.push(r);
+                }
+            }
+        }
+        below.sort_unstable();
+        below.dedup();
+        let rows: Vec<usize> = (d0..d1).chain(below.iter().copied()).collect();
+        let nr = rows.len();
+        let mut panel = vec![0.0f64; nr * width];
+        let mut u_segments: Vec<Vec<(usize, Vec<f64>)>> = vec![Vec::new(); width];
+        let mut pivots = vec![0.0f64; width];
+        let mut flops = 0.0f64;
+        let mut perturbed = 0usize;
+
+        for c in 0..width {
+            let j = d0 + c;
+            // scatter A(:, j)
+            for (r, v) in ap.col_iter(j) {
+                x[r] = v;
+            }
+            // ---- external updates: group U-pattern rows by supernode ----
+            let upat = &self.upat_rows[self.upat_colptr[j]..self.upat_colptr[j + 1]];
+            let mut k = 0usize;
+            while k < upat.len() {
+                let t = upat[k];
+                let sp = self.sn_of_col[t];
+                if sp == s {
+                    break; // own supernode handled internally
+                }
+                let snf = slots[sp].get().expect("dependency not factored");
+                let tmin = t;
+                // skip the rest of this supernode's run
+                while k < upat.len() && self.sn_of_col[upat[k]] == sp {
+                    k += 1;
+                }
+                flops += apply_snode_update(snf, tmin, x, &mut u_segments[c]);
+            }
+            // ---- internal update: own partially built panel ----
+            if c > 0 {
+                let mut vals = Vec::with_capacity(c);
+                for cc in 0..c {
+                    let t = d0 + cc;
+                    let ut = x[t];
+                    vals.push(ut);
+                    if ut != 0.0 {
+                        for idx in (cc + 1)..nr {
+                            x[rows[idx]] -= panel[cc * nr + idx] * ut;
+                        }
+                        flops += 2.0 * (nr - cc - 1) as f64;
+                    }
+                }
+                u_segments[c].push((d0, vals));
+            }
+            // ---- static pivot ----
+            let mut pv = x[j];
+            if pv.abs() < pivot_floor {
+                pv = if pv < 0.0 { -pivot_floor } else { pivot_floor };
+                perturbed += 1;
+            }
+            pivots[c] = pv;
+            // ---- write the panel column and clear the accumulator ----
+            for idx in (c + 1)..nr {
+                let r = rows[idx];
+                panel[c * nr + idx] = x[r] / pv;
+                x[r] = 0.0;
+            }
+            flops += (nr - c - 1) as f64;
+            // clear the upper part (U rows) and A leftovers
+            for seg in &u_segments[c] {
+                let (tmin, vals) = seg;
+                for k2 in 0..vals.len() {
+                    x[tmin + k2] = 0.0;
+                }
+            }
+            for (r, _) in ap.col_iter(j) {
+                x[r] = 0.0;
+            }
+            x[j] = 0.0;
+        }
+
+        SnodeFactor {
+            d0,
+            rows,
+            width,
+            panel,
+            u_segments,
+            pivots,
+            flops,
+            perturbed,
+        }
+    }
+}
+
+/// Applies one earlier supernode's panel to the accumulator: dense suffix
+/// solve on its diagonal block from `tmin` down, then dense dots into its
+/// below rows. Appends the freshly computed `U` segment. Returns flops.
+fn apply_snode_update(
+    snf: &SnodeFactor,
+    tmin: usize,
+    x: &mut [f64],
+    segments: &mut Vec<(usize, Vec<f64>)>,
+) -> f64 {
+    let nr = snf.rows.len();
+    let width = snf.width;
+    let c0 = tmin - snf.d0;
+    let mut flops = 0.0f64;
+    let mut vals = Vec::with_capacity(width - c0);
+    // dense suffix solve within the diagonal block
+    for c in c0..width {
+        let t = snf.d0 + c;
+        let ut = x[t];
+        vals.push(ut);
+        if ut != 0.0 {
+            for idx in (c + 1)..width {
+                x[snf.rows[idx]] -= snf.panel[c * nr + idx] * ut;
+            }
+            flops += 2.0 * (width - c - 1) as f64;
+        }
+    }
+    // dense dot products into the below rows
+    for idx in width..nr {
+        let r = snf.rows[idx];
+        let mut acc = 0.0;
+        for (k, &ut) in vals.iter().enumerate() {
+            let c = c0 + k;
+            acc += snf.panel[c * nr + idx] * ut;
+        }
+        x[r] -= acc;
+    }
+    flops += 2.0 * ((nr - width) * (width - c0)) as f64;
+    segments.push((tmin, vals));
+    flops
+}
+
+impl SnluNumeric {
+    /// Solves `A·x = b` with `refine_steps` sweeps of iterative refinement
+    /// against the **original** matrix (required because static pivoting
+    /// perturbs tiny pivots).
+    pub fn solve(&self, a: &CscMat, b: &[f64]) -> Vec<f64> {
+        let n = self.l.ncols();
+        assert_eq!(b.len(), n);
+        let mut x = self.solve_once(b);
+        for _ in 0..self.refine_steps {
+            // r = b - A x
+            let ax = basker_sparse::spmv::spmv(a, &x);
+            let r: Vec<f64> = b.iter().zip(ax.iter()).map(|(bi, ai)| bi - ai).collect();
+            let dx = self.solve_once(&r);
+            for (xi, di) in x.iter_mut().zip(dx.iter()) {
+                *xi += di;
+            }
+        }
+        x
+    }
+
+    fn solve_once(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.ncols();
+        let mut y = self.row_perm.apply_vec(b);
+        lower_solve_in_place(&self.l, &mut y, true);
+        upper_solve_in_place(&self.u, &mut y);
+        let mut x = vec![0.0; n];
+        for (k, &orig) in self.col_perm.as_slice().iter().enumerate() {
+            x[orig] = y[k];
+        }
+        x
+    }
+
+    /// The assembled unit-lower factor (tests/diagnostics).
+    pub fn l(&self) -> &CscMat {
+        &self.l
+    }
+
+    /// The assembled upper factor.
+    pub fn u(&self) -> &CscMat {
+        &self.u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic::{SnluMode, SnluOptions};
+    use basker_sparse::spmv::spmv;
+    use basker_sparse::util::relative_residual;
+    use basker_sparse::TripletMat;
+
+    fn grid2d(k: usize) -> CscMat {
+        let n = k * k;
+        let idx = |r: usize, c: usize| r * k + c;
+        let mut t = TripletMat::new(n, n);
+        for r in 0..k {
+            for c in 0..k {
+                let u = idx(r, c);
+                t.push(u, u, 4.0 + (u % 2) as f64);
+                if r + 1 < k {
+                    t.push(u, idx(r + 1, c), -1.0);
+                    t.push(idx(r + 1, c), u, -1.2);
+                }
+                if c + 1 < k {
+                    t.push(u, idx(r, c + 1), -0.8);
+                    t.push(idx(r, c + 1), u, -1.0);
+                }
+            }
+        }
+        t.to_csc()
+    }
+
+    fn check(a: &CscMat, opts: &SnluOptions) {
+        let sym = Snlu::analyze(a, opts).unwrap();
+        let num = sym.factor(a).unwrap();
+        let xtrue: Vec<f64> = (0..a.ncols()).map(|i| 1.0 + (i % 5) as f64 * 0.5).collect();
+        let b = spmv(a, &xtrue);
+        let x = num.solve(a, &b);
+        assert!(
+            relative_residual(a, &x, &b) < 1e-10,
+            "residual {} too large",
+            relative_residual(a, &x, &b)
+        );
+    }
+
+    #[test]
+    fn factor_solve_mesh() {
+        for p in [1usize, 2, 4] {
+            check(
+                &grid2d(8),
+                &SnluOptions {
+                    nthreads: p,
+                    ..SnluOptions::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn slumt_mode_solves() {
+        check(
+            &grid2d(7),
+            &SnluOptions {
+                mode: SnluMode::SluMt,
+                ..SnluOptions::default()
+            },
+        );
+    }
+
+    #[test]
+    fn relaxed_supernodes_solve() {
+        check(
+            &grid2d(7),
+            &SnluOptions {
+                supernode_relax: 4,
+                ..SnluOptions::default()
+            },
+        );
+    }
+
+    #[test]
+    fn unsymmetric_circuitish_matrix() {
+        let n = 40;
+        let mut t = TripletMat::new(n, n);
+        let mut s = 5u64;
+        let mut rnd = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as usize
+        };
+        for i in 0..n {
+            t.push(i, i, 20.0 + (i % 7) as f64);
+        }
+        for _ in 0..3 * n {
+            let (i, j) = (rnd() % n, rnd() % n);
+            if i != j {
+                t.push(i, j, 1.0 + (rnd() % 3) as f64 * 0.5);
+            }
+        }
+        check(&t.to_csc(), &SnluOptions::default());
+    }
+
+    #[test]
+    fn perturbation_rescues_zero_pivot() {
+        // Structurally fine but numerically singular leading block; static
+        // pivoting must perturb and refinement keeps the residual usable
+        // for the well-conditioned part. We verify it does not panic and
+        // reports the perturbation.
+        let mut t = TripletMat::new(3, 3);
+        t.push(0, 0, 1e-30);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(1, 1, 1.0);
+        t.push(2, 2, 5.0);
+        let a = t.to_csc();
+        let sym = Snlu::analyze(&a, &SnluOptions::default()).unwrap();
+        let num = sym.factor(&a).unwrap();
+        // The MWCM avoids the tiny entry, so no perturbation may even be
+        // needed; either way the solve must work.
+        let b = vec![1.0, 2.0, 5.0];
+        let x = num.solve(&a, &b);
+        assert!(relative_residual(&a, &x, &b) < 1e-8);
+    }
+
+    #[test]
+    fn memory_metric_exceeds_pattern_on_mesh() {
+        let a = grid2d(10);
+        let sym = Snlu::analyze(&a, &SnluOptions::default()).unwrap();
+        let num = sym.factor(&a).unwrap();
+        // panel storage counts explicit zeros: >= the sparse pattern count
+        assert!(num.lu_nnz >= sym.pattern_nnz() * 9 / 10);
+        assert!(num.flops > 0.0);
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let a = CscMat::identity(6);
+        let sym = Snlu::analyze(&a, &SnluOptions::default()).unwrap();
+        let num = sym.factor(&a).unwrap();
+        let x = num.solve(&a, &[3.0; 6]);
+        for v in x {
+            assert!((v - 3.0).abs() < 1e-14);
+        }
+    }
+}

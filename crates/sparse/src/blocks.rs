@@ -1,0 +1,148 @@
+//! Submatrix/block extraction.
+//!
+//! After the BTF and ND permutations, Basker's hierarchy is defined by
+//! *contiguous* row/column ranges of the permuted matrix, so the hot path is
+//! range extraction ([`extract_range`]). A general index-set extraction is
+//! provided for tests and irregular uses.
+
+use crate::csc::CscMat;
+use std::ops::Range;
+
+/// Extracts the dense-index block `A[rows, cols]` for contiguous ranges.
+///
+/// Row indices in the result are local (offset by `rows.start`). Cost is
+/// O(sum of touched column lengths) using binary search to find the row
+/// window of each column.
+pub fn extract_range(a: &CscMat, rows: Range<usize>, cols: Range<usize>) -> CscMat {
+    assert!(rows.end <= a.nrows() && cols.end <= a.ncols());
+    let nr = rows.end - rows.start;
+    let nc = cols.end - cols.start;
+    let mut colptr = Vec::with_capacity(nc + 1);
+    let mut rowind = Vec::new();
+    let mut values = Vec::new();
+    colptr.push(0);
+    for j in cols {
+        let col = a.col_rows(j);
+        let vals = a.col_values(j);
+        let lo = col.partition_point(|&r| r < rows.start);
+        let hi = col.partition_point(|&r| r < rows.end);
+        for k in lo..hi {
+            rowind.push(col[k] - rows.start);
+            values.push(vals[k]);
+        }
+        colptr.push(rowind.len());
+    }
+    CscMat::from_parts_unchecked(nr, nc, colptr, rowind, values)
+}
+
+/// Extracts `A[rows, cols]` for arbitrary index sets (must be duplicate
+/// free); result entry `(i, j)` is `A[rows[i], cols[j]]`.
+pub fn extract_general(a: &CscMat, rows: &[usize], cols: &[usize]) -> CscMat {
+    // Map global row -> local row (usize::MAX = not selected).
+    let mut rowmap = vec![usize::MAX; a.nrows()];
+    for (local, &g) in rows.iter().enumerate() {
+        assert!(g < a.nrows());
+        assert!(rowmap[g] == usize::MAX, "duplicate row index {g}");
+        rowmap[g] = local;
+    }
+    let mut colptr = Vec::with_capacity(cols.len() + 1);
+    let mut rowind = Vec::new();
+    let mut values = Vec::new();
+    colptr.push(0);
+    let mut scratch: Vec<(usize, f64)> = Vec::new();
+    for &j in cols {
+        assert!(j < a.ncols());
+        scratch.clear();
+        for (i, v) in a.col_iter(j) {
+            let local = rowmap[i];
+            if local != usize::MAX {
+                scratch.push((local, v));
+            }
+        }
+        scratch.sort_unstable_by_key(|&(r, _)| r);
+        for &(r, v) in &scratch {
+            rowind.push(r);
+            values.push(v);
+        }
+        colptr.push(rowind.len());
+    }
+    CscMat::from_parts_unchecked(rows.len(), cols.len(), colptr, rowind, values)
+}
+
+/// Splits a square matrix into a 2-D grid of blocks along the given
+/// boundaries (`bounds` = cumulative offsets, starting 0 and ending n).
+/// Returns blocks in row-major block order: `result[bi * nblocks + bj]`.
+pub fn partition_grid(a: &CscMat, bounds: &[usize]) -> Vec<CscMat> {
+    assert!(a.is_square());
+    assert_eq!(*bounds.first().unwrap(), 0);
+    assert_eq!(*bounds.last().unwrap(), a.nrows());
+    let nb = bounds.len() - 1;
+    let mut out = Vec::with_capacity(nb * nb);
+    for bi in 0..nb {
+        for bj in 0..nb {
+            out.push(extract_range(
+                a,
+                bounds[bi]..bounds[bi + 1],
+                bounds[bj]..bounds[bj + 1],
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CscMat {
+        CscMat::from_dense(&[
+            vec![1.0, 0.0, 2.0, 0.0],
+            vec![0.0, 3.0, 0.0, 4.0],
+            vec![5.0, 0.0, 6.0, 0.0],
+            vec![0.0, 7.0, 0.0, 8.0],
+        ])
+    }
+
+    #[test]
+    fn range_extraction() {
+        let a = sample();
+        let b = extract_range(&a, 1..3, 1..4);
+        assert_eq!(b.nrows(), 2);
+        assert_eq!(b.ncols(), 3);
+        assert_eq!(b.get(0, 0), 3.0); // A[1,1]
+        assert_eq!(b.get(0, 2), 4.0); // A[1,3]
+        assert_eq!(b.get(1, 1), 6.0); // A[2,2]
+    }
+
+    #[test]
+    fn empty_range_gives_empty_block() {
+        let a = sample();
+        let b = extract_range(&a, 2..2, 0..4);
+        assert_eq!(b.nrows(), 0);
+        assert_eq!(b.nnz(), 0);
+    }
+
+    #[test]
+    fn general_extraction_reorders() {
+        let a = sample();
+        let b = extract_general(&a, &[3, 0], &[1, 0]);
+        // b[0,0] = A[3,1] = 7, b[1,1] = A[0,0] = 1
+        assert_eq!(b.get(0, 0), 7.0);
+        assert_eq!(b.get(1, 1), 1.0);
+        assert_eq!(b.nnz(), 2);
+    }
+
+    #[test]
+    fn grid_partition_covers_all_entries() {
+        let a = sample();
+        let blocks = partition_grid(&a, &[0, 2, 4]);
+        assert_eq!(blocks.len(), 4);
+        let total: usize = blocks.iter().map(|b| b.nnz()).sum();
+        assert_eq!(total, a.nnz());
+        // diag block (0,0): entries A[0,0], A[1,1]
+        assert_eq!(blocks[0].get(0, 0), 1.0);
+        assert_eq!(blocks[0].get(1, 1), 3.0);
+        // off-diag block (1,0): A[2,0]=5
+        assert_eq!(blocks[2].get(0, 0), 5.0);
+    }
+}

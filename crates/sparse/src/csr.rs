@@ -1,0 +1,127 @@
+//! Compressed sparse row matrices (adjacency-style access for graph code).
+
+use crate::csc::CscMat;
+
+/// A sparse matrix in compressed sparse row (CSR) format.
+///
+/// Used by the ordering algorithms (matching, SCC, dissection) that walk
+/// out-neighbourhoods row by row. Conversions to/from [`CscMat`] are
+/// O(nnz) counting-sort passes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMat {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colind: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMat {
+    /// Converts from CSC; column indices within each row come out sorted.
+    pub fn from_csc(a: &CscMat) -> CsrMat {
+        let t = a.transpose(); // transpose of CSC is CSR of the original
+        CsrMat {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            rowptr: t.colptr().to_vec(),
+            colind: t.rowind().to_vec(),
+            values: t.values().to_vec(),
+        }
+    }
+
+    /// Converts back to CSC.
+    pub fn to_csc(&self) -> CscMat {
+        // Interpret our arrays as a CSC matrix of the transpose, then
+        // transpose it.
+        CscMat::from_parts_unchecked(
+            self.ncols,
+            self.nrows,
+            self.rowptr.clone(),
+            self.colind.clone(),
+            self.values.clone(),
+        )
+        .transpose()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.colind.len()
+    }
+
+    /// Row-pointer array.
+    #[inline]
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// Column indices of row `i`.
+    #[inline]
+    pub fn row_cols(&self, i: usize) -> &[usize] {
+        &self.colind[self.rowptr[i]..self.rowptr[i + 1]]
+    }
+
+    /// Values of row `i`.
+    #[inline]
+    pub fn row_values(&self, i: usize) -> &[f64] {
+        &self.values[self.rowptr[i]..self.rowptr[i + 1]]
+    }
+
+    /// Iterator over `(col, value)` pairs of row `i`.
+    #[inline]
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.row_cols(i)
+            .iter()
+            .copied()
+            .zip(self.row_values(i).iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csc::CscMat;
+
+    #[test]
+    fn csc_csr_roundtrip() {
+        let a = CscMat::new(
+            3,
+            4,
+            vec![0, 2, 3, 5, 6],
+            vec![0, 2, 1, 0, 2, 1],
+            vec![1.0, 4.0, 3.0, 2.0, 5.0, 7.0],
+        )
+        .unwrap();
+        let r = CsrMat::from_csc(&a);
+        assert_eq!(r.nrows(), 3);
+        assert_eq!(r.ncols(), 4);
+        assert_eq!(r.nnz(), 6);
+        assert_eq!(r.row_cols(0), &[0, 2]);
+        assert_eq!(r.row_values(0), &[1.0, 2.0]);
+        assert_eq!(r.row_cols(1), &[1, 3]);
+        assert_eq!(r.row_cols(2), &[0, 2]);
+        let back = r.to_csc();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn empty_rows_are_empty() {
+        let a = CscMat::zero(3, 3);
+        let r = CsrMat::from_csc(&a);
+        for i in 0..3 {
+            assert!(r.row_cols(i).is_empty());
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Matrix Market (.mtx) reading and writing.
+//!
+//! The paper's test suite comes from the UF (SuiteSparse) collection, which
+//! distributes Matrix Market files; this module lets users of the library
+//! run the real matrices when they have them, even though the benchmark
+//! harness ships synthetic analogues.
+
+use crate::csc::CscMat;
+use crate::triplet::TripletMat;
+use crate::{Result, SparseError};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Symmetry classes in the Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmSymmetry {
+    /// All entries stored explicitly.
+    General,
+    /// Lower triangle stored; `(j,i)` implied equal to `(i,j)`.
+    Symmetric,
+    /// Lower triangle stored; `(j,i)` implied equal to `-(i,j)`.
+    SkewSymmetric,
+}
+
+/// Reads a real (or integer/pattern) coordinate Matrix Market stream.
+///
+/// Symmetric/skew-symmetric files are expanded to full storage. Pattern
+/// files get value 1.0 on every entry.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CscMat> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| SparseError::Io("empty file".into()))?
+        .map_err(|e| SparseError::Io(e.to_string()))?;
+    let header_lc = header.to_lowercase();
+    let tokens: Vec<&str> = header_lc.split_whitespace().collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(SparseError::Io(format!("bad header: {header}")));
+    }
+    if tokens[2] != "coordinate" {
+        return Err(SparseError::Io("only coordinate format supported".into()));
+    }
+    let pattern = tokens[3] == "pattern";
+    if !matches!(tokens[3], "real" | "integer" | "pattern") {
+        return Err(SparseError::Io(format!("unsupported field {}", tokens[3])));
+    }
+    let symmetry = match tokens[4] {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        "skew-symmetric" => MmSymmetry::SkewSymmetric,
+        other => return Err(SparseError::Io(format!("unsupported symmetry {other}"))),
+    };
+
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(|e| SparseError::Io(e.to_string()))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| SparseError::Io("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|s| s.parse::<usize>().map_err(|e| SparseError::Io(e.to_string())))
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::Io(format!("bad size line: {size_line}")));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut t = TripletMat::with_capacity(nrows, ncols, nnz * 2);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(|e| SparseError::Io(e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Io("short entry line".into()))?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| SparseError::Io(e.to_string()))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Io("short entry line".into()))?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| SparseError::Io(e.to_string()))?;
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| SparseError::Io("missing value".into()))?
+                .parse()
+                .map_err(|e: std::num::ParseFloatError| SparseError::Io(e.to_string()))?
+        };
+        if i == 0 || j == 0 {
+            return Err(SparseError::Io("matrix market is 1-based".into()));
+        }
+        let (i, j) = (i - 1, j - 1);
+        t.try_push(i, j, v)?;
+        match symmetry {
+            MmSymmetry::General => {}
+            MmSymmetry::Symmetric => {
+                if i != j {
+                    t.try_push(j, i, v)?;
+                }
+            }
+            MmSymmetry::SkewSymmetric => {
+                if i != j {
+                    t.try_push(j, i, -v)?;
+                }
+            }
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::Io(format!(
+            "expected {nnz} entries, found {seen}"
+        )));
+    }
+    Ok(t.to_csc())
+}
+
+/// Writes a general real coordinate Matrix Market stream.
+pub fn write_matrix_market<W: Write>(a: &CscMat, mut w: W) -> Result<()> {
+    let emit = |e: std::io::Error| SparseError::Io(e.to_string());
+    writeln!(w, "%%MatrixMarket matrix coordinate real general").map_err(emit)?;
+    writeln!(w, "% written by basker-sparse").map_err(emit)?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz()).map_err(emit)?;
+    for (i, j, v) in a.iter() {
+        writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v).map_err(emit)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let a = CscMat::from_dense(&[vec![1.5, 0.0], vec![-2.0, 3.25]]);
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reads_symmetric_expansion() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % comment\n\
+                    2 2 2\n\
+                    1 1 4.0\n\
+                    2 1 -1.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 0), 4.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn reads_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 3 2\n\
+                    1 3\n\
+                    2 1\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 2), 1.0);
+        assert_eq!(a.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        assert!(read_matrix_market("not a header\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n1 1 1\n1.0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_entry_count_mismatch() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn skew_symmetric_negates() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 1\n\
+                    2 1 5.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(1, 0), 5.0);
+        assert_eq!(a.get(0, 1), -5.0);
+    }
+}

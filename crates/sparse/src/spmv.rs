@@ -1,0 +1,117 @@
+//! Sparse matrix–vector products.
+//!
+//! Basker's reduction phases (paper Alg. 4, lines 18 & 24) are sequences of
+//! "y -= A·x" updates on block columns, so the subtracting variants are the
+//! hot kernels here.
+
+use crate::csc::CscMat;
+
+/// `y = A·x`.
+pub fn spmv(a: &CscMat, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), a.ncols());
+    let mut y = vec![0.0; a.nrows()];
+    spmv_acc(a, x, &mut y);
+    y
+}
+
+/// `y += A·x` (accumulating).
+pub fn spmv_acc(a: &CscMat, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    for j in 0..a.ncols() {
+        let xj = x[j];
+        if xj == 0.0 {
+            continue;
+        }
+        for (i, v) in a.col_iter(j) {
+            y[i] += v * xj;
+        }
+    }
+}
+
+/// `y -= A·x` (the reduction update).
+pub fn spmv_sub(a: &CscMat, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    for j in 0..a.ncols() {
+        let xj = x[j];
+        if xj == 0.0 {
+            continue;
+        }
+        for (i, v) in a.col_iter(j) {
+            y[i] -= v * xj;
+        }
+    }
+}
+
+/// Sparse-input variant: `y -= A·x` where `x` is given as pattern +
+/// values over the columns of `A`. Only touches columns in the pattern —
+/// this is the inner loop of the block reductions, where `x` is one column
+/// of a freshly factored `U` block.
+pub fn spmv_sub_sparse(a: &CscMat, xpat: &[usize], xval: &[f64], y: &mut [f64]) {
+    assert_eq!(xpat.len(), xval.len());
+    assert_eq!(y.len(), a.nrows());
+    for (&j, &xj) in xpat.iter().zip(xval.iter()) {
+        if xj == 0.0 {
+            continue;
+        }
+        for (i, v) in a.col_iter(j) {
+            y[i] -= v * xj;
+        }
+    }
+}
+
+/// `y = Aᵀ·x` without forming the transpose.
+pub fn spmv_t(a: &CscMat, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), a.nrows());
+    let mut y = vec![0.0; a.ncols()];
+    for j in 0..a.ncols() {
+        let mut acc = 0.0;
+        for (i, v) in a.col_iter(j) {
+            acc += v * x[i];
+        }
+        y[j] = acc;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> CscMat {
+        CscMat::from_dense(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![0.0, 5.0]])
+    }
+
+    #[test]
+    fn basic_product() {
+        let y = spmv(&a(), &[1.0, 10.0]);
+        assert_eq!(y, vec![21.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn accumulate_and_subtract_are_inverses() {
+        let m = a();
+        let x = [2.0, -1.0];
+        let mut y = vec![5.0, 5.0, 5.0];
+        spmv_acc(&m, &x, &mut y);
+        spmv_sub(&m, &x, &mut y);
+        assert_eq!(y, vec![5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn sparse_input_matches_dense_input() {
+        let m = a();
+        let mut y1 = vec![0.0; 3];
+        spmv_sub(&m, &[0.0, 7.0], &mut y1);
+        let mut y2 = vec![0.0; 3];
+        spmv_sub_sparse(&m, &[1], &[7.0], &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn transpose_product() {
+        let y = spmv_t(&a(), &[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![4.0, 11.0]);
+    }
+}

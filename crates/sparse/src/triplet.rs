@@ -1,0 +1,199 @@
+//! Coordinate-format builder.
+
+use crate::csc::CscMat;
+use crate::{Result, SparseError};
+
+/// A growable coordinate-format (COO) matrix used to assemble patterns
+/// entry by entry; duplicates are **summed** on conversion, matching the
+/// convention of circuit-simulation stamping (each device stamps its
+/// conductance contributions independently).
+#[derive(Clone, Debug, Default)]
+pub struct TripletMat {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl TripletMat {
+    /// An empty builder for an `nrows x ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        TripletMat {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Pre-allocates space for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        TripletMat {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of accumulated (pre-dedup) entries.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no entry has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Adds `v` at `(i, j)`. Panics on out-of-bounds indices.
+    pub fn push(&mut self, i: usize, j: usize, v: f64) {
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "triplet ({i},{j}) out of bounds for {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        self.rows.push(i);
+        self.cols.push(j);
+        self.vals.push(v);
+    }
+
+    /// Fallible variant of [`push`](Self::push).
+    pub fn try_push(&mut self, i: usize, j: usize, v: f64) -> Result<()> {
+        if i >= self.nrows {
+            return Err(SparseError::IndexOutOfBounds {
+                index: i,
+                bound: self.nrows,
+            });
+        }
+        if j >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                index: j,
+                bound: self.ncols,
+            });
+        }
+        self.rows.push(i);
+        self.cols.push(j);
+        self.vals.push(v);
+        Ok(())
+    }
+
+    /// Converts to CSC, summing duplicates and dropping entries that sum to
+    /// exactly zero is **not** done (pattern is kept, as solvers care about
+    /// structure even when a value cancels to zero).
+    pub fn to_csc(&self) -> CscMat {
+        let nnz = self.rows.len();
+        // Counting sort by column.
+        let mut colcount = vec![0usize; self.ncols + 1];
+        for &c in &self.cols {
+            colcount[c + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            colcount[j + 1] += colcount[j];
+        }
+        let mut order = vec![0usize; nnz];
+        let mut next = colcount.clone();
+        for k in 0..nnz {
+            let c = self.cols[k];
+            order[next[c]] = k;
+            next[c] += 1;
+        }
+        // Within each column, sort by row and fuse duplicates.
+        let mut colptr = Vec::with_capacity(self.ncols + 1);
+        let mut rowind: Vec<usize> = Vec::with_capacity(nnz);
+        let mut values: Vec<f64> = Vec::with_capacity(nnz);
+        colptr.push(0);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for j in 0..self.ncols {
+            scratch.clear();
+            for &k in &order[colcount[j]..colcount[j + 1]] {
+                scratch.push((self.rows[k], self.vals[k]));
+            }
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            let mut idx = 0;
+            while idx < scratch.len() {
+                let (r, mut v) = scratch[idx];
+                idx += 1;
+                while idx < scratch.len() && scratch[idx].0 == r {
+                    v += scratch[idx].1;
+                    idx += 1;
+                }
+                rowind.push(r);
+                values.push(v);
+            }
+            colptr.push(rowind.len());
+        }
+        CscMat::from_parts_unchecked(self.nrows, self.ncols, colptr, rowind, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut t = TripletMat::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 0, 2.5);
+        t.push(1, 1, -1.0);
+        t.push(1, 0, 4.0);
+        let a = t.to_csc();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 0), 3.5);
+        assert_eq!(a.get(1, 1), -1.0);
+        assert_eq!(a.get(1, 0), 4.0);
+    }
+
+    #[test]
+    fn unsorted_input_comes_out_sorted() {
+        let mut t = TripletMat::new(4, 1);
+        t.push(3, 0, 3.0);
+        t.push(0, 0, 0.5);
+        t.push(2, 0, 2.0);
+        let a = t.to_csc();
+        assert_eq!(a.col_rows(0), &[0, 2, 3]);
+        assert_eq!(a.col_values(0), &[0.5, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn try_push_bounds() {
+        let mut t = TripletMat::new(2, 2);
+        assert!(t.try_push(0, 0, 1.0).is_ok());
+        assert!(t.try_push(2, 0, 1.0).is_err());
+        assert!(t.try_push(0, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn zero_sum_entry_keeps_pattern() {
+        let mut t = TripletMat::new(1, 1);
+        t.push(0, 0, 1.0);
+        t.push(0, 0, -1.0);
+        let a = t.to_csc();
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_builder_yields_zero_matrix() {
+        let t = TripletMat::new(3, 2);
+        assert!(t.is_empty());
+        let a = t.to_csc();
+        assert_eq!(a.nnz(), 0);
+        assert_eq!((a.nrows(), a.ncols()), (3, 2));
+    }
+}

@@ -1,0 +1,184 @@
+//! Sparse triangular solves with dense right-hand sides.
+//!
+//! These operate on *actually triangular* CSC matrices (as produced by the
+//! factorization crates after pivot application). Lower-triangular columns
+//! store the diagonal as their first entry; upper-triangular columns store
+//! it as their last. The factorization crates' internal solves (which chase
+//! fill patterns with DFS) live next to the factorizations; these kernels
+//! serve the final `Ax = b` forward/backward substitution sweeps.
+
+use crate::csc::CscMat;
+
+/// Solves `L·x = b` in place (`b` becomes `x`).
+///
+/// `unit_diag`: when true the diagonal is implicitly 1 and any stored
+/// diagonal entry is ignored.
+pub fn lower_solve_in_place(l: &CscMat, b: &mut [f64], unit_diag: bool) {
+    let n = l.ncols();
+    assert_eq!(l.nrows(), n);
+    assert_eq!(b.len(), n);
+    for j in 0..n {
+        let rows = l.col_rows(j);
+        let vals = l.col_values(j);
+        if rows.is_empty() {
+            continue;
+        }
+        debug_assert_eq!(rows[0], j, "L column {j} must start at the diagonal");
+        let xj = if unit_diag { b[j] } else { b[j] / vals[0] };
+        b[j] = xj;
+        if xj != 0.0 {
+            for k in 1..rows.len() {
+                b[rows[k]] -= vals[k] * xj;
+            }
+        }
+    }
+}
+
+/// Solves `U·x = b` in place (backward substitution).
+pub fn upper_solve_in_place(u: &CscMat, b: &mut [f64]) {
+    let n = u.ncols();
+    assert_eq!(u.nrows(), n);
+    assert_eq!(b.len(), n);
+    for j in (0..n).rev() {
+        let rows = u.col_rows(j);
+        let vals = u.col_values(j);
+        if rows.is_empty() {
+            continue;
+        }
+        let last = rows.len() - 1;
+        debug_assert_eq!(rows[last], j, "U column {j} must end at the diagonal");
+        let xj = b[j] / vals[last];
+        b[j] = xj;
+        if xj != 0.0 {
+            for k in 0..last {
+                b[rows[k]] -= vals[k] * xj;
+            }
+        }
+    }
+}
+
+/// Solves `Lᵀ·x = b` in place (used by transpose solves).
+pub fn lower_solve_t_in_place(l: &CscMat, b: &mut [f64], unit_diag: bool) {
+    let n = l.ncols();
+    assert_eq!(l.nrows(), n);
+    assert_eq!(b.len(), n);
+    for j in (0..n).rev() {
+        let rows = l.col_rows(j);
+        let vals = l.col_values(j);
+        if rows.is_empty() {
+            continue;
+        }
+        debug_assert_eq!(rows[0], j);
+        let mut acc = b[j];
+        for k in 1..rows.len() {
+            acc -= vals[k] * b[rows[k]];
+        }
+        b[j] = if unit_diag { acc } else { acc / vals[0] };
+    }
+}
+
+/// Solves `Uᵀ·x = b` in place.
+pub fn upper_solve_t_in_place(u: &CscMat, b: &mut [f64]) {
+    let n = u.ncols();
+    assert_eq!(u.nrows(), n);
+    assert_eq!(b.len(), n);
+    for j in 0..n {
+        let rows = u.col_rows(j);
+        let vals = u.col_values(j);
+        if rows.is_empty() {
+            continue;
+        }
+        let last = rows.len() - 1;
+        debug_assert_eq!(rows[last], j);
+        let mut acc = b[j];
+        for k in 0..last {
+            acc -= vals[k] * b[rows[k]];
+        }
+        b[j] = acc / vals[last];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmv::spmv;
+
+    fn lower() -> CscMat {
+        CscMat::from_dense(&[
+            vec![2.0, 0.0, 0.0],
+            vec![1.0, 4.0, 0.0],
+            vec![3.0, 5.0, 6.0],
+        ])
+    }
+
+    fn upper() -> CscMat {
+        CscMat::from_dense(&[
+            vec![2.0, 1.0, 3.0],
+            vec![0.0, 4.0, 5.0],
+            vec![0.0, 0.0, 6.0],
+        ])
+    }
+
+    #[test]
+    fn lower_solve_matches_product() {
+        let l = lower();
+        let x = [1.0, -2.0, 0.5];
+        let mut b = spmv(&l, &x);
+        lower_solve_in_place(&l, &mut b, false);
+        for (got, want) in b.iter().zip(x.iter()) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unit_lower_solve() {
+        // L with implicit unit diagonal: stored diag values should be ignored.
+        let l = CscMat::from_dense(&[
+            vec![1.0, 0.0],
+            vec![7.0, 1.0], // the 7 is the only meaningful off-diag
+        ]);
+        let mut b = vec![2.0, 15.0];
+        lower_solve_in_place(&l, &mut b, true);
+        assert_eq!(b, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn upper_solve_matches_product() {
+        let u = upper();
+        let x = [3.0, 0.0, -1.0];
+        let mut b = spmv(&u, &x);
+        upper_solve_in_place(&u, &mut b);
+        for (got, want) in b.iter().zip(x.iter()) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_solves() {
+        let l = lower();
+        let u = upper();
+        let x = [1.0, 2.0, 3.0];
+        // Lᵀ x
+        let bt = spmv(&l.transpose(), &x);
+        let mut b = bt.clone();
+        lower_solve_t_in_place(&l, &mut b, false);
+        for (got, want) in b.iter().zip(x.iter()) {
+            assert!((got - want).abs() < 1e-12);
+        }
+        // Uᵀ x
+        let bt = spmv(&u.transpose(), &x);
+        let mut b = bt.clone();
+        upper_solve_t_in_place(&u, &mut b);
+        for (got, want) in b.iter().zip(x.iter()) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_solves_trivially() {
+        let l = CscMat::zero(0, 0);
+        let mut b: Vec<f64> = vec![];
+        lower_solve_in_place(&l, &mut b, false);
+        upper_solve_in_place(&l, &mut b);
+    }
+}

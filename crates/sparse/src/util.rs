@@ -1,0 +1,127 @@
+//! Norms, residuals and comparison helpers used across the workspace.
+
+use crate::csc::CscMat;
+use crate::spmv::spmv;
+
+/// Infinity norm of a vector.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, &v| m.max(v.abs()))
+}
+
+/// One norm of a vector.
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Matrix infinity norm (max absolute row sum).
+pub fn mat_norm_inf(a: &CscMat) -> f64 {
+    let mut rowsum = vec![0.0f64; a.nrows()];
+    for (i, _, v) in a.iter() {
+        rowsum[i] += v.abs();
+    }
+    norm_inf(&rowsum)
+}
+
+/// Matrix one norm (max absolute column sum).
+pub fn mat_norm1(a: &CscMat) -> f64 {
+    (0..a.ncols())
+        .map(|j| a.col_values(j).iter().map(|v| v.abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Relative residual `‖A·x − b‖∞ / (‖A‖∞ ‖x‖∞ + ‖b‖∞)`, the standard
+/// backward-error style check used by the integration tests.
+pub fn relative_residual(a: &CscMat, x: &[f64], b: &[f64]) -> f64 {
+    let ax = spmv(a, x);
+    let mut rmax = 0.0f64;
+    for (axi, bi) in ax.iter().zip(b.iter()) {
+        rmax = rmax.max((axi - bi).abs());
+    }
+    let denom = mat_norm_inf(a) * norm_inf(x) + norm_inf(b);
+    if denom == 0.0 {
+        rmax
+    } else {
+        rmax / denom
+    }
+}
+
+/// Componentwise approximate equality with absolute + relative slack.
+pub fn approx_eq_vec(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+/// `‖A − B‖∞` over the union pattern; matrices must be the same shape.
+pub fn mat_diff_norm(a: &CscMat, b: &CscMat) -> f64 {
+    assert_eq!(a.nrows(), b.nrows());
+    assert_eq!(a.ncols(), b.ncols());
+    let mut max = 0.0f64;
+    for j in 0..a.ncols() {
+        let (ar, av) = (a.col_rows(j), a.col_values(j));
+        let (br, bv) = (b.col_rows(j), b.col_values(j));
+        let (mut x, mut y) = (0usize, 0usize);
+        while x < ar.len() || y < br.len() {
+            if y >= br.len() || (x < ar.len() && ar[x] < br[y]) {
+                max = max.max(av[x].abs());
+                x += 1;
+            } else if x >= ar.len() || br[y] < ar[x] {
+                max = max.max(bv[y].abs());
+                y += 1;
+            } else {
+                max = max.max((av[x] - bv[y]).abs());
+                x += 1;
+                y += 1;
+            }
+        }
+    }
+    max
+}
+
+/// Fill-in density `|L+U| / |A|` as reported in the paper's Table I.
+pub fn fill_density(nnz_lu: usize, nnz_a: usize) -> f64 {
+    nnz_lu as f64 / nnz_a.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm_inf(&[1.0, -3.0, 2.0]), 3.0);
+        assert_eq!(norm1(&[1.0, -3.0, 2.0]), 6.0);
+        let a = CscMat::from_dense(&[vec![1.0, -2.0], vec![3.0, 4.0]]);
+        assert_eq!(mat_norm_inf(&a), 7.0); // row 1: 3+4
+        assert_eq!(mat_norm1(&a), 6.0); // col 1: 2+4
+    }
+
+    #[test]
+    fn residual_zero_for_exact_solution() {
+        let a = CscMat::from_dense(&[vec![2.0, 0.0], vec![0.0, 4.0]]);
+        let x = [1.0, 0.5];
+        let b = [2.0, 2.0];
+        assert!(relative_residual(&a, &x, &b) < 1e-16);
+    }
+
+    #[test]
+    fn diff_norm_union_pattern() {
+        let a = CscMat::from_dense(&[vec![1.0, 0.0], vec![0.0, 2.0]]);
+        let b = CscMat::from_dense(&[vec![1.0, 5.0], vec![0.0, 2.5]]);
+        assert_eq!(mat_diff_norm(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn approx_eq() {
+        assert!(approx_eq_vec(&[1.0, 2.0], &[1.0 + 1e-12, 2.0], 1e-9));
+        assert!(!approx_eq_vec(&[1.0], &[1.1], 1e-9));
+        assert!(!approx_eq_vec(&[1.0], &[1.0, 2.0], 1e-9));
+    }
+
+    #[test]
+    fn fill_density_matches_definition() {
+        assert_eq!(fill_density(40, 10), 4.0);
+        assert_eq!(fill_density(5, 10), 0.5);
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: assemble a small circuit matrix, factor it with Basker,
+//! solve, and inspect the structure the solver found.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use basker_repro::prelude::*;
+
+fn main() {
+    // --- assemble a tiny MNA system by stamping devices ---------------
+    // Nodes 0..5: a resistor ladder with one controlled source, the kind
+    // of pattern SPICE produces.
+    let n = 6;
+    let mut t = TripletMat::new(n, n);
+    let resistor = |t: &mut TripletMat, a: usize, b: usize, g: f64| {
+        t.push(a, a, g);
+        t.push(b, b, g);
+        t.push(a, b, -g);
+        t.push(b, a, -g);
+    };
+    for i in 0..n {
+        t.push(i, i, 0.5); // ground leak
+    }
+    resistor(&mut t, 0, 1, 2.0);
+    resistor(&mut t, 1, 2, 1.0);
+    resistor(&mut t, 2, 3, 3.0);
+    resistor(&mut t, 3, 4, 1.5);
+    resistor(&mut t, 4, 5, 2.5);
+    // a VCCS makes the matrix unsymmetric
+    t.push(5, 0, 0.7);
+    let a = t.to_csc();
+    println!("A: {} x {}, {} nonzeros", a.nrows(), a.ncols(), a.nnz());
+
+    // --- analyze once, factor, solve ----------------------------------
+    let opts = BaskerOptions {
+        nthreads: 2,
+        ..BaskerOptions::default()
+    };
+    let solver = Basker::analyze(&a, &opts).expect("analyze");
+    println!(
+        "structure: {} BTF block(s), {:.0}% of rows in small blocks, {} threads",
+        solver.structure().nblocks(),
+        100.0 * solver.structure().small_block_fraction(),
+        solver.threads()
+    );
+
+    let num = solver.factor(&a).expect("factor");
+    println!(
+        "factored: |L+U| = {}, {:.0} flops, {:.3} ms numeric",
+        num.lu_nnz(),
+        num.stats.flops,
+        num.stats.numeric_seconds * 1e3
+    );
+
+    let b = vec![1.0, 0.0, 0.0, 0.0, 0.0, -1.0]; // inject 1A at node 0, draw at node 5
+    let x = num.solve(&b);
+    println!("node voltages: {x:?}");
+    let resid = relative_residual(&a, &x, &b);
+    println!("relative residual: {resid:.2e}");
+    assert!(resid < 1e-12);
+
+    // --- values change (new operating point): refactor ----------------
+    let a2 = CscMat::from_parts_unchecked(
+        a.nrows(),
+        a.ncols(),
+        a.colptr().to_vec(),
+        a.rowind().to_vec(),
+        a.values().iter().map(|v| v * 1.3).collect(),
+    );
+    let mut num = num;
+    num.refactor(&a2).expect("refactor");
+    let x2 = num.solve(&b);
+    println!("after refactor, node 0 voltage: {:.4}", x2[0]);
+    assert!(relative_residual(&a2, &x2, &b) < 1e-12);
+    println!("ok");
+}

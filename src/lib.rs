@@ -1,0 +1,33 @@
+//! Workspace facade for the Basker reproduction.
+//!
+//! Re-exports the user-facing types of every crate so the examples and
+//! integration tests read like downstream user code:
+//!
+//! ```
+//! use basker_repro::prelude::*;
+//!
+//! let a = CscMat::from_dense(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+//! let solver = Basker::analyze(&a, &BaskerOptions::default()).unwrap();
+//! let x = solver.factor(&a).unwrap().solve(&[5.0, 4.0]);
+//! assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+//! ```
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use basker::{Basker, BaskerNumeric, BaskerOptions, BaskerStats, SyncMode};
+    pub use basker_klu::{KluNumeric, KluOptions, KluSymbolic};
+    pub use basker_matgen::{
+        circuit, mesh2d, mesh3d, powergrid, CircuitParams, PowergridParams, Scale, XyceSequence,
+        XyceSequenceParams,
+    };
+    pub use basker_snlu::{Snlu, SnluMode, SnluNumeric, SnluOptions};
+    pub use basker_sparse::util::relative_residual;
+    pub use basker_sparse::{CscMat, CsrMat, Perm, SparseError, TripletMat};
+}
+
+pub use basker;
+pub use basker_klu;
+pub use basker_matgen;
+pub use basker_ordering;
+pub use basker_snlu;
+pub use basker_sparse;

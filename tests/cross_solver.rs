@@ -1,0 +1,84 @@
+//! Integration: the three solvers must agree on the solution — they are
+//! different algorithms for the same linear system.
+
+use basker_repro::prelude::*;
+use basker_sparse::spmv::spmv;
+use basker_sparse::util::approx_eq_vec;
+
+fn agree_on(a: &CscMat, tol: f64) {
+    let xtrue: Vec<f64> = (0..a.ncols()).map(|i| ((i % 11) as f64 - 5.0) * 0.3).collect();
+    let b = spmv(a, &xtrue);
+
+    let bsk = Basker::analyze(
+        a,
+        &BaskerOptions {
+            nthreads: 2,
+            nd_threshold: 64,
+            ..BaskerOptions::default()
+        },
+    )
+    .unwrap();
+    let xb = bsk.factor(a).unwrap().solve(&b);
+
+    let klu = KluSymbolic::analyze(a, &KluOptions::default()).unwrap();
+    let xk = klu.factor(a).unwrap().solve(&b);
+
+    let sn = Snlu::analyze(
+        a,
+        &SnluOptions {
+            nthreads: 2,
+            ..SnluOptions::default()
+        },
+    )
+    .unwrap();
+    let xs = sn.factor(a).unwrap().solve(a, &b);
+
+    assert!(approx_eq_vec(&xb, &xtrue, tol), "basker vs truth");
+    assert!(approx_eq_vec(&xk, &xtrue, tol), "klu vs truth");
+    assert!(approx_eq_vec(&xs, &xtrue, tol * 100.0), "snlu vs truth");
+    assert!(approx_eq_vec(&xb, &xk, tol), "basker vs klu");
+}
+
+#[test]
+fn agreement_on_circuit() {
+    let a = circuit(&CircuitParams {
+        nsub: 8,
+        sub_size: 48,
+        feedthrough: 0.5,
+        ..CircuitParams::default()
+    });
+    agree_on(&a, 1e-8);
+}
+
+#[test]
+fn agreement_on_powergrid() {
+    let a = powergrid(&PowergridParams {
+        nfeeders: 15,
+        feeder_len: 25,
+        loop_prob: 0.2,
+        seed: 77,
+    });
+    agree_on(&a, 1e-8);
+}
+
+#[test]
+fn agreement_on_mesh() {
+    agree_on(&mesh2d(18, 5), 1e-8);
+}
+
+#[test]
+fn agreement_on_mesh3d() {
+    agree_on(&mesh3d(6, 5), 1e-8);
+}
+
+#[test]
+fn multi_rhs_consistency() {
+    let a = mesh2d(12, 2);
+    let sym = Basker::analyze(&a, &BaskerOptions::default()).unwrap();
+    let num = sym.factor(&a).unwrap();
+    let b1 = vec![1.0; a.ncols()];
+    let b2: Vec<f64> = (0..a.ncols()).map(|i| i as f64 * 0.01).collect();
+    let xs = num.solve_multi(&[b1.clone(), b2.clone()]);
+    assert_eq!(xs[0], num.solve(&b1));
+    assert_eq!(xs[1], num.solve(&b2));
+}

@@ -1,0 +1,217 @@
+//! Integration: degenerate and adversarial inputs across the whole stack.
+
+use basker_repro::prelude::*;
+use basker_sparse::io::{read_matrix_market, write_matrix_market};
+use basker_sparse::spmv::spmv;
+
+#[test]
+fn one_by_one_matrix() {
+    let a = CscMat::from_dense(&[vec![4.0]]);
+    let sym = Basker::analyze(&a, &BaskerOptions::default()).unwrap();
+    let num = sym.factor(&a).unwrap();
+    assert_eq!(num.solve(&[8.0]), vec![2.0]);
+    assert_eq!(num.lu_nnz(), 1);
+
+    let k = KluSymbolic::analyze(&a, &KluOptions::default()).unwrap();
+    assert_eq!(k.factor(&a).unwrap().solve(&[8.0]), vec![2.0]);
+}
+
+#[test]
+fn diagonal_matrix_all_solvers() {
+    let n = 17;
+    let mut t = TripletMat::new(n, n);
+    for i in 0..n {
+        t.push(i, i, (i + 1) as f64);
+    }
+    let a = t.to_csc();
+    let b: Vec<f64> = (0..n).map(|i| (i + 1) as f64 * 3.0).collect();
+
+    let x = Basker::analyze(&a, &BaskerOptions::default())
+        .unwrap()
+        .factor(&a)
+        .unwrap()
+        .solve(&b);
+    for v in &x {
+        assert!((v - 3.0).abs() < 1e-14);
+    }
+    let x = Snlu::analyze(&a, &SnluOptions::default())
+        .unwrap()
+        .factor(&a)
+        .unwrap()
+        .solve(&a, &b);
+    for v in &x {
+        assert!((v - 3.0).abs() < 1e-10);
+    }
+}
+
+#[test]
+fn dense_column_does_not_break_anyone() {
+    // one dense column + dense row (arrow) embedded in a circuit
+    let n = 60;
+    let mut t = TripletMat::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 30.0 + i as f64);
+        if i > 0 {
+            t.push(0, i, 1.0);
+            t.push(i, 0, -1.0);
+        }
+        if i + 1 < n {
+            t.push(i, i + 1, 2.0);
+        }
+    }
+    let a = t.to_csc();
+    let xtrue: Vec<f64> = (0..n).map(|i| (i % 3) as f64 + 1.0).collect();
+    let b = spmv(&a, &xtrue);
+    for p in [1usize, 2] {
+        let x = Basker::analyze(
+            &a,
+            &BaskerOptions {
+                nthreads: p,
+                nd_threshold: 32,
+                ..BaskerOptions::default()
+            },
+        )
+        .unwrap()
+        .factor(&a)
+        .unwrap()
+        .solve(&b);
+        assert!(relative_residual(&a, &x, &b) < 1e-11, "p={p}");
+    }
+}
+
+#[test]
+fn explicit_zero_entries_are_tolerated() {
+    // a stored zero off-diagonal must not confuse pattern handling
+    let mut t = TripletMat::new(3, 3);
+    t.push(0, 0, 2.0);
+    t.push(1, 1, 3.0);
+    t.push(2, 2, 4.0);
+    t.push(0, 1, 0.0); // explicit zero
+    t.push(2, 0, 0.0); // explicit zero
+    let a = t.to_csc();
+    assert_eq!(a.nnz(), 5);
+    let num = Basker::analyze(&a, &BaskerOptions::default())
+        .unwrap()
+        .factor(&a)
+        .unwrap();
+    let x = num.solve(&[2.0, 3.0, 4.0]);
+    for v in &x {
+        assert!((v - 1.0).abs() < 1e-14);
+    }
+}
+
+#[test]
+fn numerically_singular_block_is_an_error_not_garbage() {
+    // [1 1; 1 1] is structurally fine, numerically singular
+    let a = CscMat::from_dense(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+    assert!(matches!(
+        Basker::analyze(&a, &BaskerOptions::default())
+            .unwrap()
+            .factor(&a),
+        Err(SparseError::ZeroPivot { .. })
+    ));
+    assert!(matches!(
+        KluSymbolic::analyze(&a, &KluOptions::default())
+            .unwrap()
+            .factor(&a),
+        Err(SparseError::ZeroPivot { .. })
+    ));
+}
+
+#[test]
+fn rectangular_matrices_rejected_everywhere() {
+    let a = CscMat::zero(3, 4);
+    assert!(Basker::analyze(&a, &BaskerOptions::default()).is_err());
+    assert!(KluSymbolic::analyze(&a, &KluOptions::default()).is_err());
+    assert!(Snlu::analyze(&a, &SnluOptions::default()).is_err());
+}
+
+#[test]
+fn matrix_market_roundtrip_through_solver() {
+    let a = circuit(&CircuitParams {
+        nsub: 3,
+        sub_size: 20,
+        ..CircuitParams::default()
+    });
+    let mut buf = Vec::new();
+    write_matrix_market(&a, &mut buf).unwrap();
+    let a2 = read_matrix_market(&buf[..]).unwrap();
+    assert_eq!(a, a2);
+    let b = vec![1.0; a.ncols()];
+    let x1 = Basker::analyze(&a, &BaskerOptions::default())
+        .unwrap()
+        .factor(&a)
+        .unwrap()
+        .solve(&b);
+    let x2 = Basker::analyze(&a2, &BaskerOptions::default())
+        .unwrap()
+        .factor(&a2)
+        .unwrap()
+        .solve(&b);
+    assert_eq!(x1, x2);
+}
+
+#[test]
+fn badly_scaled_values_still_solve() {
+    // entries spanning 12 orders of magnitude; MWCM + pivoting must cope
+    let n = 30;
+    let mut t = TripletMat::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 10f64.powi((i % 13) as i32 - 6));
+        if i + 1 < n {
+            t.push(i, i + 1, 10f64.powi((i % 7) as i32 - 3));
+            t.push(i + 1, i, -10f64.powi((i % 5) as i32 - 2));
+        }
+    }
+    let a = t.to_csc();
+    let xtrue = vec![1.0; n];
+    let b = spmv(&a, &xtrue);
+    let x = Basker::analyze(&a, &BaskerOptions::default())
+        .unwrap()
+        .factor(&a)
+        .unwrap()
+        .solve(&b);
+    assert!(relative_residual(&a, &x, &b) < 1e-9);
+}
+
+#[test]
+fn mwcm_toggle_changes_nothing_functionally() {
+    let a = circuit(&CircuitParams {
+        nsub: 4,
+        sub_size: 24,
+        ..CircuitParams::default()
+    });
+    let b = vec![1.0; a.ncols()];
+    for use_mwcm in [true, false] {
+        let x = Basker::analyze(
+            &a,
+            &BaskerOptions {
+                use_mwcm,
+                ..BaskerOptions::default()
+            },
+        )
+        .unwrap()
+        .factor(&a)
+        .unwrap()
+        .solve(&b);
+        assert!(relative_residual(&a, &x, &b) < 1e-10, "mwcm={use_mwcm}");
+    }
+}
+
+#[test]
+fn huge_thread_request_is_clamped_and_works() {
+    let a = mesh2d(10, 3);
+    let sym = Basker::analyze(
+        &a,
+        &BaskerOptions {
+            nthreads: 64,
+            nd_threshold: 40,
+            ..BaskerOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(sym.threads(), 64);
+    let num = sym.factor(&a).unwrap();
+    let b = vec![1.0; a.ncols()];
+    assert!(relative_residual(&a, &num.solve(&b), &b) < 1e-10);
+}

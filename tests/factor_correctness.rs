@@ -1,0 +1,143 @@
+//! Integration: every solver factors every workload class and solves to
+//! tight residuals.
+
+use basker_repro::prelude::*;
+use basker_sparse::spmv::spmv;
+
+fn workloads() -> Vec<(&'static str, CscMat)> {
+    vec![
+        (
+            "powergrid",
+            powergrid(&PowergridParams {
+                nfeeders: 12,
+                feeder_len: 20,
+                loop_prob: 0.25,
+                seed: 5,
+            }),
+        ),
+        (
+            "circuit_flow",
+            circuit(&CircuitParams {
+                nsub: 6,
+                sub_size: 40,
+                feedthrough: 0.0,
+                ..CircuitParams::default()
+            }),
+        ),
+        (
+            "circuit_loaded",
+            circuit(&CircuitParams {
+                nsub: 6,
+                sub_size: 40,
+                feedthrough: 1.0,
+                ..CircuitParams::default()
+            }),
+        ),
+        ("mesh2d", mesh2d(16, 9)),
+        ("mesh3d", mesh3d(7, 9)),
+    ]
+}
+
+fn rhs_for(a: &CscMat) -> (Vec<f64>, Vec<f64>) {
+    let xtrue: Vec<f64> = (0..a.ncols())
+        .map(|i| 1.0 + ((i * 7) % 13) as f64 * 0.25)
+        .collect();
+    let b = spmv(a, &xtrue);
+    (xtrue, b)
+}
+
+#[test]
+fn basker_all_classes_all_thread_counts() {
+    for (name, a) in workloads() {
+        for p in [1usize, 2, 4] {
+            let opts = BaskerOptions {
+                nthreads: p,
+                nd_threshold: 64,
+                ..BaskerOptions::default()
+            };
+            let sym = Basker::analyze(&a, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let num = sym.factor(&a).unwrap_or_else(|e| panic!("{name} p={p}: {e}"));
+            let (_, b) = rhs_for(&a);
+            let x = num.solve(&b);
+            let r = relative_residual(&a, &x, &b);
+            assert!(r < 1e-10, "{name} p={p}: residual {r}");
+        }
+    }
+}
+
+#[test]
+fn klu_all_classes() {
+    for (name, a) in workloads() {
+        let sym = KluSymbolic::analyze(&a, &KluOptions::default()).unwrap();
+        let num = sym.factor(&a).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (_, b) = rhs_for(&a);
+        let x = num.solve(&b);
+        let r = relative_residual(&a, &x, &b);
+        assert!(r < 1e-10, "{name}: residual {r}");
+    }
+}
+
+#[test]
+fn snlu_all_classes_both_modes() {
+    for (name, a) in workloads() {
+        for mode in [SnluMode::Pardiso, SnluMode::SluMt] {
+            let sym = Snlu::analyze(
+                &a,
+                &SnluOptions {
+                    nthreads: 2,
+                    mode,
+                    ..SnluOptions::default()
+                },
+            )
+            .unwrap();
+            let num = sym.factor(&a).unwrap();
+            let (_, b) = rhs_for(&a);
+            let x = num.solve(&a, &b);
+            let r = relative_residual(&a, &x, &b);
+            assert!(r < 1e-8, "{name} {mode:?}: residual {r}");
+        }
+    }
+}
+
+#[test]
+fn basker_barrier_mode_agrees_with_p2p() {
+    let a = mesh2d(14, 1);
+    let mk = |sync| {
+        let sym = Basker::analyze(
+            &a,
+            &BaskerOptions {
+                nthreads: 2,
+                nd_threshold: 32,
+                sync_mode: sync,
+                ..BaskerOptions::default()
+            },
+        )
+        .unwrap();
+        let num = sym.factor(&a).unwrap();
+        num.solve(&vec![1.0; a.ncols()])
+    };
+    let x1 = mk(SyncMode::PointToPoint);
+    let x2 = mk(SyncMode::Barrier);
+    assert_eq!(x1, x2, "sync mode must not change the arithmetic");
+}
+
+#[test]
+fn table1_suite_factors_at_test_scale() {
+    use basker_matgen::table1_suite;
+    for e in table1_suite() {
+        let a = e.generate(Scale::Test);
+        let sym = Basker::analyze(
+            &a,
+            &BaskerOptions {
+                nthreads: 2,
+                ..BaskerOptions::default()
+            },
+        )
+        .unwrap_or_else(|err| panic!("{}: analyze {err}", e.name));
+        let num = sym.factor(&a).unwrap_or_else(|err| panic!("{}: factor {err}", e.name));
+        let (_, b) = rhs_for(&a);
+        let x = num.solve(&b);
+        let r = relative_residual(&a, &x, &b);
+        assert!(r < 1e-9, "{}: residual {r}", e.name);
+    }
+}

@@ -1,0 +1,104 @@
+//! Integration: the Xyce-style matrix sequence — symbolic reuse,
+//! refactorization, pivot-collapse fallback — stays accurate end to end.
+
+use basker_repro::prelude::*;
+
+fn sequence(steps: usize) -> XyceSequence {
+    XyceSequence::new(&XyceSequenceParams {
+        circuit: CircuitParams {
+            nsub: 4,
+            sub_size: 36,
+            feedthrough: 0.6,
+            ..CircuitParams::default()
+        },
+        nsteps: steps,
+        switching_fraction: 0.08,
+        seed: 31,
+    })
+}
+
+#[test]
+fn basker_tracks_sequence_with_refactor_and_fallback() {
+    let steps = 40;
+    let seq = sequence(steps);
+    let a0 = seq.pattern().clone();
+    let sym = Basker::analyze(
+        &a0,
+        &BaskerOptions {
+            nthreads: 2,
+            ..BaskerOptions::default()
+        },
+    )
+    .unwrap();
+    let mut num = sym.factor(&a0).unwrap();
+    let b = vec![1.0; a0.ncols()];
+    for s in 1..steps {
+        let m = seq.matrix_at(s);
+        if num.refactor(&m).is_err() {
+            num = sym.factor(&m).unwrap();
+        }
+        let x = num.solve(&b);
+        let r = relative_residual(&m, &x, &b);
+        assert!(r < 1e-9, "step {s}: residual {r}");
+    }
+}
+
+#[test]
+fn klu_tracks_sequence() {
+    let steps = 40;
+    let seq = sequence(steps);
+    let a0 = seq.pattern().clone();
+    let sym = KluSymbolic::analyze(&a0, &KluOptions::default()).unwrap();
+    let mut num = sym.factor(&a0).unwrap();
+    let b = vec![1.0; a0.ncols()];
+    for s in 1..steps {
+        let m = seq.matrix_at(s);
+        if num.refactor(&m).is_err() {
+            num = sym.factor(&m).unwrap();
+        }
+        let x = num.solve(&b);
+        let r = relative_residual(&m, &x, &b);
+        assert!(r < 1e-9, "step {s}: residual {r}");
+    }
+}
+
+#[test]
+fn snlu_tracks_sequence_with_static_pivoting() {
+    let steps = 25;
+    let seq = sequence(steps);
+    let a0 = seq.pattern().clone();
+    let sym = Snlu::analyze(&a0, &SnluOptions::default()).unwrap();
+    let b = vec![1.0; a0.ncols()];
+    for s in 0..steps {
+        let m = seq.matrix_at(s);
+        let num = sym.factor(&m).unwrap();
+        let x = num.solve(&m, &b);
+        let r = relative_residual(&m, &x, &b);
+        assert!(r < 1e-6, "step {s}: residual {r}");
+    }
+}
+
+#[test]
+fn refactor_and_fresh_factor_agree_when_pivots_stable() {
+    // gentle value scaling keeps the pivot sequence valid: refactor and
+    // factor must then produce identical solutions.
+    let seq = sequence(10);
+    let a0 = seq.pattern().clone();
+    let gentle = CscMat::from_parts_unchecked(
+        a0.nrows(),
+        a0.ncols(),
+        a0.colptr().to_vec(),
+        a0.rowind().to_vec(),
+        a0.values().iter().map(|v| v * 1.01).collect(),
+    );
+    let sym = Basker::analyze(&a0, &BaskerOptions::default()).unwrap();
+    let mut num = sym.factor(&a0).unwrap();
+    num.refactor(&gentle).unwrap();
+    let fresh = sym.factor(&gentle).unwrap();
+    let b = vec![1.0; a0.ncols()];
+    let xr = num.solve(&b);
+    let xf = fresh.solve(&b);
+    for (a, b) in xr.iter().zip(xf.iter()) {
+        assert!((a - b).abs() < 1e-9, "refactor {a} vs fresh {b}");
+    }
+}
