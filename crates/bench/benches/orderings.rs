@@ -27,7 +27,9 @@ fn bench_orderings(c: &mut Criterion) {
         b.iter(|| strongly_connected_components(&circ))
     });
     g.bench_function("btf_circuit", |b| b.iter(|| btf_form(&circ).unwrap()));
-    g.bench_function("nd_mesh_4leaves", |b| b.iter(|| nested_dissection(&mesh, 2)));
+    g.bench_function("nd_mesh_4leaves", |b| {
+        b.iter(|| nested_dissection(&mesh, 2))
+    });
     g.finish();
 }
 

@@ -8,7 +8,9 @@ use basker_matgen::{table1_suite, Scale};
 use std::time::Instant;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "Freescale1_like".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Freescale1_like".into());
     let entry = table1_suite()
         .into_iter()
         .find(|e| e.name == name)
@@ -18,7 +20,11 @@ fn main() {
 
     let t = Instant::now();
     let klu = KluSymbolic::analyze(&a, &KluOptions::default()).unwrap();
-    println!("klu analyze: {:.3}s, blocks = {}", t.elapsed().as_secs_f64(), klu.nblocks());
+    println!(
+        "klu analyze: {:.3}s, blocks = {}",
+        t.elapsed().as_secs_f64(),
+        klu.nblocks()
+    );
     let t = Instant::now();
     let knum = klu.factor(&a).unwrap();
     println!(

@@ -10,13 +10,10 @@
 
 use basker::SyncMode;
 use basker_bench::{fmt_secs, print_markdown_table, run_solver, SolverKind};
-use basker_matgen::{table1_suite, Scale};
+use basker_matgen::table1_suite;
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
-        Some("test") => Scale::Test,
-        _ => Scale::Bench,
-    };
+    let scale = basker_bench::scale_from_args("fig5_raw_time");
     let threads = [1usize, 2, 4];
     println!("# Figure 5 analogue: raw numeric time, six matrices\n");
     println!("(container: 2 physical cores; 4 threads oversubscribe)\n");
@@ -64,7 +61,14 @@ fn main() {
         }
     }
     print_markdown_table(
-        &["matrix", "paper fill", "threads", "Basker", "PMKL", "SLU-MT"],
+        &[
+            "matrix",
+            "paper fill",
+            "threads",
+            "Basker",
+            "PMKL",
+            "SLU-MT",
+        ],
         &rows,
     );
     println!();

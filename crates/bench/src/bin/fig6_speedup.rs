@@ -11,13 +11,10 @@
 
 use basker::SyncMode;
 use basker_bench::{fmt_secs, print_markdown_table, run_solver, SolverKind};
-use basker_matgen::{table1_suite, Scale};
+use basker_matgen::table1_suite;
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
-        Some("test") => Scale::Test,
-        _ => Scale::Bench,
-    };
+    let scale = basker_bench::scale_from_args("fig6_speedup");
     let threads = [1usize, 2, 4];
     println!("# Figure 6 analogue: speedup vs serial KLU\n");
 

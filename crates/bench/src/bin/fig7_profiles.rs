@@ -9,13 +9,10 @@ use basker::SyncMode;
 use basker_bench::{
     geometric_mean, performance_profile, print_markdown_table, run_solver, SolverKind,
 };
-use basker_matgen::{table1_suite, Scale};
+use basker_matgen::table1_suite;
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
-        Some("test") => Scale::Test,
-        _ => Scale::Bench,
-    };
+    let scale = basker_bench::scale_from_args("fig7_profiles");
     let pmax = 2usize; // physical cores in this container
     println!("# Figure 7 analogue: performance profiles over the suite\n");
 
@@ -51,10 +48,7 @@ fn main() {
     // --- (a) serial profile: Basker vs PMKL vs KLU ---
     let taus: Vec<f64> = (0..=20).map(|i| 1.0 + i as f64 * 0.45).collect();
     println!("## (a) serial performance profile\n");
-    let prof = performance_profile(
-        &[basker1_t.clone(), pmkl1_t.clone(), klu_t.clone()],
-        &taus,
-    );
+    let prof = performance_profile(&[basker1_t.clone(), pmkl1_t.clone(), klu_t.clone()], &taus);
     let mut rows = Vec::new();
     for (ti, &tau) in taus.iter().enumerate() {
         rows.push(vec![
@@ -131,7 +125,14 @@ fn main() {
         ]);
     }
     print_markdown_table(
-        &["matrix", "KLU", "Basker(1)", "Basker(p)", "PMKL(1)", "PMKL(p)"],
+        &[
+            "matrix",
+            "KLU",
+            "Basker(1)",
+            "Basker(p)",
+            "PMKL(1)",
+            "PMKL(p)",
+        ],
         &rows,
     );
 }

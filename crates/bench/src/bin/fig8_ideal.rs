@@ -11,13 +11,10 @@
 
 use basker::SyncMode;
 use basker_bench::{print_markdown_table, run_solver, trend_slope, SolverKind};
-use basker_matgen::{mesh_suite, table1_suite, Scale};
+use basker_matgen::{mesh_suite, table1_suite};
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
-        Some("test") => Scale::Test,
-        _ => Scale::Bench,
-    };
+    let scale = basker_bench::scale_from_args("fig8_ideal");
     let threads = [1usize, 2, 4];
     println!("# Figure 8 analogue: self-relative speedup on ideal inputs\n");
 

@@ -14,10 +14,7 @@ use basker_matgen::{mesh2d, Scale};
 use std::time::Instant;
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
-        Some("test") => Scale::Test,
-        _ => Scale::Bench,
-    };
+    let scale = basker_bench::scale_from_args("sync_ablation");
     let k = match scale {
         Scale::Test => 24,
         Scale::Bench => 90,
@@ -59,7 +56,10 @@ fn main() {
                     best_frac = num.stats.sync_fraction();
                 }
             }
-            println!("| {name} | {p} | {best_secs:.4} | {:.1}% |", best_frac * 100.0);
+            println!(
+                "| {name} | {p} | {best_secs:.4} | {:.1}% |",
+                best_frac * 100.0
+            );
             fractions.push((name, p, best_frac));
         }
     }

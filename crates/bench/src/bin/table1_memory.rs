@@ -9,15 +9,12 @@
 //!
 //! Usage: `table1_memory [test|bench]` (default `bench`).
 
-use basker_bench::{analyze, fmt_eng, print_markdown_table, SolverHandle, SolverKind};
 use basker::SyncMode;
-use basker_matgen::{table1_suite, Scale};
+use basker_bench::{analyze, fmt_eng, print_markdown_table, SolverHandle, SolverKind};
+use basker_matgen::table1_suite;
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
-        Some("test") => Scale::Test,
-        _ => Scale::Bench,
-    };
+    let scale = basker_bench::scale_from_args("table1_memory");
     println!("# Table I analogue: |L+U| memory comparison\n");
     println!(
         "Columns mirror the paper: matrix, n, |A|, |L+U| for KLU / PMKL / \
@@ -46,7 +43,9 @@ fn main() {
 
         let (klu_nnz, btf_pct, btf_blocks) = match &klu {
             Ok((h, n)) => {
-                let SolverHandle::Klu(sym) = h else { unreachable!() };
+                let SolverHandle::Klu(sym) = h else {
+                    unreachable!()
+                };
                 (
                     n.lu_nnz() as f64,
                     100.0 * sym.small_block_fraction(64),
@@ -56,7 +55,10 @@ fn main() {
             Err(_) => (f64::NAN, f64::NAN, f64::NAN),
         };
         let pmkl_nnz = pmkl.as_ref().map(|n| n.lu_nnz() as f64).unwrap_or(f64::NAN);
-        let basker_nnz = basker.as_ref().map(|n| n.lu_nnz() as f64).unwrap_or(f64::NAN);
+        let basker_nnz = basker
+            .as_ref()
+            .map(|n| n.lu_nnz() as f64)
+            .unwrap_or(f64::NAN);
 
         if basker_nnz.is_finite() && pmkl_nnz.is_finite() {
             if e.high_fill {
@@ -88,8 +90,16 @@ fn main() {
     }
     print_markdown_table(
         &[
-            "matrix", "n", "|A|", "KLU |L+U|", "PMKL |L+U|", "Basker |L+U|", "BTF %", "blocks",
-            "fill", "paper fill",
+            "matrix",
+            "n",
+            "|A|",
+            "KLU |L+U|",
+            "PMKL |L+U|",
+            "Basker |L+U|",
+            "BTF %",
+            "blocks",
+            "fill",
+            "paper fill",
         ],
         &rows,
     );

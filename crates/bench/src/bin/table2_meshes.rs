@@ -4,13 +4,10 @@
 //! Usage: `table2_meshes [test|bench]` (default `bench`).
 
 use basker_bench::{analyze, fmt_eng, print_markdown_table, SolverKind};
-use basker_matgen::{mesh_suite, Scale};
+use basker_matgen::mesh_suite;
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
-        Some("test") => Scale::Test,
-        _ => Scale::Bench,
-    };
+    let scale = basker_bench::scale_from_args("table2_meshes");
     println!("# Table II analogue: 2/3D mesh problems (PMKL's ideal inputs)\n");
     let mut rows = Vec::new();
     for e in mesh_suite() {
@@ -34,7 +31,14 @@ fn main() {
         ]);
     }
     print_markdown_table(
-        &["matrix", "n", "|A|", "|L+U| (PMKL)", "fill", "paper reference"],
+        &[
+            "matrix",
+            "n",
+            "|A|",
+            "|L+U| (PMKL)",
+            "fill",
+            "paper reference",
+        ],
         &rows,
     );
 }

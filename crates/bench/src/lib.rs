@@ -134,7 +134,10 @@ impl SolverHandle {
                 .factor(a)
                 .map(NumericHandle::Basker)
                 .map_err(|e| e.to_string()),
-            SolverHandle::Klu(s) => s.factor(a).map(NumericHandle::Klu).map_err(|e| e.to_string()),
+            SolverHandle::Klu(s) => s
+                .factor(a)
+                .map(NumericHandle::Klu)
+                .map_err(|e| e.to_string()),
             SolverHandle::Snlu(s) => s
                 .factor(a)
                 .map(NumericHandle::Snlu)
@@ -173,7 +176,12 @@ impl NumericHandle {
 
 /// Times the numeric phase: repeats until `min_secs` total or `max_reps`,
 /// reports the minimum.
-pub fn run_solver(a: &CscMat, kind: SolverKind, min_secs: f64, max_reps: usize) -> Result<RunResult, String> {
+pub fn run_solver(
+    a: &CscMat,
+    kind: SolverKind,
+    min_secs: f64,
+    max_reps: usize,
+) -> Result<RunResult, String> {
     let t0 = Instant::now();
     let handle = analyze(a, kind)?;
     let analyze_seconds = t0.elapsed().as_secs_f64();
@@ -191,7 +199,9 @@ pub fn run_solver(a: &CscMat, kind: SolverKind, min_secs: f64, max_reps: usize) 
     }
     let num = last.expect("at least one rep");
 
-    let xtrue: Vec<f64> = (0..a.ncols()).map(|i| 1.0 + (i % 9) as f64 * 0.25).collect();
+    let xtrue: Vec<f64> = (0..a.ncols())
+        .map(|i| 1.0 + (i % 9) as f64 * 0.25)
+        .collect();
     let b = spmv(a, &xtrue);
     let x = num.solve(a, &b);
     let residual = relative_residual(a, &x, &b);
@@ -241,6 +251,20 @@ pub fn performance_profile(times: &[Vec<f64>], taus: &[f64]) -> Vec<Vec<f64>> {
         .collect()
 }
 
+/// Parses the common `[test|bench]` scale argument of the bin
+/// harnesses. Unknown values abort with a usage message instead of
+/// silently running the (expensive) bench scale.
+pub fn scale_from_args(bin_name: &str) -> basker_matgen::Scale {
+    match std::env::args().nth(1).as_deref() {
+        None | Some("bench") => basker_matgen::Scale::Bench,
+        Some("test") => basker_matgen::Scale::Test,
+        Some(other) => {
+            eprintln!("unknown scale `{other}`; usage: {bin_name} [test|bench]");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Formats seconds compactly.
 pub fn fmt_secs(s: f64) -> String {
     if s >= 1.0 {
@@ -265,7 +289,10 @@ pub fn fmt_eng(x: f64) -> String {
 /// Prints a markdown table.
 pub fn print_markdown_table(headers: &[&str], rows: &[Vec<String>]) {
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }

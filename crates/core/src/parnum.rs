@@ -90,7 +90,11 @@ pub fn factor_nd_parallel(
         .map(|v| st.descendants(v).map(|_| Slot::new()).collect())
         .collect();
     let red_slots: Vec<Vec<SlotV<CscMat>>> = (0..nn)
-        .map(|v| (0..1 + st.ancestors[v].len()).map(|_| Slot::new()).collect())
+        .map(|v| {
+            (0..1 + st.ancestors[v].len())
+                .map(|_| Slot::new())
+                .collect()
+        })
         .collect();
     let team = TeamSync::new(mode, p);
     let error: Mutex<Option<SparseError>> = Mutex::new(None);
@@ -226,7 +230,11 @@ fn worker(
             if idx % gsize != my_rank {
                 continue;
             }
-            let tgt = if idx == 0 { j } else { st.ancestors[j][idx - 1] };
+            let tgt = if idx == 0 {
+                j
+            } else {
+                st.ancestors[j][idx - 1]
+            };
             let a_tgt = if idx == 0 {
                 &blocks.diag[j]
             } else {
@@ -501,10 +509,10 @@ mod tests {
         };
         let ap = Perm::permute_both(&s.row_perm, &s.col_perm, &a);
         let blocks = NdBlocks::extract(&ap, 0, st);
-        let f4 = factor_nd_parallel(&blocks, st, 0.001, SyncMode::PointToPoint, 0, &pool(4))
-            .unwrap();
-        let f8 = factor_nd_parallel(&blocks, st, 0.001, SyncMode::PointToPoint, 0, &pool(8))
-            .unwrap();
+        let f4 =
+            factor_nd_parallel(&blocks, st, 0.001, SyncMode::PointToPoint, 0, &pool(4)).unwrap();
+        let f8 =
+            factor_nd_parallel(&blocks, st, 0.001, SyncMode::PointToPoint, 0, &pool(8)).unwrap();
         for v in 0..st.nnodes() {
             assert_eq!(f4.fact_diag[v].u.values(), f8.fact_diag[v].u.values());
             assert_eq!(f4.fact_diag[v].l.values(), f8.fact_diag[v].l.values());

@@ -120,7 +120,9 @@ mod tests {
             let f =
                 factor_nd_parallel(&blocks, st, 0.001, SyncMode::PointToPoint, 0, &pool).unwrap();
             // Solve ap · x = b
-            let xtrue: Vec<f64> = (0..a.ncols()).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+            let xtrue: Vec<f64> = (0..a.ncols())
+                .map(|i| 1.0 + (i % 7) as f64 * 0.25)
+                .collect();
             let b = spmv(&ap, &xtrue);
             let mut z = b.clone();
             solve_nd_in_place(st, &f, &mut z);

@@ -160,10 +160,8 @@ impl Structure {
                         col_total[lo + off] = col0.as_slice()[lo + l];
                     }
                 } else {
-                    for k in lo..hi {
-                        row_total[k] = row0.as_slice()[k];
-                        col_total[k] = col0.as_slice()[k];
-                    }
+                    row_total[lo..hi].copy_from_slice(&row0.as_slice()[lo..hi]);
+                    col_total[lo..hi].copy_from_slice(&col0.as_slice()[lo..hi]);
                 }
                 kinds.push(BlockKind::Small);
             } else {
@@ -237,8 +235,7 @@ impl NdBlocks {
     /// `offset..offset + len` in the permuted matrix `ap`.
     pub fn extract(ap: &CscMat, offset: usize, st: &NdStructure) -> NdBlocks {
         let nn = st.nnodes();
-        let rng =
-            |v: usize| offset + st.nd.nodes[v].range.start..offset + st.nd.nodes[v].range.end;
+        let rng = |v: usize| offset + st.nd.nodes[v].range.start..offset + st.nd.nodes[v].range.end;
         let mut diag = Vec::with_capacity(nn);
         let mut lower = Vec::with_capacity(nn);
         let mut upper = Vec::with_capacity(nn);

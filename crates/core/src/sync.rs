@@ -15,9 +15,33 @@
 //! no-ops (`PointToPoint`) or runs a full team barrier (`Barrier`) at
 //! every structural phase boundary, mimicking a naive sequence of
 //! parallel-for launches.
+//!
+//! # Memory-ordering audit
+//!
+//! The load-bearing orderings, and why each is what it is:
+//!
+//! * `Slot::publish` claims the slot with a `compare_exchange` from
+//!   `EMPTY` to `WRITING` *before* touching the value cell, then stores
+//!   `READY` with **Release** after the write. The claim itself can be
+//!   Relaxed: the only prior write to the cell is the constructor's, and
+//!   whatever mechanism shared the `&Slot` across threads already
+//!   ordered construction before use. The claim is what makes an
+//!   erroneous second `publish` a deterministic panic instead of a data
+//!   race on the cell (the seed asserted on the cell contents first,
+//!   which was itself UB under a schedule bug).
+//! * `Slot::try_get`/`wait` load the state with **Acquire**, pairing
+//!   with the Release store so the value write happens-before any read
+//!   through the returned reference. Relaxed here would be a genuine
+//!   data race on the value.
+//! * [`WaitClock`] uses **Relaxed** throughout, deliberately: each clock
+//!   is written by one worker and aggregated only after
+//!   `ThreadPool::broadcast` returns, and joining the team's threads
+//!   already gives the reader a happens-before edge covering every
+//!   Relaxed increment. The counters are diagnostics and impose no
+//!   ordering on the factorization itself.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Barrier;
 use std::time::Instant;
 
@@ -38,14 +62,22 @@ pub enum SyncMode {
 /// threads call [`wait`](Slot::wait) afterwards. The implementation is a
 /// manual `OnceLock` so the spin loop can be instrumented.
 pub struct Slot<T> {
-    ready: AtomicBool,
+    state: AtomicU8,
     value: UnsafeCell<Option<T>>,
 }
 
-// Safety: `value` is written exactly once before `ready` is set with
-// Release ordering; readers observe `ready` with Acquire before touching
-// `value`, so no data race is possible. `T: Send` suffices for the value
-// to cross threads; readers only obtain `&T`, hence `T: Sync` for Sync.
+/// No publish has started.
+const EMPTY: u8 = 0;
+/// A producer has claimed the slot and is writing the value.
+const WRITING: u8 = 1;
+/// The value is written and visible to Acquire readers.
+const READY: u8 = 2;
+
+// Safety: `value` is written exactly once, by the single thread that won
+// the EMPTY -> WRITING claim, before `state` becomes READY with Release
+// ordering; readers observe READY with Acquire before touching `value`,
+// so no data race is possible. `T: Send` suffices for the value to cross
+// threads; readers only obtain `&T`, hence `T: Sync` for Sync.
 unsafe impl<T: Send> Send for Slot<T> {}
 unsafe impl<T: Send + Sync> Sync for Slot<T> {}
 
@@ -53,7 +85,7 @@ impl<T> Slot<T> {
     /// An empty slot.
     pub fn new() -> Self {
         Slot {
-            ready: AtomicBool::new(false),
+            state: AtomicU8::new(EMPTY),
             value: UnsafeCell::new(None),
         }
     }
@@ -61,20 +93,27 @@ impl<T> Slot<T> {
     /// Publishes the value. Panics if called twice (programming error in
     /// the schedule).
     pub fn publish(&self, value: T) {
-        // Safety: single producer per slot (schedule invariant); no reader
-        // dereferences before `ready` flips.
+        // Claim the slot before touching the cell, so a schedule bug
+        // (two producers) panics deterministically instead of racing on
+        // the value. Relaxed suffices: the winner is unique, and the
+        // only earlier cell write is the constructor's, ordered by
+        // whatever shared `&self` across threads.
+        self.state
+            .compare_exchange(EMPTY, WRITING, Ordering::Relaxed, Ordering::Relaxed)
+            .expect("slot published twice");
+        // Safety: the claim above makes this thread the only writer; no
+        // reader dereferences before `state` becomes READY.
         unsafe {
-            let v = &mut *self.value.get();
-            assert!(v.is_none(), "slot published twice");
-            *v = Some(value);
+            *self.value.get() = Some(value);
         }
-        self.ready.store(true, Ordering::Release);
+        self.state.store(READY, Ordering::Release);
     }
 
     /// Returns the value if already published (no waiting).
     pub fn try_get(&self) -> Option<&T> {
-        if self.ready.load(Ordering::Acquire) {
-            // Safety: ready ⇒ value written and never written again.
+        if self.state.load(Ordering::Acquire) == READY {
+            // Safety: READY ⇒ value written (Release/Acquire pair) and
+            // never written again.
             unsafe { (*self.value.get()).as_ref() }
         } else {
             None
@@ -193,6 +232,38 @@ mod tests {
         let s: Slot<u32> = Slot::new();
         s.publish(1);
         s.publish(2);
+    }
+
+    #[test]
+    fn racing_publishes_panic_on_exactly_one_thread() {
+        // Two threads race to publish; the claim CAS must let exactly
+        // one through and turn the other into a clean panic (never a
+        // silent overwrite, never a race on the cell).
+        for _ in 0..50 {
+            let s: Arc<Slot<u64>> = Arc::new(Slot::new());
+            let go = Arc::new(std::sync::Barrier::new(2));
+            let results: Vec<bool> = [1u64, 2u64]
+                .map(|v| {
+                    let s = s.clone();
+                    let go = go.clone();
+                    std::thread::spawn(move || {
+                        go.wait();
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.publish(v)))
+                            .is_ok()
+                    })
+                })
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect();
+            assert_eq!(
+                results.iter().filter(|&&ok| ok).count(),
+                1,
+                "exactly one publish must win"
+            );
+            let w = WaitClock::new();
+            let got = *s.wait(&w);
+            assert!(got == 1 || got == 2);
+        }
     }
 
     #[test]

@@ -113,6 +113,7 @@ pub fn factor_block_column(
     let mut topo: Vec<usize> = Vec::with_capacity(nb); // pivotal col indices, reverse topo
     let mut dfs: Vec<(usize, usize)> = Vec::new();
     let mut pattern_rows: Vec<usize> = Vec::with_capacity(nb); // non-pivotal orig rows
+
     // Accumulators for the below blocks.
     let mut xb: Vec<Vec<f64>> = below.iter().map(|b| vec![0.0f64; b.nrows()]).collect();
     let mut bmark: Vec<Vec<usize>> = below.iter().map(|b| vec![UNSET; b.nrows()]).collect();
@@ -571,12 +572,7 @@ pub enum BlockFactor {
 
 impl BlockFactor {
     /// Factors the `lo..hi` diagonal block of the permuted matrix `ap`.
-    pub fn factor_range(
-        ap: &CscMat,
-        lo: usize,
-        hi: usize,
-        pivot_tol: f64,
-    ) -> Result<BlockFactor> {
+    pub fn factor_range(ap: &CscMat, lo: usize, hi: usize, pivot_tol: f64) -> Result<BlockFactor> {
         if hi - lo == 1 {
             let v = ap.get(lo, lo);
             if v == 0.0 {
@@ -759,7 +755,10 @@ mod tests {
                 for k in 0..2 {
                     acc += lbd[i][k] * ud[k][j];
                 }
-                assert!((acc - bd[i][j]).abs() < 1e-12, "below mismatch at ({i},{j})");
+                assert!(
+                    (acc - bd[i][j]).abs() < 1e-12,
+                    "below mismatch at ({i},{j})"
+                );
             }
         }
     }

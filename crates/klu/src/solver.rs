@@ -83,10 +83,8 @@ impl KluSymbolic {
             for b in 0..bounds.len() - 1 {
                 let (lo, hi) = (bounds[b], bounds[b + 1]);
                 if hi - lo <= 2 {
-                    for k in lo..hi {
-                        row_total[k] = row_perm.as_slice()[k];
-                        col_total[k] = col_perm.as_slice()[k];
-                    }
+                    row_total[lo..hi].copy_from_slice(&row_perm.as_slice()[lo..hi]);
+                    col_total[lo..hi].copy_from_slice(&col_perm.as_slice()[lo..hi]);
                     continue;
                 }
                 let block = extract_range(&ap, lo..hi, lo..hi);
@@ -311,7 +309,9 @@ mod tests {
         let sym = KluSymbolic::analyze(&a, &KluOptions::default()).unwrap();
         assert!(sym.nblocks() >= 2, "expected BTF to split the system");
         let num = sym.factor(&a).unwrap();
-        let xtrue: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.3).sin() + 1.5).collect();
+        let xtrue: Vec<f64> = (0..a.ncols())
+            .map(|i| (i as f64 * 0.3).sin() + 1.5)
+            .collect();
         let b = spmv(&a, &xtrue);
         let x = num.solve(&b);
         assert!(relative_residual(&a, &x, &b) < 1e-12);
@@ -415,10 +415,7 @@ mod tests {
         t.push(1, 1, 1.0);
         let a = t.to_csc();
         let sym = KluSymbolic::analyze(&a, &KluOptions::default()).unwrap();
-        assert!(matches!(
-            sym.factor(&a),
-            Err(SparseError::ZeroPivot { .. })
-        ));
+        assert!(matches!(sym.factor(&a), Err(SparseError::ZeroPivot { .. })));
     }
 
     #[test]

@@ -94,7 +94,11 @@ pub fn circuit(p: &CircuitParams) -> CscMat {
             let k = (m as f64).sqrt().ceil() as usize;
             for i in 0..m {
                 let c = i % k;
-                let right = if c + 1 < k && i + 1 < m { Some(i + 1) } else { None };
+                let right = if c + 1 < k && i + 1 < m {
+                    Some(i + 1)
+                } else {
+                    None
+                };
                 let down = if i + k < m { Some(i + k) } else { None };
                 for nb in [right, down].into_iter().flatten() {
                     let g = 10f64.powf(rng.gen_range(-1.0..1.0));
@@ -112,7 +116,12 @@ pub fn circuit(p: &CircuitParams) -> CscMat {
                 let hop = rng.gen_range(2..=(3 * k).min(m - 1));
                 let b = (a + hop) % m;
                 if a != b {
-                    stamp_resistor(&mut t, base + a, base + b, 10f64.powf(rng.gen_range(-1.0..0.5)));
+                    stamp_resistor(
+                        &mut t,
+                        base + a,
+                        base + b,
+                        10f64.powf(rng.gen_range(-1.0..0.5)),
+                    );
                 }
             }
         } else {

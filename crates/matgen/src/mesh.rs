@@ -76,7 +76,11 @@ mod tests {
         // diagonally dominant
         for j in 0..100 {
             let d = a.get(j, j).abs();
-            let off: f64 = a.col_iter(j).filter(|&(i, _)| i != j).map(|(_, v)| v.abs()).sum();
+            let off: f64 = a
+                .col_iter(j)
+                .filter(|&(i, _)| i != j)
+                .map(|(_, v)| v.abs())
+                .sum();
             assert!(d > off * 0.8, "col {j} not near-dominant");
         }
     }

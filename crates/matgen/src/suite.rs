@@ -70,7 +70,11 @@ impl SuiteEntry {
 /// preserves each part's BTF structure while weakly connecting them.
 pub fn compose(parts: &[CscMat], couplings: usize, seed: u64) -> CscMat {
     let n: usize = parts.iter().map(|p| p.nrows()).sum();
-    let mut t = TripletMat::with_capacity(n, n, parts.iter().map(|p| p.nnz()).sum::<usize>() + couplings);
+    let mut t = TripletMat::with_capacity(
+        n,
+        n,
+        parts.iter().map(|p| p.nnz()).sum::<usize>() + couplings,
+    );
     let mut offset = 0usize;
     let mut offsets = Vec::new();
     for p in parts {
@@ -135,7 +139,13 @@ pub fn table1_suite() -> Vec<SuiteEntry> {
     // --- low fill-in group (fill density < 4) ---
     push(
         "RS_b39c30_like",
-        PaperRow { n: 6.0e4, nnz: 1.1e6, fill_klu: 0.6, btf_pct: 100.0, btf_blocks: 3e3 },
+        PaperRow {
+            n: 6.0e4,
+            nnz: 1.1e6,
+            fill_klu: 0.6,
+            btf_pct: 100.0,
+            btf_blocks: 3e3,
+        },
         false,
         false,
         Box::new(|s| {
@@ -149,7 +159,13 @@ pub fn table1_suite() -> Vec<SuiteEntry> {
     );
     push(
         "RS_b678c2_like",
-        PaperRow { n: 3.6e4, nnz: 8.8e6, fill_klu: 0.7, btf_pct: 100.0, btf_blocks: 271.0 },
+        PaperRow {
+            n: 3.6e4,
+            nnz: 8.8e6,
+            fill_klu: 0.7,
+            btf_pct: 100.0,
+            btf_blocks: 271.0,
+        },
         false,
         false,
         Box::new(|s| {
@@ -163,7 +179,13 @@ pub fn table1_suite() -> Vec<SuiteEntry> {
     );
     push(
         "Power0_like",
-        PaperRow { n: 9.8e4, nnz: 4.8e5, fill_klu: 1.3, btf_pct: 100.0, btf_blocks: 7.7e3 },
+        PaperRow {
+            n: 9.8e4,
+            nnz: 4.8e5,
+            fill_klu: 1.3,
+            btf_pct: 100.0,
+            btf_blocks: 7.7e3,
+        },
         false,
         true,
         Box::new(|s| {
@@ -177,21 +199,39 @@ pub fn table1_suite() -> Vec<SuiteEntry> {
     );
     push(
         "circuit5M_like",
-        PaperRow { n: 5.6e6, nnz: 6.0e7, fill_klu: 1.3, btf_pct: 0.0, btf_blocks: 1.0 },
+        PaperRow {
+            n: 5.6e6,
+            nnz: 6.0e7,
+            fill_klu: 1.3,
+            btf_pct: 0.0,
+            btf_blocks: 1.0,
+        },
         false,
         false,
         Box::new(|s| circuit(&cp(s.pick(4, 24), s.pick(100, 360), 1.0, true, 2.2, 104))),
     );
     push(
         "memplus_like",
-        PaperRow { n: 1.2e4, nnz: 9.9e4, fill_klu: 1.4, btf_pct: 0.1, btf_blocks: 23.0 },
+        PaperRow {
+            n: 1.2e4,
+            nnz: 9.9e4,
+            fill_klu: 1.4,
+            btf_pct: 0.1,
+            btf_blocks: 23.0,
+        },
         false,
         false,
         Box::new(|s| circuit(&cp(s.pick(3, 12), s.pick(130, 400), 0.95, true, 2.0, 105))),
     );
     push(
         "rajat21_like",
-        PaperRow { n: 4.1e5, nnz: 1.9e6, fill_klu: 1.5, btf_pct: 2.0, btf_blocks: 5.9e3 },
+        PaperRow {
+            n: 4.1e5,
+            nnz: 1.9e6,
+            fill_klu: 1.5,
+            btf_pct: 2.0,
+            btf_blocks: 5.9e3,
+        },
         false,
         true,
         Box::new(|s| {
@@ -207,14 +247,26 @@ pub fn table1_suite() -> Vec<SuiteEntry> {
     );
     push(
         "trans5_like",
-        PaperRow { n: 1.2e5, nnz: 7.5e5, fill_klu: 1.6, btf_pct: 0.0, btf_blocks: 1.0 },
+        PaperRow {
+            n: 1.2e5,
+            nnz: 7.5e5,
+            fill_klu: 1.6,
+            btf_pct: 0.0,
+            btf_blocks: 1.0,
+        },
         false,
         false,
         Box::new(|s| circuit(&cp(s.pick(4, 20), s.pick(90, 320), 1.0, true, 2.4, 107))),
     );
     push(
         "circuit_4_like",
-        PaperRow { n: 8.0e4, nnz: 3.1e5, fill_klu: 1.6, btf_pct: 34.8, btf_blocks: 2.8e4 },
+        PaperRow {
+            n: 8.0e4,
+            nnz: 3.1e5,
+            fill_klu: 1.6,
+            btf_pct: 34.8,
+            btf_blocks: 2.8e4,
+        },
         false,
         false,
         Box::new(|s| {
@@ -230,7 +282,13 @@ pub fn table1_suite() -> Vec<SuiteEntry> {
     );
     push(
         "Xyce0_like",
-        PaperRow { n: 6.8e5, nnz: 3.9e6, fill_klu: 1.8, btf_pct: 85.0, btf_blocks: 5.8e5 },
+        PaperRow {
+            n: 6.8e5,
+            nnz: 3.9e6,
+            fill_klu: 1.8,
+            btf_pct: 85.0,
+            btf_blocks: 5.8e5,
+        },
         false,
         false,
         Box::new(|s| {
@@ -246,7 +304,13 @@ pub fn table1_suite() -> Vec<SuiteEntry> {
     );
     push(
         "Xyce4_like",
-        PaperRow { n: 6.2e6, nnz: 7.3e7, fill_klu: 2.0, btf_pct: 12.0, btf_blocks: 7.5e5 },
+        PaperRow {
+            n: 6.2e6,
+            nnz: 7.3e7,
+            fill_klu: 2.0,
+            btf_pct: 12.0,
+            btf_blocks: 7.5e5,
+        },
         false,
         false,
         Box::new(|s| {
@@ -262,7 +326,13 @@ pub fn table1_suite() -> Vec<SuiteEntry> {
     );
     push(
         "Xyce1_like",
-        PaperRow { n: 4.3e5, nnz: 2.4e6, fill_klu: 2.4, btf_pct: 21.0, btf_blocks: 9.9e4 },
+        PaperRow {
+            n: 4.3e5,
+            nnz: 2.4e6,
+            fill_klu: 2.4,
+            btf_pct: 21.0,
+            btf_blocks: 9.9e4,
+        },
         false,
         false,
         Box::new(|s| {
@@ -278,7 +348,13 @@ pub fn table1_suite() -> Vec<SuiteEntry> {
     );
     push(
         "asic_680ks_like",
-        PaperRow { n: 6.8e5, nnz: 1.7e6, fill_klu: 2.6, btf_pct: 86.0, btf_blocks: 5.8e5 },
+        PaperRow {
+            n: 6.8e5,
+            nnz: 1.7e6,
+            fill_klu: 2.6,
+            btf_pct: 86.0,
+            btf_blocks: 5.8e5,
+        },
         false,
         true,
         Box::new(|s| {
@@ -294,21 +370,39 @@ pub fn table1_suite() -> Vec<SuiteEntry> {
     );
     push(
         "bcircuit_like",
-        PaperRow { n: 6.9e4, nnz: 3.8e5, fill_klu: 2.8, btf_pct: 0.0, btf_blocks: 1.0 },
+        PaperRow {
+            n: 6.9e4,
+            nnz: 3.8e5,
+            fill_klu: 2.8,
+            btf_pct: 0.0,
+            btf_blocks: 1.0,
+        },
         false,
         false,
         Box::new(|s| circuit(&cp(s.pick(4, 18), s.pick(100, 330), 1.0, true, 3.0, 112))),
     );
     push(
         "scircuit_like",
-        PaperRow { n: 1.7e5, nnz: 9.6e5, fill_klu: 2.8, btf_pct: 0.3, btf_blocks: 48.0 },
+        PaperRow {
+            n: 1.7e5,
+            nnz: 9.6e5,
+            fill_klu: 2.8,
+            btf_pct: 0.3,
+            btf_blocks: 48.0,
+        },
         false,
         false,
         Box::new(|s| circuit(&cp(s.pick(4, 18), s.pick(110, 350), 0.97, true, 3.0, 113))),
     );
     push(
         "hvdc2_like",
-        PaperRow { n: 1.9e5, nnz: 1.3e6, fill_klu: 2.8, btf_pct: 100.0, btf_blocks: 67.0 },
+        PaperRow {
+            n: 1.9e5,
+            nnz: 1.3e6,
+            fill_klu: 2.8,
+            btf_pct: 100.0,
+            btf_blocks: 67.0,
+        },
         false,
         true,
         Box::new(|s| {
@@ -322,7 +416,13 @@ pub fn table1_suite() -> Vec<SuiteEntry> {
     );
     push(
         "Freescale1_like",
-        PaperRow { n: 3.4e6, nnz: 1.7e7, fill_klu: 4.1, btf_pct: 0.0, btf_blocks: 1.0 },
+        PaperRow {
+            n: 3.4e6,
+            nnz: 1.7e7,
+            fill_klu: 4.1,
+            btf_pct: 0.0,
+            btf_blocks: 1.0,
+        },
         false,
         true,
         Box::new(|s| circuit(&cp(s.pick(4, 16), s.pick(110, 400), 1.0, true, 3.6, 115))),
@@ -331,7 +431,13 @@ pub fn table1_suite() -> Vec<SuiteEntry> {
     // --- high fill-in group (fill density > 4) ---
     push(
         "hcircuit_like",
-        PaperRow { n: 1.1e5, nnz: 5.1e5, fill_klu: 6.9, btf_pct: 13.0, btf_blocks: 1.4e3 },
+        PaperRow {
+            n: 1.1e5,
+            nnz: 5.1e5,
+            fill_klu: 6.9,
+            btf_pct: 13.0,
+            btf_blocks: 1.4e3,
+        },
         true,
         false,
         Box::new(|s| {
@@ -347,7 +453,13 @@ pub fn table1_suite() -> Vec<SuiteEntry> {
     );
     push(
         "Xyce3_like",
-        PaperRow { n: 1.9e6, nnz: 9.5e6, fill_klu: 9.2, btf_pct: 20.0, btf_blocks: 4.0e5 },
+        PaperRow {
+            n: 1.9e6,
+            nnz: 9.5e6,
+            fill_klu: 9.2,
+            btf_pct: 20.0,
+            btf_blocks: 4.0e5,
+        },
         true,
         true,
         Box::new(|s| {
@@ -363,28 +475,52 @@ pub fn table1_suite() -> Vec<SuiteEntry> {
     );
     push(
         "memchip_like",
-        PaperRow { n: 2.7e6, nnz: 1.3e7, fill_klu: 9.9, btf_pct: 0.0, btf_blocks: 1.0 },
+        PaperRow {
+            n: 2.7e6,
+            nnz: 1.3e7,
+            fill_klu: 9.9,
+            btf_pct: 0.0,
+            btf_blocks: 1.0,
+        },
         true,
         false,
         Box::new(|s| circuit(&cp(s.pick(2, 5), s.pick(170, 560), 1.0, false, 2.6, 118))),
     );
     push(
         "G2_Circuit_like",
-        PaperRow { n: 1.5e5, nnz: 7.3e5, fill_klu: 27.7, btf_pct: 0.0, btf_blocks: 1.0 },
+        PaperRow {
+            n: 1.5e5,
+            nnz: 7.3e5,
+            fill_klu: 27.7,
+            btf_pct: 0.0,
+            btf_blocks: 1.0,
+        },
         true,
         false,
         Box::new(|s| mesh2d(s.pick(22, 90), 119)),
     );
     push(
         "twotone_like",
-        PaperRow { n: 1.2e5, nnz: 1.2e6, fill_klu: 39.9, btf_pct: 0.0, btf_blocks: 5.0 },
+        PaperRow {
+            n: 1.2e5,
+            nnz: 1.2e6,
+            fill_klu: 39.9,
+            btf_pct: 0.0,
+            btf_blocks: 5.0,
+        },
         true,
         false,
         Box::new(|s| mesh3d(s.pick(8, 19), 120)),
     );
     push(
         "onetone1_like",
-        PaperRow { n: 3.6e4, nnz: 3.4e5, fill_klu: 40.8, btf_pct: 1.1, btf_blocks: 203.0 },
+        PaperRow {
+            n: 3.6e4,
+            nnz: 3.4e5,
+            fill_klu: 40.8,
+            btf_pct: 1.1,
+            btf_blocks: 203.0,
+        },
         true,
         false,
         Box::new(|s| {
@@ -423,10 +559,34 @@ pub fn mesh_suite() -> Vec<SuiteEntry> {
             gen,
         });
     };
-    push("pwtk_like", 2.2e5, 1.2e7, 9.7e7, Box::new(|s| mesh2d(s.pick(24, 95), 201)));
-    push("ecology_like", 1.0e6, 5.0e6, 7.1e7, Box::new(|s| mesh2d(s.pick(26, 105), 202)));
-    push("apache2_like", 7.2e5, 4.8e6, 2.8e8, Box::new(|s| mesh3d(s.pick(9, 20), 203)));
-    push("bmwcra1_like", 1.5e5, 1.1e7, 1.4e8, Box::new(|s| mesh3d(s.pick(8, 18), 204)));
+    push(
+        "pwtk_like",
+        2.2e5,
+        1.2e7,
+        9.7e7,
+        Box::new(|s| mesh2d(s.pick(24, 95), 201)),
+    );
+    push(
+        "ecology_like",
+        1.0e6,
+        5.0e6,
+        7.1e7,
+        Box::new(|s| mesh2d(s.pick(26, 105), 202)),
+    );
+    push(
+        "apache2_like",
+        7.2e5,
+        4.8e6,
+        2.8e8,
+        Box::new(|s| mesh3d(s.pick(9, 20), 203)),
+    );
+    push(
+        "bmwcra1_like",
+        1.5e5,
+        1.1e7,
+        1.4e8,
+        Box::new(|s| mesh3d(s.pick(8, 18), 204)),
+    );
     push(
         "parabolic_fem_like",
         5.3e5,

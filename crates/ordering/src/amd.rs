@@ -180,7 +180,13 @@ pub fn amd_order(a: &CscMat) -> Perm {
             let ext_vars: usize = vadj[v].iter().map(|&u| weight[u]).sum();
             let ext_elems: usize = velems[v]
                 .iter()
-                .map(|&e| if wstamp[e] == stamp { wval[e] } else { esize[e] })
+                .map(|&e| {
+                    if wstamp[e] == stamp {
+                        wval[e]
+                    } else {
+                        esize[e]
+                    }
+                })
                 .sum();
 
             if ext_vars == 0 && ext_elems == 0 {
@@ -275,7 +281,6 @@ pub fn amd_order(a: &CscMat) -> Perm {
         }
     }
     // deferred dense rows last (ascending for determinism)
-    let mut deferred = deferred;
     deferred.sort_unstable();
     perm.extend(deferred);
 
@@ -322,11 +327,15 @@ fn indistinguishable(
 /// would incur on `A[perm, perm]` — a quality metric used by tests and the
 /// ordering benchmarks.
 pub fn cholesky_fill_with_perm(a: &CscMat, perm: &Perm) -> usize {
-    let p = Perm::permute_both(perm, perm, &if a.is_pattern_symmetric() {
-        a.clone()
-    } else {
-        a.symmetrize()
-    });
+    let p = Perm::permute_both(
+        perm,
+        perm,
+        &if a.is_pattern_symmetric() {
+            a.clone()
+        } else {
+            a.symmetrize()
+        },
+    );
     crate::symbolic::symbolic_cholesky(&p).nnz()
 }
 

@@ -90,8 +90,8 @@ pub fn btf_form_with(a: &CscMat, use_mwcm: bool) -> Result<BtfForm> {
     // Matched matrix B = P_match · A has B[j, j] != 0 where row
     // `row_of_col[j]` of A moved to position j. In gather convention the
     // row permutation vector is exactly `row_of_col`.
-    let pmatch = Perm::from_vec(matching.row_of_col.clone())
-        .expect("perfect matching is a permutation");
+    let pmatch =
+        Perm::from_vec(matching.row_of_col.clone()).expect("perfect matching is a permutation");
     let b = pmatch.permute_rows(a);
 
     // SCC condensation of B's digraph; completion order = upper BTF order.
@@ -101,11 +101,7 @@ pub fn btf_form_with(a: &CscMat, use_mwcm: bool) -> Result<BtfForm> {
     let col_perm = Perm::from_vec(scc.order.clone()).expect("scc order is a permutation");
     // Rows follow their matched columns: row at final position k is the row
     // of A matched to column order[k].
-    let row_perm_vec: Vec<usize> = scc
-        .order
-        .iter()
-        .map(|&j| matching.row_of_col[j])
-        .collect();
+    let row_perm_vec: Vec<usize> = scc.order.iter().map(|&j| matching.row_of_col[j]).collect();
     let row_perm = Perm::from_vec(row_perm_vec).expect("matching rows form a permutation");
 
     let mut bounds = scc.comp_ptr.clone();
@@ -157,7 +153,9 @@ mod tests {
         let mut t = TripletMat::new(n, n);
         let mut s = seed;
         let mut rnd = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as usize
         };
         for i in 0..n {

@@ -208,7 +208,7 @@ mod tests {
         let po = postorder(&parent);
         assert_eq!(po.len(), 6);
         // Every vertex appears once; children before parents.
-        let mut pos = vec![0usize; 6];
+        let mut pos = [0usize; 6];
         for (k, &v) in po.iter().enumerate() {
             pos[v] = k;
         }

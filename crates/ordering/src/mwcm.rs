@@ -190,7 +190,10 @@ mod tests {
         let mut out = Vec::new();
         for p in smaller {
             for pos in 0..n {
-                let mut q: Vec<usize> = p.iter().map(|&x| if x >= pos { x + 1 } else { x }).collect();
+                let mut q: Vec<usize> = p
+                    .iter()
+                    .map(|&x| if x >= pos { x + 1 } else { x })
+                    .collect();
                 q.insert(0, pos);
                 // normalize: we want all perms of 0..n; this builds them
                 out.push(q);

@@ -372,9 +372,8 @@ impl<'a> Builder<'a> {
         // paths; cover = (X \ Z_X) ∪ (Y ∩ Z_Y).
         let mut zx = vec![false; nx];
         let mut zy = vec![false; ny];
-        let mut queue: std::collections::VecDeque<usize> = (0..nx)
-            .filter(|&x| match_x[x] == usize::MAX)
-            .collect();
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..nx).filter(|&x| match_x[x] == usize::MAX).collect();
         for &x in &queue {
             zx[x] = true;
         }
@@ -821,7 +820,9 @@ mod tests {
     fn separator_property_holds_on_random_graph() {
         let mut s = 77u64;
         let mut rnd = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as usize
         };
         let n = 60;

@@ -186,7 +186,9 @@ mod tests {
     fn edge_condition_holds_on_random_digraphs() {
         let mut seed = 999u64;
         let mut rnd = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as usize
         };
         for trial in 0..10 {

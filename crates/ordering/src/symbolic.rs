@@ -122,7 +122,7 @@ pub fn fundamental_supernodes(p: &FactorPattern, relax: usize) -> Vec<usize> {
         let cur = p.col(j);
         let chained = p.parent[j - 1] == j;
         // prev minus its diagonal should equal cur (within relax slack)
-        let nested = chained && prev.len() >= 1 && {
+        let nested = chained && !prev.is_empty() && {
             let prev_tail = &prev[1..];
             if prev_tail.len() < cur.len() || prev_tail.len() > cur.len() + relax {
                 false
@@ -230,6 +230,7 @@ pub fn symbolic_gp(a: &CscMat) -> GpCounts {
         l_counts[j] = lc;
         u_counts[j] = uc;
         flops += lc as f64; // the division by the pivot
+
         // Record L pattern (sorted for future DFS determinism).
         let mut lcol: Vec<usize> = reach.iter().copied().filter(|&v| v > j).collect();
         lcol.sort_unstable();

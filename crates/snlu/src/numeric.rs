@@ -409,7 +409,9 @@ mod tests {
         let mut t = TripletMat::new(n, n);
         let mut s = 5u64;
         let mut rnd = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as usize
         };
         for i in 0..n {

@@ -23,7 +23,13 @@ pub struct CscMat {
 
 impl std::fmt::Debug for CscMat {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CscMat({}x{}, nnz={})", self.nrows, self.ncols, self.nnz())
+        write!(
+            f,
+            "CscMat({}x{}, nnz={})",
+            self.nrows,
+            self.ncols,
+            self.nnz()
+        )
     }
 }
 
@@ -217,7 +223,10 @@ impl CscMat {
     ///
     /// Binary search over the (sorted) column — O(log nnz(col)).
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.nrows && j < self.ncols, "get({i},{j}) out of bounds");
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "get({i},{j}) out of bounds"
+        );
         match self.col_rows(j).binary_search(&i) {
             Ok(k) => self.values[self.colptr[j] + k],
             Err(_) => 0.0,

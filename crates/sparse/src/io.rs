@@ -64,7 +64,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CscMat> {
     let size_line = size_line.ok_or_else(|| SparseError::Io("missing size line".into()))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|s| s.parse::<usize>().map_err(|e| SparseError::Io(e.to_string())))
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|e| SparseError::Io(e.to_string()))
+        })
         .collect::<Result<_>>()?;
     if dims.len() != 3 {
         return Err(SparseError::Io(format!("bad size line: {size_line}")));

@@ -35,10 +35,13 @@ fn main() {
         a0.nnz()
     );
 
-    let solver = Basker::analyze(&a0, &BaskerOptions {
-        nthreads: 2,
-        ..BaskerOptions::default()
-    })
+    let solver = Basker::analyze(
+        &a0,
+        &BaskerOptions {
+            nthreads: 2,
+            ..BaskerOptions::default()
+        },
+    )
     .expect("analyze");
 
     let t0 = Instant::now();

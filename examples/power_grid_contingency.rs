@@ -19,10 +19,13 @@ fn main() {
     let n = grid.nrows();
     println!("grid: n = {n}, |A| = {}", grid.nnz());
 
-    let solver = Basker::analyze(&grid, &BaskerOptions {
-        nthreads: 2,
-        ..BaskerOptions::default()
-    })
+    let solver = Basker::analyze(
+        &grid,
+        &BaskerOptions {
+            nthreads: 2,
+            ..BaskerOptions::default()
+        },
+    )
     .expect("analyze");
     println!(
         "BTF blocks: {}, rows in small blocks: {:.1}%",
@@ -38,7 +41,9 @@ fn main() {
     );
 
     // Nominal injections.
-    let b: Vec<f64> = (0..n).map(|i| if i % 17 == 0 { 1.0 } else { 0.0 }).collect();
+    let b: Vec<f64> = (0..n)
+        .map(|i| if i % 17 == 0 { 1.0 } else { 0.0 })
+        .collect();
     let x0 = base.solve(&b);
 
     // Contingencies: weaken one feeder-coupling entry at a time (same
@@ -52,10 +57,7 @@ fn main() {
         // scale the c-th "branch" (an off-diagonal entry) toward an outage
         let mut seen = 0usize;
         for (k, &r) in grid.rowind().iter().enumerate() {
-            let col = grid
-                .colptr()
-                .partition_point(|&p| p <= k)
-                .saturating_sub(1);
+            let col = grid.colptr().partition_point(|&p| p <= k).saturating_sub(1);
             if r != col {
                 if seen == c * 7 {
                     vals[k] *= 1e-3;

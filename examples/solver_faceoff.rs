@@ -29,7 +29,10 @@ fn main() {
 
     println!("| matrix | solver | numeric time | |L+U| | residual |");
     println!("|---|---|---|---|---|");
-    for (name, a) in [("circuit (low fill)", &circuit_mat), ("mesh (high fill)", &mesh_mat)] {
+    for (name, a) in [
+        ("circuit (low fill)", &circuit_mat),
+        ("mesh (high fill)", &mesh_mat),
+    ] {
         let b: Vec<f64> = (0..a.ncols()).map(|i| 1.0 + (i % 3) as f64).collect();
 
         // KLU

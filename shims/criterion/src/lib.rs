@@ -1,0 +1,248 @@
+//! Minimal in-tree stand-in for the `criterion` crate (the build
+//! environment has no registry access). Implements the subset the
+//! workspace's benches use — `benchmark_group`, `sample_size`,
+//! `measurement_time`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter` and the `criterion_group!` /
+//! `criterion_main!` macros — with straightforward wall-clock timing:
+//! per sample, the closure runs in a timed batch, and the per-iteration
+//! mean / min / max over all samples is printed.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark manager handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark (outside any group).
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into_benchmark_id(), 100, Duration::from_secs(5), &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `<group>/<id>`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.sample_size, self.measurement_time, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (report output is per-benchmark, so this is a
+    /// no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Two-part benchmark identifier, `<function>/<parameter>`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `<function_name>/<parameter>`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Conversion of the various accepted id types to a display label.
+pub trait IntoBenchmarkId {
+    /// The label under which results are reported.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    sample_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f` over one batch of iterations, recording one sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        let total = start.elapsed().as_nanos() as f64;
+        self.sample_ns.push(total / self.iters_per_sample as f64);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut F,
+) {
+    // Calibration sample: one iteration, also serves as warm-up.
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        sample_ns: Vec::new(),
+    };
+    f(&mut b);
+    let calib_ns = b.sample_ns.first().copied().unwrap_or(1.0).max(1.0);
+
+    // Size batches so `sample_size` samples roughly fill the time
+    // budget, like criterion's linear sampling mode.
+    let budget_ns = measurement_time.as_nanos() as f64;
+    let iters = (budget_ns / (calib_ns * sample_size as f64)).floor() as u64;
+    let mut b = Bencher {
+        iters_per_sample: iters.max(1),
+        sample_ns: Vec::new(),
+    };
+    let deadline = Instant::now() + 2 * measurement_time;
+    for _ in 0..sample_size {
+        f(&mut b);
+        if Instant::now() > deadline {
+            break;
+        }
+    }
+
+    let samples = &b.sample_ns;
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{label:<40} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        samples.len(),
+        b.iters_per_sample,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} us", ns / 1e3)
+    } else {
+        format!("{ns:.4} ns")
+    }
+}
+
+/// Opaque value barrier, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group runner function invoking each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).measurement_time(Duration::from_millis(5));
+        g.bench_function("id", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("with", 7), &7u64, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn group_runs_and_reports() {
+        benches();
+    }
+
+    #[test]
+    fn id_formats_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("f", 32).into_benchmark_id(), "f/32");
+    }
+}

@@ -1,0 +1,235 @@
+//! Minimal in-tree stand-in for the `proptest` crate (the build
+//! environment has no registry access). Supports the surface the
+//! workspace's property tests use: range and tuple strategies,
+//! `prop_map`, `collection::vec`, the `proptest!` macro with a
+//! `proptest_config` attribute, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Each test case draws from a deterministic RNG seeded from the test
+//! name and case index, so failures reproduce exactly on re-run. Unlike
+//! real proptest there is no shrinking — a failing case panics with its
+//! seed instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+use std::ops::Range;
+
+/// A generator of random values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// Type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Ranges are uniform strategies over their contents.
+impl<T> Strategy for Range<T>
+where
+    T: Copy,
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with uniformly drawn length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector of `size.start..size.end` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+#[doc(hidden)]
+pub fn __case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index, so every
+    // (test, case) pair has a stable, distinct stream.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9e37))
+}
+
+/// Shim of proptest's test macro: runs each body `cases` times with
+/// values drawn from the given strategy.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (@cfg($cfg:expr) $($(#[$meta:meta])* fn $name:ident($pat:pat in $strat:expr) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategy = $strat;
+            for case in 0..config.cases {
+                let mut rng = $crate::__case_rng(stringify!($name), case);
+                let $pat = $crate::Strategy::generate(&strategy, &mut rng);
+                $body
+            }
+        }
+    )*};
+}
+
+/// Shim of `prop_assert!`: panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Shim of `prop_assert_eq!`: panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `use proptest::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use crate as proptest;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let strat = (3usize..10, -1.0f64..1.0, 0u64..5);
+        let mut rng = super::__case_rng("bounds", 0);
+        for _ in 0..200 {
+            let (a, b, c) = Strategy::generate(&strat, &mut rng);
+            assert!((3..10).contains(&a));
+            assert!((-1.0..1.0).contains(&b));
+            assert!(c < 5);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let strat = proptest::collection::vec(0usize..4, 2..7);
+        let mut rng = super::__case_rng("sizes", 1);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_per_test_and_case() {
+        let a = Strategy::generate(&(0u64..u64::MAX), &mut super::__case_rng("t", 3));
+        let b = Strategy::generate(&(0u64..u64::MAX), &mut super::__case_rng("t", 3));
+        let c = Strategy::generate(&(0u64..u64::MAX), &mut super::__case_rng("t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_expands_and_runs(x in (1usize..50).prop_map(|v| v * 2)) {
+            prop_assert!((2..100).contains(&x));
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Minimal in-tree stand-in for the `rayon` crate (the build environment
+//! has no registry access). Provides real OS-thread parallelism for the
+//! surface this workspace uses:
+//!
+//! * [`ThreadPoolBuilder`] / [`ThreadPool`] with `install`, `broadcast`
+//!   and `current_num_threads`;
+//! * `prelude::*` with `.par_iter()` on slices/`Vec`s supporting
+//!   `.map(..).collect()`, `.for_each(..)` and `.for_each_init(..)`.
+//!
+//! `broadcast` genuinely runs one concurrently-live thread per pool slot
+//! — the Basker point-to-point synchronization (spin-wait slots) relies
+//! on every team member making progress at once, so a sequential
+//! fallback would deadlock. Threads are spawned per call via
+//! `std::thread::scope` rather than kept hot; for the factorization
+//! workloads here the spawn cost is noise compared to the numeric work.
+
+use std::cell::Cell;
+use std::fmt;
+use std::marker::PhantomData;
+
+thread_local! {
+    /// Width installed by [`ThreadPool::install`]; 0 = none installed.
+    static INSTALLED_WIDTH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_width() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn current_width() -> usize {
+    let w = INSTALLED_WIDTH.with(|c| c.get());
+    if w == 0 {
+        default_width()
+    } else {
+        w
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. The shim pool cannot
+/// actually fail to build; the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (machine-sized) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool width; 0 means "number of cores".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim spawns scoped threads
+    /// per call and does not name them.
+    pub fn thread_name<F>(self, _name: F) -> Self
+    where
+        F: Fn(usize) -> String,
+    {
+        self
+    }
+
+    /// Builds the pool. Never fails in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_width()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { width: n })
+    }
+}
+
+/// A logical pool of `width` worker slots. Workers are materialized as
+/// scoped OS threads on demand.
+pub struct ThreadPool {
+    width: usize,
+}
+
+/// Per-thread context handed to [`ThreadPool::broadcast`] closures.
+pub struct BroadcastContext<'a> {
+    index: usize,
+    num_threads: usize,
+    _scope: PhantomData<&'a ()>,
+}
+
+impl BroadcastContext<'_> {
+    /// This worker's rank in `0..num_threads()`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Team size of the broadcast.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+impl ThreadPool {
+    /// The pool's width.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+
+    /// Runs `op` with this pool's width installed, so nested
+    /// `par_iter()` calls split work across `width` threads.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        // Restore on drop so a panicking `op` (caught further up, e.g.
+        // by a test harness) cannot leak this pool's width onto the
+        // calling thread.
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_WIDTH.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(INSTALLED_WIDTH.with(|c| c.replace(self.width)));
+        op()
+    }
+
+    /// Executes `op` once on every worker slot concurrently and returns
+    /// the per-worker results in rank order.
+    pub fn broadcast<OP, R>(&self, op: OP) -> Vec<R>
+    where
+        OP: Fn(BroadcastContext<'_>) -> R + Sync,
+        R: Send,
+    {
+        let n = self.width;
+        let op = &op;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    scope.spawn(move || {
+                        op(BroadcastContext {
+                            index: i,
+                            num_threads: n,
+                            _scope: PhantomData,
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("broadcast worker panicked"))
+                .collect()
+        })
+    }
+}
+
+/// Runs `f` over `items` split into at most [`current_width`] contiguous
+/// chunks, one scoped thread per chunk, preserving item order in the
+/// result.
+fn chunked_run<'a, T, R, F>(items: &'a [T], f: F) -> Vec<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a [T]) -> Vec<R> + Sync,
+{
+    let width = current_width().max(1);
+    if width == 1 || items.len() <= 1 {
+        return vec![f(items)];
+    }
+    let chunk = items.len().div_ceil(width);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || f(c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel iterator worker panicked"))
+            .collect()
+    })
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T: Sync> {
+    items: &'a [T],
+}
+
+/// Mapped parallel iterator, terminated by [`ParMap::collect`].
+pub struct ParMap<'a, T: Sync, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each item; evaluation happens at `collect`.
+    pub fn map<F, R>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Calls `f` on every item, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        chunked_run(self.items, |chunk| {
+            chunk.iter().for_each(&f);
+            Vec::<()>::new()
+        });
+    }
+
+    /// Calls `f` on every item with a per-worker scratch state created
+    /// by `init` (mirrors `rayon`'s `for_each_init`).
+    pub fn for_each_init<I, S, F>(self, init: I, f: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &'a T) + Sync,
+    {
+        chunked_run(self.items, |chunk| {
+            let mut state = init();
+            for item in chunk {
+                f(&mut state, item);
+            }
+            Vec::<()>::new()
+        });
+    }
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Evaluates the map in parallel and collects results in input
+    /// order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        chunked_run(self.items, |chunk| chunk.iter().map(&self.f).collect())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// `use rayon::prelude::*;` surface.
+pub mod prelude {
+    pub use super::IntoParallelRefIterator;
+}
+
+/// Types with a `.par_iter()` borrowing parallel iterator.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'data;
+
+    /// A parallel iterator over `&self`.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn broadcast_runs_all_ranks_concurrently() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        // A hand-rolled barrier: only passes if all 4 closures are live
+        // at the same time.
+        let arrived = AtomicUsize::new(0);
+        let ranks = pool.broadcast(|ctx| {
+            arrived.fetch_add(1, Ordering::SeqCst);
+            while arrived.load(Ordering::SeqCst) < 4 {
+                std::hint::spin_loop();
+            }
+            ctx.index()
+        });
+        assert_eq!(ranks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let input: Vec<usize> = (0..100).collect();
+        let out: Vec<usize> = pool.install(|| input.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_init_covers_every_item_once() {
+        let input: Vec<usize> = (0..257).collect();
+        let seen = Mutex::new(Vec::new());
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            input
+                .par_iter()
+                .for_each_init(Vec::new, |acc: &mut Vec<usize>, &x| {
+                    acc.push(x);
+                    seen.lock().unwrap().push(x);
+                })
+        });
+        let got: HashSet<usize> = seen.lock().unwrap().iter().copied().collect();
+        assert_eq!(got.len(), 257);
+        assert_eq!(seen.lock().unwrap().len(), 257);
+    }
+
+    #[test]
+    fn install_restores_width_after_panic() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let before = current_width();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| panic!("boom"))
+        }));
+        assert!(caught.is_err());
+        assert_eq!(current_width(), before, "width leaked past a panic");
+    }
+
+    #[test]
+    fn install_restores_previous_width() {
+        let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_width(), 2);
+            inner.install(|| assert_eq!(current_width(), 5));
+            assert_eq!(current_width(), 2);
+        });
+    }
+}

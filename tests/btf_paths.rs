@@ -58,6 +58,7 @@ fn mixed_paths_solve_correctly() {
 #[test]
 fn nd_threshold_switches_paths() {
     let a = mesh2d(10, 4); // n = 100, irreducible
+
     // low threshold: ND path
     let sym = Basker::analyze(
         &a,

@@ -6,7 +6,9 @@ use basker_sparse::spmv::spmv;
 use basker_sparse::util::approx_eq_vec;
 
 fn agree_on(a: &CscMat, tol: f64) {
-    let xtrue: Vec<f64> = (0..a.ncols()).map(|i| ((i % 11) as f64 - 5.0) * 0.3).collect();
+    let xtrue: Vec<f64> = (0..a.ncols())
+        .map(|i| ((i % 11) as f64 - 5.0) * 0.3)
+        .collect();
     let b = spmv(a, &xtrue);
 
     let bsk = Basker::analyze(

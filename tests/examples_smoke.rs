@@ -1,0 +1,44 @@
+//! Smoke test: every `examples/` binary must run to completion, so the
+//! examples cannot silently rot as the API evolves. Each example is
+//! driven through `cargo run --example`, exactly as a user would invoke
+//! it (the binaries are already compiled by the time the test target
+//! runs, so this adds seconds, not a rebuild).
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let cargo = env!("CARGO");
+    let out = Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        out.status.success(),
+        "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(!out.stdout.is_empty(), "example {name} produced no output");
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn circuit_transient_runs() {
+    run_example("circuit_transient");
+}
+
+#[test]
+fn power_grid_contingency_runs() {
+    run_example("power_grid_contingency");
+}
+
+#[test]
+fn solver_faceoff_runs() {
+    run_example("solver_faceoff");
+}

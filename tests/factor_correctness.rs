@@ -56,7 +56,9 @@ fn basker_all_classes_all_thread_counts() {
                 ..BaskerOptions::default()
             };
             let sym = Basker::analyze(&a, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
-            let num = sym.factor(&a).unwrap_or_else(|e| panic!("{name} p={p}: {e}"));
+            let num = sym
+                .factor(&a)
+                .unwrap_or_else(|e| panic!("{name} p={p}: {e}"));
             let (_, b) = rhs_for(&a);
             let x = num.solve(&b);
             let r = relative_residual(&a, &x, &b);
@@ -134,7 +136,9 @@ fn table1_suite_factors_at_test_scale() {
             },
         )
         .unwrap_or_else(|err| panic!("{}: analyze {err}", e.name));
-        let num = sym.factor(&a).unwrap_or_else(|err| panic!("{}: factor {err}", e.name));
+        let num = sym
+            .factor(&a)
+            .unwrap_or_else(|err| panic!("{}: factor {err}", e.name));
         let (_, b) = rhs_for(&a);
         let x = num.solve(&b);
         let r = relative_residual(&a, &x, &b);

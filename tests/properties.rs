@@ -3,16 +3,20 @@
 //! solver, orderings must produce valid permutations, and the BTF form
 //! must be structurally correct.
 
-use basker_repro::prelude::*;
 use basker_ordering::btf::{btf_form, is_upper_block_triangular};
 use basker_ordering::matching::max_transversal;
+use basker_repro::prelude::*;
 use basker_sparse::spmv::spmv;
 use proptest::prelude::*;
 
 /// Strategy: a random square, structurally nonsingular, diagonally
 /// dominant sparse matrix of dimension 5..60.
 fn arb_matrix() -> impl Strategy<Value = CscMat> {
-    (5usize..60, proptest::collection::vec((0usize..60, 0usize..60, -2.0f64..2.0), 0..240), 0u64..1000)
+    (
+        5usize..60,
+        proptest::collection::vec((0usize..60, 0usize..60, -2.0f64..2.0), 0..240),
+        0u64..1000,
+    )
         .prop_map(|(n, entries, _seed)| {
             let mut t = TripletMat::new(n, n);
             let mut rowsum = vec![0.0f64; n];
