@@ -1,0 +1,64 @@
+//! # Unified `LinearSolver` API
+//!
+//! One engine-agnostic lifecycle — `analyze → factor/refactor →
+//! solve_in_place` — over the workspace's three sparse LU engines:
+//!
+//! * [`Engine::Basker`] — the paper's threaded hierarchical solver,
+//! * [`Engine::Klu`] — the serial BTF + Gilbert–Peierls baseline,
+//! * [`Engine::Snlu`] — the supernodal level-scheduled comparator,
+//! * [`Engine::Auto`] — pick per matrix from the BTF structure (the
+//!   paper's circuit-vs-mesh crossover heuristic).
+//!
+//! The design goals, in order:
+//!
+//! 1. **One lifecycle.** The [`SparseLuSolver`] / [`LuNumeric`] trait
+//!    pair is implemented by every engine, so driver code (benchmark
+//!    harnesses, transient simulators, batching layers) is written once.
+//! 2. **Allocation-free hot path.** `solve_in_place` works entirely in a
+//!    caller-owned [`SolveWorkspace`]; after the first solve at a given
+//!    dimension repeated solves perform zero heap allocation.
+//! 3. **Errors in global coordinates.** A singular pivot is reported as
+//!    the **original matrix column** plus its BTF block
+//!    ([`SolverError::SingularPivot`]), never an engine-local index.
+//!
+//! ## Example: transient-style loop over any engine
+//!
+//! ```
+//! use basker_api::{Engine, LinearSolver, LuNumeric, SolverConfig, SparseLuSolver};
+//! use basker_sparse::{CscMat, SolveWorkspace};
+//!
+//! let a = CscMat::from_dense(&[
+//!     vec![10.0, 2.0, 0.0],
+//!     vec![3.0, 12.0, 4.0],
+//!     vec![0.0, 1.0, 9.0],
+//! ]);
+//! let cfg = SolverConfig::new().engine(Engine::Auto).threads(2);
+//! let solver = LinearSolver::analyze(&a, &cfg).unwrap();
+//! let mut num = solver.factor(&a).unwrap();
+//! let mut ws = SolveWorkspace::for_dim(3);
+//!
+//! // values drift, pattern fixed: value-only refactorization
+//! let a2 = CscMat::from_parts_unchecked(
+//!     3, 3,
+//!     a.colptr().to_vec(), a.rowind().to_vec(),
+//!     a.values().iter().map(|v| v * 1.1).collect(),
+//! );
+//! if num.refactor(&a2).is_err() {
+//!     num = solver.factor(&a2).unwrap(); // pivot collapsed: re-pivot
+//! }
+//! let mut x = vec![1.0, 0.0, -1.0];
+//! num.solve_in_place(&mut x, &mut ws).unwrap(); // allocation-free
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod solver;
+
+pub use config::{Engine, SolverConfig};
+pub use error::SolverError;
+pub use solver::{Factorization, LinearSolver, LuNumeric, SolverStats, SparseLuSolver};
+
+// The workspace type callers need for the in-place solves.
+pub use basker_sparse::SolveWorkspace;

@@ -1,0 +1,682 @@
+//! The unified lifecycle traits, the engine adapters, and the
+//! type-erased [`LinearSolver`] front-end.
+//!
+//! The lifecycle is the one every sparse direct solver shares (HYLU,
+//! KLU, Pardiso — and this workspace's three engines):
+//!
+//! ```text
+//! analyze(A, cfg) ─► Symbolic ─ factor(A) ─► Numeric ─ solve_in_place(x, ws)
+//!                        ▲                      │ refactor(A')  (values only)
+//!                        └──────────────────────┘ fall back to factor on
+//!                                                 SingularPivot
+//! ```
+//!
+//! [`SparseLuSolver`] is implemented directly by each engine's symbolic
+//! type (`KluSymbolic`, `Basker`, `Snlu`) for static dispatch, and by
+//! [`LinearSolver`] for engine-agnostic code and [`Engine::Auto`].
+
+use crate::config::{Engine, SolverConfig};
+use crate::error::{map_analyze_error, map_engine_error, SolverError};
+use basker::{Basker, BaskerNumeric};
+use basker_klu::{KluNumeric, KluSymbolic};
+use basker_snlu::{Snlu, SnluNumeric};
+use basker_sparse::{CscMat, SolveWorkspace, SparseError};
+use std::time::Instant;
+
+/// Uniform post-factorization metrics across engines.
+///
+/// Fields an engine does not track are zero (e.g. `perturbed_pivots` for
+/// the pivoting engines, `sync_fraction` outside Basker,
+/// `factor_seconds` outside [`LinearSolver`]/Basker).
+#[derive(Debug, Clone, Default)]
+pub struct SolverStats {
+    /// The engine that produced the factors.
+    pub engine: Option<Engine>,
+    /// Matrix dimension.
+    pub dimension: usize,
+    /// `|L+U|` as the engine reports it.
+    pub lu_nnz: usize,
+    /// Numeric flops of the last (re)factorization.
+    pub flops: f64,
+    /// Number of BTF diagonal blocks (1 when the engine runs without BTF).
+    pub btf_blocks: usize,
+    /// Effective worker threads.
+    pub threads: usize,
+    /// Statically perturbed pivots (supernodal engine only).
+    pub perturbed_pivots: usize,
+    /// Synchronization overhead fraction (Basker only).
+    pub sync_fraction: f64,
+    /// Wall-clock seconds of the last (re)factorization, when measured.
+    pub factor_seconds: f64,
+}
+
+impl SolverStats {
+    /// Fill density `|L+U| / |A|` (Table I's sorting key).
+    pub fn fill_density(&self, nnz_a: usize) -> f64 {
+        self.lu_nnz as f64 / nnz_a.max(1) as f64
+    }
+}
+
+/// The symbolic side of the lifecycle: pattern analysis and numeric
+/// factorization. `analyze → Symbolic`, `factor → Numeric`.
+pub trait SparseLuSolver: Sized {
+    /// The numeric handle this engine produces.
+    type Numeric: LuNumeric;
+
+    /// Analyzes the pattern of `a` under `cfg` (orderings, block
+    /// structure, schedules) — reusable across every matrix with the
+    /// same sparsity pattern.
+    fn analyze(a: &CscMat, cfg: &SolverConfig) -> Result<Self, SolverError>;
+
+    /// Numeric factorization with fresh pivoting.
+    fn factor(&self, a: &CscMat) -> Result<Self::Numeric, SolverError>;
+
+    /// The engine behind this handle.
+    fn engine(&self) -> Engine;
+
+    /// Matrix dimension this analysis is for.
+    fn dim(&self) -> usize;
+}
+
+/// The numeric side of the lifecycle: value-only refactorization and
+/// allocation-free solves.
+pub trait LuNumeric {
+    /// Refreshes the factors from new values on the **same pattern**,
+    /// reusing patterns and pivot sequences (no graph search). Fails with
+    /// [`SolverError::SingularPivot`] when a frozen pivot collapses;
+    /// callers then fall back to [`SparseLuSolver::factor`].
+    fn refactor(&mut self, a: &CscMat) -> Result<(), SolverError>;
+
+    /// Solves `A·x = b` in place: on entry `x` holds `b`, on exit the
+    /// solution. With a warmed-up [`SolveWorkspace`] the call performs
+    /// zero heap allocation.
+    fn solve_in_place(&self, x: &mut [f64], ws: &mut SolveWorkspace) -> Result<(), SolverError>;
+
+    /// Solves several right-hand sides packed column-major in `xs`
+    /// (`xs.len()` must be a multiple of [`LuNumeric::dim`]).
+    ///
+    /// Unlike the engines' inherent `solve_multi_in_place` methods
+    /// (which `assert!` on a ragged `xs`, treating it as a programmer
+    /// error), this trait surface reports the mismatch as a recoverable
+    /// [`SolverError`].
+    fn solve_multi_in_place(
+        &self,
+        xs: &mut [f64],
+        ws: &mut SolveWorkspace,
+    ) -> Result<(), SolverError> {
+        let n = self.dim();
+        if (n == 0 && !xs.is_empty()) || (n != 0 && xs.len() % n != 0) {
+            return Err(SolverError::Sparse(SparseError::DimensionMismatch {
+                expected: (n, xs.len().div_ceil(n.max(1))),
+                found: (xs.len(), 1),
+            }));
+        }
+        if n == 0 {
+            return Ok(());
+        }
+        for rhs in xs.chunks_exact_mut(n) {
+            self.solve_in_place(rhs, ws)?;
+        }
+        Ok(())
+    }
+
+    /// Metrics of the last (re)factorization.
+    fn stats(&self) -> SolverStats;
+
+    /// Matrix dimension.
+    fn dim(&self) -> usize;
+}
+
+fn check_rhs(n: usize, got: usize) -> Result<(), SolverError> {
+    if n == got {
+        Ok(())
+    } else {
+        Err(SolverError::Sparse(SparseError::DimensionMismatch {
+            expected: (n, 1),
+            found: (got, 1),
+        }))
+    }
+}
+
+// ---------------------------------------------------------------- KLU --
+
+impl SparseLuSolver for KluSymbolic {
+    type Numeric = KluNumeric;
+
+    fn analyze(a: &CscMat, cfg: &SolverConfig) -> Result<Self, SolverError> {
+        KluSymbolic::analyze(a, &cfg.klu_options())
+            .map_err(|e| map_analyze_error(Engine::Klu, a.nrows(), e))
+    }
+
+    fn factor(&self, a: &CscMat) -> Result<KluNumeric, SolverError> {
+        KluSymbolic::factor(self, a).map_err(|e| {
+            map_engine_error(Engine::Klu, self.col_perm().as_slice(), self.bounds(), e)
+        })
+    }
+
+    fn engine(&self) -> Engine {
+        Engine::Klu
+    }
+
+    fn dim(&self) -> usize {
+        self.n()
+    }
+}
+
+impl LuNumeric for KluNumeric {
+    fn refactor(&mut self, a: &CscMat) -> Result<(), SolverError> {
+        // Map to global context only on failure — the success path (a
+        // transient simulation's per-step hot path) stays allocation-free.
+        match KluNumeric::refactor(self, a) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let s = self.symbolic();
+                Err(map_engine_error(
+                    Engine::Klu,
+                    s.col_perm().as_slice(),
+                    s.bounds(),
+                    e,
+                ))
+            }
+        }
+    }
+
+    fn solve_in_place(&self, x: &mut [f64], ws: &mut SolveWorkspace) -> Result<(), SolverError> {
+        check_rhs(self.symbolic().n(), x.len())?;
+        KluNumeric::solve_in_place(self, x, ws);
+        Ok(())
+    }
+
+    fn stats(&self) -> SolverStats {
+        SolverStats {
+            engine: Some(Engine::Klu),
+            dimension: self.symbolic().n(),
+            lu_nnz: self.lu_nnz(),
+            flops: self.flops(),
+            btf_blocks: self.symbolic().nblocks(),
+            threads: 1,
+            ..SolverStats::default()
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.symbolic().n()
+    }
+}
+
+// ------------------------------------------------------------- Basker --
+
+impl SparseLuSolver for Basker {
+    type Numeric = BaskerNumeric;
+
+    fn analyze(a: &CscMat, cfg: &SolverConfig) -> Result<Self, SolverError> {
+        Basker::analyze(a, &cfg.basker_options())
+            .map_err(|e| map_analyze_error(Engine::Basker, a.nrows(), e))
+    }
+
+    fn factor(&self, a: &CscMat) -> Result<BaskerNumeric, SolverError> {
+        let st = self.structure();
+        Basker::factor(self, a)
+            .map_err(|e| map_engine_error(Engine::Basker, st.col_perm.as_slice(), &st.bounds, e))
+    }
+
+    fn engine(&self) -> Engine {
+        Engine::Basker
+    }
+
+    fn dim(&self) -> usize {
+        self.structure().n
+    }
+}
+
+impl LuNumeric for BaskerNumeric {
+    fn refactor(&mut self, a: &CscMat) -> Result<(), SolverError> {
+        // As for KLU: resolve error context lazily, on failure only.
+        match BaskerNumeric::refactor(self, a) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let st = self.symbolic().structure();
+                Err(map_engine_error(
+                    Engine::Basker,
+                    st.col_perm.as_slice(),
+                    &st.bounds,
+                    e,
+                ))
+            }
+        }
+    }
+
+    fn solve_in_place(&self, x: &mut [f64], ws: &mut SolveWorkspace) -> Result<(), SolverError> {
+        check_rhs(self.symbolic().structure().n, x.len())?;
+        BaskerNumeric::solve_in_place(self, x, ws);
+        Ok(())
+    }
+
+    fn stats(&self) -> SolverStats {
+        SolverStats {
+            engine: Some(Engine::Basker),
+            dimension: self.symbolic().structure().n,
+            lu_nnz: self.stats.lu_nnz,
+            flops: self.stats.flops,
+            btf_blocks: self.stats.btf_blocks,
+            threads: self.stats.threads,
+            sync_fraction: self.stats.sync_fraction(),
+            factor_seconds: self.stats.numeric_seconds,
+            ..SolverStats::default()
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.symbolic().structure().n
+    }
+}
+
+// --------------------------------------------------------------- Snlu --
+
+impl SparseLuSolver for Snlu {
+    type Numeric = SnluNumeric;
+
+    fn analyze(a: &CscMat, cfg: &SolverConfig) -> Result<Self, SolverError> {
+        Snlu::analyze(a, &cfg.snlu_options())
+            .map_err(|e| map_analyze_error(Engine::Snlu, a.nrows(), e))
+    }
+
+    fn factor(&self, a: &CscMat) -> Result<SnluNumeric, SolverError> {
+        // Static pivoting: no per-column pivot failures; errors (if any)
+        // have no permuted-column context to translate.
+        Snlu::factor(self, a).map_err(SolverError::Sparse)
+    }
+
+    fn engine(&self) -> Engine {
+        Engine::Snlu
+    }
+
+    fn dim(&self) -> usize {
+        self.n()
+    }
+}
+
+impl LuNumeric for SnluNumeric {
+    fn refactor(&mut self, a: &CscMat) -> Result<(), SolverError> {
+        SnluNumeric::refactor(self, a).map_err(SolverError::Sparse)
+    }
+
+    fn solve_in_place(&self, x: &mut [f64], ws: &mut SolveWorkspace) -> Result<(), SolverError> {
+        check_rhs(self.symbolic().n(), x.len())?;
+        SnluNumeric::solve_in_place(self, x, ws);
+        Ok(())
+    }
+
+    fn stats(&self) -> SolverStats {
+        SolverStats {
+            engine: Some(Engine::Snlu),
+            dimension: self.symbolic().n(),
+            lu_nnz: self.lu_nnz,
+            flops: self.flops,
+            btf_blocks: 1,
+            threads: self.symbolic().options().nthreads,
+            perturbed_pivots: self.perturbed_pivots,
+            ..SolverStats::default()
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.symbolic().n()
+    }
+}
+
+// ------------------------------------------------- type-erased facade --
+
+/// An engine-agnostic symbolic handle.
+///
+/// `analyze` resolves [`Engine::Auto`] against the matrix structure and
+/// dispatches to the chosen engine; the same calling code then drives
+/// KLU, Basker or the supernodal solver identically.
+///
+/// ```
+/// use basker_api::{Engine, LinearSolver, SolverConfig, SparseLuSolver, LuNumeric};
+/// use basker_sparse::{CscMat, SolveWorkspace};
+///
+/// let a = CscMat::from_dense(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+/// let solver = LinearSolver::analyze(&a, &SolverConfig::new()).unwrap();
+/// let num = solver.factor(&a).unwrap();
+/// let mut ws = SolveWorkspace::new();
+/// let mut x = vec![5.0, 4.0];
+/// num.solve_in_place(&mut x, &mut ws).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-10 && (x[1] - 1.0).abs() < 1e-10);
+/// ```
+pub struct LinearSolver {
+    engine: Engine,
+    inner: SymbolicInner,
+}
+
+enum SymbolicInner {
+    Klu(KluSymbolic),
+    Basker(Basker),
+    Snlu(Snlu),
+}
+
+impl LinearSolver {
+    /// Analyzes `a`, resolving [`Engine::Auto`] from the BTF structure.
+    pub fn analyze(a: &CscMat, cfg: &SolverConfig) -> Result<LinearSolver, SolverError> {
+        let engine = cfg.resolve_engine(a)?;
+        let inner = match engine {
+            Engine::Klu => SymbolicInner::Klu(<KluSymbolic as SparseLuSolver>::analyze(a, cfg)?),
+            Engine::Basker => SymbolicInner::Basker(<Basker as SparseLuSolver>::analyze(a, cfg)?),
+            Engine::Snlu => SymbolicInner::Snlu(<Snlu as SparseLuSolver>::analyze(a, cfg)?),
+            Engine::Auto => unreachable!("resolve_engine returns a concrete engine"),
+        };
+        Ok(LinearSolver { engine, inner })
+    }
+
+    /// Numeric factorization with fresh pivoting (also available through
+    /// [`SparseLuSolver::factor`]).
+    pub fn factor(&self, a: &CscMat) -> Result<Factorization, SolverError> {
+        let t0 = Instant::now();
+        let inner = match &self.inner {
+            SymbolicInner::Klu(s) => NumericInner::Klu(SparseLuSolver::factor(s, a)?),
+            SymbolicInner::Basker(s) => NumericInner::Basker(SparseLuSolver::factor(s, a)?),
+            SymbolicInner::Snlu(s) => NumericInner::Snlu(SparseLuSolver::factor(s, a)?),
+        };
+        Ok(Factorization {
+            engine: self.engine,
+            inner,
+            factor_seconds: t0.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// The concrete engine behind this handle ([`Engine::Auto`] already
+    /// resolved).
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Matrix dimension this analysis is for.
+    pub fn dim(&self) -> usize {
+        match &self.inner {
+            SymbolicInner::Klu(s) => s.n(),
+            SymbolicInner::Basker(s) => s.structure().n,
+            SymbolicInner::Snlu(s) => s.n(),
+        }
+    }
+
+    /// Borrows the underlying KLU analysis when that engine was chosen.
+    pub fn as_klu(&self) -> Option<&KluSymbolic> {
+        match &self.inner {
+            SymbolicInner::Klu(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the underlying Basker analysis when that engine was chosen.
+    pub fn as_basker(&self) -> Option<&Basker> {
+        match &self.inner {
+            SymbolicInner::Basker(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the underlying supernodal analysis when that engine was
+    /// chosen.
+    pub fn as_snlu(&self) -> Option<&Snlu> {
+        match &self.inner {
+            SymbolicInner::Snlu(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl SparseLuSolver for LinearSolver {
+    type Numeric = Factorization;
+
+    fn analyze(a: &CscMat, cfg: &SolverConfig) -> Result<Self, SolverError> {
+        LinearSolver::analyze(a, cfg)
+    }
+
+    fn factor(&self, a: &CscMat) -> Result<Factorization, SolverError> {
+        LinearSolver::factor(self, a)
+    }
+
+    fn engine(&self) -> Engine {
+        LinearSolver::engine(self)
+    }
+
+    fn dim(&self) -> usize {
+        LinearSolver::dim(self)
+    }
+}
+
+impl std::fmt::Debug for LinearSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinearSolver")
+            .field("engine", &self.engine)
+            .field("dim", &self.dim())
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for Factorization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Factorization")
+            .field("engine", &self.engine)
+            .field("dim", &self.dim())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The numeric factors produced by a [`LinearSolver`].
+pub struct Factorization {
+    engine: Engine,
+    inner: NumericInner,
+    factor_seconds: f64,
+}
+
+enum NumericInner {
+    Klu(KluNumeric),
+    Basker(BaskerNumeric),
+    Snlu(SnluNumeric),
+}
+
+impl Factorization {
+    /// The engine that produced these factors.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Value-only refactorization (see [`LuNumeric::refactor`]).
+    pub fn refactor(&mut self, a: &CscMat) -> Result<(), SolverError> {
+        let t0 = Instant::now();
+        match &mut self.inner {
+            NumericInner::Klu(n) => LuNumeric::refactor(n, a)?,
+            NumericInner::Basker(n) => LuNumeric::refactor(n, a)?,
+            NumericInner::Snlu(n) => LuNumeric::refactor(n, a)?,
+        }
+        self.factor_seconds = t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    /// In-place solve (see [`LuNumeric::solve_in_place`]).
+    pub fn solve_in_place(
+        &self,
+        x: &mut [f64],
+        ws: &mut SolveWorkspace,
+    ) -> Result<(), SolverError> {
+        match &self.inner {
+            NumericInner::Klu(n) => LuNumeric::solve_in_place(n, x, ws),
+            NumericInner::Basker(n) => LuNumeric::solve_in_place(n, x, ws),
+            NumericInner::Snlu(n) => LuNumeric::solve_in_place(n, x, ws),
+        }
+    }
+
+    /// In-place multi-rhs solve (see [`LuNumeric::solve_multi_in_place`]).
+    pub fn solve_multi_in_place(
+        &self,
+        xs: &mut [f64],
+        ws: &mut SolveWorkspace,
+    ) -> Result<(), SolverError> {
+        LuNumeric::solve_multi_in_place(self, xs, ws)
+    }
+
+    /// Metrics of the last (re)factorization.
+    pub fn stats(&self) -> SolverStats {
+        let mut s = match &self.inner {
+            NumericInner::Klu(n) => LuNumeric::stats(n),
+            NumericInner::Basker(n) => LuNumeric::stats(n),
+            NumericInner::Snlu(n) => LuNumeric::stats(n),
+        };
+        s.factor_seconds = self.factor_seconds;
+        s
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        match &self.inner {
+            NumericInner::Klu(n) => LuNumeric::dim(n),
+            NumericInner::Basker(n) => LuNumeric::dim(n),
+            NumericInner::Snlu(n) => LuNumeric::dim(n),
+        }
+    }
+
+    /// Convenience allocating solve for cold paths; hot loops should use
+    /// [`LuNumeric::solve_in_place`] with a reused [`SolveWorkspace`].
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolverError> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x, &mut SolveWorkspace::new())?;
+        Ok(x)
+    }
+
+    /// Borrows the Basker factors when that engine was chosen.
+    pub fn as_basker(&self) -> Option<&BaskerNumeric> {
+        match &self.inner {
+            NumericInner::Basker(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+impl LuNumeric for Factorization {
+    fn refactor(&mut self, a: &CscMat) -> Result<(), SolverError> {
+        Factorization::refactor(self, a)
+    }
+
+    fn solve_in_place(&self, x: &mut [f64], ws: &mut SolveWorkspace) -> Result<(), SolverError> {
+        Factorization::solve_in_place(self, x, ws)
+    }
+
+    fn stats(&self) -> SolverStats {
+        Factorization::stats(self)
+    }
+
+    fn dim(&self) -> usize {
+        Factorization::dim(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basker_sparse::spmv::spmv;
+    use basker_sparse::util::relative_residual;
+    use basker_sparse::TripletMat;
+
+    fn circuitish(n: usize) -> CscMat {
+        let mut t = TripletMat::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 10.0 + (i % 3) as f64);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+            }
+            if i >= 4 {
+                t.push(i, i - 4, 0.5);
+            }
+        }
+        t.to_csc()
+    }
+
+    fn check_engine(engine: Engine) {
+        let a = circuitish(30);
+        let cfg = SolverConfig::new().engine(engine);
+        let solver = LinearSolver::analyze(&a, &cfg).unwrap();
+        assert_eq!(solver.engine(), engine);
+        assert_eq!(solver.dim(), 30);
+        let num = SparseLuSolver::factor(&solver, &a).unwrap();
+        let xtrue: Vec<f64> = (0..30).map(|i| 1.0 + (i % 5) as f64).collect();
+        let mut x = spmv(&a, &xtrue);
+        let b = x.clone();
+        let mut ws = SolveWorkspace::new();
+        num.solve_in_place(&mut x, &mut ws).unwrap();
+        assert!(relative_residual(&a, &x, &b) < 1e-9, "{engine}");
+        let st = num.stats();
+        assert_eq!(st.engine, Some(engine));
+        assert!(st.lu_nnz > 0 && st.dimension == 30, "{engine}");
+    }
+
+    #[test]
+    fn all_engines_through_the_facade() {
+        for e in [Engine::Klu, Engine::Basker, Engine::Snlu] {
+            check_engine(e);
+        }
+    }
+
+    #[test]
+    fn multi_rhs_matches_single() {
+        let a = circuitish(20);
+        let solver = LinearSolver::analyze(&a, &SolverConfig::new().engine(Engine::Klu)).unwrap();
+        let num = SparseLuSolver::factor(&solver, &a).unwrap();
+        let b1 = vec![1.0; 20];
+        let b2: Vec<f64> = (0..20).map(|i| i as f64 * 0.25).collect();
+        let mut ws = SolveWorkspace::new();
+        let mut packed: Vec<f64> = b1.iter().chain(b2.iter()).copied().collect();
+        num.solve_multi_in_place(&mut packed, &mut ws).unwrap();
+        let x1 = num.solve(&b1).unwrap();
+        let x2 = num.solve(&b2).unwrap();
+        assert_eq!(&packed[..20], &x1[..]);
+        assert_eq!(&packed[20..], &x2[..]);
+    }
+
+    #[test]
+    fn rhs_dimension_checked() {
+        let a = circuitish(8);
+        let solver =
+            LinearSolver::analyze(&a, &SolverConfig::new().engine(Engine::Basker)).unwrap();
+        let num = SparseLuSolver::factor(&solver, &a).unwrap();
+        let mut short = vec![1.0; 5];
+        let mut ws = SolveWorkspace::new();
+        assert!(num.solve_in_place(&mut short, &mut ws).is_err());
+        let mut ragged = vec![1.0; 12];
+        assert!(num.solve_multi_in_place(&mut ragged, &mut ws).is_err());
+    }
+
+    #[test]
+    fn singular_pivot_reports_global_context() {
+        // Two decoupled blocks; the second ([1 1; 1 1] on rows/cols 2,3)
+        // is numerically singular.
+        let mut t = TripletMat::new(4, 4);
+        t.push(0, 0, 3.0);
+        t.push(1, 1, 4.0);
+        t.push(2, 2, 1.0);
+        t.push(2, 3, 1.0);
+        t.push(3, 2, 1.0);
+        t.push(3, 3, 1.0);
+        let a = t.to_csc();
+        for engine in [Engine::Klu, Engine::Basker] {
+            let solver = LinearSolver::analyze(&a, &SolverConfig::new().engine(engine)).unwrap();
+            let err = SparseLuSolver::factor(&solver, &a).unwrap_err();
+            let SolverError::SingularPivot {
+                engine: e,
+                global_column,
+                btf_block,
+                ..
+            } = err
+            else {
+                panic!("{engine}: expected SingularPivot, got {err:?}");
+            };
+            assert_eq!(e, engine);
+            assert!(
+                global_column == 2 || global_column == 3,
+                "{engine}: global column {global_column} not in the singular block"
+            );
+            assert!(btf_block < 4, "{engine}: block {btf_block}");
+        }
+    }
+}

@@ -98,12 +98,17 @@ fn bench_refactor(c: &mut Criterion) {
 fn bench_solve(c: &mut Criterion) {
     let mut g = c.benchmark_group("solve");
     g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let mut ws = basker_sparse::SolveWorkspace::new();
     for (name, a) in matrices() {
         let rhs = vec![1.0; a.ncols()];
+        let mut x = rhs.clone();
         let klu = KluSymbolic::analyze(&a, &KluOptions::default()).unwrap();
         let knum = klu.factor(&a).unwrap();
         g.bench_with_input(BenchmarkId::new("klu", name), &rhs, |b, rhs| {
-            b.iter(|| knum.solve(rhs))
+            b.iter(|| {
+                x.copy_from_slice(rhs);
+                knum.solve_in_place(&mut x, &mut ws);
+            })
         });
         let bsk = Basker::analyze(
             &a,
@@ -116,7 +121,10 @@ fn bench_solve(c: &mut Criterion) {
         .unwrap();
         let bnum = bsk.factor(&a).unwrap();
         g.bench_with_input(BenchmarkId::new("basker", name), &rhs, |b, rhs| {
-            b.iter(|| bnum.solve(rhs))
+            b.iter(|| {
+                x.copy_from_slice(rhs);
+                bnum.solve_in_place(&mut x, &mut ws);
+            })
         });
     }
     g.finish();

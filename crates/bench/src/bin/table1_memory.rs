@@ -10,7 +10,7 @@
 //! Usage: `table1_memory [test|bench]` (default `bench`).
 
 use basker::SyncMode;
-use basker_bench::{analyze, fmt_eng, print_markdown_table, SolverHandle, SolverKind};
+use basker_bench::{analyze, fmt_eng, print_markdown_table, SolverKind};
 use basker_matgen::table1_suite;
 
 fn main() {
@@ -30,8 +30,10 @@ fn main() {
 
     for e in table1_suite() {
         let a = e.generate(scale);
-        let klu = analyze(&a, SolverKind::Klu).and_then(|h| h.factor(&a).map(|n| (h, n)));
-        let pmkl = analyze(&a, SolverKind::Pmkl { threads: 2 }).and_then(|h| h.factor(&a));
+        let klu = analyze(&a, SolverKind::Klu)
+            .and_then(|h| h.factor(&a).map(|n| (h, n)).map_err(|e| e.to_string()));
+        let pmkl = analyze(&a, SolverKind::Pmkl { threads: 2 })
+            .and_then(|h| h.factor(&a).map_err(|e| e.to_string()));
         let basker = analyze(
             &a,
             SolverKind::Basker {
@@ -39,25 +41,26 @@ fn main() {
                 sync: SyncMode::PointToPoint,
             },
         )
-        .and_then(|h| h.factor(&a));
+        .and_then(|h| h.factor(&a).map_err(|e| e.to_string()));
 
         let (klu_nnz, btf_pct, btf_blocks) = match &klu {
             Ok((h, n)) => {
-                let SolverHandle::Klu(sym) = h else {
-                    unreachable!()
-                };
+                let sym = h.as_klu().expect("KLU engine requested");
                 (
-                    n.lu_nnz() as f64,
+                    n.stats().lu_nnz as f64,
                     100.0 * sym.small_block_fraction(64),
                     sym.nblocks() as f64,
                 )
             }
             Err(_) => (f64::NAN, f64::NAN, f64::NAN),
         };
-        let pmkl_nnz = pmkl.as_ref().map(|n| n.lu_nnz() as f64).unwrap_or(f64::NAN);
+        let pmkl_nnz = pmkl
+            .as_ref()
+            .map(|n| n.stats().lu_nnz as f64)
+            .unwrap_or(f64::NAN);
         let basker_nnz = basker
             .as_ref()
-            .map(|n| n.lu_nnz() as f64)
+            .map(|n| n.stats().lu_nnz as f64)
             .unwrap_or(f64::NAN);
 
         if basker_nnz.is_finite() && pmkl_nnz.is_finite() {

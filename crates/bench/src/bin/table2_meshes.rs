@@ -13,8 +13,8 @@ fn main() {
     for e in mesh_suite() {
         let a = e.generate(scale);
         let lu = analyze(&a, SolverKind::Pmkl { threads: 2 })
-            .and_then(|h| h.factor(&a))
-            .map(|n| n.lu_nnz() as f64)
+            .and_then(|h| h.factor(&a).map_err(|e| e.to_string()))
+            .map(|n| n.stats().lu_nnz as f64)
             .unwrap_or(f64::NAN);
         rows.push(vec![
             e.name.to_string(),

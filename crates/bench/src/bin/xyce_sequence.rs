@@ -16,14 +16,49 @@
 //! (this library's extension; KLU offers the same), which skips pivoting
 //! entirely and is the right tool when values drift gently.
 //!
+//! Every engine runs through the unified `LinearSolver` lifecycle — one
+//! loop body serves all of them, and the solve path reuses a single
+//! `SolveWorkspace` (zero allocation per solve).
+//!
 //! Usage: `xyce_sequence [nsteps] [test|bench]` (defaults: 200, bench).
 
-use basker::{Basker, BaskerOptions, SyncMode};
-use basker_klu::{KluOptions, KluSymbolic};
+use basker::SyncMode;
+use basker_api::{LinearSolver, SolverConfig};
+use basker_bench::SolverKind;
 use basker_matgen::{CircuitParams, XyceSequence, XyceSequenceParams};
-use basker_snlu::{Snlu, SnluOptions};
 use basker_sparse::util::relative_residual;
+use basker_sparse::{CscMat, SolveWorkspace};
 use std::time::Instant;
+
+/// Paper semantics: fresh pivoting factorization per step.
+fn time_factor_sequence(solver: &LinearSolver, seq: &XyceSequence, nsteps: usize) -> f64 {
+    let t0 = Instant::now();
+    for s in 0..nsteps {
+        let m = seq.matrix_at(s);
+        solver.factor(&m).expect("factor");
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Extension semantics: value-only refactor with pivot fallback.
+fn time_refactor_sequence(
+    solver: &LinearSolver,
+    seq: &XyceSequence,
+    a0: &CscMat,
+    nsteps: usize,
+) -> (f64, usize) {
+    let t0 = Instant::now();
+    let mut num = solver.factor(a0).expect("factor");
+    let mut fallbacks = 0usize;
+    for s in 1..nsteps {
+        let m = seq.matrix_at(s);
+        if num.refactor(&m).is_err() {
+            num = solver.factor(&m).expect("re-pivot");
+            fallbacks += 1;
+        }
+    }
+    (t0.elapsed().as_secs_f64(), fallbacks)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -48,52 +83,36 @@ fn main() {
         a0.nnz()
     );
 
-    // ---- symbolic analyses, once per solver ----
-    let bsk = Basker::analyze(
-        &a0,
-        &BaskerOptions {
-            nthreads: 2,
-            sync_mode: SyncMode::PointToPoint,
-            ..BaskerOptions::default()
-        },
-    )
-    .expect("basker analyze");
-    let klu = KluSymbolic::analyze(&a0, &KluOptions::default()).expect("klu analyze");
-    let pmkl = Snlu::analyze(
-        &a0,
-        &SnluOptions {
-            nthreads: 2,
-            ..SnluOptions::default()
-        },
-    )
-    .expect("snlu analyze");
+    // ---- symbolic analyses, once per solver, one unified entry point ----
+    let mk = |kind: SolverKind| -> LinearSolver {
+        LinearSolver::analyze(&a0, &kind.config()).expect("analyze")
+    };
+    let bsk = mk(SolverKind::Basker {
+        threads: 2,
+        sync: SyncMode::PointToPoint,
+    });
+    let klu = mk(SolverKind::Klu);
+    let pmkl = mk(SolverKind::Pmkl { threads: 2 });
+    let auto = LinearSolver::analyze(&a0, &SolverConfig::new().threads(2)).expect("analyze");
+    println!(
+        "(Engine::Auto classifies this circuit sequence as `{}`)\n",
+        auto.engine()
+    );
 
     // ---- paper semantics: numeric factorization (with pivoting) per step
-    let t0 = Instant::now();
-    let mut last = None;
-    for s in 0..nsteps {
-        let m = seq.matrix_at(s);
-        last = Some(bsk.factor(&m).expect("basker factor"));
-    }
-    let basker_secs = t0.elapsed().as_secs_f64();
-    let b = vec![1.0; a0.ncols()];
+    let basker_secs = time_factor_sequence(&bsk, &seq, nsteps);
+    let klu_secs = time_factor_sequence(&klu, &seq, nsteps);
+    let pmkl_secs = time_factor_sequence(&pmkl, &seq, nsteps);
+
+    // accuracy spot-check on the last step, allocation-free solve path
     let lastm = seq.matrix_at(nsteps - 1);
-    let resid = relative_residual(&lastm, &last.unwrap().solve(&b), &b);
+    let num = bsk.factor(&lastm).expect("factor");
+    let b = vec![1.0; a0.ncols()];
+    let mut x = b.clone();
+    let mut ws = SolveWorkspace::for_dim(a0.ncols());
+    num.solve_in_place(&mut x, &mut ws).expect("solve");
+    let resid = relative_residual(&lastm, &x, &b);
     assert!(resid < 1e-8, "basker residual {resid}");
-
-    let t0 = Instant::now();
-    for s in 0..nsteps {
-        let m = seq.matrix_at(s);
-        let _ = klu.factor(&m).expect("klu factor");
-    }
-    let klu_secs = t0.elapsed().as_secs_f64();
-
-    let t0 = Instant::now();
-    for s in 0..nsteps {
-        let m = seq.matrix_at(s);
-        let _ = pmkl.factor(&m).expect("snlu factor");
-    }
-    let pmkl_secs = t0.elapsed().as_secs_f64();
 
     println!("## numeric factorization per step (the paper's experiment)\n");
     println!("| solver | total seconds |");
@@ -110,28 +129,8 @@ fn main() {
     );
 
     // ---- extension: value-only refactorization fast path ----
-    let t0 = Instant::now();
-    let mut num = bsk.factor(&a0).expect("factor");
-    let mut fallbacks = 0usize;
-    for s in 1..nsteps {
-        let m = seq.matrix_at(s);
-        if num.refactor(&m).is_err() {
-            num = bsk.factor(&m).expect("re-pivot");
-            fallbacks += 1;
-        }
-    }
-    let basker_re = t0.elapsed().as_secs_f64();
-    let t0 = Instant::now();
-    let mut knum = klu.factor(&a0).expect("factor");
-    let mut kfallbacks = 0usize;
-    for s in 1..nsteps {
-        let m = seq.matrix_at(s);
-        if knum.refactor(&m).is_err() {
-            knum = klu.factor(&m).expect("re-pivot");
-            kfallbacks += 1;
-        }
-    }
-    let klu_re = t0.elapsed().as_secs_f64();
+    let (basker_re, fallbacks) = time_refactor_sequence(&bsk, &seq, &a0, nsteps);
+    let (klu_re, kfallbacks) = time_refactor_sequence(&klu, &seq, &a0, nsteps);
     println!("\n## value-only refactorization variant (extension)\n");
     println!("| solver | total seconds | pivot fallbacks |");
     println!("|---|---|---|");

@@ -4,13 +4,18 @@
 //! paper; this library provides the solver drivers (uniform timing of the
 //! *numeric* phase, which is what the paper compares), the synthetic
 //! suites (via `basker-matgen`) and markdown table output helpers.
+//!
+//! Every solver is driven through the unified
+//! [`basker_api::LinearSolver`] lifecycle — the harness is exactly the
+//! kind of engine-agnostic caller the API exists for: one `analyze`,
+//! repeated `factor`/`refactor`, allocation-free `solve_in_place`.
 
-use basker::{Basker, BaskerNumeric, BaskerOptions, SyncMode};
-use basker_klu::{KluNumeric, KluOptions, KluSymbolic};
-use basker_snlu::{Snlu, SnluMode, SnluNumeric, SnluOptions};
+use basker::SyncMode;
+use basker_api::{Engine, Factorization, LinearSolver, SolverConfig};
+use basker_snlu::SnluMode;
 use basker_sparse::spmv::spmv;
 use basker_sparse::util::relative_residual;
-use basker_sparse::CscMat;
+use basker_sparse::{CscMat, SolveWorkspace};
 use std::time::Instant;
 
 /// Which solver to drive.
@@ -35,6 +40,11 @@ pub enum SolverKind {
         /// Level-set worker threads.
         threads: usize,
     },
+    /// Let [`Engine::Auto`] pick from the matrix structure.
+    Auto {
+        /// Worker threads for whichever engine is chosen.
+        threads: usize,
+    },
 }
 
 impl SolverKind {
@@ -48,6 +58,29 @@ impl SolverKind {
             SolverKind::Klu => "KLU".to_string(),
             SolverKind::Pmkl { threads } => format!("PMKL(p={threads})"),
             SolverKind::SluMt { threads } => format!("SLU-MT(p={threads})"),
+            SolverKind::Auto { threads } => format!("Auto(p={threads})"),
+        }
+    }
+
+    /// The unified configuration that drives this solver kind.
+    pub fn config(&self) -> SolverConfig {
+        match *self {
+            SolverKind::Basker { threads, sync } => SolverConfig::new()
+                .engine(Engine::Basker)
+                .threads(threads)
+                .sync_mode(sync),
+            SolverKind::Klu => SolverConfig::new().engine(Engine::Klu),
+            SolverKind::Pmkl { threads } => SolverConfig::new()
+                .engine(Engine::Snlu)
+                .threads(threads)
+                .snlu_mode(SnluMode::Pardiso),
+            SolverKind::SluMt { threads } => SolverConfig::new()
+                .engine(Engine::Snlu)
+                .threads(threads)
+                .snlu_mode(SnluMode::SluMt),
+            SolverKind::Auto { threads } => {
+                SolverConfig::new().engine(Engine::Auto).threads(threads)
+            }
         }
     }
 }
@@ -67,111 +100,16 @@ pub struct RunResult {
     pub sync_fraction: f64,
 }
 
-/// Pre-analyzed solver handles so sequences can reuse the symbolic phase.
-pub enum SolverHandle {
-    /// Basker symbolic handle.
-    Basker(Basker),
-    /// KLU symbolic handle.
-    Klu(KluSymbolic),
-    /// Supernodal symbolic handle.
-    Snlu(Snlu),
-}
+/// Pre-analyzed solver handle so sequences can reuse the symbolic phase.
+/// A thin alias over the unified API's symbolic handle.
+pub type SolverHandle = LinearSolver;
+
+/// Factored product of one numeric run.
+pub type NumericHandle = Factorization;
 
 /// Analyzes once.
 pub fn analyze(a: &CscMat, kind: SolverKind) -> Result<SolverHandle, String> {
-    match kind {
-        SolverKind::Basker { threads, sync } => {
-            let opts = BaskerOptions {
-                nthreads: threads,
-                sync_mode: sync,
-                ..BaskerOptions::default()
-            };
-            Basker::analyze(a, &opts)
-                .map(SolverHandle::Basker)
-                .map_err(|e| e.to_string())
-        }
-        SolverKind::Klu => KluSymbolic::analyze(a, &KluOptions::default())
-            .map(SolverHandle::Klu)
-            .map_err(|e| e.to_string()),
-        SolverKind::Pmkl { threads } => Snlu::analyze(
-            a,
-            &SnluOptions {
-                nthreads: threads,
-                mode: SnluMode::Pardiso,
-                ..SnluOptions::default()
-            },
-        )
-        .map(SolverHandle::Snlu)
-        .map_err(|e| e.to_string()),
-        SolverKind::SluMt { threads } => Snlu::analyze(
-            a,
-            &SnluOptions {
-                nthreads: threads,
-                mode: SnluMode::SluMt,
-                ..SnluOptions::default()
-            },
-        )
-        .map(SolverHandle::Snlu)
-        .map_err(|e| e.to_string()),
-    }
-}
-
-/// Factored product of one numeric run.
-pub enum NumericHandle {
-    /// Basker factors.
-    Basker(BaskerNumeric),
-    /// KLU factors.
-    Klu(KluNumeric),
-    /// Supernodal factors.
-    Snlu(SnluNumeric),
-}
-
-impl SolverHandle {
-    /// One numeric factorization.
-    pub fn factor(&self, a: &CscMat) -> Result<NumericHandle, String> {
-        match self {
-            SolverHandle::Basker(s) => s
-                .factor(a)
-                .map(NumericHandle::Basker)
-                .map_err(|e| e.to_string()),
-            SolverHandle::Klu(s) => s
-                .factor(a)
-                .map(NumericHandle::Klu)
-                .map_err(|e| e.to_string()),
-            SolverHandle::Snlu(s) => s
-                .factor(a)
-                .map(NumericHandle::Snlu)
-                .map_err(|e| e.to_string()),
-        }
-    }
-}
-
-impl NumericHandle {
-    /// `|L+U|` as the solver reports it.
-    pub fn lu_nnz(&self) -> usize {
-        match self {
-            NumericHandle::Basker(n) => n.lu_nnz(),
-            NumericHandle::Klu(n) => n.lu_nnz(),
-            NumericHandle::Snlu(n) => n.lu_nnz,
-        }
-    }
-
-    /// Solves against `b` (`a` needed for the refined supernodal solve).
-    pub fn solve(&self, a: &CscMat, b: &[f64]) -> Vec<f64> {
-        match self {
-            NumericHandle::Basker(n) => n.solve(b),
-            NumericHandle::Klu(n) => n.solve(b),
-            NumericHandle::Snlu(n) => n.solve(a, b),
-        }
-    }
-
-    /// Sync-wait fraction (Basker only).
-    pub fn sync_fraction(&self) -> f64 {
-        match self {
-            NumericHandle::Basker(n) => n.stats.sync_fraction(),
-            _ => 0.0,
-        }
-    }
+    LinearSolver::analyze(a, &kind.config()).map_err(|e| e.to_string())
 }
 
 /// Times the numeric phase: repeats until `min_secs` total or `max_reps`,
@@ -192,7 +130,7 @@ pub fn run_solver(
     let tstart = Instant::now();
     while reps < max_reps && (reps < 1 || tstart.elapsed().as_secs_f64() < min_secs) {
         let t = Instant::now();
-        let num = handle.factor(a)?;
+        let num = handle.factor(a).map_err(|e| e.to_string())?;
         best = best.min(t.elapsed().as_secs_f64());
         last = Some(num);
         reps += 1;
@@ -203,15 +141,19 @@ pub fn run_solver(
         .map(|i| 1.0 + (i % 9) as f64 * 0.25)
         .collect();
     let b = spmv(a, &xtrue);
-    let x = num.solve(a, &b);
+    let mut x = b.clone();
+    let mut ws = SolveWorkspace::for_dim(a.ncols());
+    num.solve_in_place(&mut x, &mut ws)
+        .map_err(|e| e.to_string())?;
     let residual = relative_residual(a, &x, &b);
+    let stats = num.stats();
 
     Ok(RunResult {
         analyze_seconds,
         factor_seconds: best,
-        lu_nnz: num.lu_nnz(),
+        lu_nnz: stats.lu_nnz,
         residual,
-        sync_fraction: num.sync_fraction(),
+        sync_fraction: stats.sync_fraction,
     })
 }
 
@@ -333,6 +275,7 @@ mod tests {
                 },
                 SolverKind::Pmkl { threads: 2 },
                 SolverKind::SluMt { threads: 2 },
+                SolverKind::Auto { threads: 2 },
             ] {
                 let r = run_solver(a, kind, 0.0, 1).unwrap_or_else(|e| {
                     panic!("{} failed: {e}", kind.label());
@@ -346,6 +289,25 @@ mod tests {
                 assert!(r.lu_nnz > 0);
             }
         }
+    }
+
+    #[test]
+    fn auto_kind_picks_structurally() {
+        let mesh = mesh2d(10, 1);
+        let pg = powergrid(&PowergridParams {
+            nfeeders: 6,
+            feeder_len: 15,
+            loop_prob: 0.2,
+            seed: 3,
+        });
+        let m = analyze(&mesh, SolverKind::Auto { threads: 2 }).unwrap();
+        let p = analyze(&pg, SolverKind::Auto { threads: 2 }).unwrap();
+        assert_ne!(
+            m.engine(),
+            p.engine(),
+            "auto must split mesh vs powergrid (got {} for both)",
+            m.engine()
+        );
     }
 
     #[test]

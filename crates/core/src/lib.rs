@@ -27,7 +27,9 @@
 //! ]);
 //! let solver = Basker::analyze(&a, &BaskerOptions::default()).unwrap();
 //! let num = solver.factor(&a).unwrap();
-//! let x = num.solve(&[12.0, 19.0, 10.0]);
+//! let mut ws = basker_sparse::SolveWorkspace::new();
+//! let mut x = vec![12.0, 19.0, 10.0];
+//! num.solve_in_place(&mut x, &mut ws);
 //! assert!(basker_sparse::util::relative_residual(&a, &x, &[12.0, 19.0, 10.0]) < 1e-12);
 //! ```
 
@@ -53,7 +55,7 @@ use crate::structure::{BlockKind, NdBlocks, Structure};
 use basker_klu::gp::BlockFactor;
 use basker_ordering::symbolic::symbolic_gp;
 use basker_sparse::blocks::extract_range;
-use basker_sparse::{CscMat, Perm, Result, SparseError};
+use basker_sparse::{CscMat, Perm, Result, SolveWorkspace, SparseError};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -333,20 +335,26 @@ impl BaskerNumeric {
             .sum()
     }
 
-    /// Solves `A·x = b`.
-    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+    /// Solves `A·x = b` in place: on entry `x` holds `b`, on exit the
+    /// solution. After the workspace's first use at this dimension the
+    /// call performs **no heap allocation** — the path a transient
+    /// simulation hammers thousands of times per pattern.
+    pub fn solve_in_place(&self, x: &mut [f64], ws: &mut SolveWorkspace) {
         let st = &self.sym.inner.structure;
-        assert_eq!(b.len(), st.n);
-        let mut y = st.row_perm.apply_vec(b);
+        assert_eq!(x.len(), st.n);
+        let (y, scratch) = ws.split2(st.n);
+        st.row_perm.apply_vec_into(x, y);
         for blk in (0..st.nblocks()).rev() {
             let (lo, hi) = (st.bounds[blk], st.bounds[blk + 1]);
             match &self.factors[blk] {
-                BlockFactors::Small(blu) => blu.solve_in_place(&mut y[lo..hi]),
+                BlockFactors::Small(blu) => {
+                    blu.solve_in_place_with(&mut y[lo..hi], &mut scratch[..hi - lo])
+                }
                 BlockFactors::Nd { f, .. } => {
                     let BlockKind::NdBig(nds) = &st.kinds[blk] else {
                         unreachable!("factor kind mismatch");
                     };
-                    solve_nd_in_place(nds, f, &mut y[lo..hi]);
+                    solve_nd_in_place(nds, f, &mut y[lo..hi], &mut scratch[..hi - lo]);
                 }
             }
             // push contributions into earlier blocks
@@ -359,16 +367,45 @@ impl BaskerNumeric {
                 }
             }
         }
-        let mut x = vec![0.0; st.n];
         for (k, &orig) in st.col_perm.as_slice().iter().enumerate() {
             x[orig] = y[k];
         }
+    }
+
+    /// Solves several right-hand sides packed column-major in `xs`
+    /// (`xs.len()` must be a multiple of `n`); each length-`n` chunk is
+    /// overwritten with its solution.
+    pub fn solve_multi_in_place(&self, xs: &mut [f64], ws: &mut SolveWorkspace) {
+        basker_sparse::workspace::for_each_rhs(self.sym.inner.structure.n, xs, |rhs| {
+            self.solve_in_place(rhs, ws)
+        });
+    }
+
+    /// Solves `A·x = b`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "allocates per call; use `solve_in_place` with a reusable `SolveWorkspace`"
+    )]
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x, &mut SolveWorkspace::new());
         x
     }
 
     /// Solves for several right-hand sides.
+    #[deprecated(
+        since = "0.2.0",
+        note = "allocates per call; use `solve_multi_in_place` with a reusable `SolveWorkspace`"
+    )]
     pub fn solve_multi(&self, b: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        b.iter().map(|rhs| self.solve(rhs)).collect()
+        let mut ws = SolveWorkspace::for_dim(self.sym.inner.structure.n);
+        b.iter()
+            .map(|rhs| {
+                let mut x = rhs.clone();
+                self.solve_in_place(&mut x, &mut ws);
+                x
+            })
+            .collect()
     }
 
     /// Refactorizes with new values (identical pattern), reusing patterns
@@ -405,6 +442,7 @@ impl BaskerNumeric {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy allocating wrappers stay covered here
 mod tests {
     use super::*;
     use basker_sparse::spmv::spmv;

@@ -153,7 +153,8 @@ mod tests {
         let xtrue: Vec<f64> = (0..a.ncols()).map(|i| 1.0 + (i % 4) as f64).collect();
         let b = spmv(&ap2, &xtrue);
         let mut z = b.clone();
-        crate::solve::solve_nd_in_place(st, &f, &mut z);
+        let mut scratch = vec![0.0; z.len()];
+        crate::solve::solve_nd_in_place(st, &f, &mut z, &mut scratch);
         assert!(relative_residual(&ap2, &z, &b) < 1e-11);
     }
 }

@@ -13,10 +13,13 @@ use basker_sparse::trisolve::{lower_solve_in_place, upper_solve_in_place};
 
 /// Solves the ND block system in place: on entry `z` holds the right-hand
 /// side of this block in permuted (pre-pivot) local coordinates; on exit
-/// it holds the solution in the block's column coordinates.
-pub fn solve_nd_in_place(st: &NdStructure, f: &NdFactors, z: &mut [f64]) {
+/// it holds the solution in the block's column coordinates. `scratch`
+/// must be at least `z.len()` long (it carries per-node pivot
+/// permutations, keeping the sweep allocation-free).
+pub fn solve_nd_in_place(st: &NdStructure, f: &NdFactors, z: &mut [f64], scratch: &mut [f64]) {
     let nn = st.nnodes();
     debug_assert_eq!(z.len(), st.nd.perm.len());
+    debug_assert!(scratch.len() >= z.len());
 
     // ---- forward sweep: L·y = P·b, ascending block columns ----
     for v in 0..nn {
@@ -26,8 +29,9 @@ pub fn solve_nd_in_place(st: &NdStructure, f: &NdFactors, z: &mut [f64]) {
         }
         let blu = &f.fact_diag[v];
         // apply this node's pivot permutation
-        let y: Vec<f64> = blu.row_perm.apply_vec(&z[r.clone()]);
-        z[r.clone()].copy_from_slice(&y);
+        let y = &mut scratch[..r.len()];
+        blu.row_perm.apply_vec_into(&z[r.clone()], y);
+        z[r.clone()].copy_from_slice(y);
         lower_solve_in_place(&blu.l, &mut z[r.clone()], true);
         // push contributions into ancestor row blocks (their original
         // local coordinates — ancestors have not been pivoted yet)
@@ -125,7 +129,8 @@ mod tests {
                 .collect();
             let b = spmv(&ap, &xtrue);
             let mut z = b.clone();
-            solve_nd_in_place(st, &f, &mut z);
+            let mut scratch = vec![0.0; z.len()];
+            solve_nd_in_place(st, &f, &mut z, &mut scratch);
             assert!(
                 relative_residual(&ap, &z, &b) < 1e-12,
                 "k={k} p={p} residual too large"

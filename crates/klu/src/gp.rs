@@ -52,10 +52,21 @@ impl BlockLu {
     }
 
     /// Applies `x ← U⁻¹ L⁻¹ P x` for the diagonal block (dense rhs).
+    ///
+    /// Allocates a temporary for the pivot permutation; hot paths should
+    /// prefer [`BlockLu::solve_in_place_with`] with caller-owned scratch.
     pub fn solve_in_place(&self, x: &mut [f64]) {
+        let mut scratch = vec![0.0; x.len()];
+        self.solve_in_place_with(x, &mut scratch);
+    }
+
+    /// Allocation-free variant of [`BlockLu::solve_in_place`]: `scratch`
+    /// must be at least as long as `x` and is clobbered.
+    pub fn solve_in_place_with(&self, x: &mut [f64], scratch: &mut [f64]) {
         debug_assert_eq!(x.len(), self.l.ncols());
-        let permuted = self.row_perm.apply_vec(x);
-        x.copy_from_slice(&permuted);
+        let n = x.len();
+        self.row_perm.apply_vec_into(x, &mut scratch[..n]);
+        x.copy_from_slice(&scratch[..n]);
         basker_sparse::trisolve::lower_solve_in_place(&self.l, x, true);
         basker_sparse::trisolve::upper_solve_in_place(&self.u, x);
     }
@@ -628,6 +639,14 @@ impl BlockFactor {
         match self {
             BlockFactor::Singleton(v) => x[0] /= v,
             BlockFactor::Full(blu) => blu.solve_in_place(x),
+        }
+    }
+
+    /// Allocation-free block solve; `scratch` must be at least `x.len()`.
+    pub fn solve_in_place_with(&self, x: &mut [f64], scratch: &mut [f64]) {
+        match self {
+            BlockFactor::Singleton(v) => x[0] /= v,
+            BlockFactor::Full(blu) => blu.solve_in_place_with(x, scratch),
         }
     }
 }

@@ -28,7 +28,9 @@
 //! ]);
 //! let sym = KluSymbolic::analyze(&a, &KluOptions::default()).unwrap();
 //! let num = sym.factor(&a).unwrap();
-//! let x = num.solve(&[5.0, 8.0, 8.0]);
+//! let mut ws = basker_sparse::SolveWorkspace::new();
+//! let mut x = vec![5.0, 8.0, 8.0];
+//! num.solve_in_place(&mut x, &mut ws);
 //! assert!(basker_sparse::util::relative_residual(&a, &x, &[5.0, 8.0, 8.0]) < 1e-12);
 //! ```
 

@@ -10,7 +10,7 @@ use crate::gp::BlockFactor;
 use basker_ordering::amd::amd_order;
 use basker_ordering::btf::btf_form_with;
 use basker_sparse::blocks::extract_range;
-use basker_sparse::{CscMat, Perm, Result, SparseError};
+use basker_sparse::{CscMat, Perm, Result, SolveWorkspace, SparseError};
 
 /// Tuning options for the KLU pipeline.
 #[derive(Debug, Clone)]
@@ -141,6 +141,11 @@ impl KluSymbolic {
         &self.col_perm
     }
 
+    /// BTF block id of a permuted index.
+    pub fn block_of(&self, permuted: usize) -> usize {
+        self.block_of[permuted]
+    }
+
     /// Fraction of rows in blocks of size ≤ `small` (Table I's "BTF %").
     pub fn small_block_fraction(&self, small: usize) -> f64 {
         if self.n == 0 {
@@ -240,15 +245,18 @@ impl KluNumeric {
         Ok(())
     }
 
-    /// Solves `A·x = b`.
-    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        assert_eq!(b.len(), self.sym.n);
+    /// Solves `A·x = b` in place: on entry `x` holds `b`, on exit the
+    /// solution. After the workspace's first use at this dimension the
+    /// call performs **no heap allocation**.
+    pub fn solve_in_place(&self, x: &mut [f64], ws: &mut SolveWorkspace) {
+        assert_eq!(x.len(), self.sym.n);
+        let (y, scratch) = ws.split2(self.sym.n);
         // to permuted coordinates
-        let mut y = self.sym.row_perm.apply_vec(b);
+        self.sym.row_perm.apply_vec_into(x, y);
         // blocks in reverse order: solve, then push contributions left
         for blk in (0..self.sym.nblocks()).rev() {
             let (lo, hi) = (self.sym.bounds[blk], self.sym.bounds[blk + 1]);
-            self.blocks[blk].solve_in_place(&mut y[lo..hi]);
+            self.blocks[blk].solve_in_place_with(&mut y[lo..hi], &mut scratch[..hi - lo]);
             for c in lo..hi {
                 let xc = y[c];
                 if xc != 0.0 {
@@ -259,20 +267,49 @@ impl KluNumeric {
             }
         }
         // out of permuted coordinates: position k holds x[col_perm[k]]
-        let mut x = vec![0.0; self.sym.n];
         for (k, &orig) in self.sym.col_perm.as_slice().iter().enumerate() {
             x[orig] = y[k];
         }
+    }
+
+    /// Solves several right-hand sides packed column-major in `xs`
+    /// (`xs.len()` must be a multiple of `n`); each length-`n` chunk is
+    /// overwritten with its solution. Allocation-free like
+    /// [`KluNumeric::solve_in_place`].
+    pub fn solve_multi_in_place(&self, xs: &mut [f64], ws: &mut SolveWorkspace) {
+        basker_sparse::workspace::for_each_rhs(self.sym.n, xs, |rhs| self.solve_in_place(rhs, ws));
+    }
+
+    /// Solves `A·x = b`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "allocates per call; use `solve_in_place` with a reusable `SolveWorkspace`"
+    )]
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x, &mut SolveWorkspace::new());
         x
     }
 
     /// Solves for several right-hand sides (columns of `b`).
+    #[deprecated(
+        since = "0.2.0",
+        note = "allocates per call; use `solve_multi_in_place` with a reusable `SolveWorkspace`"
+    )]
     pub fn solve_multi(&self, b: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        b.iter().map(|rhs| self.solve(rhs)).collect()
+        let mut ws = SolveWorkspace::for_dim(self.sym.n);
+        b.iter()
+            .map(|rhs| {
+                let mut x = rhs.clone();
+                self.solve_in_place(&mut x, &mut ws);
+                x
+            })
+            .collect()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy allocating wrappers stay covered here
 mod tests {
     use super::*;
     use basker_sparse::spmv::spmv;

@@ -8,12 +8,12 @@
 //! (c) the irregularity of the nonzero pattern — all of which these
 //! generators control directly (see DESIGN.md §3).
 //!
-//! * [`circuit`] — modified-nodal-analysis style circuit matrices built
+//! * [`circuit()`] — modified-nodal-analysis style circuit matrices built
 //!   from weakly coupled subcircuits (controls BTF block structure and
 //!   fill).
-//! * [`powergrid`] — feeder-tree power grids with local loops: 100 % BTF,
-//!   thousands of tiny blocks, fill density < 1 (the `RS_*`/`Power0`
-//!   class).
+//! * [`powergrid()`] — feeder-tree power grids with local loops: 100 %
+//!   BTF, thousands of tiny blocks, fill density < 1 (the
+//!   `RS_*`/`Power0` class).
 //! * [`mesh`] — 2-D/3-D finite-difference meshes: the high-fill regime
 //!   where supernodal solvers shine (Table II; also the `G2_Circuit` /
 //!   `twotone` fill class).

@@ -32,7 +32,9 @@
 //! ]);
 //! let sym = Snlu::analyze(&a, &SnluOptions::default()).unwrap();
 //! let num = sym.factor(&a).unwrap();
-//! let x = num.solve(&a, &[5.0, 8.0, 8.0]);
+//! let mut ws = basker_sparse::SolveWorkspace::new();
+//! let mut x = vec![5.0, 8.0, 8.0];
+//! num.solve_in_place(&mut x, &mut ws);
 //! assert!(basker_sparse::util::relative_residual(&a, &x, &[5.0, 8.0, 8.0]) < 1e-10);
 //! ```
 
@@ -42,4 +44,4 @@ pub mod numeric;
 pub mod symbolic;
 
 pub use numeric::SnluNumeric;
-pub use symbolic::{Snlu, SnluMode, SnluOptions};
+pub use symbolic::{Snlu, SnluInner, SnluMode, SnluOptions};

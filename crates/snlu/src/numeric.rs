@@ -3,9 +3,10 @@
 //! refined solve.
 
 use crate::symbolic::Snlu;
+use basker_sparse::spmv::spmv_sub;
 use basker_sparse::trisolve::{lower_solve_in_place, upper_solve_in_place};
 use basker_sparse::util::mat_norm_inf;
-use basker_sparse::{CscMat, Perm, Result};
+use basker_sparse::{CscMat, Perm, Result, SolveWorkspace};
 use rayon::prelude::*;
 use std::sync::OnceLock;
 
@@ -33,8 +34,14 @@ struct SnodeFactor {
 
 /// The numeric factorization: assembled triangular factors + metadata.
 pub struct SnluNumeric {
-    row_perm: Perm,
-    col_perm: Perm,
+    /// The symbolic analysis these factors were built from (shared).
+    sym: Snlu,
+    /// The factored matrix, retained for iterative refinement (static
+    /// pivoting perturbs tiny pivots, so the solve corrects against
+    /// `A`). Costs one `O(|A|)` copy per (re)factorization — small next
+    /// to the `O(|A|·fill)` numeric work — and buys an engine-agnostic
+    /// solve signature (callers no longer pass `A` to every solve).
+    a: CscMat,
     l: CscMat,
     u: CscMat,
     /// `|L+U|` counting dense panel storage (the supernodal memory
@@ -119,8 +126,8 @@ impl Snlu {
         let u = CscMat::from_parts_unchecked(n, n, ucolptr, urows, uvals);
 
         Ok(SnluNumeric {
-            row_perm: self.row_perm.clone(),
-            col_perm: self.col_perm.clone(),
+            sym: self.clone(),
+            a: a.clone(),
             l,
             u,
             lu_nnz,
@@ -284,35 +291,82 @@ fn apply_snode_update(
 }
 
 impl SnluNumeric {
-    /// Solves `A·x = b` with `refine_steps` sweeps of iterative refinement
-    /// against the **original** matrix (required because static pivoting
-    /// perturbs tiny pivots).
-    pub fn solve(&self, a: &CscMat, b: &[f64]) -> Vec<f64> {
+    /// Refreshes the factors against new values on the same pattern.
+    ///
+    /// The supernodal method pivots **statically** (the MWCM permutation
+    /// is fixed at analysis time and tiny pivots are perturbed rather than
+    /// exchanged), so a value-only refactorization runs exactly the
+    /// numeric kernels of [`Snlu::factor`] — no graph search, no new
+    /// permutations — and, unlike the Gilbert–Peierls engines, can never
+    /// fail on a collapsed pivot.
+    pub fn refactor(&mut self, a: &CscMat) -> Result<()> {
+        let sym = self.sym.clone();
+        *self = sym.factor(a)?;
+        Ok(())
+    }
+
+    /// Solves `A·x = b` in place with `refine_steps` sweeps of iterative
+    /// refinement against the retained matrix: on entry `x` holds `b`, on
+    /// exit the solution. After the workspace's first use at this
+    /// dimension the call performs **no heap allocation**.
+    pub fn solve_in_place(&self, x: &mut [f64], ws: &mut SolveWorkspace) {
+        self.solve_in_place_against(&self.a, x, ws);
+    }
+
+    /// The refinement loop against an explicit matrix — shared by the
+    /// in-place path (retained matrix) and the legacy wrapper (caller's
+    /// matrix, preserving its original semantics).
+    fn solve_in_place_against(&self, a: &CscMat, x: &mut [f64], ws: &mut SolveWorkspace) {
         let n = self.l.ncols();
-        assert_eq!(b.len(), n);
-        let mut x = self.solve_once(b);
+        assert_eq!(x.len(), n);
+        let (b0, work, resid) = ws.split3(n);
+        b0.copy_from_slice(x);
+        self.solve_once_into(b0, work, x, false);
         for _ in 0..self.refine_steps {
-            // r = b - A x
-            let ax = basker_sparse::spmv::spmv(a, &x);
-            let r: Vec<f64> = b.iter().zip(ax.iter()).map(|(bi, ai)| bi - ai).collect();
-            let dx = self.solve_once(&r);
-            for (xi, di) in x.iter_mut().zip(dx.iter()) {
-                *xi += di;
-            }
+            // r = b - A·x, then x += A⁻¹·r
+            resid.copy_from_slice(b0);
+            spmv_sub(a, x, resid);
+            self.solve_once_into(resid, work, x, true);
         }
+    }
+
+    /// Solves several right-hand sides packed column-major in `xs`
+    /// (`xs.len()` must be a multiple of `n`); each length-`n` chunk is
+    /// overwritten with its solution.
+    pub fn solve_multi_in_place(&self, xs: &mut [f64], ws: &mut SolveWorkspace) {
+        basker_sparse::workspace::for_each_rhs(self.l.ncols(), xs, |rhs| {
+            self.solve_in_place(rhs, ws)
+        });
+    }
+
+    /// Solves `A·x = b` with iterative refinement against the **given**
+    /// matrix (the legacy contract; `solve_in_place` refines against the
+    /// matrix retained at factorization time instead).
+    #[deprecated(
+        since = "0.2.0",
+        note = "allocates per call; use `solve_in_place` with a reusable \
+                `SolveWorkspace` (refines against the retained matrix)"
+    )]
+    pub fn solve(&self, a: &CscMat, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_in_place_against(a, &mut x, &mut SolveWorkspace::new());
         x
     }
 
-    fn solve_once(&self, b: &[f64]) -> Vec<f64> {
-        let n = self.l.ncols();
-        let mut y = self.row_perm.apply_vec(b);
-        lower_solve_in_place(&self.l, &mut y, true);
-        upper_solve_in_place(&self.u, &mut y);
-        let mut x = vec![0.0; n];
-        for (k, &orig) in self.col_perm.as_slice().iter().enumerate() {
-            x[orig] = y[k];
+    /// One triangular-solve pass `out ← (or +=) A⁻¹·rhs` through the
+    /// assembled factors; `work` is clobbered. `rhs` and `out` must not
+    /// alias (`rhs` is always a workspace buffer here).
+    fn solve_once_into(&self, rhs: &[f64], work: &mut [f64], out: &mut [f64], add: bool) {
+        self.sym.row_perm.apply_vec_into(rhs, work);
+        lower_solve_in_place(&self.l, work, true);
+        upper_solve_in_place(&self.u, work);
+        for (k, &orig) in self.sym.col_perm.as_slice().iter().enumerate() {
+            if add {
+                out[orig] += work[k];
+            } else {
+                out[orig] = work[k];
+            }
         }
-        x
     }
 
     /// The assembled unit-lower factor (tests/diagnostics).
@@ -324,9 +378,20 @@ impl SnluNumeric {
     pub fn u(&self) -> &CscMat {
         &self.u
     }
+
+    /// The symbolic analysis these factors share.
+    pub fn symbolic(&self) -> &Snlu {
+        &self.sym
+    }
+
+    /// The matrix retained for iterative refinement.
+    pub fn matrix(&self) -> &CscMat {
+        &self.a
+    }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy allocating wrapper stays covered here
 mod tests {
     use super::*;
     use crate::symbolic::{SnluMode, SnluOptions};

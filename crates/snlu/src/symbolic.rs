@@ -28,7 +28,8 @@ pub struct SnluOptions {
     /// Static pivot threshold: pivots smaller than
     /// `pivot_eps · ‖A‖∞` are perturbed to that magnitude.
     pub pivot_eps: f64,
-    /// Iterative-refinement sweeps in [`SnluNumeric::solve`].
+    /// Iterative-refinement sweeps in
+    /// [`SnluNumeric::solve_in_place`](crate::SnluNumeric::solve_in_place).
     pub refine_steps: usize,
 }
 
@@ -46,7 +47,25 @@ impl Default for SnluOptions {
 
 /// The symbolic analysis: permutations, factor pattern, supernodes and the
 /// level-set schedule.
+///
+/// Cheap to clone (the analysis and thread pool are shared behind an
+/// [`std::sync::Arc`]), so numeric factorizations can retain their
+/// symbolic handle — the hook [`crate::SnluNumeric::refactor`] needs.
+#[derive(Clone)]
 pub struct Snlu {
+    pub(crate) inner: std::sync::Arc<SnluInner>,
+}
+
+impl std::ops::Deref for Snlu {
+    type Target = SnluInner;
+
+    fn deref(&self) -> &SnluInner {
+        &self.inner
+    }
+}
+
+/// The owned symbolic-analysis data behind a [`Snlu`] handle.
+pub struct SnluInner {
     pub(crate) opts: SnluOptions,
     pub(crate) n: usize,
     /// Row permutation (MWCM ∘ fill ordering).
@@ -162,23 +181,30 @@ impl Snlu {
             .map_err(|e| SparseError::InvalidStructure(format!("thread pool: {e}")))?;
 
         Ok(Snlu {
-            opts: opts.clone(),
-            n,
-            row_perm,
-            col_perm,
-            lpat,
-            upat_colptr,
-            upat_rows,
-            sn_bounds,
-            sn_of_col,
-            levels,
-            pool,
+            inner: std::sync::Arc::new(SnluInner {
+                opts: opts.clone(),
+                n,
+                row_perm,
+                col_perm,
+                lpat,
+                upat_colptr,
+                upat_rows,
+                sn_bounds,
+                sn_of_col,
+                levels,
+                pool,
+            }),
         })
     }
 
     /// Matrix dimension.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// The options this analysis was built with.
+    pub fn options(&self) -> &SnluOptions {
+        &self.opts
     }
 
     /// Number of supernodes.

@@ -30,11 +30,13 @@ pub mod spmv;
 pub mod triplet;
 pub mod trisolve;
 pub mod util;
+pub mod workspace;
 
 pub use csc::CscMat;
 pub use csr::CsrMat;
 pub use permutation::Perm;
 pub use triplet::TripletMat;
+pub use workspace::SolveWorkspace;
 
 /// Errors shared across the workspace's sparse kernels.
 #[derive(Debug, Clone, PartialEq)]

@@ -94,6 +94,27 @@ impl Perm {
         self.perm.iter().map(|&old| x[old]).collect()
     }
 
+    /// Applies into a caller-provided buffer: `y[k] = x[perm[k]]`.
+    /// Allocation-free counterpart of [`Perm::apply_vec`]; `x` and `y`
+    /// must not alias.
+    pub fn apply_vec_into<T: Copy>(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.perm.len());
+        assert_eq!(y.len(), self.perm.len());
+        for (yk, &old) in y.iter_mut().zip(self.perm.iter()) {
+            *yk = x[old];
+        }
+    }
+
+    /// Scatters into a caller-provided buffer: `y[perm[k]] = x[k]`, i.e.
+    /// applies the inverse without allocating.
+    pub fn apply_inv_vec_into<T: Copy>(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.perm.len());
+        assert_eq!(y.len(), self.perm.len());
+        for (new, &old) in self.perm.iter().enumerate() {
+            y[old] = x[new];
+        }
+    }
+
     /// Scatters into a vector: `y[inv[k]] = x[k]`, i.e. applies the inverse.
     pub fn apply_inv_vec<T: Copy + Default>(&self, x: &[T]) -> Vec<T> {
         assert_eq!(x.len(), self.perm.len());

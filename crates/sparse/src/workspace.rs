@@ -1,0 +1,137 @@
+//! Caller-owned scratch buffers for allocation-free solves.
+//!
+//! Every engine's triangular solve needs a handful of length-`n` work
+//! vectors (the permuted right-hand side, per-block pivot scratch, and —
+//! for the refined supernodal solve — a residual). Allocating them per
+//! call is what makes the classic `solve(&b) -> Vec<f64>` API unusable in
+//! hot loops (a transient simulation solves thousands of times per
+//! pattern). A [`SolveWorkspace`] owns those buffers and is reused across
+//! calls: after the first solve at a given dimension, subsequent solves
+//! perform **zero heap allocation**.
+//!
+//! The workspace is engine-agnostic: the same instance can be passed to
+//! KLU, Basker and the supernodal solver interchangeably, and a workspace
+//! grown for one dimension is reusable (without reallocation) for any
+//! smaller system.
+
+/// Reusable scratch memory for in-place solves.
+///
+/// ```
+/// use basker_sparse::SolveWorkspace;
+///
+/// let mut ws = SolveWorkspace::new();
+/// let (a, b, c) = ws.split3(4);
+/// assert_eq!((a.len(), b.len(), c.len()), (4, 4, 4));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SolveWorkspace {
+    buf_a: Vec<f64>,
+    buf_b: Vec<f64>,
+    buf_c: Vec<f64>,
+}
+
+impl SolveWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        SolveWorkspace::default()
+    }
+
+    /// A workspace pre-sized for dimension `n`, so even the first solve
+    /// allocates nothing.
+    pub fn for_dim(n: usize) -> Self {
+        SolveWorkspace {
+            buf_a: vec![0.0; n],
+            buf_b: vec![0.0; n],
+            buf_c: vec![0.0; n],
+        }
+    }
+
+    /// The dimension the two universally-used buffers accommodate. The
+    /// third (refinement) buffer grows lazily, on first use by an engine
+    /// that needs it.
+    pub fn capacity(&self) -> usize {
+        self.buf_a.len().min(self.buf_b.len())
+    }
+
+    /// Grows all three buffers to dimension `n` if needed (never
+    /// shrinks) — a full pre-warm covering any engine.
+    pub fn ensure(&mut self, n: usize) {
+        grow(&mut self.buf_a, n);
+        grow(&mut self.buf_b, n);
+        grow(&mut self.buf_c, n);
+    }
+
+    /// Two disjoint length-`n` scratch slices. Grows only the two
+    /// buffers it hands out, so two-buffer engines (KLU, Basker) never
+    /// pay for the third.
+    pub fn split2(&mut self, n: usize) -> (&mut [f64], &mut [f64]) {
+        grow(&mut self.buf_a, n);
+        grow(&mut self.buf_b, n);
+        (&mut self.buf_a[..n], &mut self.buf_b[..n])
+    }
+
+    /// Three disjoint length-`n` scratch slices (grows if needed).
+    pub fn split3(&mut self, n: usize) -> (&mut [f64], &mut [f64], &mut [f64]) {
+        self.ensure(n);
+        (
+            &mut self.buf_a[..n],
+            &mut self.buf_b[..n],
+            &mut self.buf_c[..n],
+        )
+    }
+}
+
+#[inline]
+fn grow(buf: &mut Vec<f64>, n: usize) {
+    if buf.len() < n {
+        buf.resize(n, 0.0);
+    }
+}
+
+/// Splits `xs` into length-`n` right-hand sides (packed column-major)
+/// and applies `solve_one` to each in place. The shared body of every
+/// engine's `solve_multi_in_place`.
+///
+/// Panics when `xs.len()` is not a multiple of `n`; a zero-dimensional
+/// system accepts only an empty `xs`.
+pub fn for_each_rhs(n: usize, xs: &mut [f64], mut solve_one: impl FnMut(&mut [f64])) {
+    if n == 0 {
+        assert!(xs.is_empty(), "rhs block must be a multiple of n");
+        return;
+    }
+    assert_eq!(xs.len() % n, 0, "rhs block must be a multiple of n");
+    for rhs in xs.chunks_exact_mut(n) {
+        solve_one(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_and_never_shrinks() {
+        let mut ws = SolveWorkspace::new();
+        assert_eq!(ws.capacity(), 0);
+        {
+            let (a, b) = ws.split2(10);
+            assert_eq!(a.len(), 10);
+            assert_eq!(b.len(), 10);
+        }
+        assert_eq!(ws.capacity(), 10);
+        {
+            let (a, _, c) = ws.split3(4);
+            assert_eq!(a.len(), 4);
+            assert_eq!(c.len(), 4);
+        }
+        assert_eq!(ws.capacity(), 10, "smaller request must not shrink");
+    }
+
+    #[test]
+    fn presized_covers_dimension() {
+        let mut ws = SolveWorkspace::for_dim(7);
+        assert_eq!(ws.capacity(), 7);
+        let (a, b, c) = ws.split3(7);
+        assert_eq!(a.len() + b.len() + c.len(), 21);
+    }
+}

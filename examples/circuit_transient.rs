@@ -1,8 +1,11 @@
 //! Transient circuit simulation (the paper's §V-F motivation): a SPICE
 //! style time-stepping loop generates a long sequence of matrices with
 //! the same structure but different values; the solver reuses its
-//! symbolic analysis across the whole run and falls back to a fresh
-//! pivoting factorization only when a pivot collapses.
+//! symbolic analysis across the whole run, takes the value-only
+//! refactorization fast path, and falls back to a fresh pivoting
+//! factorization only when a pivot collapses. The whole loop runs
+//! through the engine-agnostic `LinearSolver` API with one reused
+//! `SolveWorkspace`, so the steady state allocates nothing per step.
 //!
 //! Run with: `cargo run --release --example circuit_transient [steps]`
 
@@ -35,34 +38,33 @@ fn main() {
         a0.nnz()
     );
 
-    let solver = Basker::analyze(
-        &a0,
-        &BaskerOptions {
-            nthreads: 2,
-            ..BaskerOptions::default()
-        },
-    )
-    .expect("analyze");
+    let cfg = SolverConfig::new().engine(Engine::Auto).threads(2);
+    let solver = LinearSolver::analyze(&a0, &cfg).expect("analyze");
+    println!("Engine::Auto selected `{}`", solver.engine());
 
     let t0 = Instant::now();
     let mut num = solver.factor(&a0).expect("first factor");
+    let mut ws = SolveWorkspace::for_dim(a0.ncols());
     let mut refactors = 0usize;
     let mut repivots = 0usize;
     let mut worst_resid = 0.0f64;
 
     // The "simulation": each step solves with the current Jacobian.
     let b = vec![1e-3; a0.ncols()];
+    let mut x = vec![0.0; a0.ncols()];
     for s in 1..steps {
         let m = seq.matrix_at(s);
         match num.refactor(&m) {
             Ok(()) => refactors += 1,
-            Err(_) => {
+            Err(e) => {
                 // value drift invalidated the pivot sequence: re-pivot
+                assert!(e.is_pivot_failure(), "unexpected failure: {e}");
                 num = solver.factor(&m).expect("re-pivot factor");
                 repivots += 1;
             }
         }
-        let x = num.solve(&b);
+        x.copy_from_slice(&b);
+        num.solve_in_place(&mut x, &mut ws).expect("solve");
         worst_resid = worst_resid.max(relative_residual(&m, &x, &b));
     }
     let total = t0.elapsed().as_secs_f64();

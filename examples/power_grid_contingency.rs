@@ -1,8 +1,8 @@
 //! Power-grid contingency screening: repeatedly solve a grid system with
 //! single-branch outages. Power grids are the extreme BTF case (100 % of
-//! rows in tiny blocks — paper Table I's `RS_*` rows), so Basker factors
-//! them almost entirely through its embarrassingly parallel fine-BTF
-//! path.
+//! rows in tiny blocks — paper Table I's `RS_*` rows), so `Engine::Auto`
+//! routes them to a Gilbert–Peierls engine, which factors them almost
+//! entirely through the embarrassingly parallel fine-BTF path.
 //!
 //! Run with: `cargo run --release --example power_grid_contingency`
 
@@ -19,32 +19,26 @@ fn main() {
     let n = grid.nrows();
     println!("grid: n = {n}, |A| = {}", grid.nnz());
 
-    let solver = Basker::analyze(
-        &grid,
-        &BaskerOptions {
-            nthreads: 2,
-            ..BaskerOptions::default()
-        },
-    )
-    .expect("analyze");
-    println!(
-        "BTF blocks: {}, rows in small blocks: {:.1}%",
-        solver.structure().nblocks(),
-        100.0 * solver.structure().small_block_fraction()
-    );
+    let cfg = SolverConfig::new().engine(Engine::Auto).threads(2);
+    let solver = LinearSolver::analyze(&grid, &cfg).expect("analyze");
+    println!("Engine::Auto selected `{}`", solver.engine());
 
     let base = solver.factor(&grid).expect("base factor");
+    let stats = base.stats();
     println!(
-        "base case factored: |L+U| = {} (fill density {:.2})",
-        base.lu_nnz(),
-        base.stats.fill_density(grid.nnz())
+        "base case factored: |L+U| = {} (fill density {:.2}), {} BTF blocks",
+        stats.lu_nnz,
+        stats.fill_density(grid.nnz()),
+        stats.btf_blocks
     );
 
     // Nominal injections.
     let b: Vec<f64> = (0..n)
         .map(|i| if i % 17 == 0 { 1.0 } else { 0.0 })
         .collect();
-    let x0 = base.solve(&b);
+    let mut ws = SolveWorkspace::for_dim(n);
+    let mut x0 = b.clone();
+    base.solve_in_place(&mut x0, &mut ws).expect("base solve");
 
     // Contingencies: weaken one feeder-coupling entry at a time (same
     // pattern, new values) and re-solve via refactorization.
@@ -52,6 +46,7 @@ fn main() {
     let ncontingencies = 25usize;
     let mut worst_shift = 0.0f64;
     let mut num = base;
+    let mut x = vec![0.0; n];
     for c in 0..ncontingencies {
         let mut vals = grid.values().to_vec();
         // scale the c-th "branch" (an off-diagonal entry) toward an outage
@@ -76,7 +71,8 @@ fn main() {
         if num.refactor(&outage).is_err() {
             num = solver.factor(&outage).expect("re-pivot");
         }
-        let x = num.solve(&b);
+        x.copy_from_slice(&b);
+        num.solve_in_place(&mut x, &mut ws).expect("solve");
         let resid = relative_residual(&outage, &x, &b);
         assert!(resid < 1e-10, "contingency {c}: residual {resid}");
         let shift = x

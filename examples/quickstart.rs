@@ -1,5 +1,5 @@
-//! Quickstart: assemble a small circuit matrix, factor it with Basker,
-//! solve, and inspect the structure the solver found.
+//! Quickstart: assemble a small circuit matrix, drive it through the
+//! unified `LinearSolver` lifecycle, and inspect what the solver chose.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -30,29 +30,23 @@ fn main() {
     let a = t.to_csc();
     println!("A: {} x {}, {} nonzeros", a.nrows(), a.ncols(), a.nnz());
 
-    // --- analyze once, factor, solve ----------------------------------
-    let opts = BaskerOptions {
-        nthreads: 2,
-        ..BaskerOptions::default()
-    };
-    let solver = Basker::analyze(&a, &opts).expect("analyze");
-    println!(
-        "structure: {} BTF block(s), {:.0}% of rows in small blocks, {} threads",
-        solver.structure().nblocks(),
-        100.0 * solver.structure().small_block_fraction(),
-        solver.threads()
-    );
+    // --- one lifecycle, any engine: analyze once, factor, solve -------
+    let cfg = SolverConfig::new().engine(Engine::Auto).threads(2);
+    let solver = LinearSolver::analyze(&a, &cfg).expect("analyze");
+    println!("Engine::Auto selected the `{}` engine", solver.engine());
 
     let num = solver.factor(&a).expect("factor");
+    let stats = num.stats();
     println!(
-        "factored: |L+U| = {}, {:.0} flops, {:.3} ms numeric",
-        num.lu_nnz(),
-        num.stats.flops,
-        num.stats.numeric_seconds * 1e3
+        "factored: |L+U| = {}, {:.0} flops, {} BTF block(s), {} thread(s)",
+        stats.lu_nnz, stats.flops, stats.btf_blocks, stats.threads
     );
 
+    // Repeated solves reuse one workspace: zero allocation per call.
+    let mut ws = SolveWorkspace::for_dim(n);
     let b = vec![1.0, 0.0, 0.0, 0.0, 0.0, -1.0]; // inject 1A at node 0, draw at node 5
-    let x = num.solve(&b);
+    let mut x = b.clone();
+    num.solve_in_place(&mut x, &mut ws).expect("solve");
     println!("node voltages: {x:?}");
     let resid = relative_residual(&a, &x, &b);
     println!("relative residual: {resid:.2e}");
@@ -68,7 +62,8 @@ fn main() {
     );
     let mut num = num;
     num.refactor(&a2).expect("refactor");
-    let x2 = num.solve(&b);
+    let mut x2 = b.clone();
+    num.solve_in_place(&mut x2, &mut ws).expect("solve");
     println!("after refactor, node 0 voltage: {:.4}", x2[0]);
     assert!(relative_residual(&a2, &x2, &b) < 1e-12);
     println!("ok");

@@ -1,6 +1,7 @@
-//! Solver face-off: run Basker, KLU and the supernodal comparator on one
-//! low-fill circuit matrix and one high-fill mesh matrix — the crossover
-//! the whole paper is about, in miniature.
+//! Solver face-off: run all three engines through the *same* unified
+//! `LinearSolver` lifecycle on one low-fill circuit matrix and one
+//! high-fill mesh matrix — the crossover the whole paper is about, in
+//! miniature — and show which engine `Engine::Auto` picks for each.
 //!
 //! Run with: `cargo run --release --example solver_faceoff`
 
@@ -27,73 +28,39 @@ fn main() {
     });
     let mesh_mat = mesh2d(44, 3);
 
-    println!("| matrix | solver | numeric time | |L+U| | residual |");
+    println!("| matrix | engine | numeric time | |L+U| | residual |");
     println!("|---|---|---|---|---|");
+    let mut ws = SolveWorkspace::new();
     for (name, a) in [
         ("circuit (low fill)", &circuit_mat),
         ("mesh (high fill)", &mesh_mat),
     ] {
         let b: Vec<f64> = (0..a.ncols()).map(|i| 1.0 + (i % 3) as f64).collect();
 
-        // KLU
-        let klu = KluSymbolic::analyze(a, &KluOptions::default()).unwrap();
-        let t = time_factor(|| {
-            klu.factor(a).unwrap();
-        });
-        let num = klu.factor(a).unwrap();
-        let x = num.solve(&b);
-        println!(
-            "| {name} | KLU | {:.2} ms | {} | {:.1e} |",
-            t * 1e3,
-            num.lu_nnz(),
-            relative_residual(a, &x, &b)
-        );
+        for engine in [Engine::Klu, Engine::Basker, Engine::Snlu] {
+            let cfg = SolverConfig::new().engine(engine).threads(2);
+            let solver = LinearSolver::analyze(a, &cfg).expect("analyze");
+            let t = time_factor(|| {
+                solver.factor(a).expect("factor");
+            });
+            let num = solver.factor(a).expect("factor");
+            let mut x = b.clone();
+            num.solve_in_place(&mut x, &mut ws).expect("solve");
+            println!(
+                "| {name} | {engine}(2) | {:.2} ms | {} | {:.1e} |",
+                t * 1e3,
+                num.stats().lu_nnz,
+                relative_residual(a, &x, &b)
+            );
+        }
 
-        // Basker
-        let bsk = Basker::analyze(
-            a,
-            &BaskerOptions {
-                nthreads: 2,
-                ..BaskerOptions::default()
-            },
-        )
-        .unwrap();
-        let t = time_factor(|| {
-            bsk.factor(a).unwrap();
-        });
-        let num = bsk.factor(a).unwrap();
-        let x = num.solve(&b);
-        println!(
-            "| {name} | Basker(2) | {:.2} ms | {} | {:.1e} |",
-            t * 1e3,
-            num.lu_nnz(),
-            relative_residual(a, &x, &b)
-        );
-
-        // Supernodal comparator
-        let sn = Snlu::analyze(
-            a,
-            &SnluOptions {
-                nthreads: 2,
-                ..SnluOptions::default()
-            },
-        )
-        .unwrap();
-        let t = time_factor(|| {
-            sn.factor(a).unwrap();
-        });
-        let num = sn.factor(a).unwrap();
-        let x = num.solve(a, &b);
-        println!(
-            "| {name} | PMKL-like(2) | {:.2} ms | {} | {:.1e} |",
-            t * 1e3,
-            num.lu_nnz,
-            relative_residual(a, &x, &b)
-        );
+        let auto = LinearSolver::analyze(a, &SolverConfig::new().threads(2)).expect("analyze");
+        println!("| {name} | **Auto → {}** | | | |", auto.engine());
     }
     println!();
     println!(
         "Expected shape (paper Figs. 5-7): Basker/KLU win the circuit; the \
-         supernodal solver closes the gap (or wins) on the mesh."
+         supernodal solver closes the gap (or wins) on the mesh — which is \
+         exactly the split Engine::Auto makes."
     );
 }

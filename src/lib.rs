@@ -1,20 +1,37 @@
 //! Workspace facade for the Basker reproduction.
 //!
 //! Re-exports the user-facing types of every crate so the examples and
-//! integration tests read like downstream user code:
+//! integration tests read like downstream user code. The recommended
+//! entry point is the unified [`LinearSolver`](basker_api::LinearSolver)
+//! lifecycle — one `analyze → factor/refactor → solve_in_place` API over
+//! all three engines, with [`Engine::Auto`](basker_api::Engine) picking
+//! the engine from the matrix structure:
 //!
 //! ```
 //! use basker_repro::prelude::*;
 //!
 //! let a = CscMat::from_dense(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
-//! let solver = Basker::analyze(&a, &BaskerOptions::default()).unwrap();
-//! let x = solver.factor(&a).unwrap().solve(&[5.0, 4.0]);
+//! let cfg = SolverConfig::new().engine(Engine::Auto).threads(2);
+//! let solver = LinearSolver::analyze(&a, &cfg).unwrap();
+//! let num = solver.factor(&a).unwrap();
+//!
+//! // Repeated solves through a reused workspace are allocation-free.
+//! let mut ws = SolveWorkspace::for_dim(2);
+//! let mut x = vec![5.0, 4.0];
+//! num.solve_in_place(&mut x, &mut ws).unwrap();
 //! assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
 //! ```
+//!
+//! The engine-specific APIs (`Basker`, `KluSymbolic`, `Snlu`) remain
+//! available for code that needs engine-only features.
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use basker::{Basker, BaskerNumeric, BaskerOptions, BaskerStats, SyncMode};
+    pub use basker_api::{
+        Engine, Factorization, LinearSolver, LuNumeric, SolverConfig, SolverError, SolverStats,
+        SparseLuSolver,
+    };
     pub use basker_klu::{KluNumeric, KluOptions, KluSymbolic};
     pub use basker_matgen::{
         circuit, mesh2d, mesh3d, powergrid, CircuitParams, PowergridParams, Scale, XyceSequence,
@@ -22,10 +39,11 @@ pub mod prelude {
     };
     pub use basker_snlu::{Snlu, SnluMode, SnluNumeric, SnluOptions};
     pub use basker_sparse::util::relative_residual;
-    pub use basker_sparse::{CscMat, CsrMat, Perm, SparseError, TripletMat};
+    pub use basker_sparse::{CscMat, CsrMat, Perm, SolveWorkspace, SparseError, TripletMat};
 }
 
 pub use basker;
+pub use basker_api;
 pub use basker_klu;
 pub use basker_matgen;
 pub use basker_ordering;

@@ -1,8 +1,11 @@
 //! Integration: exercise the interplay of Basker's two execution paths
 //! (fine BTF vs fine ND) and the BTF coupling solve across them.
 
+mod common;
+
 use basker_repro::prelude::*;
 use basker_sparse::spmv::spmv;
+use common::solve_fresh as solved;
 
 /// A matrix engineered to hit both paths: one large irreducible mesh
 /// block, dozens of small blocks, and upper-triangular couplings.
@@ -50,7 +53,7 @@ fn mixed_paths_solve_correctly() {
         assert_eq!(num.stats.nd_blocks, 1);
         let xtrue: Vec<f64> = (0..a.ncols()).map(|i| (i % 6) as f64 - 2.0).collect();
         let b = spmv(&a, &xtrue);
-        let x = num.solve(&b);
+        let x = solved(&num, &b);
         assert!(relative_residual(&a, &x, &b) < 1e-10, "p={p}");
     }
 }
@@ -85,8 +88,8 @@ fn nd_threshold_switches_paths() {
     assert_eq!(num2.stats.nd_blocks, 0);
     // both give the same answer
     let b = vec![1.0; a.ncols()];
-    let x1 = num.solve(&b);
-    let x2 = num2.solve(&b);
+    let x1 = solved(&num, &b);
+    let x2 = solved(&num2, &b);
     for (u, v) in x1.iter().zip(x2.iter()) {
         assert!((u - v).abs() < 1e-9);
     }
@@ -108,7 +111,7 @@ fn btf_disabled_still_works() {
     assert_eq!(sym.structure().nblocks(), 1);
     let num = sym.factor(&a).unwrap();
     let b = vec![1.0; a.ncols()];
-    let x = num.solve(&b);
+    let x = solved(&num, &b);
     assert!(relative_residual(&a, &x, &b) < 1e-10);
 }
 

@@ -1,0 +1,25 @@
+//! Helpers shared by the integration test binaries.
+
+use basker_repro::prelude::*;
+
+/// Convenience allocating solve over any numeric handle implementing the
+/// unified trait (engine numerics or `Factorization`): copies `b` into a
+/// fresh buffer, runs the in-place path, returns the solution. Test
+/// ergonomics — the hot-path idiom is a reused `SolveWorkspace`.
+#[allow(dead_code)] // each test binary uses its own subset
+pub fn solve_fresh(num: &impl LuNumeric, b: &[f64]) -> Vec<f64> {
+    let mut x = b.to_vec();
+    num.solve_in_place(&mut x, &mut SolveWorkspace::new())
+        .unwrap();
+    x
+}
+
+/// Analyze + factor + solve through the unified lifecycle with the given
+/// engine; returns the resolved engine and the solution.
+#[allow(dead_code)] // each test binary uses its own subset
+pub fn analyze_factor_solve(engine: Engine, a: &CscMat, b: &[f64]) -> (Engine, Vec<f64>) {
+    let cfg = SolverConfig::new().engine(engine).threads(2);
+    let solver = LinearSolver::analyze(a, &cfg).unwrap();
+    let num = solver.factor(a).unwrap();
+    (solver.engine(), solve_fresh(&num, b))
+}

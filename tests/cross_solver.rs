@@ -1,9 +1,22 @@
-//! Integration: the three solvers must agree on the solution — they are
-//! different algorithms for the same linear system.
+//! Integration: the three engines must agree on the solution — they are
+//! different algorithms for the same linear system — and the unified
+//! `LinearSolver` lifecycle must drive each of them identically.
+
+mod common;
 
 use basker_repro::prelude::*;
 use basker_sparse::spmv::spmv;
 use basker_sparse::util::approx_eq_vec;
+
+fn solve_with(engine: Engine, a: &CscMat, b: &[f64]) -> Vec<f64> {
+    let cfg = SolverConfig::new()
+        .engine(engine)
+        .threads(2)
+        .nd_threshold(64);
+    let solver = LinearSolver::analyze(a, &cfg).unwrap();
+    assert_eq!(solver.engine(), engine);
+    common::solve_fresh(&solver.factor(a).unwrap(), b)
+}
 
 fn agree_on(a: &CscMat, tol: f64) {
     let xtrue: Vec<f64> = (0..a.ncols())
@@ -11,34 +24,21 @@ fn agree_on(a: &CscMat, tol: f64) {
         .collect();
     let b = spmv(a, &xtrue);
 
-    let bsk = Basker::analyze(
-        a,
-        &BaskerOptions {
-            nthreads: 2,
-            nd_threshold: 64,
-            ..BaskerOptions::default()
-        },
-    )
-    .unwrap();
-    let xb = bsk.factor(a).unwrap().solve(&b);
-
-    let klu = KluSymbolic::analyze(a, &KluOptions::default()).unwrap();
-    let xk = klu.factor(a).unwrap().solve(&b);
-
-    let sn = Snlu::analyze(
-        a,
-        &SnluOptions {
-            nthreads: 2,
-            ..SnluOptions::default()
-        },
-    )
-    .unwrap();
-    let xs = sn.factor(a).unwrap().solve(a, &b);
+    let xb = solve_with(Engine::Basker, a, &b);
+    let xk = solve_with(Engine::Klu, a, &b);
+    let xs = solve_with(Engine::Snlu, a, &b);
 
     assert!(approx_eq_vec(&xb, &xtrue, tol), "basker vs truth");
     assert!(approx_eq_vec(&xk, &xtrue, tol), "klu vs truth");
     assert!(approx_eq_vec(&xs, &xtrue, tol * 100.0), "snlu vs truth");
     assert!(approx_eq_vec(&xb, &xk, tol), "basker vs klu");
+
+    // Auto must agree too, whichever engine it picks.
+    let (picked, xa) = common::analyze_factor_solve(Engine::Auto, a, &b);
+    assert!(
+        approx_eq_vec(&xa, &xtrue, tol * 100.0),
+        "auto ({picked}) vs truth"
+    );
 }
 
 #[test]
@@ -76,11 +76,20 @@ fn agreement_on_mesh3d() {
 #[test]
 fn multi_rhs_consistency() {
     let a = mesh2d(12, 2);
-    let sym = Basker::analyze(&a, &BaskerOptions::default()).unwrap();
-    let num = sym.factor(&a).unwrap();
-    let b1 = vec![1.0; a.ncols()];
-    let b2: Vec<f64> = (0..a.ncols()).map(|i| i as f64 * 0.01).collect();
-    let xs = num.solve_multi(&[b1.clone(), b2.clone()]);
-    assert_eq!(xs[0], num.solve(&b1));
-    assert_eq!(xs[1], num.solve(&b2));
+    let solver = LinearSolver::analyze(&a, &SolverConfig::new().engine(Engine::Basker)).unwrap();
+    let num = solver.factor(&a).unwrap();
+    let n = a.ncols();
+    let b1 = vec![1.0; n];
+    let b2: Vec<f64> = (0..n).map(|i| i as f64 * 0.01).collect();
+
+    let mut ws = SolveWorkspace::for_dim(n);
+    let mut packed: Vec<f64> = b1.iter().chain(b2.iter()).copied().collect();
+    num.solve_multi_in_place(&mut packed, &mut ws).unwrap();
+
+    let mut x1 = b1.clone();
+    num.solve_in_place(&mut x1, &mut ws).unwrap();
+    let mut x2 = b2.clone();
+    num.solve_in_place(&mut x2, &mut ws).unwrap();
+    assert_eq!(&packed[..n], &x1[..]);
+    assert_eq!(&packed[n..], &x2[..]);
 }

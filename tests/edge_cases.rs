@@ -1,19 +1,22 @@
 //! Integration: degenerate and adversarial inputs across the whole stack.
 
+mod common;
+
 use basker_repro::prelude::*;
 use basker_sparse::io::{read_matrix_market, write_matrix_market};
 use basker_sparse::spmv::spmv;
+use common::solve_fresh as solved;
 
 #[test]
 fn one_by_one_matrix() {
     let a = CscMat::from_dense(&[vec![4.0]]);
     let sym = Basker::analyze(&a, &BaskerOptions::default()).unwrap();
     let num = sym.factor(&a).unwrap();
-    assert_eq!(num.solve(&[8.0]), vec![2.0]);
+    assert_eq!(solved(&num, &[8.0]), vec![2.0]);
     assert_eq!(num.lu_nnz(), 1);
 
     let k = KluSymbolic::analyze(&a, &KluOptions::default()).unwrap();
-    assert_eq!(k.factor(&a).unwrap().solve(&[8.0]), vec![2.0]);
+    assert_eq!(solved(&k.factor(&a).unwrap(), &[8.0]), vec![2.0]);
 }
 
 #[test]
@@ -26,19 +29,23 @@ fn diagonal_matrix_all_solvers() {
     let a = t.to_csc();
     let b: Vec<f64> = (0..n).map(|i| (i + 1) as f64 * 3.0).collect();
 
-    let x = Basker::analyze(&a, &BaskerOptions::default())
-        .unwrap()
-        .factor(&a)
-        .unwrap()
-        .solve(&b);
+    let x = solved(
+        &Basker::analyze(&a, &BaskerOptions::default())
+            .unwrap()
+            .factor(&a)
+            .unwrap(),
+        &b,
+    );
     for v in &x {
         assert!((v - 3.0).abs() < 1e-14);
     }
-    let x = Snlu::analyze(&a, &SnluOptions::default())
-        .unwrap()
-        .factor(&a)
-        .unwrap()
-        .solve(&a, &b);
+    let x = solved(
+        &Snlu::analyze(&a, &SnluOptions::default())
+            .unwrap()
+            .factor(&a)
+            .unwrap(),
+        &b,
+    );
     for v in &x {
         assert!((v - 3.0).abs() < 1e-10);
     }
@@ -63,18 +70,12 @@ fn dense_column_does_not_break_anyone() {
     let xtrue: Vec<f64> = (0..n).map(|i| (i % 3) as f64 + 1.0).collect();
     let b = spmv(&a, &xtrue);
     for p in [1usize, 2] {
-        let x = Basker::analyze(
-            &a,
-            &BaskerOptions {
-                nthreads: p,
-                nd_threshold: 32,
-                ..BaskerOptions::default()
-            },
-        )
-        .unwrap()
-        .factor(&a)
-        .unwrap()
-        .solve(&b);
+        let cfg = SolverConfig::new()
+            .engine(Engine::Basker)
+            .threads(p)
+            .nd_threshold(32);
+        let num = LinearSolver::analyze(&a, &cfg).unwrap().factor(&a).unwrap();
+        let x = solved(&num, &b);
         assert!(relative_residual(&a, &x, &b) < 1e-11, "p={p}");
     }
 }
@@ -94,7 +95,7 @@ fn explicit_zero_entries_are_tolerated() {
         .unwrap()
         .factor(&a)
         .unwrap();
-    let x = num.solve(&[2.0, 3.0, 4.0]);
+    let x = solved(&num, &[2.0, 3.0, 4.0]);
     for v in &x {
         assert!((v - 1.0).abs() < 1e-14);
     }
@@ -116,6 +117,14 @@ fn numerically_singular_block_is_an_error_not_garbage() {
             .factor(&a),
         Err(SparseError::ZeroPivot { .. })
     ));
+    // ... and through the unified API the same failure carries global
+    // context instead of a bare column.
+    for engine in [Engine::Basker, Engine::Klu] {
+        let solver = LinearSolver::analyze(&a, &SolverConfig::new().engine(engine)).unwrap();
+        let err = solver.factor(&a).unwrap_err();
+        assert!(err.is_pivot_failure(), "{engine}: {err}");
+        assert!(err.singular_column().is_some(), "{engine}: {err}");
+    }
 }
 
 #[test]
@@ -124,6 +133,12 @@ fn rectangular_matrices_rejected_everywhere() {
     assert!(Basker::analyze(&a, &BaskerOptions::default()).is_err());
     assert!(KluSymbolic::analyze(&a, &KluOptions::default()).is_err());
     assert!(Snlu::analyze(&a, &SnluOptions::default()).is_err());
+    for engine in [Engine::Auto, Engine::Basker, Engine::Klu, Engine::Snlu] {
+        assert!(
+            LinearSolver::analyze(&a, &SolverConfig::new().engine(engine)).is_err(),
+            "{engine}"
+        );
+    }
 }
 
 #[test]
@@ -138,16 +153,20 @@ fn matrix_market_roundtrip_through_solver() {
     let a2 = read_matrix_market(&buf[..]).unwrap();
     assert_eq!(a, a2);
     let b = vec![1.0; a.ncols()];
-    let x1 = Basker::analyze(&a, &BaskerOptions::default())
-        .unwrap()
-        .factor(&a)
-        .unwrap()
-        .solve(&b);
-    let x2 = Basker::analyze(&a2, &BaskerOptions::default())
-        .unwrap()
-        .factor(&a2)
-        .unwrap()
-        .solve(&b);
+    let x1 = solved(
+        &Basker::analyze(&a, &BaskerOptions::default())
+            .unwrap()
+            .factor(&a)
+            .unwrap(),
+        &b,
+    );
+    let x2 = solved(
+        &Basker::analyze(&a2, &BaskerOptions::default())
+            .unwrap()
+            .factor(&a2)
+            .unwrap(),
+        &b,
+    );
     assert_eq!(x1, x2);
 }
 
@@ -166,11 +185,13 @@ fn badly_scaled_values_still_solve() {
     let a = t.to_csc();
     let xtrue = vec![1.0; n];
     let b = spmv(&a, &xtrue);
-    let x = Basker::analyze(&a, &BaskerOptions::default())
-        .unwrap()
-        .factor(&a)
-        .unwrap()
-        .solve(&b);
+    let x = solved(
+        &Basker::analyze(&a, &BaskerOptions::default())
+            .unwrap()
+            .factor(&a)
+            .unwrap(),
+        &b,
+    );
     assert!(relative_residual(&a, &x, &b) < 1e-9);
 }
 
@@ -183,17 +204,11 @@ fn mwcm_toggle_changes_nothing_functionally() {
     });
     let b = vec![1.0; a.ncols()];
     for use_mwcm in [true, false] {
-        let x = Basker::analyze(
-            &a,
-            &BaskerOptions {
-                use_mwcm,
-                ..BaskerOptions::default()
-            },
-        )
-        .unwrap()
-        .factor(&a)
-        .unwrap()
-        .solve(&b);
+        let cfg = SolverConfig::new()
+            .engine(Engine::Basker)
+            .use_mwcm(use_mwcm);
+        let num = LinearSolver::analyze(&a, &cfg).unwrap().factor(&a).unwrap();
+        let x = solved(&num, &b);
         assert!(relative_residual(&a, &x, &b) < 1e-10, "mwcm={use_mwcm}");
     }
 }
@@ -213,5 +228,5 @@ fn huge_thread_request_is_clamped_and_works() {
     assert_eq!(sym.threads(), 64);
     let num = sym.factor(&a).unwrap();
     let b = vec![1.0; a.ncols()];
-    assert!(relative_residual(&a, &num.solve(&b), &b) < 1e-10);
+    assert!(relative_residual(&a, &solved(&num, &b), &b) < 1e-10);
 }

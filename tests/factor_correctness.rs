@@ -1,5 +1,5 @@
-//! Integration: every solver factors every workload class and solves to
-//! tight residuals.
+//! Integration: every engine factors every workload class and solves to
+//! tight residuals through the unified lifecycle.
 
 use basker_repro::prelude::*;
 use basker_sparse::spmv::spmv;
@@ -46,58 +46,65 @@ fn rhs_for(a: &CscMat) -> (Vec<f64>, Vec<f64>) {
     (xtrue, b)
 }
 
+fn check(cfg: &SolverConfig, name: &str, a: &CscMat, tol: f64, ws: &mut SolveWorkspace) {
+    let solver = LinearSolver::analyze(a, cfg).unwrap_or_else(|e| panic!("{name}: analyze {e}"));
+    let num = solver
+        .factor(a)
+        .unwrap_or_else(|e| panic!("{name} ({}): factor {e}", solver.engine()));
+    let (_, b) = rhs_for(a);
+    let mut x = b.clone();
+    num.solve_in_place(&mut x, ws).unwrap();
+    let r = relative_residual(a, &x, &b);
+    assert!(r < tol, "{name} ({}): residual {r}", solver.engine());
+}
+
 #[test]
 fn basker_all_classes_all_thread_counts() {
+    let mut ws = SolveWorkspace::new();
     for (name, a) in workloads() {
         for p in [1usize, 2, 4] {
-            let opts = BaskerOptions {
-                nthreads: p,
-                nd_threshold: 64,
-                ..BaskerOptions::default()
-            };
-            let sym = Basker::analyze(&a, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
-            let num = sym
-                .factor(&a)
-                .unwrap_or_else(|e| panic!("{name} p={p}: {e}"));
-            let (_, b) = rhs_for(&a);
-            let x = num.solve(&b);
-            let r = relative_residual(&a, &x, &b);
-            assert!(r < 1e-10, "{name} p={p}: residual {r}");
+            let cfg = SolverConfig::new()
+                .engine(Engine::Basker)
+                .threads(p)
+                .nd_threshold(64);
+            check(&cfg, name, &a, 1e-10, &mut ws);
         }
     }
 }
 
 #[test]
 fn klu_all_classes() {
+    let mut ws = SolveWorkspace::new();
     for (name, a) in workloads() {
-        let sym = KluSymbolic::analyze(&a, &KluOptions::default()).unwrap();
-        let num = sym.factor(&a).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let (_, b) = rhs_for(&a);
-        let x = num.solve(&b);
-        let r = relative_residual(&a, &x, &b);
-        assert!(r < 1e-10, "{name}: residual {r}");
+        check(
+            &SolverConfig::new().engine(Engine::Klu),
+            name,
+            &a,
+            1e-10,
+            &mut ws,
+        );
     }
 }
 
 #[test]
 fn snlu_all_classes_both_modes() {
+    let mut ws = SolveWorkspace::new();
     for (name, a) in workloads() {
         for mode in [SnluMode::Pardiso, SnluMode::SluMt] {
-            let sym = Snlu::analyze(
-                &a,
-                &SnluOptions {
-                    nthreads: 2,
-                    mode,
-                    ..SnluOptions::default()
-                },
-            )
-            .unwrap();
-            let num = sym.factor(&a).unwrap();
-            let (_, b) = rhs_for(&a);
-            let x = num.solve(&a, &b);
-            let r = relative_residual(&a, &x, &b);
-            assert!(r < 1e-8, "{name} {mode:?}: residual {r}");
+            let cfg = SolverConfig::new()
+                .engine(Engine::Snlu)
+                .threads(2)
+                .snlu_mode(mode);
+            check(&cfg, name, &a, 1e-8, &mut ws);
         }
+    }
+}
+
+#[test]
+fn auto_engine_all_classes() {
+    let mut ws = SolveWorkspace::new();
+    for (name, a) in workloads() {
+        check(&SolverConfig::new().threads(2), name, &a, 1e-8, &mut ws);
     }
 }
 
@@ -105,18 +112,17 @@ fn snlu_all_classes_both_modes() {
 fn basker_barrier_mode_agrees_with_p2p() {
     let a = mesh2d(14, 1);
     let mk = |sync| {
-        let sym = Basker::analyze(
-            &a,
-            &BaskerOptions {
-                nthreads: 2,
-                nd_threshold: 32,
-                sync_mode: sync,
-                ..BaskerOptions::default()
-            },
-        )
-        .unwrap();
-        let num = sym.factor(&a).unwrap();
-        num.solve(&vec![1.0; a.ncols()])
+        let cfg = SolverConfig::new()
+            .engine(Engine::Basker)
+            .threads(2)
+            .nd_threshold(32)
+            .sync_mode(sync);
+        let solver = LinearSolver::analyze(&a, &cfg).unwrap();
+        let num = solver.factor(&a).unwrap();
+        let mut x = vec![1.0; a.ncols()];
+        num.solve_in_place(&mut x, &mut SolveWorkspace::new())
+            .unwrap();
+        x
     };
     let x1 = mk(SyncMode::PointToPoint);
     let x2 = mk(SyncMode::Barrier);
@@ -126,22 +132,10 @@ fn basker_barrier_mode_agrees_with_p2p() {
 #[test]
 fn table1_suite_factors_at_test_scale() {
     use basker_matgen::table1_suite;
+    let mut ws = SolveWorkspace::new();
     for e in table1_suite() {
         let a = e.generate(Scale::Test);
-        let sym = Basker::analyze(
-            &a,
-            &BaskerOptions {
-                nthreads: 2,
-                ..BaskerOptions::default()
-            },
-        )
-        .unwrap_or_else(|err| panic!("{}: analyze {err}", e.name));
-        let num = sym
-            .factor(&a)
-            .unwrap_or_else(|err| panic!("{}: factor {err}", e.name));
-        let (_, b) = rhs_for(&a);
-        let x = num.solve(&b);
-        let r = relative_residual(&a, &x, &b);
-        assert!(r < 1e-9, "{}: residual {r}", e.name);
+        let cfg = SolverConfig::new().engine(Engine::Basker).threads(2);
+        check(&cfg, e.name, &a, 1e-9, &mut ws);
     }
 }

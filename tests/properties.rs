@@ -1,12 +1,16 @@
 //! Property-based tests over the full pipeline: random diagonally
 //! dominant sparse systems must factor and solve accurately with every
-//! solver, orderings must produce valid permutations, and the BTF form
-//! must be structurally correct.
+//! engine, all engines (and `Engine::Auto`) must agree on random
+//! circuit/mesh/powergrid matrices, orderings must produce valid
+//! permutations, and the BTF form must be structurally correct.
+
+mod common;
 
 use basker_ordering::btf::{btf_form, is_upper_block_triangular};
 use basker_ordering::matching::max_transversal;
 use basker_repro::prelude::*;
 use basker_sparse::spmv::spmv;
+use common::analyze_factor_solve as unified_solve;
 use proptest::prelude::*;
 
 /// Strategy: a random square, structurally nonsingular, diagonally
@@ -40,44 +44,81 @@ fn arb_matrix() -> impl Strategy<Value = CscMat> {
         })
 }
 
+/// Strategy: a random instance of one of the paper's three workload
+/// families — circuit, mesh, powergrid.
+fn arb_workload() -> impl Strategy<Value = CscMat> {
+    (0usize..3, 2usize..6, 10usize..32, 0u64..500).prop_map(|(family, scale, size, seed)| {
+        match family {
+            0 => circuit(&CircuitParams {
+                nsub: scale + 1,
+                sub_size: size,
+                feedthrough: (seed % 10) as f64 / 10.0,
+                ..CircuitParams::default()
+            }),
+            1 => mesh2d(4 + size / 3, seed % 7),
+            _ => powergrid(&PowergridParams {
+                nfeeders: 2 + scale,
+                feeder_len: size,
+                loop_prob: 0.2,
+                seed,
+            }),
+        }
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn basker_solves_random_dominant_systems(a in arb_matrix()) {
         let n = a.ncols();
-        let sym = Basker::analyze(&a, &BaskerOptions {
-            nthreads: 2,
-            nd_threshold: 24,
-            ..BaskerOptions::default()
-        }).unwrap();
-        let num = sym.factor(&a).unwrap();
         let xtrue: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64).collect();
         let b = spmv(&a, &xtrue);
-        let x = num.solve(&b);
+        let cfg = SolverConfig::new().engine(Engine::Basker).threads(2).nd_threshold(24);
+        let num = LinearSolver::analyze(&a, &cfg).unwrap().factor(&a).unwrap();
+        let mut x = b.clone();
+        num.solve_in_place(&mut x, &mut SolveWorkspace::new()).unwrap();
         prop_assert!(relative_residual(&a, &x, &b) < 1e-10);
     }
 
     #[test]
     fn klu_solves_random_dominant_systems(a in arb_matrix()) {
         let n = a.ncols();
-        let sym = KluSymbolic::analyze(&a, &KluOptions::default()).unwrap();
-        let num = sym.factor(&a).unwrap();
         let xtrue: Vec<f64> = (0..n).map(|i| 0.5 * (i % 7) as f64 - 1.0).collect();
         let b = spmv(&a, &xtrue);
-        let x = num.solve(&b);
+        let (_, x) = unified_solve(Engine::Klu, &a, &b);
         prop_assert!(relative_residual(&a, &x, &b) < 1e-10);
     }
 
     #[test]
     fn snlu_solves_random_dominant_systems(a in arb_matrix()) {
         let n = a.ncols();
-        let sym = Snlu::analyze(&a, &SnluOptions::default()).unwrap();
-        let num = sym.factor(&a).unwrap();
         let xtrue: Vec<f64> = (0..n).map(|i| (i % 5) as f64 * 0.4).collect();
         let b = spmv(&a, &xtrue);
-        let x = num.solve(&a, &b);
+        let (_, x) = unified_solve(Engine::Snlu, &a, &b);
         prop_assert!(relative_residual(&a, &x, &b) < 1e-8);
+    }
+
+    /// Cross-engine agreement on the paper's workload families: all
+    /// three engines and whatever `Engine::Auto` picks must solve the
+    /// same system to the same answer within tolerance.
+    #[test]
+    fn engines_agree_on_workload_families(a in arb_workload()) {
+        let n = a.ncols();
+        let xtrue: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 3) % 7) as f64 * 0.5).collect();
+        let b = spmv(&a, &xtrue);
+        let (_, xk) = unified_solve(Engine::Klu, &a, &b);
+        let (_, xb) = unified_solve(Engine::Basker, &a, &b);
+        let (_, xs) = unified_solve(Engine::Snlu, &a, &b);
+        let (picked, xa) = unified_solve(Engine::Auto, &a, &b);
+        prop_assert!(picked != Engine::Auto, "auto must resolve");
+        for i in 0..n {
+            let scale = 1.0 + xtrue[i].abs();
+            prop_assert!((xk[i] - xtrue[i]).abs() < 1e-7 * scale, "klu at {i}");
+            prop_assert!((xb[i] - xk[i]).abs() < 1e-7 * scale, "basker vs klu at {i}");
+            prop_assert!((xs[i] - xk[i]).abs() < 1e-5 * scale, "snlu vs klu at {i}");
+            prop_assert!((xa[i] - xk[i]).abs() < 1e-5 * scale, "auto({picked}) vs klu at {i}");
+        }
     }
 
     #[test]
@@ -116,10 +157,8 @@ proptest! {
         let n = a.ncols();
         let xtrue: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
         let b = spmv(&a, &xtrue);
-        let xb = Basker::analyze(&a, &BaskerOptions::default()).unwrap()
-            .factor(&a).unwrap().solve(&b);
-        let xk = KluSymbolic::analyze(&a, &KluOptions::default()).unwrap()
-            .factor(&a).unwrap().solve(&b);
+        let (_, xb) = unified_solve(Engine::Basker, &a, &b);
+        let (_, xk) = unified_solve(Engine::Klu, &a, &b);
         for (u, v) in xb.iter().zip(xk.iter()) {
             prop_assert!((u - v).abs() < 1e-8 * (1.0 + u.abs()));
         }

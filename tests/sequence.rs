@@ -1,5 +1,7 @@
 //! Integration: the Xyce-style matrix sequence — symbolic reuse,
-//! refactorization, pivot-collapse fallback — stays accurate end to end.
+//! refactorization, pivot-collapse fallback — stays accurate end to end,
+//! driven for every engine through the unified `LinearSolver` lifecycle
+//! with one reused workspace.
 
 use basker_repro::prelude::*;
 
@@ -17,65 +19,54 @@ fn sequence(steps: usize) -> XyceSequence {
     })
 }
 
-#[test]
-fn basker_tracks_sequence_with_refactor_and_fallback() {
-    let steps = 40;
+/// The transient loop every engine must sustain: refactor each step,
+/// fall back to a pivoting factor when the engine reports a singular
+/// pivot, solve in place, check the residual.
+fn track_sequence(engine: Engine, steps: usize, tol: f64) {
     let seq = sequence(steps);
     let a0 = seq.pattern().clone();
-    let sym = Basker::analyze(
-        &a0,
-        &BaskerOptions {
-            nthreads: 2,
-            ..BaskerOptions::default()
-        },
-    )
-    .unwrap();
-    let mut num = sym.factor(&a0).unwrap();
+    let cfg = SolverConfig::new().engine(engine).threads(2);
+    let solver = LinearSolver::analyze(&a0, &cfg).unwrap();
+    let mut num = solver.factor(&a0).unwrap();
     let b = vec![1.0; a0.ncols()];
+    let mut x = vec![0.0; a0.ncols()];
+    let mut ws = SolveWorkspace::for_dim(a0.ncols());
     for s in 1..steps {
         let m = seq.matrix_at(s);
-        if num.refactor(&m).is_err() {
-            num = sym.factor(&m).unwrap();
+        if let Err(e) = num.refactor(&m) {
+            assert!(
+                e.is_pivot_failure(),
+                "{engine} step {s}: unexpected refactor failure {e}"
+            );
+            num = solver.factor(&m).unwrap();
         }
-        let x = num.solve(&b);
+        x.copy_from_slice(&b);
+        num.solve_in_place(&mut x, &mut ws).unwrap();
         let r = relative_residual(&m, &x, &b);
-        assert!(r < 1e-9, "step {s}: residual {r}");
+        assert!(r < tol, "{engine} step {s}: residual {r}");
     }
+}
+
+#[test]
+fn basker_tracks_sequence_with_refactor_and_fallback() {
+    track_sequence(Engine::Basker, 40, 1e-9);
 }
 
 #[test]
 fn klu_tracks_sequence() {
-    let steps = 40;
-    let seq = sequence(steps);
-    let a0 = seq.pattern().clone();
-    let sym = KluSymbolic::analyze(&a0, &KluOptions::default()).unwrap();
-    let mut num = sym.factor(&a0).unwrap();
-    let b = vec![1.0; a0.ncols()];
-    for s in 1..steps {
-        let m = seq.matrix_at(s);
-        if num.refactor(&m).is_err() {
-            num = sym.factor(&m).unwrap();
-        }
-        let x = num.solve(&b);
-        let r = relative_residual(&m, &x, &b);
-        assert!(r < 1e-9, "step {s}: residual {r}");
-    }
+    track_sequence(Engine::Klu, 40, 1e-9);
 }
 
 #[test]
 fn snlu_tracks_sequence_with_static_pivoting() {
-    let steps = 25;
-    let seq = sequence(steps);
-    let a0 = seq.pattern().clone();
-    let sym = Snlu::analyze(&a0, &SnluOptions::default()).unwrap();
-    let b = vec![1.0; a0.ncols()];
-    for s in 0..steps {
-        let m = seq.matrix_at(s);
-        let num = sym.factor(&m).unwrap();
-        let x = num.solve(&m, &b);
-        let r = relative_residual(&m, &x, &b);
-        assert!(r < 1e-6, "step {s}: residual {r}");
-    }
+    // Static pivoting + refinement: looser tolerance, but the refactor
+    // path never needs the pivot fallback.
+    track_sequence(Engine::Snlu, 25, 1e-6);
+}
+
+#[test]
+fn auto_tracks_sequence() {
+    track_sequence(Engine::Auto, 25, 1e-6);
 }
 
 #[test]
@@ -91,13 +82,16 @@ fn refactor_and_fresh_factor_agree_when_pivots_stable() {
         a0.rowind().to_vec(),
         a0.values().iter().map(|v| v * 1.01).collect(),
     );
-    let sym = Basker::analyze(&a0, &BaskerOptions::default()).unwrap();
-    let mut num = sym.factor(&a0).unwrap();
+    let solver = LinearSolver::analyze(&a0, &SolverConfig::new().engine(Engine::Basker)).unwrap();
+    let mut num = solver.factor(&a0).unwrap();
     num.refactor(&gentle).unwrap();
-    let fresh = sym.factor(&gentle).unwrap();
+    let fresh = solver.factor(&gentle).unwrap();
     let b = vec![1.0; a0.ncols()];
-    let xr = num.solve(&b);
-    let xf = fresh.solve(&b);
+    let mut ws = SolveWorkspace::new();
+    let mut xr = b.clone();
+    num.solve_in_place(&mut xr, &mut ws).unwrap();
+    let mut xf = b.clone();
+    fresh.solve_in_place(&mut xf, &mut ws).unwrap();
     for (a, b) in xr.iter().zip(xf.iter()) {
         assert!((a - b).abs() < 1e-9, "refactor {a} vs fresh {b}");
     }
