@@ -53,6 +53,7 @@ impl std::fmt::Display for Engine {
 pub struct SolverConfig {
     engine: Engine,
     nthreads: usize,
+    pin_threads: bool,
     pivot_tol: f64,
     use_btf: bool,
     use_mwcm: bool,
@@ -68,7 +69,8 @@ impl Default for SolverConfig {
     fn default() -> Self {
         SolverConfig {
             engine: Engine::Auto,
-            nthreads: 2,
+            nthreads: basker::env_default_threads().unwrap_or(2),
+            pin_threads: false,
             pivot_tol: 0.001,
             use_btf: true,
             use_mwcm: true,
@@ -96,9 +98,17 @@ impl SolverConfig {
     }
 
     /// Worker threads for the threaded engines (Basker rounds down to a
-    /// power of two; KLU is always serial).
+    /// power of two; KLU is always serial). The default honours the
+    /// `BASKER_NUM_THREADS` environment override.
     pub fn threads(mut self, nthreads: usize) -> Self {
         self.nthreads = nthreads.max(1);
+        self
+    }
+
+    /// Pin the persistent worker team's threads to cores (best-effort;
+    /// a no-op on targets without an affinity binding).
+    pub fn pin_threads(mut self, pin: bool) -> Self {
+        self.pin_threads = pin;
         self
     }
 
@@ -191,6 +201,7 @@ impl SolverConfig {
             use_mwcm: self.use_mwcm,
             nd_threshold: self.nd_threshold,
             sync_mode: self.sync_mode,
+            pin_threads: self.pin_threads,
         }
     }
 

@@ -46,6 +46,12 @@ pub struct SolverStats {
     pub perturbed_pivots: usize,
     /// Synchronization overhead fraction (Basker only).
     pub sync_fraction: f64,
+    /// Per-thread nanoseconds spent blocked on synchronization during
+    /// the last (re)factorization (Basker only: one entry per worker
+    /// rank of the persistent team, `len() == threads`; empty for the
+    /// other engines). Makes sync overhead observable per rank without
+    /// the ablation harness.
+    pub sync_wait_ns: Vec<u64>,
     /// Wall-clock seconds of the last (re)factorization, when measured.
     pub factor_seconds: f64,
 }
@@ -261,6 +267,7 @@ impl LuNumeric for BaskerNumeric {
             btf_blocks: self.stats.btf_blocks,
             threads: self.stats.threads,
             sync_fraction: self.stats.sync_fraction(),
+            sync_wait_ns: self.stats.sync_wait_ns.clone(),
             factor_seconds: self.stats.numeric_seconds,
             ..SolverStats::default()
         }

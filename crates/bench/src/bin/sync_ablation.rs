@@ -1,20 +1,24 @@
-//! **§IV synchronization ablation** — Basker's point-to-point sync vs a
-//! full team barrier at every dependency level, on a `G2_Circuit`-like
-//! mesh matrix.
+//! **§IV synchronization ablation** — Basker's point-to-point pipelined
+//! sync vs a full team barrier at every dependency level, on a
+//! `G2_Circuit`-like mesh matrix.
 //!
 //! Paper numbers (8 cores, G2_Circuit): barrier-style synchronization
 //! costs 11 % of total runtime; point-to-point reduces it to 2.3 %
 //! (~79 % improvement). The shape to check: the point-to-point sync
 //! fraction is a small fraction of the barrier one, and total time drops.
 //!
-//! Usage: `sync_ablation [test|bench]` (default `bench`).
+//! Usage: `sync_ablation [test|bench] [--json PATH]` (default `bench`).
+//! `--json` additionally writes the measured rows as a JSON array (used
+//! for the checked-in `BENCH_fig6.json` baseline).
 
 use basker::{Basker, BaskerOptions, SyncMode};
+use basker_bench::BenchArgs;
 use basker_matgen::{mesh2d, Scale};
 use std::time::Instant;
 
 fn main() {
-    let scale = basker_bench::scale_from_args("sync_ablation");
+    let args = BenchArgs::parse("sync_ablation", false);
+    let (scale, json_path) = (args.scale, args.json);
     let k = match scale {
         Scale::Test => 24,
         Scale::Bench => 90,
@@ -28,12 +32,13 @@ fn main() {
     println!("| mode | threads | numeric seconds | sync fraction |");
     println!("|---|---|---|---|");
 
-    let mut fractions = Vec::new();
+    let threads = [1usize, 2, 4];
+    let mut rows: Vec<(&str, usize, f64, f64)> = Vec::new();
     for (mode, name) in [
         (SyncMode::Barrier, "barrier"),
         (SyncMode::PointToPoint, "point-to-point"),
     ] {
-        for p in [2usize, 4] {
+        for &p in &threads {
             let sym = Basker::analyze(
                 &a,
                 &BaskerOptions {
@@ -60,21 +65,21 @@ fn main() {
                 "| {name} | {p} | {best_secs:.4} | {:.1}% |",
                 best_frac * 100.0
             );
-            fractions.push((name, p, best_frac));
+            rows.push((name, p, best_secs, best_frac));
         }
     }
     println!();
-    for p in [2usize, 4] {
-        let b = fractions
+    for &p in &threads[1..] {
+        let b = rows
             .iter()
-            .find(|(n, q, _)| *n == "barrier" && *q == p)
+            .find(|(n, q, _, _)| *n == "barrier" && *q == p)
             .unwrap()
-            .2;
-        let s = fractions
+            .3;
+        let s = rows
             .iter()
-            .find(|(n, q, _)| *n == "point-to-point" && *q == p)
+            .find(|(n, q, _, _)| *n == "point-to-point" && *q == p)
             .unwrap()
-            .2;
+            .3;
         let improvement = if b > 0.0 { 100.0 * (b - s) / b } else { 0.0 };
         println!(
             "{p} threads: barrier {:.1}% -> point-to-point {:.1}% \
@@ -82,5 +87,19 @@ fn main() {
             b * 100.0,
             s * 100.0
         );
+    }
+
+    if let Some(path) = json_path {
+        let mut out = String::from("[\n");
+        for (i, (name, p, secs, frac)) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"mode\": \"{name}\", \"threads\": {p}, \
+                 \"numeric_seconds\": {secs:.6}, \"sync_fraction\": {frac:.4}}}{}\n",
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(&path, out).expect("write json");
+        eprintln!("wrote {path}");
     }
 }

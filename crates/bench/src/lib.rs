@@ -197,13 +197,48 @@ pub fn performance_profile(times: &[Vec<f64>], taus: &[f64]) -> Vec<Vec<f64>> {
 /// harnesses. Unknown values abort with a usage message instead of
 /// silently running the (expensive) bench scale.
 pub fn scale_from_args(bin_name: &str) -> basker_matgen::Scale {
-    match std::env::args().nth(1).as_deref() {
-        None | Some("bench") => basker_matgen::Scale::Bench,
-        Some("test") => basker_matgen::Scale::Test,
-        Some(other) => {
-            eprintln!("unknown scale `{other}`; usage: {bin_name} [test|bench]");
+    BenchArgs::parse(bin_name, false).scale
+}
+
+/// Common command-line surface of the measurement bins:
+/// `[test|bench] [--json PATH]`, plus `--matrix NAME` for bins that
+/// support per-matrix isolation.
+pub struct BenchArgs {
+    /// Problem-size scale.
+    pub scale: basker_matgen::Scale,
+    /// Write machine-readable rows here as well.
+    pub json: Option<String>,
+    /// Restrict to one suite entry (only when the bin allows it).
+    pub matrix: Option<String>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`, exiting with usage on anything
+    /// unknown. `with_matrix` enables the `--matrix NAME` flag.
+    pub fn parse(bin_name: &str, with_matrix: bool) -> BenchArgs {
+        let usage = || -> ! {
+            let m = if with_matrix { " [--matrix NAME]" } else { "" };
+            eprintln!("usage: {bin_name} [test|bench] [--json PATH]{m}");
             std::process::exit(2);
+        };
+        let mut out = BenchArgs {
+            scale: basker_matgen::Scale::Bench,
+            json: None,
+            matrix: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "test" => out.scale = basker_matgen::Scale::Test,
+                "bench" => out.scale = basker_matgen::Scale::Bench,
+                "--json" => out.json = Some(args.next().unwrap_or_else(|| usage())),
+                "--matrix" if with_matrix => {
+                    out.matrix = Some(args.next().unwrap_or_else(|| usage()))
+                }
+                _ => usage(),
+            }
         }
+        out
     }
 }
 

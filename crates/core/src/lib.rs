@@ -59,6 +59,20 @@ use basker_sparse::{CscMat, Perm, Result, SolveWorkspace, SparseError};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Reads the `BASKER_NUM_THREADS` environment override used by the
+/// default configurations (CI runs the whole suite under
+/// `BASKER_NUM_THREADS=4` so the parallel paths are exercised at more
+/// than one thread on every push). Returns `None` when unset or
+/// unparsable.
+pub fn env_default_threads() -> Option<usize> {
+    std::env::var("BASKER_NUM_THREADS")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&n| n >= 1)
+}
+
 /// Tuning options for Basker.
 #[derive(Debug, Clone)]
 pub struct BaskerOptions {
@@ -78,17 +92,21 @@ pub struct BaskerOptions {
     pub nd_threshold: usize,
     /// Synchronization strategy for the ND numeric phase.
     pub sync_mode: SyncMode,
+    /// Pin the worker team's threads to cores (best-effort; rank `r`
+    /// goes to core `r mod cores`).
+    pub pin_threads: bool,
 }
 
 impl Default for BaskerOptions {
     fn default() -> Self {
         BaskerOptions {
-            nthreads: 2,
+            nthreads: env_default_threads().unwrap_or(2),
             pivot_tol: 0.001,
             use_btf: true,
             use_mwcm: true,
             nd_threshold: 128,
             sync_mode: SyncMode::PointToPoint,
+            pin_threads: false,
         }
     }
 }
@@ -122,9 +140,13 @@ impl Basker {
         };
         let structure =
             Structure::build(a, opts.use_btf, opts.use_mwcm, opts.nd_threshold, threads)?;
+        // The builder hands back a pool over the process-shared
+        // persistent worker team of this width: threads are spawned at
+        // most once per (width, pinning) pair for the process lifetime
+        // and parked between jobs.
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
-            .thread_name(|i| format!("basker-{i}"))
+            .pin_threads(opts.pin_threads)
             .build()
             .map_err(|e| SparseError::InvalidStructure(format!("thread pool: {e}")))?;
 

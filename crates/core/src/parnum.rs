@@ -6,35 +6,39 @@
 //! * **treelevel −1** — every thread factors its own leaf's stacked block
 //!   column `[A_ll ; A_{a,l}…]` (lines 2–6).
 //! * **slevel = 1..log₂p** — the team cooperates on each separator block
-//!   column `j`:
+//!   column `j`, **pipelined one column at a time** (the paper's scheme):
 //!   - *treelevel 0*: each thread under `j` solves its leaf panel
-//!     `U_{ℓ,j} = L_{ℓℓ}⁻¹ P_ℓ A_{ℓ,j}` (line 14);
+//!     `U_{ℓ,j} = L_{ℓℓ}⁻¹ P_ℓ A_{ℓ,j}` (line 14), publishing each
+//!     **column** into its own write-once slot the moment it is ready;
 //!   - *treelevels 1..slevel−1*: the owner of each inner separator `s`
-//!     reduces `Â_{s,j} = A_{s,j} − Σ L_{s,k} U_{k,j}` and solves its panel
-//!     (lines 15–21);
+//!     streams `Â_{s,j}(:,c) = A_{s,j}(:,c) − Σ L_{s,k} U_{k,j}(:,c)` and
+//!     solves it column by column (lines 15–21), consuming descendant
+//!     panel columns as they arrive;
 //!   - *treelevel slevel*: the reduction targets (`Â_{jj}` and every
 //!     `Â_{a,j}`) are distributed over the team (lines 18 & 24, the
-//!     parallel-SpMV reductions of Fig. 4(d)), then the owner runs one
-//!     stacked Gilbert–Peierls factorization of the whole block column
-//!     (lines 26–28). Only the root's final factorization is serial —
-//!     Fig. 4(g)'s single colored block.
+//!     parallel-SpMV reductions of Fig. 4(d)), again column-streamed,
+//!     while the owner runs an **incremental** stacked Gilbert–Peierls
+//!     factorization ([`BlockColumnFactorizer`]): column `c` is
+//!     eliminated as soon as its reductions land, concurrently with the
+//!     rest of the team producing column `c + 1` (lines 26–28). Only the
+//!     root's elimination itself is serial — Fig. 4(g)'s single colored
+//!     block.
 //!
-//! The paper pipelines separator columns one column at a time; this
-//! implementation processes whole sub-blocks (see DESIGN.md §1): the
-//! dependency structure and the serial bottleneck are identical, the
-//! synchronization granularity is coarser.
-//!
-//! Cross-thread hand-off uses the write-once [`Slot`]s of [`crate::sync`]
-//! — the paper's point-to-point volatile-flag scheme — or a full team
-//! barrier per dependency level in [`SyncMode::Barrier`] (the ablation
-//! baseline). Worker errors (zero pivots) poison their slots so the team
+//! Cross-thread hand-off uses the write-once per-column
+//! [`ColumnSlots`]/[`Slot`]s of [`crate::sync`] — the paper's
+//! point-to-point volatile-flag scheme. In [`SyncMode::Barrier`] (the
+//! ablation baseline) the pipeline is deliberately collapsed back to
+//! level-synchronous whole-sub-block phases with a full team barrier at
+//! every dependency level, mimicking a naive sequence of parallel-for
+//! launches. Worker errors (zero pivots) poison their slots so the team
 //! drains without deadlock, and the error is returned.
 
-use crate::reduce::reduce_block;
+use crate::reduce::{reduce_col, ReduceWorkspace};
 use crate::structure::{NdBlocks, NdStructure};
-use crate::sync::{Slot, SyncMode, TeamSync, WaitClock};
-use basker_klu::gp::{factor_block_column, lsolve_panel, BlockLu};
-use basker_sparse::{CscMat, Result, SparseError};
+use crate::sync::{ColumnSlots, Slot, SyncMode, TeamSync, WaitClock};
+use basker_klu::gp::{lsolve_col, BlockColumnFactorizer, BlockLu, LsolveWorkspace};
+use basker_sparse::col::cols_to_csc;
+use basker_sparse::{CscMat, Result, SparseCol, SparseError};
 use std::sync::Mutex;
 
 /// Factors of one ND block.
@@ -46,7 +50,8 @@ pub struct NdFactors {
     /// Per node `v`, per descendant `k` (ascending over `descendants(v)`):
     /// the panel `U_{k,v}` in `k`'s pivotal row coordinates.
     pub fact_upper: Vec<Vec<CscMat>>,
-    /// Per-thread nanoseconds spent blocked on synchronization.
+    /// Per-thread nanoseconds spent blocked on synchronization (one
+    /// entry per rank of the team that produced these factors).
     pub wait_ns: Vec<u64>,
     /// Numeric flops of the factorization kernels.
     pub flops: f64,
@@ -64,9 +69,59 @@ impl NdFactors {
             .sum();
         d + u
     }
+
+    /// Size of the team that produced these factors (one [`wait_ns`]
+    /// entry per rank).
+    ///
+    /// [`wait_ns`]: NdFactors::wait_ns
+    pub fn team_size(&self) -> usize {
+        self.wait_ns.len()
+    }
 }
 
 type SlotV<T> = Slot<Option<T>>;
+
+/// All cross-thread hand-off state of one ND factorization: the diagonal
+/// factor slot per node plus the per-column panel and reduction slots of
+/// the pipelined schedule.
+struct PipelineSlots {
+    /// Per node: its stacked-block-column factor (`None` = poisoned).
+    diag: Vec<SlotV<BlockLu>>,
+    /// Per separator `j`, per descendant `k − subtree_start[j]`: the
+    /// columns of panel `U_{k,j}`.
+    upper: Vec<Vec<ColumnSlots<SparseCol>>>,
+    /// Per separator `j`, per reduction target (0 = diagonal, then
+    /// ancestors ascending): the reduced columns.
+    red: Vec<Vec<ColumnSlots<SparseCol>>>,
+}
+
+impl PipelineSlots {
+    fn new(st: &NdStructure) -> PipelineSlots {
+        let nn = st.nnodes();
+        let ncols = |v: usize| st.nd.nodes[v].len();
+        PipelineSlots {
+            diag: (0..nn).map(|_| Slot::new()).collect(),
+            upper: (0..nn)
+                .map(|v| {
+                    st.descendants(v)
+                        .map(|_| ColumnSlots::new(ncols(v)))
+                        .collect()
+                })
+                .collect(),
+            red: (0..nn)
+                .map(|v| {
+                    if st.nd.nodes[v].is_leaf() {
+                        Vec::new()
+                    } else {
+                        (0..1 + st.ancestors[v].len())
+                            .map(|_| ColumnSlots::new(ncols(v)))
+                            .collect()
+                    }
+                })
+                .collect(),
+        }
+    }
+}
 
 /// Runs Algorithm 4 on the extracted blocks with a team of `p` threads
 /// drawn from `pool` (`pool` must have at least `p` threads; `p` must be
@@ -81,21 +136,9 @@ pub fn factor_nd_parallel(
 ) -> Result<NdFactors> {
     let p = st.leaf_of_thread.len();
     assert!(pool.current_num_threads() >= p, "thread pool too small");
-    let nn = st.nnodes();
     let levels = st.nd.levels;
 
-    // Write-once result slots.
-    let diag_slots: Vec<SlotV<BlockLu>> = (0..nn).map(|_| Slot::new()).collect();
-    let upper_slots: Vec<Vec<SlotV<CscMat>>> = (0..nn)
-        .map(|v| st.descendants(v).map(|_| Slot::new()).collect())
-        .collect();
-    let red_slots: Vec<Vec<SlotV<CscMat>>> = (0..nn)
-        .map(|v| {
-            (0..1 + st.ancestors[v].len())
-                .map(|_| Slot::new())
-                .collect()
-        })
-        .collect();
+    let slots = PipelineSlots::new(st);
     let team = TeamSync::new(mode, p);
     let error: Mutex<Option<SparseError>> = Mutex::new(None);
     let clocks: Vec<WaitClock> = (0..p).map(|_| WaitClock::new()).collect();
@@ -106,18 +149,7 @@ pub fn factor_nd_parallel(
             return;
         }
         worker(
-            t,
-            blocks,
-            st,
-            pivot_tol,
-            col_offset,
-            &diag_slots,
-            &upper_slots,
-            &red_slots,
-            &team,
-            &error,
-            &clocks[t],
-            levels,
+            t, blocks, st, pivot_tol, col_offset, &slots, &team, &error, &clocks[t], levels,
         );
     });
 
@@ -125,15 +157,28 @@ pub fn factor_nd_parallel(
         return Err(e);
     }
 
-    let fact_diag: Vec<BlockLu> = diag_slots
+    let fact_diag: Vec<BlockLu> = slots
+        .diag
         .into_iter()
         .map(|s| s.into_inner().flatten().expect("missing diagonal factor"))
         .collect();
-    let fact_upper: Vec<Vec<CscMat>> = upper_slots
+    let fact_upper: Vec<Vec<CscMat>> = slots
+        .upper
         .into_iter()
-        .map(|v| {
-            v.into_iter()
-                .map(|s| s.into_inner().flatten().expect("missing U panel"))
+        .enumerate()
+        .map(|(j, panels)| {
+            let start = st.subtree_start[j];
+            panels
+                .into_iter()
+                .enumerate()
+                .map(|(ki, cols)| {
+                    let krows = st.nd.nodes[start + ki].len();
+                    let gathered: Vec<SparseCol> = cols
+                        .into_columns()
+                        .map(|c| c.expect("missing U panel column"))
+                        .collect();
+                    cols_to_csc(krows, gathered)
+                })
                 .collect()
         })
         .collect();
@@ -153,6 +198,12 @@ fn anc_pos(st: &NdStructure, k: usize, s: usize) -> usize {
     st.nd.tree_level(s) - st.nd.tree_level(k) - 1
 }
 
+/// Per-thread scratch reused across every column of every block.
+struct WorkerScratch {
+    lsolve: LsolveWorkspace,
+    reduce: ReduceWorkspace,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn worker(
     t: usize,
@@ -160,9 +211,7 @@ fn worker(
     st: &NdStructure,
     pivot_tol: f64,
     col_offset: usize,
-    diag_slots: &[SlotV<BlockLu>],
-    upper_slots: &[Vec<SlotV<CscMat>>],
-    red_slots: &[Vec<SlotV<CscMat>>],
+    slots: &PipelineSlots,
     team: &TeamSync,
     error: &Mutex<Option<SparseError>>,
     clock: &WaitClock,
@@ -175,17 +224,25 @@ fn worker(
             *g = Some(e);
         }
     };
+    let mut scratch = WorkerScratch {
+        lsolve: LsolveWorkspace::new(),
+        reduce: ReduceWorkspace::new(),
+    };
+    // Borrow-scratch reused across every column of every separator: the
+    // reduction term list and the owner's reduced-column gather.
+    let mut red_terms: Vec<(&CscMat, &[usize], &[f64])> = Vec::new();
+    let mut below_cols: Vec<(&[usize], &[f64])> = Vec::new();
 
     // ---- treelevel -1: leaf block columns (Alg. 4 lines 2-6) ----
     {
         let v = my_leaf;
         let below: Vec<&CscMat> = blocks.lower[v].iter().collect();
         let off = col_offset + st.nd.nodes[v].range.start;
-        match factor_block_column(&blocks.diag[v], &below, pivot_tol, off) {
-            Ok(blu) => diag_slots[v].publish(Some(blu)),
+        match basker_klu::gp::factor_block_column(&blocks.diag[v], &below, pivot_tol, off) {
+            Ok(blu) => slots.diag[v].publish(Some(blu)),
             Err(e) => {
                 record_err(e);
-                diag_slots[v].publish(None);
+                slots.diag[v].publish(None);
             }
         }
     }
@@ -195,154 +252,385 @@ fn worker(
     for slevel in 1..=levels {
         let j = st.ancestors[my_leaf][slevel - 1];
         let start = st.subtree_start[j];
+        let nb = st.nd.nodes[j].len();
 
-        // treelevel 0: my leaf's panel U_{leaf, j} (line 14)
+        // treelevel 0: my leaf's panel U_{leaf, j}, column by column
+        // (line 14) — each column is visible to consumers immediately.
         {
-            let slot = &upper_slots[j][my_leaf - start];
-            match diag_slots[my_leaf].wait(clock) {
+            let panel = &slots.upper[j][my_leaf - start];
+            let a = &blocks.upper[j][my_leaf - start];
+            match slots.diag[my_leaf].wait(clock).as_ref() {
                 Some(blu) => {
-                    let panel = lsolve_panel(blu, &blocks.upper[j][my_leaf - start]);
-                    slot.publish(Some(panel));
+                    for c in 0..nb {
+                        let col =
+                            lsolve_col(blu, a.col_rows(c), a.col_values(c), &mut scratch.lsolve);
+                        panel.publish(c, Some(col));
+                    }
                 }
-                None => slot.publish(None),
+                None => {
+                    for c in 0..nb {
+                        panel.publish(c, None);
+                    }
+                }
             }
         }
         team.phase(clock);
 
-        // treelevels 1..slevel-1: inner separator panels (lines 15-21)
+        // treelevels 1..slevel-1: inner separator panels (lines 15-21),
+        // streamed per column over the descendants' panel columns.
         for lv in 1..slevel {
             let s = st.ancestors[my_leaf][lv - 1];
             if st.owner[s] == t {
-                let slot = &upper_slots[j][s - start];
-                match separator_panel(blocks, st, j, s, start, diag_slots, upper_slots, clock) {
-                    Some(panel) => slot.publish(Some(panel)),
-                    None => slot.publish(None),
-                }
+                separator_panel_columns(blocks, st, j, s, start, slots, clock, &mut scratch);
             }
             team.phase(clock);
         }
 
-        // treelevel slevel: distributed reductions (lines 18 & 24)
+        // treelevel slevel: distributed reductions (lines 18 & 24) and
+        // the owner's incremental elimination (lines 26-28).
         let gsize = 1usize << slevel;
         let my_rank = t - st.owner[j];
         let ntargets = 1 + st.ancestors[j].len();
-        for idx in 0..ntargets {
-            if idx % gsize != my_rank {
-                continue;
-            }
-            let tgt = if idx == 0 {
-                j
-            } else {
-                st.ancestors[j][idx - 1]
-            };
-            let a_tgt = if idx == 0 {
-                &blocks.diag[j]
-            } else {
-                &blocks.lower[j][idx - 1]
-            };
-            match reduction(
-                blocks,
-                st,
-                j,
-                tgt,
-                a_tgt,
-                start,
-                diag_slots,
-                upper_slots,
-                clock,
-            ) {
-                Some(red) => red_slots[j][idx].publish(Some(red)),
-                None => red_slots[j][idx].publish(None),
-            }
-        }
-        team.phase(clock);
+        let is_owner = st.owner[j] == t;
+        // Resolve each of this thread's targets once (descendant factor
+        // waits + L-block lookups), then stream columns through them.
+        let my_targets: Vec<TargetReduction<'_>> = (0..ntargets)
+            .filter(|i| i % gsize == my_rank)
+            .map(|idx| prepare_target(blocks, st, j, idx, slots, clock))
+            .collect();
 
-        // owner factors the stacked separator block column (lines 26-28)
-        if st.owner[j] == t {
+        if team.mode() == SyncMode::Barrier {
+            // Ablation baseline: whole-sub-block phases. All reduction
+            // targets complete, the team barriers, then the owner
+            // eliminates — no column overlap anywhere.
+            for tr in &my_targets {
+                for c in 0..nb {
+                    reduce_target_col(
+                        tr,
+                        st,
+                        j,
+                        start,
+                        c,
+                        slots,
+                        clock,
+                        &mut scratch,
+                        &mut red_terms,
+                    );
+                }
+            }
+            team.phase(clock);
+            if is_owner {
+                owner_factor_columns(
+                    st,
+                    j,
+                    nb,
+                    ntargets,
+                    pivot_tol,
+                    col_offset,
+                    slots,
+                    clock,
+                    &record_err,
+                    &mut below_cols,
+                );
+            }
+            team.phase(clock);
+        } else if is_owner {
+            // Pipelined: the owner interleaves its reduction columns
+            // with the elimination of each column the moment that
+            // column's reductions are all in. Producers never wait on
+            // the owner, so a poisoned elimination drains cleanly.
+            let below_nrows: Vec<usize> = st.ancestors[j]
+                .iter()
+                .map(|&a| st.nd.nodes[a].len())
+                .collect();
+            let off = col_offset + st.nd.nodes[j].range.start;
+            let mut fac = BlockColumnFactorizer::new(nb, &below_nrows, pivot_tol, off);
             let mut poisoned = false;
-            let mut gathered: Vec<&CscMat> = Vec::with_capacity(ntargets);
-            for idx in 0..ntargets {
-                match red_slots[j][idx].wait(clock) {
-                    Some(m) => gathered.push(m),
-                    None => {
-                        poisoned = true;
-                        break;
-                    }
+            for c in 0..nb {
+                for tr in &my_targets {
+                    reduce_target_col(
+                        tr,
+                        st,
+                        j,
+                        start,
+                        c,
+                        slots,
+                        clock,
+                        &mut scratch,
+                        &mut red_terms,
+                    );
+                }
+                if !poisoned {
+                    poisoned = !owner_factor_one(
+                        &mut fac,
+                        j,
+                        c,
+                        ntargets,
+                        slots,
+                        clock,
+                        &record_err,
+                        &mut below_cols,
+                    );
                 }
             }
             if poisoned {
-                diag_slots[j].publish(None);
+                slots.diag[j].publish(None);
             } else {
-                let (ajj, below) = gathered.split_first().expect("diag target present");
-                let off = col_offset + st.nd.nodes[j].range.start;
-                match factor_block_column(ajj, below, pivot_tol, off) {
-                    Ok(blu) => diag_slots[j].publish(Some(blu)),
-                    Err(e) => {
-                        record_err(e);
-                        diag_slots[j].publish(None);
-                    }
+                slots.diag[j].publish(Some(fac.finish()));
+            }
+        } else {
+            for tr in &my_targets {
+                for c in 0..nb {
+                    reduce_target_col(
+                        tr,
+                        st,
+                        j,
+                        start,
+                        c,
+                        slots,
+                        clock,
+                        &mut scratch,
+                        &mut red_terms,
+                    );
                 }
             }
         }
-        team.phase(clock);
     }
 }
 
-/// Computes `U_{s,j}` for an inner separator `s` under block column `j`:
-/// reduce `Â_{s,j} = A_{s,j} − Σ_{k ∈ desc(s)} L_{s,k} U_{k,j}`, then solve
-/// with `L_ss`. Returns `None` on poisoned inputs.
+/// Streams the panel `U_{s,j}` of inner separator `s` under block column
+/// `j`: for each column `c`, reduce `Â_{s,j}(:,c) = A_{s,j}(:,c) −
+/// Σ_{k ∈ desc(s)} L_{s,k} U_{k,j}(:,c)` over the descendants' published
+/// panel columns, then solve with `L_ss` and publish. Poisoned inputs
+/// poison the affected output columns.
 #[allow(clippy::too_many_arguments)]
-fn separator_panel(
+fn separator_panel_columns(
     blocks: &NdBlocks,
     st: &NdStructure,
     j: usize,
     s: usize,
     start: usize,
-    diag_slots: &[SlotV<BlockLu>],
-    upper_slots: &[Vec<SlotV<CscMat>>],
+    slots: &PipelineSlots,
     clock: &WaitClock,
-) -> Option<CscMat> {
-    let mut terms: Vec<(&CscMat, &CscMat)> = Vec::new();
+    scratch: &mut WorkerScratch,
+) {
+    let out = &slots.upper[j][s - start];
+    let nb = out.ncols();
+    let srows = st.nd.nodes[s].len();
+    // The descendants' diagonal factors carry the L_{s,k} blocks; they
+    // are (or will shortly be) published by earlier tree levels.
+    let mut lblocks: Vec<&CscMat> = Vec::with_capacity(s - st.subtree_start[s]);
     for k in st.descendants(s) {
-        let u_kj = upper_slots[j][k - start].wait(clock).as_ref()?;
-        let d_k = diag_slots[k].wait(clock).as_ref()?;
-        let l_sk = &d_k.below[anc_pos(st, k, s)];
-        if l_sk.nnz() > 0 && u_kj.nnz() > 0 {
-            terms.push((l_sk, u_kj));
+        match slots.diag[k].wait(clock).as_ref() {
+            Some(d_k) => lblocks.push(&d_k.below[anc_pos(st, k, s)]),
+            None => {
+                for c in 0..nb {
+                    out.publish(c, None);
+                }
+                return;
+            }
         }
     }
+    let Some(d_s) = slots.diag[s].wait(clock).as_ref() else {
+        for c in 0..nb {
+            out.publish(c, None);
+        }
+        return;
+    };
     let a_sj = &blocks.upper[j][s - start];
-    let reduced = reduce_block(a_sj, &terms);
-    let d_s = diag_slots[s].wait(clock).as_ref()?;
-    Some(lsolve_panel(d_s, &reduced))
+    let mut terms: Vec<(&CscMat, &[usize], &[f64])> = Vec::with_capacity(lblocks.len());
+    'col: for c in 0..nb {
+        terms.clear();
+        for (ki, k) in st.descendants(s).enumerate() {
+            match slots.upper[j][k - start].wait(c, clock) {
+                Some(ucol) => {
+                    if lblocks[ki].nnz() > 0 && !ucol.rows.is_empty() {
+                        terms.push((lblocks[ki], &ucol.rows, &ucol.vals));
+                    }
+                }
+                None => {
+                    out.publish(c, None);
+                    continue 'col;
+                }
+            }
+        }
+        let reduced = reduce_col(
+            srows,
+            a_sj.col_rows(c),
+            a_sj.col_values(c),
+            &terms,
+            &mut scratch.reduce,
+        );
+        let solved = lsolve_col(d_s, &reduced.rows, &reduced.vals, &mut scratch.lsolve);
+        out.publish(c, Some(solved));
+    }
 }
 
-/// Computes the reduction `Â_{tgt,j} = A_{tgt,j} − Σ_{k ∈ desc(j)}
-/// L_{tgt,k} U_{k,j}` for one target row block (the diagonal `j` itself or
-/// one of its ancestors).
-#[allow(clippy::too_many_arguments)]
-fn reduction(
-    blocks: &NdBlocks,
+/// One reduction target prepared for column streaming: `Â_{tgt,j} =
+/// A_{tgt,j} − Σ_{k ∈ desc(j)} L_{tgt,k} U_{k,j}` (`idx` 0 = the
+/// diagonal `j` itself, otherwise ancestor `idx − 1`). The descendant
+/// `L` blocks are resolved **once** here — the per-column streaming
+/// loop must not re-wait slots or reallocate this state (the owner
+/// interleaves one column of every target with each elimination step,
+/// so this sits on the factorization's critical path).
+struct TargetReduction<'a> {
+    idx: usize,
+    trows: usize,
+    a_tgt: &'a CscMat,
+    /// `L_{tgt,k}` per descendant `k`; `None` = a descendant factor was
+    /// poisoned, so every column of this target is poison too.
+    lblocks: Option<Vec<&'a CscMat>>,
+}
+
+fn prepare_target<'a>(
+    blocks: &'a NdBlocks,
     st: &NdStructure,
     j: usize,
-    tgt: usize,
-    a_tgt: &CscMat,
-    start: usize,
-    diag_slots: &[SlotV<BlockLu>],
-    upper_slots: &[Vec<SlotV<CscMat>>],
+    idx: usize,
+    slots: &'a PipelineSlots,
     clock: &WaitClock,
-) -> Option<CscMat> {
-    let _ = blocks;
-    let mut terms: Vec<(&CscMat, &CscMat)> = Vec::new();
+) -> TargetReduction<'a> {
+    let (tgt, a_tgt) = if idx == 0 {
+        (j, &blocks.diag[j])
+    } else {
+        (st.ancestors[j][idx - 1], &blocks.lower[j][idx - 1])
+    };
+    let trows = st.nd.nodes[tgt].len();
+    let mut lblocks: Vec<&CscMat> = Vec::with_capacity(j - st.subtree_start[j]);
     for k in st.descendants(j) {
-        let u_kj = upper_slots[j][k - start].wait(clock).as_ref()?;
-        let d_k = diag_slots[k].wait(clock).as_ref()?;
-        let l_tk = &d_k.below[anc_pos(st, k, tgt)];
-        if l_tk.nnz() > 0 && u_kj.nnz() > 0 {
-            terms.push((l_tk, u_kj));
+        match slots.diag[k].wait(clock).as_ref() {
+            Some(d_k) => lblocks.push(&d_k.below[anc_pos(st, k, tgt)]),
+            None => {
+                return TargetReduction {
+                    idx,
+                    trows,
+                    a_tgt,
+                    lblocks: None,
+                }
+            }
         }
     }
-    Some(reduce_block(a_tgt, &terms))
+    TargetReduction {
+        idx,
+        trows,
+        a_tgt,
+        lblocks: Some(lblocks),
+    }
+}
+
+/// Reduces and publishes one column of a prepared target (the sparse
+/// SpMV accumulation of paper Fig. 4(d) at pipeline granularity).
+/// `terms` is caller-owned scratch, cleared here and reused across
+/// columns so the streaming loop performs no per-column allocation.
+#[allow(clippy::too_many_arguments)]
+fn reduce_target_col<'a>(
+    tr: &TargetReduction<'a>,
+    st: &NdStructure,
+    j: usize,
+    start: usize,
+    c: usize,
+    slots: &'a PipelineSlots,
+    clock: &WaitClock,
+    scratch: &mut WorkerScratch,
+    terms: &mut Vec<(&'a CscMat, &'a [usize], &'a [f64])>,
+) {
+    let out = &slots.red[j][tr.idx];
+    let Some(lblocks) = &tr.lblocks else {
+        out.publish(c, None);
+        return;
+    };
+    terms.clear();
+    for (ki, k) in st.descendants(j).enumerate() {
+        match slots.upper[j][k - start].wait(c, clock) {
+            Some(ucol) => {
+                if lblocks[ki].nnz() > 0 && !ucol.rows.is_empty() {
+                    terms.push((lblocks[ki], &ucol.rows, &ucol.vals));
+                }
+            }
+            None => {
+                out.publish(c, None);
+                return;
+            }
+        }
+    }
+    let reduced = reduce_col(
+        tr.trows,
+        tr.a_tgt.col_rows(c),
+        tr.a_tgt.col_values(c),
+        terms,
+        &mut scratch.reduce,
+    );
+    out.publish(c, Some(reduced));
+}
+
+/// Feeds one reduced column into the owner's incremental factorization.
+/// Returns `false` when the column (or the elimination itself) is
+/// poisoned; the caller then stops eliminating but keeps producing for
+/// the rest of the team. `below_cols` is caller-owned scratch, reused
+/// across columns — the owner's elimination loop is the serial
+/// bottleneck and must not allocate per column.
+#[allow(clippy::too_many_arguments)]
+fn owner_factor_one<'a>(
+    fac: &mut BlockColumnFactorizer,
+    j: usize,
+    c: usize,
+    ntargets: usize,
+    slots: &'a PipelineSlots,
+    clock: &WaitClock,
+    record_err: &impl Fn(SparseError),
+    below_cols: &mut Vec<(&'a [usize], &'a [f64])>,
+) -> bool {
+    let diag_col = match slots.red[j][0].wait(c, clock) {
+        Some(col) => col,
+        None => return false,
+    };
+    below_cols.clear();
+    for idx in 1..ntargets {
+        match slots.red[j][idx].wait(c, clock) {
+            Some(col) => below_cols.push((col.rows.as_slice(), col.vals.as_slice())),
+            None => return false,
+        }
+    }
+    match fac.factor_col(&diag_col.rows, &diag_col.vals, below_cols) {
+        Ok(()) => true,
+        Err(e) => {
+            record_err(e);
+            false
+        }
+    }
+}
+
+/// Barrier-mode owner elimination: all reduced columns are already
+/// published, so this just drains them through the incremental
+/// factorizer and publishes the result (or poison).
+#[allow(clippy::too_many_arguments)]
+fn owner_factor_columns<'a>(
+    st: &NdStructure,
+    j: usize,
+    nb: usize,
+    ntargets: usize,
+    pivot_tol: f64,
+    col_offset: usize,
+    slots: &'a PipelineSlots,
+    clock: &WaitClock,
+    record_err: &impl Fn(SparseError),
+    below_cols: &mut Vec<(&'a [usize], &'a [f64])>,
+) {
+    let below_nrows: Vec<usize> = st.ancestors[j]
+        .iter()
+        .map(|&a| st.nd.nodes[a].len())
+        .collect();
+    let off = col_offset + st.nd.nodes[j].range.start;
+    let mut fac = BlockColumnFactorizer::new(nb, &below_nrows, pivot_tol, off);
+    for c in 0..nb {
+        if !owner_factor_one(
+            &mut fac, j, c, ntargets, slots, clock, record_err, below_cols,
+        ) {
+            slots.diag[j].publish(None);
+            return;
+        }
+    }
+    slots.diag[j].publish(Some(fac.finish()));
 }
 
 #[cfg(test)]
@@ -498,8 +786,28 @@ mod tests {
     }
 
     #[test]
+    fn barrier_and_p2p_agree_numerically() {
+        // The pipelined schedule performs the same arithmetic per column
+        // as the level-synchronous baseline — only the overlap differs.
+        let a = grid2d_unsym(7);
+        let s = Structure::build(&a, false, false, 0, 4).unwrap();
+        let BlockKind::NdBig(st) = &s.kinds[0] else {
+            panic!();
+        };
+        let ap = Perm::permute_both(&s.row_perm, &s.col_perm, &a);
+        let blocks = NdBlocks::extract(&ap, 0, st);
+        let fp =
+            factor_nd_parallel(&blocks, st, 0.001, SyncMode::PointToPoint, 0, &pool(4)).unwrap();
+        let fb = factor_nd_parallel(&blocks, st, 0.001, SyncMode::Barrier, 0, &pool(4)).unwrap();
+        for v in 0..st.nnodes() {
+            assert_eq!(fp.fact_diag[v].u.values(), fb.fact_diag[v].u.values());
+            assert_eq!(fp.fact_diag[v].l.values(), fb.fact_diag[v].l.values());
+        }
+    }
+
+    #[test]
     fn deterministic_across_thread_counts() {
-        // The bulk-block schedule performs identical arithmetic per block
+        // The column schedule performs identical arithmetic per block
         // regardless of team size when the tree shape is fixed: factor
         // with the same structure using different pools and compare.
         let a = grid2d_unsym(7);
@@ -556,6 +864,7 @@ mod tests {
         let pl = pool(4);
         let f = factor_nd_parallel(&blocks, st, 0.001, SyncMode::Barrier, 0, &pl).unwrap();
         assert_eq!(f.wait_ns.len(), 4);
+        assert_eq!(f.team_size(), 4);
         assert!(f.flops > 0.0);
         assert!(f.lu_nnz() > 0);
     }

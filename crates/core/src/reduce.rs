@@ -4,14 +4,118 @@
 //! with freshly computed `U` panel blocks from a block of `A`. The paper
 //! describes it as "multiple parallel sparse matrix–vector multiplication"
 //! followed by a subtraction; here both phases are fused column by column
-//! through a sparse accumulator.
+//! through a sparse accumulator. [`reduce_col`] is the single-column
+//! unit the pipelined schedule hands between threads; [`reduce_block`]
+//! the whole-block wrapper the serial refactorization path uses.
 
-use basker_sparse::CscMat;
+use basker_sparse::{CscMat, SparseCol};
+
+/// Reusable scratch for [`reduce_col`]: dense accumulator + stamp marks,
+/// grown lazily to the largest target block seen. One per worker thread.
+#[derive(Default)]
+pub struct ReduceWorkspace {
+    x: Vec<f64>,
+    mark: Vec<u64>,
+    stamp: u64,
+    pat: Vec<usize>,
+}
+
+impl ReduceWorkspace {
+    /// A fresh, empty workspace.
+    pub fn new() -> ReduceWorkspace {
+        ReduceWorkspace::default()
+    }
+
+    fn prepare(&mut self, m: usize) -> u64 {
+        if self.x.len() < m {
+            self.x.resize(m, 0.0);
+            self.mark.resize(m, 0);
+        }
+        self.stamp += 1;
+        self.stamp
+    }
+}
+
+/// Computes one reduced column `â = a − Σᵢ Lᵢ·uᵢ` of an `m`-row target,
+/// **appending** the sorted result to `out_rows`/`out_vals` (so callers
+/// assembling a CSC block write straight into its buffers with no
+/// intermediate column): `a` is the target's original column (sorted
+/// rows + values), each term pairs an `L` block with the matching
+/// `U`-panel *column* as `(rows, values)` slices (the sparse SpMV
+/// accumulation of paper Fig. 4(d), at the hand-off granularity of the
+/// pipelined schedule). Patterns are formed exactly — no cancellation
+/// pruning — so a refactorization with different values reuses the same
+/// pattern.
+#[allow(clippy::too_many_arguments)]
+pub fn reduce_col_into(
+    m: usize,
+    a_rows: &[usize],
+    a_vals: &[f64],
+    terms: &[(&CscMat, &[usize], &[f64])],
+    ws: &mut ReduceWorkspace,
+    out_rows: &mut Vec<usize>,
+    out_vals: &mut Vec<f64>,
+) {
+    let stamp = ws.prepare(m);
+    ws.pat.clear();
+    for (&i, &v) in a_rows.iter().zip(a_vals) {
+        ws.x[i] = v;
+        ws.mark[i] = stamp;
+        ws.pat.push(i);
+    }
+    for &(l, urows, uvals) in terms {
+        debug_assert_eq!(l.nrows(), m, "L term row mismatch");
+        for (&t, &uv) in urows.iter().zip(uvals) {
+            if uv == 0.0 {
+                // keep the pattern contribution even for exact zeros
+                for (r, _) in l.col_iter(t) {
+                    if ws.mark[r] != stamp {
+                        ws.mark[r] = stamp;
+                        ws.x[r] = 0.0;
+                        ws.pat.push(r);
+                    }
+                }
+                continue;
+            }
+            for (r, lv) in l.col_iter(t) {
+                if ws.mark[r] != stamp {
+                    ws.mark[r] = stamp;
+                    ws.x[r] = 0.0;
+                    ws.pat.push(r);
+                }
+                ws.x[r] -= lv * uv;
+            }
+        }
+    }
+    ws.pat.sort_unstable();
+    out_rows.reserve(ws.pat.len());
+    out_vals.reserve(ws.pat.len());
+    for &r in &ws.pat {
+        out_rows.push(r);
+        out_vals.push(ws.x[r]);
+        ws.x[r] = 0.0;
+    }
+}
+
+/// [`reduce_col_into`] producing an owned [`SparseCol`] — the hand-off
+/// unit the pipelined schedule publishes across threads.
+pub fn reduce_col(
+    m: usize,
+    a_rows: &[usize],
+    a_vals: &[f64],
+    terms: &[(&CscMat, &[usize], &[f64])],
+    ws: &mut ReduceWorkspace,
+) -> SparseCol {
+    let mut rows = Vec::new();
+    let mut vals = Vec::new();
+    reduce_col_into(m, a_rows, a_vals, terms, ws, &mut rows, &mut vals);
+    SparseCol { rows, vals }
+}
 
 /// Computes `A − Σᵢ Lᵢ·Uᵢ` where every `Lᵢ` is `m x kᵢ` and every `Uᵢ` is
 /// `kᵢ x nc`, with `A` of shape `m x nc`. Returns the result with sorted
-/// columns. Patterns are formed exactly (no cancellation pruning, so a
-/// refactorization with different values reuses the same pattern).
+/// columns, assembled column by column directly into the output buffers
+/// (the whole-block wrapper the serial refactorization hot path uses).
 pub fn reduce_block(a: &CscMat, terms: &[(&CscMat, &CscMat)]) -> CscMat {
     let m = a.nrows();
     let nc = a.ncols();
@@ -20,52 +124,28 @@ pub fn reduce_block(a: &CscMat, terms: &[(&CscMat, &CscMat)]) -> CscMat {
         assert_eq!(u.ncols(), nc, "U term col mismatch");
         assert_eq!(l.ncols(), u.nrows(), "L/U inner dimension mismatch");
     }
-    const UNSET: usize = usize::MAX;
-    let mut x = vec![0.0f64; m];
-    let mut mark = vec![UNSET; m];
-    let mut pat: Vec<usize> = Vec::new();
-
+    let mut ws = ReduceWorkspace::new();
     let mut colptr = Vec::with_capacity(nc + 1);
     let mut rowind: Vec<usize> = Vec::new();
     let mut values: Vec<f64> = Vec::new();
     colptr.push(0);
-
+    let mut term_cols: Vec<(&CscMat, &[usize], &[f64])> = Vec::with_capacity(terms.len());
     for c in 0..nc {
-        pat.clear();
-        for (i, v) in a.col_iter(c) {
-            x[i] = v;
-            mark[i] = c;
-            pat.push(i);
-        }
-        for (l, u) in terms {
-            for (t, uv) in u.col_iter(c) {
-                if uv == 0.0 {
-                    // keep the pattern contribution even for exact zeros
-                    for (r, _) in l.col_iter(t) {
-                        if mark[r] != c {
-                            mark[r] = c;
-                            x[r] = 0.0;
-                            pat.push(r);
-                        }
-                    }
-                    continue;
-                }
-                for (r, lv) in l.col_iter(t) {
-                    if mark[r] != c {
-                        mark[r] = c;
-                        x[r] = 0.0;
-                        pat.push(r);
-                    }
-                    x[r] -= lv * uv;
-                }
-            }
-        }
-        pat.sort_unstable();
-        for &r in &pat {
-            rowind.push(r);
-            values.push(x[r]);
-            x[r] = 0.0;
-        }
+        term_cols.clear();
+        term_cols.extend(
+            terms
+                .iter()
+                .map(|&(l, u)| (l, u.col_rows(c), u.col_values(c))),
+        );
+        reduce_col_into(
+            m,
+            a.col_rows(c),
+            a.col_values(c),
+            &term_cols,
+            &mut ws,
+            &mut rowind,
+            &mut values,
+        );
         colptr.push(rowind.len());
     }
     CscMat::from_parts_unchecked(m, nc, colptr, rowind, values)

@@ -150,7 +150,16 @@ impl Structure {
         for b in 0..bounds.len() - 1 {
             let (lo, hi) = (bounds[b], bounds[b + 1]);
             let size = hi - lo;
-            if size < nd_threshold {
+            // The fine ND treatment trades fill (the separator ordering
+            // is worse than AMD for circuit blocks) for intra-block
+            // parallelism. That trade only pays when the block is big
+            // enough to bottleneck Alg. 2's block-level parallel
+            // schedule — at least half a thread's fair share of the
+            // matrix. Smaller blocks (e.g. the 36 similar ~280-row
+            // blocks of hvdc2-like matrices) are absorbed whole by one
+            // thread of the fine-BTF path with zero fill penalty.
+            let nd_worthwhile = size >= nd_threshold && size * 2 * p_threads >= n;
+            if !nd_worthwhile {
                 // Small block: AMD refinement (identity for tiny blocks).
                 if size > 2 {
                     let block = extract_range(&ap, lo..hi, lo..hi);

@@ -7,9 +7,14 @@
 //! (Release) and spin-read (Acquire) by consumers.
 //!
 //! [`Slot`] packages that protocol: `publish` stores the value and flips
-//! the flag; `wait` spins (with backoff) until the flag is set, counting
-//! the time spent so the sync-overhead ablation (paper: barrier 11 % vs
-//! point-to-point 2.3 % on `G2_Circuit`) can be measured.
+//! the flag; `wait` spins (with escalating backoff: spin → yield →
+//! sleep, so oversubscribed hosts don't starve the producer) until the
+//! flag is set, counting the time spent so the sync-overhead ablation
+//! (paper: barrier 11 % vs point-to-point 2.3 % on `G2_Circuit`) can be
+//! measured. [`ColumnSlots`] arranges one slot **per column** of a
+//! pipelined block-column producer — the layout behind the paper's
+//! column-at-a-time separator factorization, where a consumer picks up
+//! column `c` while the producer works on `c + 1`.
 //!
 //! The barrier comparison mode is provided by [`TeamSync`], which either
 //! no-ops (`PointToPoint`) or runs a full team barrier (`Barrier`) at
@@ -133,11 +138,19 @@ impl<T> Slot<T> {
                 waits.add(start.elapsed().as_nanos() as u64);
                 return v;
             }
-            spins = spins.wrapping_add(1);
-            if spins % 1024 == 0 {
+            spins = spins.saturating_add(1);
+            // Escalating backoff: a brief spin catches the fast
+            // hand-off, a yield phase lets a ready producer run, and a
+            // sleep phase handles far-away dependencies — essential
+            // when ranks outnumber cores, where a spinning waiter
+            // would otherwise steal the producer's timeslices.
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else if spins < 256 {
                 std::thread::yield_now();
             } else {
-                std::hint::spin_loop();
+                let us = (spins - 255).min(50) as u64;
+                std::thread::sleep(std::time::Duration::from_micros(us));
             }
         }
     }
@@ -151,6 +164,46 @@ impl<T> Slot<T> {
 impl<T> Default for Slot<T> {
     fn default() -> Self {
         Slot::new()
+    }
+}
+
+/// The slot layout of one pipelined block-column producer: one
+/// write-once [`Slot`] **per column**, so a consumer can pick up column
+/// `c` while the producer is still computing column `c + 1` (the paper's
+/// column-at-a-time hand-off). `None` in a slot poisons that column —
+/// consumers propagate the poison instead of computing.
+pub struct ColumnSlots<T> {
+    cols: Vec<Slot<Option<T>>>,
+}
+
+impl<T> ColumnSlots<T> {
+    /// Empty slots for `ncols` columns.
+    pub fn new(ncols: usize) -> ColumnSlots<T> {
+        ColumnSlots {
+            cols: (0..ncols).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Publishes column `c` (`None` = poisoned).
+    pub fn publish(&self, c: usize, value: Option<T>) {
+        self.cols[c].publish(value);
+    }
+
+    /// Spins until column `c` is published; `None` means the producer
+    /// poisoned it (upstream numeric failure).
+    pub fn wait<'a>(&'a self, c: usize, waits: &WaitClock) -> Option<&'a T> {
+        self.cols[c].wait(waits).as_ref()
+    }
+
+    /// Consumes the slots, yielding each column in order (`None` for
+    /// poisoned *or never-published* columns).
+    pub fn into_columns(self) -> impl Iterator<Item = Option<T>> {
+        self.cols.into_iter().map(|s| s.into_inner().flatten())
     }
 }
 

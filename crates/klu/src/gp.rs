@@ -19,7 +19,8 @@
 //! with them it is the primitive from which Basker's 2-D algorithm factors
 //! leaf and separator block columns (paper Alg. 4 lines 4–5 and 26–28).
 
-use basker_sparse::{CscMat, Perm, Result, SparseError};
+use basker_sparse::col::cols_to_csc;
+use basker_sparse::{CscMat, Perm, Result, SparseCol, SparseError};
 
 /// LU factors of one stacked block column.
 #[derive(Debug, Clone)]
@@ -81,12 +82,348 @@ impl BlockLu {
     }
 }
 
-/// Factors the stacked block column `[diag; below...]` with threshold
-/// partial pivoting confined to `diag`'s rows.
+const UNSET: usize = usize::MAX;
+
+/// Incremental Gilbert–Peierls factorization of a stacked block column,
+/// fed **one column at a time**.
 ///
-/// `pivot_tol` ∈ (0, 1]: the diagonal entry is kept as pivot when its
-/// magnitude is at least `pivot_tol` times the column maximum (KLU default
-/// 0.001); `pivot_tol = 1.0` forces classic partial pivoting.
+/// This is the kernel behind Basker's pipelined separator factorization
+/// (paper §IV): the separator owner calls [`factor_col`] with column `c`
+/// of the reduced block column as soon as that column's distributed
+/// reductions arrive, while the rest of the team is already producing
+/// column `c + 1` — no need to wait for the whole block to be reduced.
+/// [`factor_block_column`] is the all-at-once wrapper over this type.
+///
+/// [`factor_col`]: BlockColumnFactorizer::factor_col
+pub struct BlockColumnFactorizer {
+    nb: usize,
+    pivot_tol: f64,
+    col_offset: usize,
+    next_col: usize,
+    // Growing L (original local row coords until the final renumbering).
+    lcolptr: Vec<usize>,
+    lrows: Vec<usize>,
+    lvals: Vec<f64>,
+    // Growing U (pivotal coords by construction).
+    ucolptr: Vec<usize>,
+    urows: Vec<usize>,
+    uvals: Vec<f64>,
+    // Growing below blocks.
+    below_nrows: Vec<usize>,
+    bcolptr: Vec<Vec<usize>>,
+    brows: Vec<Vec<usize>>,
+    bvals: Vec<Vec<f64>>,
+    pinv: Vec<usize>,
+    prow_of: Vec<usize>,
+    // Sparse accumulator for the diagonal part.
+    xd: Vec<f64>,
+    mark: Vec<usize>,
+    topo: Vec<usize>,
+    dfs: Vec<(usize, usize)>,
+    pattern_rows: Vec<usize>,
+    // Accumulators for the below blocks.
+    xb: Vec<Vec<f64>>,
+    bmark: Vec<Vec<usize>>,
+    bpat: Vec<Vec<usize>>,
+    flops: f64,
+}
+
+impl BlockColumnFactorizer {
+    /// Starts a factorization of an `nb x nb` diagonal block stacked on
+    /// trailing row blocks with the given row counts.
+    ///
+    /// `pivot_tol` ∈ (0, 1]: the diagonal entry is kept as pivot when
+    /// its magnitude is at least `pivot_tol` times the column maximum
+    /// (KLU default 0.001); `1.0` forces classic partial pivoting.
+    pub fn new(
+        nb: usize,
+        below_nrows: &[usize],
+        pivot_tol: f64,
+        col_offset: usize,
+    ) -> BlockColumnFactorizer {
+        BlockColumnFactorizer {
+            nb,
+            pivot_tol,
+            col_offset,
+            next_col: 0,
+            lcolptr: vec![0],
+            lrows: Vec::new(),
+            lvals: Vec::new(),
+            ucolptr: vec![0],
+            urows: Vec::new(),
+            uvals: Vec::new(),
+            below_nrows: below_nrows.to_vec(),
+            bcolptr: below_nrows.iter().map(|_| vec![0usize]).collect(),
+            brows: below_nrows.iter().map(|_| Vec::new()).collect(),
+            bvals: below_nrows.iter().map(|_| Vec::new()).collect(),
+            pinv: vec![UNSET; nb],
+            prow_of: vec![UNSET; nb],
+            xd: vec![0.0; nb],
+            mark: vec![UNSET; nb],
+            topo: Vec::with_capacity(nb),
+            dfs: Vec::new(),
+            pattern_rows: Vec::with_capacity(nb),
+            xb: below_nrows.iter().map(|&m| vec![0.0; m]).collect(),
+            bmark: below_nrows.iter().map(|&m| vec![UNSET; m]).collect(),
+            bpat: below_nrows.iter().map(|_| Vec::new()).collect(),
+            flops: 0.0,
+        }
+    }
+
+    /// The index of the next column to be fed.
+    pub fn next_col(&self) -> usize {
+        self.next_col
+    }
+
+    /// Eliminates the next column. `diag_rows`/`diag_vals` hold the
+    /// column of the diagonal block (original local row coordinates);
+    /// `below_cols[bi]` holds the matching column of trailing block
+    /// `bi`. Row indices must be sorted and unique.
+    pub fn factor_col(
+        &mut self,
+        diag_rows: &[usize],
+        diag_vals: &[f64],
+        below_cols: &[(&[usize], &[f64])],
+    ) -> Result<()> {
+        let j = self.next_col;
+        assert!(j < self.nb, "all {} columns already fed", self.nb);
+        assert_eq!(below_cols.len(), self.below_nrows.len());
+        let nbelow = below_cols.len();
+        self.topo.clear();
+        self.pattern_rows.clear();
+        for p in self.bpat.iter_mut() {
+            p.clear();
+        }
+
+        // --- scatter A(:, j) and run the DFS from each diagonal entry ---
+        for (&i, &v) in diag_rows.iter().zip(diag_vals) {
+            self.xd[i] = v;
+            if self.mark[i] == j {
+                continue;
+            }
+            if self.pinv[i] == UNSET {
+                self.mark[i] = j;
+                self.pattern_rows.push(i);
+                continue;
+            }
+            // DFS through pivotal columns, original-coordinate storage.
+            self.dfs.clear();
+            self.mark[i] = j;
+            self.dfs.push((i, self.lcolptr[self.pinv[i]]));
+            while let Some(&(row, pos)) = self.dfs.last() {
+                let t = self.pinv[row];
+                let hi = self.lcolptr[t + 1];
+                if pos < hi {
+                    self.dfs.last_mut().unwrap().1 += 1;
+                    let r = self.lrows[pos];
+                    if self.mark[r] != j {
+                        self.mark[r] = j;
+                        if self.pinv[r] == UNSET {
+                            self.pattern_rows.push(r);
+                        } else {
+                            self.dfs.push((r, self.lcolptr[self.pinv[r]]));
+                        }
+                    }
+                } else {
+                    self.topo.push(t);
+                    self.dfs.pop();
+                }
+            }
+        }
+        for (bi, (rows, vals)) in below_cols.iter().enumerate() {
+            for (&i, &v) in rows.iter().zip(*vals) {
+                self.xb[bi][i] = v;
+                if self.bmark[bi][i] != j {
+                    self.bmark[bi][i] = j;
+                    self.bpat[bi].push(i);
+                }
+            }
+        }
+
+        // --- numeric updates in topological order (reverse of finish) ---
+        for ti in (0..self.topo.len()).rev() {
+            let t = self.topo[ti];
+            let xt = self.xd[self.prow_of[t]];
+            if xt != 0.0 {
+                for p in self.lcolptr[t]..self.lcolptr[t + 1] {
+                    let r = self.lrows[p];
+                    self.xd[r] -= self.lvals[p] * xt;
+                    self.flops += 2.0;
+                }
+                for bi in 0..nbelow {
+                    for p in self.bcolptr[bi][t]..self.bcolptr[bi][t + 1] {
+                        let r = self.brows[bi][p];
+                        if self.bmark[bi][r] != j {
+                            self.bmark[bi][r] = j;
+                            self.bpat[bi].push(r);
+                            self.xb[bi][r] = 0.0;
+                        }
+                        self.xb[bi][r] -= self.bvals[bi][p] * xt;
+                        self.flops += 2.0;
+                    }
+                }
+            }
+        }
+
+        // --- pivot selection (threshold, diagonal preference) ---
+        let mut maxabs = 0.0f64;
+        let mut argmax = UNSET;
+        for &r in &self.pattern_rows {
+            let a = self.xd[r].abs();
+            if a > maxabs || (a == maxabs && argmax != UNSET && r < argmax) {
+                maxabs = a;
+                argmax = r;
+            }
+        }
+        if argmax == UNSET {
+            return Err(SparseError::ZeroPivot {
+                column: self.col_offset + j,
+            });
+        }
+        let mut prow = argmax;
+        if self.pinv[j] == UNSET
+            && self.mark[j] == j
+            && self.xd[j].abs() >= self.pivot_tol * maxabs
+            && self.xd[j] != 0.0
+        {
+            prow = j; // keep the (block-local) diagonal when acceptable
+        }
+        let pivot = self.xd[prow];
+        if pivot == 0.0 || maxabs == 0.0 {
+            return Err(SparseError::ZeroPivot {
+                column: self.col_offset + j,
+            });
+        }
+        self.pinv[prow] = j;
+        self.prow_of[j] = prow;
+
+        // --- store U column (pivotal coords; sorted at finalize) ---
+        for ti in (0..self.topo.len()).rev() {
+            let t = self.topo[ti];
+            self.urows.push(t);
+            self.uvals.push(self.xd[self.prow_of[t]]);
+        }
+        self.urows.push(j);
+        self.uvals.push(pivot);
+        self.ucolptr.push(self.urows.len());
+
+        // --- store L column (original coords; renumbered at finalize) ---
+        for &r in &self.pattern_rows {
+            if r != prow {
+                self.lrows.push(r);
+                self.lvals.push(self.xd[r] / pivot);
+                self.flops += 1.0;
+            }
+        }
+        self.lcolptr.push(self.lrows.len());
+        for bi in 0..nbelow {
+            for &r in &self.bpat[bi] {
+                self.brows[bi].push(r);
+                self.bvals[bi].push(self.xb[bi][r] / pivot);
+                self.flops += 1.0;
+            }
+            self.bcolptr[bi].push(self.brows[bi].len());
+        }
+
+        // --- clear the accumulator (pattern members only) ---
+        for &t in &self.topo {
+            self.xd[self.prow_of[t]] = 0.0;
+        }
+        for &r in &self.pattern_rows {
+            self.xd[r] = 0.0;
+        }
+        for bi in 0..nbelow {
+            for &r in &self.bpat[bi] {
+                self.xb[bi][r] = 0.0;
+            }
+        }
+        self.next_col = j + 1;
+        Ok(())
+    }
+
+    /// Finalizes the factors: renumbers `L` into pivotal coordinates and
+    /// sorts every column. Panics unless all `nb` columns were fed.
+    pub fn finish(self) -> BlockLu {
+        let nb = self.nb;
+        assert_eq!(self.next_col, nb, "factorizer finished early");
+        let row_perm = Perm::from_vec(self.prow_of).expect("pivot rows form a permutation");
+        let pinv = self.pinv;
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+
+        let mut flrows: Vec<usize> = Vec::with_capacity(self.lrows.len() + nb);
+        let mut flvals: Vec<f64> = Vec::with_capacity(self.lvals.len() + nb);
+        let mut flcolptr: Vec<usize> = Vec::with_capacity(nb + 1);
+        flcolptr.push(0);
+        for j in 0..nb {
+            scratch.clear();
+            scratch.push((j, 1.0)); // explicit unit diagonal
+            for p in self.lcolptr[j]..self.lcolptr[j + 1] {
+                scratch.push((pinv[self.lrows[p]], self.lvals[p]));
+            }
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            for &(r, v) in &scratch {
+                flrows.push(r);
+                flvals.push(v);
+            }
+            flcolptr.push(flrows.len());
+        }
+        let l = CscMat::from_parts_unchecked(nb, nb, flcolptr, flrows, flvals);
+
+        let mut fucolptr: Vec<usize> = Vec::with_capacity(nb + 1);
+        let mut furows: Vec<usize> = Vec::with_capacity(self.urows.len());
+        let mut fuvals: Vec<f64> = Vec::with_capacity(self.uvals.len());
+        fucolptr.push(0);
+        for j in 0..nb {
+            scratch.clear();
+            for p in self.ucolptr[j]..self.ucolptr[j + 1] {
+                scratch.push((self.urows[p], self.uvals[p]));
+            }
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            for &(r, v) in &scratch {
+                furows.push(r);
+                fuvals.push(v);
+            }
+            fucolptr.push(furows.len());
+        }
+        let u = CscMat::from_parts_unchecked(nb, nb, fucolptr, furows, fuvals);
+
+        let mut fbelow = Vec::with_capacity(self.below_nrows.len());
+        for bi in 0..self.below_nrows.len() {
+            let m = self.below_nrows[bi];
+            let mut cp = Vec::with_capacity(nb + 1);
+            let mut rs = Vec::with_capacity(self.brows[bi].len());
+            let mut vs = Vec::with_capacity(self.bvals[bi].len());
+            cp.push(0);
+            for j in 0..nb {
+                scratch.clear();
+                for p in self.bcolptr[bi][j]..self.bcolptr[bi][j + 1] {
+                    scratch.push((self.brows[bi][p], self.bvals[bi][p]));
+                }
+                scratch.sort_unstable_by_key(|&(r, _)| r);
+                for &(r, v) in &scratch {
+                    rs.push(r);
+                    vs.push(v);
+                }
+                cp.push(rs.len());
+            }
+            fbelow.push(CscMat::from_parts_unchecked(m, nb, cp, rs, vs));
+        }
+
+        BlockLu {
+            l,
+            u,
+            below: fbelow,
+            pinv,
+            row_perm,
+            flops: self.flops,
+        }
+    }
+}
+
+/// Factors the stacked block column `[diag; below...]` with threshold
+/// partial pivoting confined to `diag`'s rows (the all-at-once wrapper
+/// over [`BlockColumnFactorizer`]; trailing blocks share the diagonal
+/// block's column space one-to-one).
 pub fn factor_block_column(
     diag: &CscMat,
     below: &[&CscMat],
@@ -98,263 +435,15 @@ pub fn factor_block_column(
     for b in below {
         assert_eq!(b.ncols(), nb, "trailing blocks must share the column count");
     }
-    const UNSET: usize = usize::MAX;
-
-    // Growing L (original local row coords until the final renumbering).
-    let mut lcolptr: Vec<usize> = Vec::with_capacity(nb + 1);
-    let mut lrows: Vec<usize> = Vec::with_capacity(diag.nnz() * 2);
-    let mut lvals: Vec<f64> = Vec::with_capacity(diag.nnz() * 2);
-    lcolptr.push(0);
-    // Growing U (pivotal coords by construction).
-    let mut ucolptr: Vec<usize> = Vec::with_capacity(nb + 1);
-    let mut urows: Vec<usize> = Vec::with_capacity(diag.nnz() * 2);
-    let mut uvals: Vec<f64> = Vec::with_capacity(diag.nnz() * 2);
-    ucolptr.push(0);
-    // Growing below blocks.
-    let mut bcolptr: Vec<Vec<usize>> = below.iter().map(|_| vec![0usize]).collect();
-    let mut brows: Vec<Vec<usize>> = below.iter().map(|b| Vec::with_capacity(b.nnz())).collect();
-    let mut bvals: Vec<Vec<f64>> = below.iter().map(|b| Vec::with_capacity(b.nnz())).collect();
-
-    let mut pinv = vec![UNSET; nb];
-    let mut prow_of = vec![UNSET; nb];
-
-    // Sparse accumulator for the diagonal part.
-    let mut xd = vec![0.0f64; nb];
-    let mut mark = vec![UNSET; nb];
-    let mut topo: Vec<usize> = Vec::with_capacity(nb); // pivotal col indices, reverse topo
-    let mut dfs: Vec<(usize, usize)> = Vec::new();
-    let mut pattern_rows: Vec<usize> = Vec::with_capacity(nb); // non-pivotal orig rows
-
-    // Accumulators for the below blocks.
-    let mut xb: Vec<Vec<f64>> = below.iter().map(|b| vec![0.0f64; b.nrows()]).collect();
-    let mut bmark: Vec<Vec<usize>> = below.iter().map(|b| vec![UNSET; b.nrows()]).collect();
-    let mut bpat: Vec<Vec<usize>> = below.iter().map(|_| Vec::new()).collect();
-
-    let mut flops = 0.0f64;
-
+    let below_nrows: Vec<usize> = below.iter().map(|b| b.nrows()).collect();
+    let mut fac = BlockColumnFactorizer::new(nb, &below_nrows, pivot_tol, col_offset);
+    let mut below_cols: Vec<(&[usize], &[f64])> = Vec::with_capacity(below.len());
     for j in 0..nb {
-        topo.clear();
-        pattern_rows.clear();
-        for p in bpat.iter_mut() {
-            p.clear();
-        }
-
-        // --- scatter A(:, j) and run the DFS from each diagonal entry ---
-        for (i, v) in diag.col_iter(j) {
-            xd[i] = v;
-            if mark[i] == j {
-                continue;
-            }
-            if pinv[i] == UNSET {
-                mark[i] = j;
-                pattern_rows.push(i);
-                continue;
-            }
-            // DFS through pivotal columns, original-coordinate storage.
-            dfs.clear();
-            mark[i] = j;
-            dfs.push((i, lcolptr[pinv[i]]));
-            while let Some(&(row, pos)) = dfs.last() {
-                let t = pinv[row];
-                let hi = lcolptr[t + 1];
-                if pos < hi {
-                    dfs.last_mut().unwrap().1 += 1;
-                    let r = lrows[pos];
-                    if mark[r] != j {
-                        mark[r] = j;
-                        if pinv[r] == UNSET {
-                            pattern_rows.push(r);
-                        } else {
-                            dfs.push((r, lcolptr[pinv[r]]));
-                        }
-                    }
-                } else {
-                    topo.push(t);
-                    dfs.pop();
-                }
-            }
-        }
-        for (bi, b) in below.iter().enumerate() {
-            for (i, v) in b.col_iter(bi_col(bi, j)) {
-                xb[bi][i] = v;
-                if bmark[bi][i] != j {
-                    bmark[bi][i] = j;
-                    bpat[bi].push(i);
-                }
-            }
-        }
-
-        // --- numeric updates in topological order (reverse of finish) ---
-        for &t in topo.iter().rev() {
-            let xt = xd[prow_of[t]];
-            if xt != 0.0 {
-                for p in lcolptr[t]..lcolptr[t + 1] {
-                    let r = lrows[p];
-                    xd[r] -= lvals[p] * xt;
-                    flops += 2.0;
-                }
-                for bi in 0..below.len() {
-                    for p in bcolptr[bi][t]..bcolptr[bi][t + 1] {
-                        let r = brows[bi][p];
-                        if bmark[bi][r] != j {
-                            bmark[bi][r] = j;
-                            bpat[bi].push(r);
-                            xb[bi][r] = 0.0;
-                        }
-                        xb[bi][r] -= bvals[bi][p] * xt;
-                        flops += 2.0;
-                    }
-                }
-            }
-        }
-
-        // --- pivot selection (threshold, diagonal preference) ---
-        let mut maxabs = 0.0f64;
-        let mut argmax = UNSET;
-        for &r in &pattern_rows {
-            let a = xd[r].abs();
-            if a > maxabs || (a == maxabs && argmax != UNSET && r < argmax) {
-                maxabs = a;
-                argmax = r;
-            }
-        }
-        if argmax == UNSET {
-            return Err(SparseError::ZeroPivot {
-                column: col_offset + j,
-            });
-        }
-        let mut prow = argmax;
-        if pinv[j] == UNSET && mark[j] == j && xd[j].abs() >= pivot_tol * maxabs && xd[j] != 0.0 {
-            prow = j; // keep the (block-local) diagonal when acceptable
-        }
-        let pivot = xd[prow];
-        if pivot == 0.0 || maxabs == 0.0 {
-            return Err(SparseError::ZeroPivot {
-                column: col_offset + j,
-            });
-        }
-        pinv[prow] = j;
-        prow_of[j] = prow;
-
-        // --- store U column (pivotal coords; sorted at finalize) ---
-        for &t in topo.iter().rev() {
-            urows.push(t);
-            uvals.push(xd[prow_of[t]]);
-        }
-        urows.push(j);
-        uvals.push(pivot);
-        ucolptr.push(urows.len());
-
-        // --- store L column (original coords; renumbered at finalize) ---
-        for &r in &pattern_rows {
-            if r != prow {
-                lrows.push(r);
-                lvals.push(xd[r] / pivot);
-                flops += 1.0;
-            }
-        }
-        lcolptr.push(lrows.len());
-        for bi in 0..below.len() {
-            for &r in &bpat[bi] {
-                brows[bi].push(r);
-                bvals[bi].push(xb[bi][r] / pivot);
-                flops += 1.0;
-            }
-            bcolptr[bi].push(brows[bi].len());
-        }
-
-        // --- clear the accumulator (pattern members only) ---
-        for &t in &topo {
-            xd[prow_of[t]] = 0.0;
-        }
-        for &r in &pattern_rows {
-            xd[r] = 0.0;
-        }
-        for bi in 0..below.len() {
-            for &r in &bpat[bi] {
-                xb[bi][r] = 0.0;
-            }
-        }
+        below_cols.clear();
+        below_cols.extend(below.iter().map(|b| (b.col_rows(j), b.col_values(j))));
+        fac.factor_col(diag.col_rows(j), diag.col_values(j), &below_cols)?;
     }
-
-    // --- finalize: renumber L into pivotal coords, sort all columns ---
-    let row_perm = Perm::from_vec(prow_of).expect("pivot rows form a permutation");
-    let mut scratch: Vec<(usize, f64)> = Vec::new();
-
-    let mut flrows: Vec<usize> = Vec::with_capacity(lrows.len() + nb);
-    let mut flvals: Vec<f64> = Vec::with_capacity(lvals.len() + nb);
-    let mut flcolptr: Vec<usize> = Vec::with_capacity(nb + 1);
-    flcolptr.push(0);
-    for j in 0..nb {
-        scratch.clear();
-        scratch.push((j, 1.0)); // explicit unit diagonal
-        for p in lcolptr[j]..lcolptr[j + 1] {
-            scratch.push((pinv[lrows[p]], lvals[p]));
-        }
-        scratch.sort_unstable_by_key(|&(r, _)| r);
-        for &(r, v) in &scratch {
-            flrows.push(r);
-            flvals.push(v);
-        }
-        flcolptr.push(flrows.len());
-    }
-    let l = CscMat::from_parts_unchecked(nb, nb, flcolptr, flrows, flvals);
-
-    let mut fucolptr: Vec<usize> = Vec::with_capacity(nb + 1);
-    let mut furows: Vec<usize> = Vec::with_capacity(urows.len());
-    let mut fuvals: Vec<f64> = Vec::with_capacity(uvals.len());
-    fucolptr.push(0);
-    for j in 0..nb {
-        scratch.clear();
-        for p in ucolptr[j]..ucolptr[j + 1] {
-            scratch.push((urows[p], uvals[p]));
-        }
-        scratch.sort_unstable_by_key(|&(r, _)| r);
-        for &(r, v) in &scratch {
-            furows.push(r);
-            fuvals.push(v);
-        }
-        fucolptr.push(furows.len());
-    }
-    let u = CscMat::from_parts_unchecked(nb, nb, fucolptr, furows, fuvals);
-
-    let mut fbelow = Vec::with_capacity(below.len());
-    for bi in 0..below.len() {
-        let m = below[bi].nrows();
-        let mut cp = Vec::with_capacity(nb + 1);
-        let mut rs = Vec::with_capacity(brows[bi].len());
-        let mut vs = Vec::with_capacity(bvals[bi].len());
-        cp.push(0);
-        for j in 0..nb {
-            scratch.clear();
-            for p in bcolptr[bi][j]..bcolptr[bi][j + 1] {
-                scratch.push((brows[bi][p], bvals[bi][p]));
-            }
-            scratch.sort_unstable_by_key(|&(r, _)| r);
-            for &(r, v) in &scratch {
-                rs.push(r);
-                vs.push(v);
-            }
-            cp.push(rs.len());
-        }
-        fbelow.push(CscMat::from_parts_unchecked(m, nb, cp, rs, vs));
-    }
-
-    Ok(BlockLu {
-        l,
-        u,
-        below: fbelow,
-        pinv,
-        row_perm,
-        flops,
-    })
-}
-
-// Column index of trailing block `_bi` for factor column `j`: trailing
-// blocks share the diagonal block's column space one-to-one.
-#[inline]
-fn bi_col(_bi: usize, j: usize) -> usize {
-    j
+    Ok(fac.finish())
 }
 
 /// Refactorizes in place: same pattern and pivot sequence as `factors`,
@@ -454,80 +543,116 @@ pub fn refactor_block_column(
     Ok(())
 }
 
-/// Sparse panel solve: returns `X = L⁻¹ · P · B` where `L` is the unit
-/// lower factor of `blu` (pivotal coordinates) and `B` a sparse block with
-/// rows in the diagonal block's *original local* coordinates.
+/// Reusable scratch for [`lsolve_col`]: dense accumulator, stamp marks
+/// and DFS stacks, sized lazily to the largest diagonal block seen.
+/// One instance per worker thread serves every panel and column.
+#[derive(Default)]
+pub struct LsolveWorkspace {
+    x: Vec<f64>,
+    mark: Vec<u64>,
+    stamp: u64,
+    topo: Vec<usize>,
+    dfs: Vec<(usize, usize)>,
+}
+
+impl LsolveWorkspace {
+    /// A fresh, empty workspace.
+    pub fn new() -> LsolveWorkspace {
+        LsolveWorkspace::default()
+    }
+
+    /// Grows to dimension `n` and returns a fresh stamp.
+    fn prepare(&mut self, n: usize) -> u64 {
+        if self.x.len() < n {
+            self.x.resize(n, 0.0);
+            self.mark.resize(n, 0);
+        }
+        self.stamp += 1;
+        self.stamp
+    }
+}
+
+/// Sparse single-column solve: returns `x = L⁻¹ · P · b` where `L` is
+/// the unit lower factor of `blu` (pivotal coordinates) and `b` one
+/// sparse column with rows in the diagonal block's *original local*
+/// coordinates.
 ///
-/// This is Basker's "factor upper off-diagonal submatrices `A_ij → U_ij`"
-/// step (paper Alg. 4 line 14): the DFS over `L` discovers each output
-/// column's pattern in time proportional to the arithmetic.
+/// This is the per-column unit of Basker's "factor upper off-diagonal
+/// submatrices `A_ij → U_ij`" step (paper Alg. 4 line 14), the
+/// granularity at which panels are published in the pipelined schedule:
+/// the DFS over `L` discovers the output pattern in time proportional to
+/// the arithmetic.
+pub fn lsolve_col(
+    blu: &BlockLu,
+    b_rows: &[usize],
+    b_vals: &[f64],
+    ws: &mut LsolveWorkspace,
+) -> SparseCol {
+    let nb = blu.l.ncols();
+    let l = &blu.l;
+    let pinv = &blu.pinv;
+    let stamp = ws.prepare(nb);
+    ws.topo.clear();
+
+    // scatter P·b and DFS on L's column graph (pivotal coords)
+    for (&r0, &v) in b_rows.iter().zip(b_vals) {
+        let i = pinv[r0];
+        ws.x[i] = v;
+        if ws.mark[i] == stamp {
+            continue;
+        }
+        ws.mark[i] = stamp;
+        ws.dfs.clear();
+        ws.dfs.push((i, l.colptr()[i]));
+        while let Some(&(t, pos)) = ws.dfs.last() {
+            let hi = l.colptr()[t + 1];
+            if pos < hi {
+                ws.dfs.last_mut().unwrap().1 += 1;
+                let r = l.rowind()[pos];
+                if r != t && ws.mark[r] != stamp {
+                    ws.mark[r] = stamp;
+                    ws.dfs.push((r, l.colptr()[r]));
+                }
+            } else {
+                ws.topo.push(t);
+                ws.dfs.pop();
+            }
+        }
+    }
+    // numeric sweep in topological order
+    for ti in (0..ws.topo.len()).rev() {
+        let t = ws.topo[ti];
+        let xt = ws.x[t];
+        if xt != 0.0 {
+            let lr = l.col_rows(t);
+            let lv = l.col_values(t);
+            for p in 1..lr.len() {
+                ws.x[lr[p]] -= lv[p] * xt;
+            }
+        }
+    }
+    // gather (sorted pattern for a valid column)
+    let mut rows: Vec<usize> = ws.topo.clone();
+    rows.sort_unstable();
+    let mut vals = Vec::with_capacity(rows.len());
+    for &t in &rows {
+        vals.push(ws.x[t]);
+        ws.x[t] = 0.0;
+    }
+    SparseCol { rows, vals }
+}
+
+/// Sparse panel solve: returns `X = L⁻¹ · P · B` (the all-at-once
+/// wrapper over [`lsolve_col`], used by the serial refactorization path
+/// and tests).
 pub fn lsolve_panel(blu: &BlockLu, b: &CscMat) -> CscMat {
     let nb = blu.l.ncols();
     assert_eq!(b.nrows(), nb, "panel rows must match the diagonal block");
-    const UNSET: usize = usize::MAX;
-    let ncols = b.ncols();
-    let l = &blu.l;
-    let pinv = &blu.pinv;
-
-    let mut x = vec![0.0f64; nb];
-    let mut mark = vec![UNSET; nb];
-    let mut topo: Vec<usize> = Vec::new();
-    let mut dfs: Vec<(usize, usize)> = Vec::new();
-
-    let mut colptr = Vec::with_capacity(ncols + 1);
-    let mut rowind: Vec<usize> = Vec::new();
-    let mut values: Vec<f64> = Vec::new();
-    colptr.push(0);
-
-    for j in 0..ncols {
-        topo.clear();
-        // scatter P·B(:,j) and DFS on L's column graph (pivotal coords)
-        for (r0, v) in b.col_iter(j) {
-            let i = pinv[r0];
-            x[i] = v;
-            if mark[i] == j {
-                continue;
-            }
-            mark[i] = j;
-            dfs.clear();
-            dfs.push((i, l.colptr()[i]));
-            while let Some(&(t, pos)) = dfs.last() {
-                let hi = l.colptr()[t + 1];
-                if pos < hi {
-                    dfs.last_mut().unwrap().1 += 1;
-                    let r = l.rowind()[pos];
-                    if r != t && mark[r] != j {
-                        mark[r] = j;
-                        dfs.push((r, l.colptr()[r]));
-                    }
-                } else {
-                    topo.push(t);
-                    dfs.pop();
-                }
-            }
-        }
-        // numeric sweep in topological order
-        for &t in topo.iter().rev() {
-            let xt = x[t];
-            if xt != 0.0 {
-                let lr = l.col_rows(t);
-                let lv = l.col_values(t);
-                for p in 1..lr.len() {
-                    x[lr[p]] -= lv[p] * xt;
-                }
-            }
-        }
-        // gather (sorted pattern for a valid CscMat)
-        let mut pat: Vec<usize> = topo.clone();
-        pat.sort_unstable();
-        for &t in &pat {
-            rowind.push(t);
-            values.push(x[t]);
-            x[t] = 0.0;
-        }
-        colptr.push(rowind.len());
-    }
-    CscMat::from_parts_unchecked(nb, ncols, colptr, rowind, values)
+    let mut ws = LsolveWorkspace::new();
+    let cols: Vec<SparseCol> = (0..b.ncols())
+        .map(|j| lsolve_col(blu, b.col_rows(j), b.col_values(j), &mut ws))
+        .collect();
+    cols_to_csc(nb, cols)
 }
 
 /// Refreshes the values of an existing panel solve result in place, reusing

@@ -1,0 +1,649 @@
+//! Persistent worker-team runtime (the Kokkos-style "hot" thread pool of
+//! the paper's execution model).
+//!
+//! Basker's parallel numeric phase is a *static team* algorithm: `p`
+//! threads cooperate on one factorization through point-to-point
+//! synchronization, and the paper's speedups assume those threads already
+//! exist, stay pinned to their cores, and cost nothing to re-enter. A
+//! pool that spawns fresh OS threads per parallel region (what the
+//! original `rayon` shim did) pays a `clone(2)` + page-fault storm on
+//! every `factor`/`refactor` call — fatal for the transient-simulation
+//! workloads that call `refactor` thousands of times per second.
+//!
+//! [`WorkerTeam`] provides:
+//!
+//! * `p − 1` long-lived OS threads created **once**, parked on their
+//!   own mailbox condvars between jobs (zero CPU when idle); the
+//!   submitting thread itself serves as rank 0, exactly as `rayon`'s
+//!   `install` reuses the caller — it is the thread that just built the
+//!   job's inputs and still has them in cache;
+//! * a job **mailbox per worker**: [`WorkerTeam::broadcast`] posts one
+//!   job to every mailbox, runs rank 0 inline, and blocks until all
+//!   workers report done — a scoped join, so the job closure may borrow
+//!   from the caller's stack;
+//! * optional **core pinning** ([`TeamConfig::pin`]) via a direct
+//!   `sched_setaffinity` syscall (no libc dependency; a no-op on
+//!   non-Linux/x86-64 targets);
+//! * a process-wide [`shared_team`] registry so every caller asking for
+//!   the same width reuses one warm team instead of spawning its own;
+//! * an [`os_threads_spawned`] counter that regression tests use to
+//!   assert the "zero new threads after warm-up" property.
+//!
+//! Every concurrently-live rank of a broadcast genuinely runs on its own
+//! OS thread (except the width-1 fast path, which runs inline on the
+//! caller): Basker's spin-wait slot hand-off requires all team members to
+//! make progress at once, so no sequential fallback is possible.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Configuration of a [`WorkerTeam`].
+#[derive(Debug, Clone, Copy)]
+pub struct TeamConfig {
+    /// Number of worker threads (ranks). Must be at least 1.
+    pub width: usize,
+    /// Pin worker `r` to core `r mod available_parallelism`. Best-effort:
+    /// silently skipped on targets without an affinity syscall binding.
+    pub pin: bool,
+}
+
+impl TeamConfig {
+    /// A team of `width` unpinned workers.
+    pub fn new(width: usize) -> TeamConfig {
+        TeamConfig { width, pin: false }
+    }
+}
+
+/// Per-rank context handed to [`WorkerTeam::broadcast`] closures.
+#[derive(Debug, Clone, Copy)]
+pub struct TeamContext {
+    rank: usize,
+    width: usize,
+}
+
+impl TeamContext {
+    /// This worker's rank in `0..width`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Team size of the broadcast.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+/// Total OS threads ever spawned by this runtime (process-wide).
+static SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+/// Monotonic team-id source (for re-entrance detection).
+static NEXT_TEAM_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Team id this thread is a worker of; 0 = not a runtime worker.
+    static WORKER_OF: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of OS threads the runtime has spawned since process start.
+///
+/// A warm system stops growing this: after the first
+/// factorization at a given width, repeated `factor`/`refactor` calls
+/// must leave it unchanged (the thread-reuse regression test asserts
+/// exactly that).
+pub fn os_threads_spawned() -> usize {
+    SPAWNED.load(Ordering::SeqCst)
+}
+
+/// A job posted to a worker mailbox: a type-erased closure pointer plus
+/// its monomorphized trampoline. The submitter keeps the pointee alive
+/// until every worker reports completion, which is what makes borrowing
+/// jobs (scoped join) sound.
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    run: unsafe fn(*const (), usize, usize),
+}
+
+// Safety: the pointee is a `Payload` whose fields are all `Sync`
+// references; the submitter outlives the job (it blocks on the done
+// latch before returning).
+unsafe impl Send for Job {}
+
+struct MailSlot {
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+struct Mailbox {
+    slot: Mutex<MailSlot>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Mailbox {
+        Mailbox {
+            slot: Mutex::new(MailSlot {
+                job: None,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+struct Shared {
+    id: u64,
+    width: usize,
+    /// Pin ranks to cores (workers at spawn; rank 0 per job).
+    pin: bool,
+    mailboxes: Vec<Mailbox>,
+    /// Ranks still running the current broadcast.
+    remaining: Mutex<usize>,
+    done_cv: Condvar,
+}
+
+/// A cell written by exactly one rank and read by the submitter only
+/// after the done latch — no concurrent access despite the `Sync` impl.
+struct ResultCell<R>(UnsafeCell<Option<R>>);
+
+unsafe impl<R: Send> Sync for ResultCell<R> {}
+
+struct Payload<'a, OP, R> {
+    op: &'a OP,
+    results: &'a [ResultCell<R>],
+    panic: &'a Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+unsafe fn run_one<OP, R>(data: *const (), rank: usize, width: usize)
+where
+    OP: Fn(TeamContext) -> R + Sync,
+    R: Send,
+{
+    // Safety: the submitter keeps the payload alive until the done latch
+    // releases it, and `rank` indexes a cell no other thread touches.
+    let p = unsafe { &*(data as *const Payload<'_, OP, R>) };
+    match catch_unwind(AssertUnwindSafe(|| (p.op)(TeamContext { rank, width }))) {
+        Ok(v) => unsafe { *p.results[rank].0.get() = Some(v) },
+        Err(e) => {
+            let mut g = p.panic.lock().unwrap();
+            if g.is_none() {
+                *g = Some(e);
+            }
+        }
+    }
+}
+
+/// A persistent team of `width` ranks: the submitting thread serves as
+/// rank 0 (as `rayon`'s `install` does — it is usually cache-warm from
+/// preparing the job's inputs) and `width − 1` parked worker threads
+/// serve ranks `1..width`.
+///
+/// ```
+/// use basker_runtime::{TeamConfig, WorkerTeam};
+///
+/// let team = WorkerTeam::new(TeamConfig::new(2));
+/// let doubled = team.broadcast(|ctx| ctx.rank() * 2);
+/// assert_eq!(doubled, vec![0, 2]);
+/// // The same threads serve every subsequent job.
+/// let again = team.broadcast(|ctx| ctx.rank());
+/// assert_eq!(again, vec![0, 1]);
+/// ```
+pub struct WorkerTeam {
+    shared: Arc<Shared>,
+    /// Serializes broadcasts so a shared team runs one job at a time.
+    submit: Mutex<()>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerTeam {
+    /// Spawns the team's `width − 1` worker threads (rank 0 is always
+    /// the submitting thread, so width-1 teams spawn none).
+    pub fn new(config: TeamConfig) -> WorkerTeam {
+        assert!(config.width >= 1, "team width must be at least 1");
+        let shared = Arc::new(Shared {
+            id: NEXT_TEAM_ID.fetch_add(1, Ordering::Relaxed),
+            width: config.width,
+            pin: config.pin,
+            mailboxes: (1..config.width).map(|_| Mailbox::new()).collect(),
+            remaining: Mutex::new(0),
+            done_cv: Condvar::new(),
+        });
+        let mut handles = Vec::new();
+        let ncores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        for rank in 1..config.width {
+            let sh = shared.clone();
+            let pin = config.pin;
+            SPAWNED.fetch_add(1, Ordering::SeqCst);
+            let h = std::thread::Builder::new()
+                .name(format!("basker-worker-{rank}"))
+                .spawn(move || {
+                    if pin {
+                        let _ = pin_current_thread_to(rank % ncores);
+                    }
+                    WORKER_OF.with(|c| c.set(sh.id));
+                    worker_loop(&sh, rank);
+                })
+                .expect("failed to spawn worker thread");
+            handles.push(h);
+        }
+        WorkerTeam {
+            shared,
+            submit: Mutex::new(()),
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// The team's width (number of ranks).
+    pub fn width(&self) -> usize {
+        self.shared.width
+    }
+
+    /// True when the calling thread is one of this team's workers.
+    pub fn on_worker_thread(&self) -> bool {
+        WORKER_OF.with(|c| c.get()) == self.shared.id
+    }
+
+    /// Runs `op` once on every rank concurrently and returns the
+    /// per-rank results in rank order (a scoped join: `op` may borrow
+    /// from the caller's stack). Rank 0 runs **on the calling thread**;
+    /// ranks `1..width` on the parked workers.
+    ///
+    /// Every rank is live at once on its own OS thread, so closures may
+    /// synchronize point-to-point (spin slots, barriers) across ranks.
+    /// If any rank panics, the panic is re-raised here after the whole
+    /// team has drained; the workers survive for the next job.
+    ///
+    /// Called from a thread already acting as one of this team's ranks
+    /// (a nested SPMD region inside a job), the persistent ranks are
+    /// busy, so the broadcast falls back to transient scoped threads —
+    /// still one live thread per rank, just not hot ones.
+    pub fn broadcast<OP, R>(&self, op: OP) -> Vec<R>
+    where
+        OP: Fn(TeamContext) -> R + Sync,
+        R: Send,
+    {
+        let n = self.shared.width;
+        if n == 1 {
+            // Inline fast path: no hand-off, no parked thread to wake.
+            return vec![op(TeamContext { rank: 0, width: 1 })];
+        }
+        if self.on_worker_thread() {
+            return nested_scoped_broadcast(n, &op);
+        }
+        let results: Vec<ResultCell<R>> =
+            (0..n).map(|_| ResultCell(UnsafeCell::new(None))).collect();
+        let panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        let payload = Payload {
+            op: &op,
+            results: &results,
+            panic: &panic,
+        };
+        let job = Job {
+            data: &payload as *const Payload<'_, OP, R> as *const (),
+            run: run_one::<OP, R>,
+        };
+
+        let guard = self.submit.lock().unwrap();
+        *self.shared.remaining.lock().unwrap() = n - 1;
+        for mb in &self.shared.mailboxes {
+            let mut slot = mb.slot.lock().unwrap();
+            debug_assert!(slot.job.is_none(), "mailbox not drained");
+            slot.job = Some(job);
+            mb.cv.notify_one();
+        }
+        // Rank 0 on the caller, marked as a team rank for the duration
+        // so a nested broadcast from inside the job detours to scoped
+        // threads instead of deadlocking, and pinned to core 0 (with
+        // the previous affinity restored afterwards) when the team is
+        // pinned — the root-separator elimination, the factorization's
+        // serial bottleneck, runs on rank 0.
+        {
+            struct Unmark(u64);
+            impl Drop for Unmark {
+                fn drop(&mut self) {
+                    WORKER_OF.with(|c| c.set(self.0));
+                }
+            }
+            let _unmark = Unmark(WORKER_OF.with(|c| c.replace(self.shared.id)));
+            let _affinity = self.shared.pin.then(AffinityGuard::pin_to_core0);
+            // Safety: the payload lives on this stack frame, which
+            // outlives the call; rank 0's result cell is touched by no
+            // other thread.
+            unsafe { (job.run)(job.data, 0, n) };
+        }
+        {
+            let mut rem = self.shared.remaining.lock().unwrap();
+            while *rem > 0 {
+                rem = self.shared.done_cv.wait(rem).unwrap();
+            }
+        }
+        drop(guard);
+
+        if let Some(p) = panic.into_inner().unwrap() {
+            resume_unwind(p);
+        }
+        results
+            .into_iter()
+            .map(|c| c.0.into_inner().expect("worker rank produced no result"))
+            .collect()
+    }
+}
+
+/// Fallback for a broadcast issued from inside one of the team's own
+/// jobs: the persistent ranks are occupied, so run the nested region on
+/// transient scoped threads (rank 0 inline on the caller). Counted in
+/// [`os_threads_spawned`] — warm-path code never takes this branch.
+fn nested_scoped_broadcast<OP, R>(n: usize, op: &OP) -> Vec<R>
+where
+    OP: Fn(TeamContext) -> R + Sync,
+    R: Send,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..n)
+            .map(|rank| {
+                SPAWNED.fetch_add(1, Ordering::SeqCst);
+                scope.spawn(move || op(TeamContext { rank, width: n }))
+            })
+            .collect();
+        let first = op(TeamContext { rank: 0, width: n });
+        std::iter::once(first)
+            .chain(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("nested broadcast rank panicked")),
+            )
+            .collect()
+    })
+}
+
+/// Pins the current thread to core 0 for a scope, restoring the
+/// previous affinity mask on drop (no-op off Linux/x86-64).
+struct AffinityGuard {
+    previous: Option<[u64; 16]>,
+}
+
+impl AffinityGuard {
+    fn pin_to_core0() -> AffinityGuard {
+        let previous = current_thread_affinity();
+        if previous.is_some() {
+            let _ = pin_current_thread_to(0);
+        }
+        AffinityGuard { previous }
+    }
+}
+
+impl Drop for AffinityGuard {
+    fn drop(&mut self) {
+        if let Some(mask) = self.previous {
+            let _ = set_current_thread_affinity(&mask);
+        }
+    }
+}
+
+impl Drop for WorkerTeam {
+    fn drop(&mut self) {
+        for mb in &self.shared.mailboxes {
+            let mut slot = mb.slot.lock().unwrap();
+            slot.shutdown = true;
+            mb.cv.notify_one();
+        }
+        for h in self.handles.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rank: usize) {
+    let mb = &shared.mailboxes[rank - 1];
+    loop {
+        let job = {
+            let mut slot = mb.slot.lock().unwrap();
+            loop {
+                if let Some(job) = slot.job.take() {
+                    break job;
+                }
+                if slot.shutdown {
+                    return;
+                }
+                slot = mb.cv.wait(slot).unwrap();
+            }
+        };
+        // Safety: the submitter blocks on the done latch, keeping the
+        // payload alive for the duration of this call.
+        unsafe { (job.run)(job.data, rank, shared.width) };
+        let mut rem = shared.remaining.lock().unwrap();
+        *rem -= 1;
+        if *rem == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Returns a process-wide shared team of the given width, creating (and
+/// caching) it on first use. All callers asking for the same
+/// `(width, pin)` get the *same* hot threads — this is what makes
+/// repeated `analyze` calls spawn zero new OS threads.
+pub fn shared_team(width: usize, pin: bool) -> Arc<WorkerTeam> {
+    static REGISTRY: OnceLock<Mutex<HashMap<(usize, bool), Arc<WorkerTeam>>>> = OnceLock::new();
+    let reg = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut g = reg.lock().unwrap();
+    g.entry((width.max(1), pin))
+        .or_insert_with(|| {
+            Arc::new(WorkerTeam::new(TeamConfig {
+                width: width.max(1),
+                pin,
+            }))
+        })
+        .clone()
+}
+
+/// Pins the calling thread to one CPU core. Returns `true` on success.
+///
+/// Implemented as a raw `sched_setaffinity(0, ..)` syscall on
+/// Linux/x86-64 (the workspace carries no libc binding); on other
+/// targets this is a no-op returning `false`.
+pub fn pin_current_thread_to(core: usize) -> bool {
+    let mut mask = [0u64; 16]; // cpu_set_t is 1024 bits on Linux
+    if core >= mask.len() * 64 {
+        return false;
+    }
+    mask[core / 64] |= 1u64 << (core % 64);
+    set_current_thread_affinity(&mask)
+}
+
+/// Applies an affinity mask to the calling thread (raw
+/// `sched_setaffinity`; `false` off Linux/x86-64 or on failure).
+fn set_current_thread_affinity(mask: &[u64; 16]) -> bool {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        let ret: isize;
+        // Safety: sched_setaffinity reads `mask.len() * 8` bytes from the
+        // pointer and touches no other memory; pid 0 = calling thread.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 203isize => ret, // SYS_sched_setaffinity
+                in("rdi") 0usize,
+                in("rsi") std::mem::size_of_val(mask),
+                in("rdx") mask.as_ptr(),
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret == 0
+    }
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    {
+        let _ = mask;
+        false
+    }
+}
+
+/// Reads the calling thread's affinity mask (raw `sched_getaffinity`;
+/// `None` off Linux/x86-64 or on failure).
+fn current_thread_affinity() -> Option<[u64; 16]> {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        let mut mask = [0u64; 16];
+        let ret: isize;
+        // Safety: sched_getaffinity writes at most `mask.len() * 8`
+        // bytes to the pointer; pid 0 = calling thread.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 204isize => ret, // SYS_sched_getaffinity
+                in("rdi") 0usize,
+                in("rsi") std::mem::size_of_val(&mask),
+                in("rdx") mask.as_mut_ptr(),
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        // On success the syscall returns the number of bytes written.
+        (ret > 0).then_some(mask)
+    }
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn broadcast_runs_every_rank_concurrently() {
+        let team = WorkerTeam::new(TeamConfig::new(4));
+        // Hand-rolled barrier: passes only if all 4 ranks are live at once.
+        let arrived = AtomicUsize::new(0);
+        let ranks = team.broadcast(|ctx| {
+            arrived.fetch_add(1, Ordering::SeqCst);
+            while arrived.load(Ordering::SeqCst) < 4 {
+                std::thread::yield_now();
+            }
+            ctx.rank()
+        });
+        assert_eq!(ranks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn threads_are_reused_across_jobs() {
+        let team = WorkerTeam::new(TeamConfig::new(3));
+        let ids1: Vec<std::thread::ThreadId> = team.broadcast(|_| std::thread::current().id());
+        let before = os_threads_spawned();
+        for _ in 0..50 {
+            let ids: Vec<std::thread::ThreadId> = team.broadcast(|_| std::thread::current().id());
+            assert_eq!(ids, ids1, "ranks must stay on their original threads");
+        }
+        assert_eq!(
+            os_threads_spawned(),
+            before,
+            "no new OS threads after warm-up"
+        );
+    }
+
+    #[test]
+    fn width_one_runs_inline_without_threads() {
+        let before = os_threads_spawned();
+        let team = WorkerTeam::new(TeamConfig::new(1));
+        let caller = std::thread::current().id();
+        let ids = team.broadcast(|ctx| {
+            assert_eq!(ctx.width(), 1);
+            std::thread::current().id()
+        });
+        assert_eq!(ids, vec![caller]);
+        assert_eq!(os_threads_spawned(), before);
+    }
+
+    #[test]
+    fn scoped_borrow_from_caller_stack() {
+        let team = WorkerTeam::new(TeamConfig::new(2));
+        let data = [10usize, 20];
+        let out = team.broadcast(|ctx| data[ctx.rank()] + 1);
+        assert_eq!(out, vec![11, 21]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_team_survives() {
+        let team = WorkerTeam::new(TeamConfig::new(2));
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            team.broadcast(|ctx| {
+                if ctx.rank() == 1 {
+                    panic!("boom");
+                }
+                ctx.rank()
+            })
+        }));
+        assert!(caught.is_err());
+        // The team still works after a job panicked.
+        assert_eq!(team.broadcast(|ctx| ctx.rank()), vec![0, 1]);
+    }
+
+    #[test]
+    fn nested_broadcast_on_same_team_detours_to_scoped_threads() {
+        // A job that broadcasts on its own team cannot use the (busy)
+        // persistent ranks; it must still complete — on transient
+        // scoped threads — rather than panic or deadlock.
+        let team = Arc::new(WorkerTeam::new(TeamConfig::new(2)));
+        let t2 = team.clone();
+        let sums = team.broadcast(move |ctx| {
+            let inner = t2.broadcast(|ictx| ictx.rank() * 10);
+            assert_eq!(inner, vec![0, 10]);
+            ctx.rank()
+        });
+        assert_eq!(sums, vec![0, 1]);
+    }
+
+    #[test]
+    fn shared_registry_returns_same_team() {
+        let a = shared_team(2, false);
+        let b = shared_team(2, false);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = shared_team(4, false);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.broadcast(|ctx| ctx.width()), vec![2, 2]);
+    }
+
+    #[test]
+    fn pinning_smoke() {
+        // Pinning to core 0 must succeed on Linux/x86-64 and be a clean
+        // no-op elsewhere; either way the team stays functional.
+        let team = WorkerTeam::new(TeamConfig {
+            width: 2,
+            pin: true,
+        });
+        assert_eq!(team.broadcast(|ctx| ctx.rank()), vec![0, 1]);
+        if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+            assert!(pin_current_thread_to(0));
+        }
+    }
+
+    #[test]
+    fn concurrent_broadcasts_from_many_threads_serialize() {
+        let team = Arc::new(WorkerTeam::new(TeamConfig::new(2)));
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let team = team.clone();
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        let sums = team.broadcast(|ctx| ctx.rank() + i);
+                        assert_eq!(sums, vec![i, i + 1]);
+                    }
+                });
+            }
+        });
+    }
+}

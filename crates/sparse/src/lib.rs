@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod blocks;
+pub mod col;
 pub mod csc;
 pub mod csr;
 pub mod io;
@@ -32,6 +33,7 @@ pub mod trisolve;
 pub mod util;
 pub mod workspace;
 
+pub use col::SparseCol;
 pub use csc::CscMat;
 pub use csr::CsrMat;
 pub use permutation::Perm;

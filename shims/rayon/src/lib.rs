@@ -1,41 +1,42 @@
 //! Minimal in-tree stand-in for the `rayon` crate (the build environment
-//! has no registry access). Provides real OS-thread parallelism for the
-//! surface this workspace uses:
+//! has no registry access), rewritten as a thin compatibility façade over
+//! the persistent [`basker_runtime::WorkerTeam`]. Provides the surface
+//! this workspace uses:
 //!
 //! * [`ThreadPoolBuilder`] / [`ThreadPool`] with `install`, `broadcast`
 //!   and `current_num_threads`;
 //! * `prelude::*` with `.par_iter()` on slices/`Vec`s supporting
 //!   `.map(..).collect()`, `.for_each(..)` and `.for_each_init(..)`.
 //!
-//! `broadcast` genuinely runs one concurrently-live thread per pool slot
-//! — the Basker point-to-point synchronization (spin-wait slots) relies
-//! on every team member making progress at once, so a sequential
-//! fallback would deadlock. Threads are spawned per call via
-//! `std::thread::scope` rather than kept hot; for the factorization
-//! workloads here the spawn cost is noise compared to the numeric work.
+//! Every `ThreadPool` is backed by a **hot, process-shared** team from
+//! [`basker_runtime::shared_team`]: building a pool of a width that was
+//! seen before spawns zero new OS threads, and workers park between jobs
+//! instead of burning CPU. `broadcast` genuinely runs one
+//! concurrently-live thread per pool slot — the Basker point-to-point
+//! synchronization (spin-wait slots) relies on every team member making
+//! progress at once, so a sequential fallback would deadlock. Parallel
+//! iterators dispatch chunks onto the installed pool's team; without an
+//! installed pool they fall back to the shared machine-width team (or
+//! run serially when that team is this thread itself).
+//!
+//! Beyond the upstream API, [`ThreadPoolBuilder::pin_threads`] requests
+//! core pinning for the backing team (a Basker extension; real `rayon`
+//! callers simply never invoke it).
 
-use std::cell::Cell;
+use basker_runtime::{shared_team, WorkerTeam};
+use std::cell::RefCell;
 use std::fmt;
-use std::marker::PhantomData;
+use std::sync::Arc;
 
 thread_local! {
-    /// Width installed by [`ThreadPool::install`]; 0 = none installed.
-    static INSTALLED_WIDTH: Cell<usize> = const { Cell::new(0) };
+    /// Team installed by [`ThreadPool::install`]; `None` = no pool.
+    static INSTALLED: RefCell<Option<Arc<WorkerTeam>>> = const { RefCell::new(None) };
 }
 
 fn default_width() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-}
-
-fn current_width() -> usize {
-    let w = INSTALLED_WIDTH.with(|c| c.get());
-    if w == 0 {
-        default_width()
-    } else {
-        w
-    }
 }
 
 /// Error from [`ThreadPoolBuilder::build`]. The shim pool cannot
@@ -55,6 +56,7 @@ impl std::error::Error for ThreadPoolBuildError {}
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
+    pin_threads: bool,
 }
 
 impl ThreadPoolBuilder {
@@ -69,8 +71,15 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Accepted for API compatibility; the shim spawns scoped threads
-    /// per call and does not name them.
+    /// Requests that the backing team pin worker `r` to core `r` (a
+    /// Basker extension over the upstream `rayon` API; best-effort).
+    pub fn pin_threads(mut self, pin: bool) -> Self {
+        self.pin_threads = pin;
+        self
+    }
+
+    /// Accepted for API compatibility; the backing team names its own
+    /// threads (`basker-worker-N`).
     pub fn thread_name<F>(self, _name: F) -> Self
     where
         F: Fn(usize) -> String,
@@ -78,28 +87,31 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Builds the pool. Never fails in the shim.
+    /// Builds the pool, attaching it to the shared persistent team of
+    /// the requested width. Never fails in the shim.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = if self.num_threads == 0 {
             default_width()
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { width: n })
+        Ok(ThreadPool {
+            team: shared_team(n, self.pin_threads),
+        })
     }
 }
 
-/// A logical pool of `width` worker slots. Workers are materialized as
-/// scoped OS threads on demand.
+/// A logical pool of worker slots, backed by a persistent
+/// [`WorkerTeam`] shared across all pools of the same width.
 pub struct ThreadPool {
-    width: usize,
+    team: Arc<WorkerTeam>,
 }
 
 /// Per-thread context handed to [`ThreadPool::broadcast`] closures.
 pub struct BroadcastContext<'a> {
     index: usize,
     num_threads: usize,
-    _scope: PhantomData<&'a ()>,
+    _scope: std::marker::PhantomData<&'a ()>,
 }
 
 impl BroadcastContext<'_> {
@@ -117,26 +129,31 @@ impl BroadcastContext<'_> {
 impl ThreadPool {
     /// The pool's width.
     pub fn current_num_threads(&self) -> usize {
-        self.width
+        self.team.width()
     }
 
-    /// Runs `op` with this pool's width installed, so nested
-    /// `par_iter()` calls split work across `width` threads.
+    /// The persistent team backing this pool (Basker extension).
+    pub fn team(&self) -> &Arc<WorkerTeam> {
+        &self.team
+    }
+
+    /// Runs `op` with this pool installed, so nested `par_iter()` calls
+    /// dispatch their chunks onto this pool's team.
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R + Send,
         R: Send,
     {
         // Restore on drop so a panicking `op` (caught further up, e.g.
-        // by a test harness) cannot leak this pool's width onto the
+        // by a test harness) cannot leak this pool's team onto the
         // calling thread.
-        struct Restore(usize);
+        struct Restore(Option<Arc<WorkerTeam>>);
         impl Drop for Restore {
             fn drop(&mut self) {
-                INSTALLED_WIDTH.with(|c| c.set(self.0));
+                INSTALLED.with(|c| *c.borrow_mut() = self.0.take());
             }
         }
-        let _restore = Restore(INSTALLED_WIDTH.with(|c| c.replace(self.width)));
+        let _restore = Restore(INSTALLED.with(|c| c.borrow_mut().replace(self.team.clone())));
         op()
     }
 
@@ -147,52 +164,44 @@ impl ThreadPool {
         OP: Fn(BroadcastContext<'_>) -> R + Sync,
         R: Send,
     {
-        let n = self.width;
-        let op = &op;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..n)
-                .map(|i| {
-                    scope.spawn(move || {
-                        op(BroadcastContext {
-                            index: i,
-                            num_threads: n,
-                            _scope: PhantomData,
-                        })
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("broadcast worker panicked"))
-                .collect()
+        self.team.broadcast(|ctx| {
+            op(BroadcastContext {
+                index: ctx.rank(),
+                num_threads: ctx.width(),
+                _scope: std::marker::PhantomData,
+            })
         })
     }
 }
 
-/// Runs `f` over `items` split into at most [`current_width`] contiguous
-/// chunks, one scoped thread per chunk, preserving item order in the
-/// result.
+/// Runs `f` over `items` split into at most team-width contiguous
+/// chunks, one team rank per chunk, preserving item order in the result.
+/// Falls back to a serial call when no parallel execution is possible
+/// (width 1, a single chunk, or the caller already being a worker of the
+/// only available team).
 fn chunked_run<'a, T, R, F>(items: &'a [T], f: F) -> Vec<Vec<R>>
 where
     T: Sync,
     R: Send,
     F: Fn(&'a [T]) -> Vec<R> + Sync,
 {
-    let width = current_width().max(1);
-    if width == 1 || items.len() <= 1 {
+    let team = INSTALLED
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(|| shared_team(default_width(), false));
+    let width = team.width();
+    if width == 1 || items.len() <= 1 || team.on_worker_thread() {
         return vec![f(items)];
     }
     let chunk = items.len().div_ceil(width);
     let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
+    // Ranks past the last chunk contribute an empty Vec, which flattens
+    // away harmlessly.
+    team.broadcast(|ctx| {
+        items
             .chunks(chunk)
-            .map(|c| scope.spawn(move || f(c)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel iterator worker panicked"))
-            .collect()
+            .nth(ctx.rank())
+            .map(f)
+            .unwrap_or_default()
     })
 }
 
@@ -310,11 +319,24 @@ mod tests {
         let ranks = pool.broadcast(|ctx| {
             arrived.fetch_add(1, Ordering::SeqCst);
             while arrived.load(Ordering::SeqCst) < 4 {
-                std::hint::spin_loop();
+                std::thread::yield_now();
             }
             ctx.index()
         });
         assert_eq!(ranks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pools_of_equal_width_share_one_team() {
+        let a = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let before = basker_runtime::os_threads_spawned();
+        let b = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert!(std::sync::Arc::ptr_eq(a.team(), b.team()));
+        assert_eq!(
+            basker_runtime::os_threads_spawned(),
+            before,
+            "second pool of the same width must not spawn threads"
+        );
     }
 
     #[test]
@@ -323,6 +345,13 @@ mod tests {
         let input: Vec<usize> = (0..100).collect();
         let out: Vec<usize> = pool.install(|| input.par_iter().map(|&x| x * 2).collect());
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_without_install_still_covers_everything() {
+        let input: Vec<usize> = (0..37).collect();
+        let out: Vec<usize> = input.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, (1..38).collect::<Vec<_>>());
     }
 
     #[test]
@@ -344,24 +373,28 @@ mod tests {
     }
 
     #[test]
-    fn install_restores_width_after_panic() {
+    fn install_restores_team_after_panic() {
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
-        let before = current_width();
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool.install(|| panic!("boom"))
         }));
         assert!(caught.is_err());
-        assert_eq!(current_width(), before, "width leaked past a panic");
+        assert!(
+            INSTALLED.with(|c| c.borrow().is_none()),
+            "installed team leaked past a panic"
+        );
     }
 
     #[test]
-    fn install_restores_previous_width() {
+    fn install_restores_previous_team() {
         let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
         let inner = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        let width = || INSTALLED.with(|c| c.borrow().as_ref().map(|t| t.width()));
         outer.install(|| {
-            assert_eq!(current_width(), 2);
-            inner.install(|| assert_eq!(current_width(), 5));
-            assert_eq!(current_width(), 2);
+            assert_eq!(width(), Some(2));
+            inner.install(|| assert_eq!(width(), Some(5)));
+            assert_eq!(width(), Some(2));
         });
+        assert_eq!(width(), None);
     }
 }

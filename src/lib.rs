@@ -47,5 +47,6 @@ pub use basker_api;
 pub use basker_klu;
 pub use basker_matgen;
 pub use basker_ordering;
+pub use basker_runtime;
 pub use basker_snlu;
 pub use basker_sparse;
