@@ -1,7 +1,21 @@
-//! # Unified `LinearSolver` API
+//! # Unified solver API: sessions over engines
 //!
-//! One engine-agnostic lifecycle — `analyze → factor/refactor →
-//! solve_in_place` — over the workspace's three sparse LU engines:
+//! Two layers over the workspace's three sparse LU engines:
+//!
+//! * **[`SolveSession`]** — the recommended surface for the dominant
+//!   workload (transient simulation, paper §V-F): feed a stream of
+//!   same-pattern matrices, and the session owns the whole lifecycle —
+//!   symbolic reuse, value-only refactorization with automatic re-pivot
+//!   fallback, a configurable [`ReusePolicy`] (always re-pivot / always
+//!   refactor / adaptive on pivot-growth and residual gates), built-in
+//!   iterative refinement with a caller-visible [`SolveQuality`], and
+//!   batched right-hand sides over an internally pooled workspace.
+//!   Every decision is observable in [`SessionStats`].
+//! * **[`LinearSolver`] / [`Factorization`]** — the one-shot lifecycle
+//!   (`analyze → factor/refactor → solve_in_place`) the session is built
+//!   on, for callers that factor a single matrix or need manual control.
+//!
+//! Engines:
 //!
 //! * [`Engine::Basker`] — the paper's threaded hierarchical solver,
 //! * [`Engine::Klu`] — the serial BTF + Gilbert–Peierls baseline,
@@ -13,52 +27,66 @@
 //!
 //! 1. **One lifecycle.** The [`SparseLuSolver`] / [`LuNumeric`] trait
 //!    pair is implemented by every engine, so driver code (benchmark
-//!    harnesses, transient simulators, batching layers) is written once.
-//! 2. **Allocation-free hot path.** `solve_in_place` works entirely in a
-//!    caller-owned [`SolveWorkspace`]; after the first solve at a given
-//!    dimension repeated solves perform zero heap allocation.
+//!    harnesses, transient simulators, batching layers) is written once
+//!    — and [`SolveSession`] is generic over it, running statically
+//!    dispatched on a concrete engine or type-erased via
+//!    [`LinearSolver`].
+//! 2. **Allocation-free hot path.** Solves work entirely in pooled
+//!    [`SolveWorkspace`] scratch; after warm-up, a session's
+//!    step/solve loop performs zero heap allocation beyond the engines'
+//!    own factor storage.
 //! 3. **Errors in global coordinates.** A singular pivot is reported as
 //!    the **original matrix column** plus its BTF block
 //!    ([`SolverError::SingularPivot`]), never an engine-local index.
 //!
-//! ## Example: transient-style loop over any engine
+//! ## Example: the transient loop
 //!
 //! ```
-//! use basker_api::{Engine, LinearSolver, LuNumeric, SolverConfig, SparseLuSolver};
-//! use basker_sparse::{CscMat, SolveWorkspace};
+//! use basker_api::{ReusePolicy, SessionConfig, SolveSession};
+//! use basker_sparse::CscMat;
 //!
 //! let a = CscMat::from_dense(&[
 //!     vec![10.0, 2.0, 0.0],
 //!     vec![3.0, 12.0, 4.0],
 //!     vec![0.0, 1.0, 9.0],
 //! ]);
-//! let cfg = SolverConfig::new().engine(Engine::Auto).threads(2);
-//! let solver = LinearSolver::analyze(&a, &cfg).unwrap();
-//! let mut num = solver.factor(&a).unwrap();
-//! let mut ws = SolveWorkspace::for_dim(3);
+//! let cfg = SessionConfig::new()
+//!     .threads(2)
+//!     .policy(ReusePolicy::adaptive());
+//! let mut session = SolveSession::new(&a, &cfg).unwrap();
 //!
-//! // values drift, pattern fixed: value-only refactorization
-//! let a2 = CscMat::from_parts_unchecked(
-//!     3, 3,
-//!     a.colptr().to_vec(), a.rowind().to_vec(),
-//!     a.values().iter().map(|v| v * 1.1).collect(),
-//! );
-//! if num.refactor(&a2).is_err() {
-//!     num = solver.factor(&a2).unwrap(); // pivot collapsed: re-pivot
+//! // Values drift, pattern fixed: the policy decides factor vs
+//! // refactor vs re-pivot — the loop body stays two calls.
+//! for step in 0..3 {
+//!     let m = CscMat::from_parts_unchecked(
+//!         3, 3,
+//!         a.colptr().to_vec(), a.rowind().to_vec(),
+//!         a.values().iter().map(|v| v * (1.0 + 0.1 * step as f64)).collect(),
+//!     );
+//!     session.step(&m).unwrap();
+//!     let mut x = vec![1.0, 0.0, -1.0]; // b in, x out
+//!     let quality = session.solve_refined(&mut x).unwrap();
+//!     assert!(quality.converged);
 //! }
-//! let mut x = vec![1.0, 0.0, -1.0];
-//! num.solve_in_place(&mut x, &mut ws).unwrap(); // allocation-free
+//! let stats = session.stats();
+//! assert_eq!(stats.factors + stats.refactors, 3);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod error;
+pub mod session;
 pub mod solver;
 
 pub use config::{Engine, SolverConfig};
 pub use error::SolverError;
-pub use solver::{Factorization, LinearSolver, LuNumeric, SolverStats, SparseLuSolver};
+pub use session::{
+    ReusePolicy, SessionConfig, SessionState, SessionStats, SolveQuality, SolveSession,
+};
+pub use solver::{
+    FactorQuality, Factorization, LinearSolver, LuNumeric, SolverStats, SparseLuSolver,
+};
 
 // The workspace type callers need for the in-place solves.
 pub use basker_sparse::SolveWorkspace;

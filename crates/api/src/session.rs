@@ -1,0 +1,871 @@
+//! The transient-simulation session: a policy-driven
+//! factor/refactor lifecycle with quality gates and batched right-hand
+//! sides.
+//!
+//! A circuit simulator's transient loop (paper §V-F: 1000 matrices with
+//! one sparsity pattern and drifting values) previously had to hand-roll
+//! the factor-vs-refactor decision, the singular-pivot fallback and the
+//! workspace plumbing at every call site. [`SolveSession`] owns that
+//! lifecycle: the caller feeds a stream of same-pattern matrices through
+//! [`step`](SolveSession::step) and solves through the session's pooled
+//! buffers; a [`ReusePolicy`] decides per step whether the factors are
+//! rebuilt with fresh pivoting or refreshed value-only, and every
+//! decision is observable in [`SessionStats`].
+//!
+//! ```text
+//!              ┌────────────────────────── step(A_k) ──────────────────────────┐
+//!              │                                                               │
+//! Analyzed ── step(A_0) ──► Factored ──┬─► Refactored   (value-only refresh    │
+//!  (new)                       ▲       │                 kept by the policy)   │
+//!                              │       └─► Repivoted    (SingularPivot fallback│
+//!                              │                         or quality gate:      │
+//!                              │                         fresh pivoting run)   │
+//!                              └── solve / solve_refined / solve_multi ◄───────┘
+//! ```
+//!
+//! The session also builds in **iterative refinement**
+//! ([`solve_refined`](SolveSession::solve_refined)): each refined solve
+//! reports a [`SolveQuality`] (initial and final residual, sweeps used),
+//! and under [`ReusePolicy::Adaptive`] a refined solve that still misses
+//! the acceptability threshold on reused factors triggers a re-pivot and
+//! one retry — the quality gate that makes aggressive factorization
+//! reuse safe.
+//!
+//! ```
+//! use basker_api::{ReusePolicy, SessionConfig, SolveSession};
+//! use basker_sparse::CscMat;
+//!
+//! let a = CscMat::from_dense(&[vec![10.0, 2.0], vec![3.0, 12.0]]);
+//! let cfg = SessionConfig::new().policy(ReusePolicy::adaptive());
+//! let mut session = SolveSession::new(&a, &cfg).unwrap();
+//!
+//! // the transient loop body — no manual factor/refactor branching:
+//! for scale in [1.0, 1.1, 1.2] {
+//!     let m = CscMat::from_parts_unchecked(
+//!         2, 2,
+//!         a.colptr().to_vec(), a.rowind().to_vec(),
+//!         a.values().iter().map(|v| v * scale).collect(),
+//!     );
+//!     session.step(&m).unwrap();
+//!     let mut x = vec![1.0, 1.0]; // b in, x out
+//!     let q = session.solve_refined(&mut x).unwrap();
+//!     assert!(q.converged);
+//! }
+//! assert_eq!(session.stats().steps, 3);
+//! assert_eq!(session.stats().factors + session.stats().refactors, 3);
+//! ```
+
+use crate::config::{Engine, SolverConfig};
+use crate::error::SolverError;
+use crate::solver::{FactorQuality, LinearSolver, LuNumeric, SolverStats, SparseLuSolver};
+use basker_sparse::spmv::spmv_sub;
+use basker_sparse::util::{mat_norm_inf_with, norm_inf};
+use basker_sparse::{CscMat, SolveWorkspace, SparseError};
+
+/// How the session reuses factors across same-pattern steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReusePolicy {
+    /// Fresh pivoting factorization every step — the paper's §V-F
+    /// semantics ("each factorization may require a different
+    /// permutation due to pivoting"). Safest, slowest.
+    AlwaysFactor,
+    /// Value-only refactorization every step, re-pivoting **only** when
+    /// the engine reports a collapsed pivot
+    /// ([`SolverError::SingularPivot`]). Fastest; accuracy rides on the
+    /// frozen pivot sequence staying adequate.
+    AlwaysRefactor,
+    /// Refactor by default, but re-pivot when quality degrades:
+    ///
+    /// * **pivot-growth gate** (at [`step`](SolveSession::step), after a
+    ///   successful refactor): re-pivot when pivot growth exceeds
+    ///   `growth_limit ×` the last fresh factorization's growth, when the
+    ///   rcond estimate fell by more than `growth_limit ×`, or when the
+    ///   engine perturbed pivots it did not perturb at the baseline;
+    /// * **residual gate** (at
+    ///   [`solve_refined`](SolveSession::solve_refined)): re-pivot and
+    ///   retry once when refinement on reused factors still misses
+    ///   `residual_limit`.
+    Adaptive {
+        /// Allowed degradation factor for the pivot-growth/rcond gates.
+        growth_limit: f64,
+        /// Relative-residual acceptability bound for the residual gate.
+        residual_limit: f64,
+    },
+}
+
+impl ReusePolicy {
+    /// The default adaptive policy: re-pivot on a 10⁴× quality
+    /// degradation or a refined residual worse than 10⁻⁸.
+    pub fn adaptive() -> ReusePolicy {
+        ReusePolicy::Adaptive {
+            growth_limit: 1e4,
+            residual_limit: 1e-8,
+        }
+    }
+}
+
+impl Default for ReusePolicy {
+    fn default() -> Self {
+        ReusePolicy::adaptive()
+    }
+}
+
+/// Builder-style configuration of a [`SolveSession`]: the underlying
+/// engine configuration plus the session's reuse policy and refinement
+/// targets.
+#[derive(Debug, Clone, Default)]
+pub struct SessionConfig {
+    solver: SolverConfig,
+    policy: ReusePolicy,
+    refine: RefineParams,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RefineParams {
+    target_residual: f64,
+    max_iterations: usize,
+}
+
+impl Default for RefineParams {
+    fn default() -> Self {
+        RefineParams {
+            target_residual: 1e-10,
+            max_iterations: 4,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// The default configuration: [`Engine::Auto`] under the adaptive
+    /// reuse policy, refining to a 10⁻¹⁰ relative residual (at most 4
+    /// sweeps).
+    pub fn new() -> SessionConfig {
+        SessionConfig::default()
+    }
+
+    /// Replaces the engine configuration wholesale.
+    pub fn solver(mut self, cfg: SolverConfig) -> Self {
+        self.solver = cfg;
+        self
+    }
+
+    /// Selects the engine (passthrough to [`SolverConfig::engine`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.solver = self.solver.engine(engine);
+        self
+    }
+
+    /// Worker threads (passthrough to [`SolverConfig::threads`]).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.solver = self.solver.threads(n);
+        self
+    }
+
+    /// Sets the factor-reuse policy (default [`ReusePolicy::adaptive`]).
+    pub fn policy(mut self, policy: ReusePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Relative-residual target of
+    /// [`solve_refined`](SolveSession::solve_refined) (default `1e-10`).
+    pub fn target_residual(mut self, r: f64) -> Self {
+        self.refine.target_residual = r;
+        self
+    }
+
+    /// Maximum refinement sweeps per refined solve (default 4).
+    pub fn max_refine_iterations(mut self, k: usize) -> Self {
+        self.refine.max_iterations = k;
+        self
+    }
+
+    /// The underlying engine configuration.
+    pub fn solver_config(&self) -> &SolverConfig {
+        &self.solver
+    }
+
+    /// The configured reuse policy.
+    pub fn reuse_policy(&self) -> ReusePolicy {
+        self.policy
+    }
+}
+
+/// Where the session's factors came from (the lifecycle states of the
+/// module-level diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Symbolic analysis done, no numeric factors yet (solves error).
+    Analyzed,
+    /// Factors from a scheduled fresh pivoting factorization (the first
+    /// step, and every step under [`ReusePolicy::AlwaysFactor`]).
+    Factored,
+    /// Factors from a value-only refactorization kept by the policy.
+    Refactored,
+    /// Factors from a fresh pivoting factorization **forced** by a
+    /// singular-pivot fallback or an adaptive quality gate.
+    Repivoted,
+}
+
+impl std::fmt::Display for SessionState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionState::Analyzed => write!(f, "analyzed"),
+            SessionState::Factored => write!(f, "factored"),
+            SessionState::Refactored => write!(f, "refactored"),
+            SessionState::Repivoted => write!(f, "repivoted"),
+        }
+    }
+}
+
+/// Quality report of one refined solve.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveQuality {
+    /// Refinement sweeps applied (0 when the plain solve already met the
+    /// target).
+    pub iterations: usize,
+    /// Relative residual after the plain solve, before any refinement.
+    pub initial_residual: f64,
+    /// Relative residual of the returned solution.
+    pub residual: f64,
+    /// Whether `residual` meets the session's target.
+    pub converged: bool,
+}
+
+/// Per-session counters: every lifecycle decision the policy made, plus
+/// aggregate solve quality. All counters are cumulative over the
+/// session's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    /// Matrices fed through [`step`](SolveSession::step).
+    pub steps: usize,
+    /// Fresh pivoting factorizations, for any reason (first step,
+    /// scheduled by [`ReusePolicy::AlwaysFactor`], fallbacks, gates).
+    pub factors: usize,
+    /// Value-only refactorizations kept as the step's factors.
+    pub refactors: usize,
+    /// Refactorizations that failed on a singular pivot and fell back to
+    /// a fresh pivoting factorization.
+    pub repivot_fallbacks: usize,
+    /// Fresh factorizations forced by the adaptive quality gates (pivot
+    /// growth at `step`, residual at `solve_refined`).
+    pub quality_repivots: usize,
+    /// Right-hand sides solved (plain + refined, single + batched).
+    pub solves: usize,
+    /// Total iterative-refinement sweeps across all refined solves.
+    pub refine_iterations: usize,
+    /// Worst relative residual any refined solve returned (plain solves
+    /// are not measured).
+    pub worst_residual: f64,
+    /// Engine metrics of the most recent (re)factorization.
+    pub last_factor: SolverStats,
+}
+
+/// Pivot-quality baseline captured at the last fresh factorization; the
+/// adaptive gate compares every refactorization against it.
+#[derive(Debug, Clone, Copy)]
+struct QualityBaseline {
+    growth: f64,
+    rcond: f64,
+    perturbed: usize,
+}
+
+/// A long-lived solving session over a stream of same-pattern matrices.
+///
+/// Generic over the symbolic handle so it runs statically dispatched
+/// over a concrete engine (`SolveSession<Basker>` via
+/// [`SparseLuSolver::into_session`]) or type-erased over
+/// [`LinearSolver`] (the default, via [`SolveSession::new`]).
+pub struct SolveSession<S: SparseLuSolver = LinearSolver> {
+    solver: S,
+    num: Option<S::Numeric>,
+    policy: ReusePolicy,
+    refine: RefineParams,
+    state: SessionState,
+    stats: SessionStats,
+    /// The current step's matrix (pattern captured once, values
+    /// refreshed per step) — refinement and the residual gate correct
+    /// against it.
+    current: Option<CscMat>,
+    /// `‖A‖∞` of the current step's matrix.
+    a_norm: f64,
+    baseline: Option<QualityBaseline>,
+    /// Pooled engine scratch shared by every solve.
+    ws: SolveWorkspace,
+    /// Refinement scratch: the saved right-hand side and the residual.
+    rhs: Vec<f64>,
+    resid: Vec<f64>,
+}
+
+impl SolveSession<LinearSolver> {
+    /// Analyzes `a`'s pattern (resolving [`Engine::Auto`]) and opens a
+    /// session for matrices sharing it. No numeric factorization happens
+    /// yet — feed the first matrix (usually `a` itself) through
+    /// [`step`](Self::step).
+    pub fn new(a: &CscMat, cfg: &SessionConfig) -> Result<SolveSession, SolverError> {
+        let solver = LinearSolver::analyze(a, &cfg.solver)?;
+        let mut s = SolveSession::over(solver, cfg);
+        s.capture_pattern(a);
+        Ok(s)
+    }
+}
+
+impl<S: SparseLuSolver> SolveSession<S> {
+    /// Wraps an already-analyzed symbolic handle in a session (the
+    /// statically dispatched entry; engine settings inside
+    /// `cfg.solver_config()` are ignored — the handle already embeds
+    /// its own).
+    pub fn over(solver: S, cfg: &SessionConfig) -> SolveSession<S> {
+        let n = solver.dim();
+        SolveSession {
+            solver,
+            num: None,
+            policy: cfg.policy,
+            refine: cfg.refine,
+            state: SessionState::Analyzed,
+            stats: SessionStats::default(),
+            current: None,
+            a_norm: 0.0,
+            baseline: None,
+            ws: SolveWorkspace::for_dim(n),
+            rhs: vec![0.0; n],
+            resid: vec![0.0; n],
+        }
+    }
+
+    /// The concrete engine driving this session.
+    pub fn engine(&self) -> Engine {
+        self.solver.engine()
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.solver.dim()
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Cumulative lifecycle and quality counters.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// The underlying symbolic handle.
+    pub fn solver(&self) -> &S {
+        &self.solver
+    }
+
+    /// The current numeric factors, if any step has run.
+    pub fn numeric(&self) -> Option<&S::Numeric> {
+        self.num.as_ref()
+    }
+
+    /// Pivot quality of the current factors, if any step has run.
+    pub fn quality(&self) -> Option<FactorQuality> {
+        self.num.as_ref().map(|n| n.quality())
+    }
+
+    /// Seeds `current` with the pattern (and values) of `a` without any
+    /// numeric work.
+    fn capture_pattern(&mut self, a: &CscMat) {
+        self.current = Some(a.clone());
+    }
+
+    /// Feeds the next matrix of the stream: the policy decides between a
+    /// fresh pivoting factorization and a value-only refactorization
+    /// (with automatic re-pivot fallback), and the returned state says
+    /// which happened. The matrix must share the analyzed pattern.
+    ///
+    /// On an error from the factorization phase (e.g. the matrix is
+    /// genuinely singular and even the re-pivot fallback failed) the
+    /// session **drops its factors** and returns to
+    /// [`SessionState::Analyzed`]: engines refactor in place, so the
+    /// old factors may be half-overwritten and must not serve another
+    /// solve. The next successful `step` rebuilds them. A pattern or
+    /// dimension mismatch is reported before any numeric work and
+    /// leaves the current factors untouched.
+    pub fn step(&mut self, m: &CscMat) -> Result<SessionState, SolverError> {
+        self.retain(m)?;
+        self.stats.steps += 1;
+
+        match self.factor_phase(m) {
+            Ok(state) => {
+                if state == SessionState::Refactored {
+                    self.stats.refactors += 1;
+                }
+                self.state = state;
+                self.stats.last_factor = self.num.as_ref().expect("factors exist").stats();
+                Ok(state)
+            }
+            Err(e) => {
+                self.num = None;
+                self.baseline = None;
+                self.state = SessionState::Analyzed;
+                Err(e)
+            }
+        }
+    }
+
+    /// The factor-vs-refactor decision of one step. Any error out of
+    /// here may leave `self.num` partially overwritten (in-place
+    /// refactorization) — `step` invalidates the factors on that path.
+    fn factor_phase(&mut self, m: &CscMat) -> Result<SessionState, SolverError> {
+        if self.num.is_none() || self.policy == ReusePolicy::AlwaysFactor {
+            // First step, or pivoting rerun on schedule (not as a
+            // recovery) — either way a plain Factored.
+            self.fresh_factor()?;
+            return Ok(SessionState::Factored);
+        }
+        let refactor_result = self
+            .num
+            .as_mut()
+            .expect("factors exist past the first step")
+            .refactor(m);
+        match refactor_result {
+            Ok(()) => {
+                if let ReusePolicy::Adaptive { growth_limit, .. } = self.policy {
+                    let q = self.num.as_ref().expect("just refactored").quality();
+                    if self.pivot_quality_degraded(&q, growth_limit) {
+                        self.stats.quality_repivots += 1;
+                        self.fresh_factor()?;
+                        return Ok(SessionState::Repivoted);
+                    }
+                }
+                Ok(SessionState::Refactored)
+            }
+            Err(e) if e.is_pivot_failure() => {
+                self.stats.repivot_fallbacks += 1;
+                self.fresh_factor()?;
+                Ok(SessionState::Repivoted)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Validates the pattern and retains the step's values (the matrix
+    /// refinement corrects against); recomputes `‖A‖∞`.
+    fn retain(&mut self, m: &CscMat) -> Result<(), SolverError> {
+        let n = self.solver.dim();
+        if m.nrows() != n || m.ncols() != n {
+            return Err(SolverError::Sparse(SparseError::DimensionMismatch {
+                expected: (n, n),
+                found: (m.nrows(), m.ncols()),
+            }));
+        }
+        match &mut self.current {
+            Some(cur) => {
+                if cur.colptr() != m.colptr() || cur.rowind() != m.rowind() {
+                    return Err(SolverError::Sparse(SparseError::InvalidStructure(
+                        "session step: sparsity pattern differs from the analyzed pattern \
+                         (open a new session per pattern)"
+                            .into(),
+                    )));
+                }
+                cur.values_mut().copy_from_slice(m.values());
+            }
+            None => self.current = Some(m.clone()),
+        }
+        // `rhs` doubles as the row-sum scratch here; it is dead between
+        // solves and at least `n` long.
+        self.a_norm = mat_norm_inf_with(m, &mut self.rhs);
+        Ok(())
+    }
+
+    /// Runs a fresh pivoting factorization of the retained matrix and
+    /// re-baselines the quality gates.
+    fn fresh_factor(&mut self) -> Result<(), SolverError> {
+        let a = self
+            .current
+            .as_ref()
+            .expect("step() retains the matrix before factoring");
+        let num = self.solver.factor(a)?;
+        let q = num.quality();
+        self.baseline = Some(QualityBaseline {
+            growth: q.pivot_growth(self.a_norm),
+            rcond: q.rcond_estimate(),
+            perturbed: q.perturbed_pivots,
+        });
+        self.num = Some(num);
+        self.stats.factors += 1;
+        Ok(())
+    }
+
+    /// The adaptive pivot-growth gate: did this refactorization's
+    /// quality degrade past `growth_limit` relative to the last fresh
+    /// factorization?
+    fn pivot_quality_degraded(&self, q: &FactorQuality, growth_limit: f64) -> bool {
+        let Some(base) = self.baseline else {
+            return false;
+        };
+        let growth = q.pivot_growth(self.a_norm);
+        let rcond = q.rcond_estimate();
+        growth > growth_limit * base.growth.max(1.0)
+            || rcond < base.rcond / growth_limit
+            || q.perturbed_pivots > base.perturbed
+    }
+
+    fn require_factors(&self) -> Result<&S::Numeric, SolverError> {
+        self.num.as_ref().ok_or_else(|| {
+            SolverError::Config(
+                "session has no factors yet: feed a matrix through step() first".into(),
+            )
+        })
+    }
+
+    /// Plain in-place solve against the current factors: `x` holds `b`
+    /// on entry, the solution on exit. Allocation-free once the pooled
+    /// workspace is warm.
+    pub fn solve(&mut self, x: &mut [f64]) -> Result<(), SolverError> {
+        self.require_factors()?;
+        let num = self.num.as_ref().expect("checked above");
+        num.solve_in_place(x, &mut self.ws)?;
+        self.stats.solves += 1;
+        Ok(())
+    }
+
+    /// Batched plain solve: `xs` packs right-hand sides column-major
+    /// (`xs.len()` must be a multiple of [`dim`](Self::dim)); every
+    /// chunk is overwritten with its solution through the one pooled
+    /// workspace.
+    pub fn solve_multi(&mut self, xs: &mut [f64]) -> Result<(), SolverError> {
+        self.require_factors()?;
+        let n = self.solver.dim();
+        let num = self.num.as_ref().expect("checked above");
+        num.solve_multi_in_place(xs, &mut self.ws)?;
+        self.stats.solves += xs.len().checked_div(n).unwrap_or(0);
+        Ok(())
+    }
+
+    /// Solve with built-in iterative refinement: after the plain solve,
+    /// residual-correction sweeps run until the session's target
+    /// residual is met or the sweep budget is spent. Under
+    /// [`ReusePolicy::Adaptive`], a refined solve on **reused** factors
+    /// that still misses the policy's `residual_limit` re-pivots and
+    /// retries once (counted in
+    /// [`quality_repivots`](SessionStats::quality_repivots)).
+    pub fn solve_refined(&mut self, x: &mut [f64]) -> Result<SolveQuality, SolverError> {
+        let mut q = self.refined_pass(x)?;
+        let mut sweeps = q.iterations;
+        if let ReusePolicy::Adaptive { residual_limit, .. } = self.policy {
+            if q.residual > residual_limit && self.state == SessionState::Refactored {
+                // Reuse cost too much accuracy: re-pivot and redo the
+                // solve from the saved right-hand side. (The refactored
+                // factors are valid, just inaccurate, so a fresh-factor
+                // failure here keeps them installed and propagates.)
+                self.stats.quality_repivots += 1;
+                self.fresh_factor()?;
+                self.state = SessionState::Repivoted;
+                self.stats.last_factor = self.num.as_ref().expect("factors exist").stats();
+                let n = x.len();
+                x.copy_from_slice(&self.rhs[..n]);
+                q = self.refined_pass(x)?;
+                sweeps += q.iterations;
+            }
+        }
+        // Stats commit: one solve per caller call, sweeps for all work
+        // performed, but worst_residual only for the solution actually
+        // returned (a gate-discarded pass must not poison it).
+        self.stats.solves += 1;
+        self.stats.refine_iterations += sweeps;
+        self.stats.worst_residual = self.stats.worst_residual.max(q.residual);
+        Ok(q)
+    }
+
+    /// Batched refined solve: one [`SolveQuality`] per packed right-hand
+    /// side (see [`solve_multi`](Self::solve_multi) for the layout).
+    pub fn solve_refined_multi(
+        &mut self,
+        xs: &mut [f64],
+    ) -> Result<Vec<SolveQuality>, SolverError> {
+        let n = self.solver.dim();
+        if (n == 0 && !xs.is_empty()) || (n != 0 && xs.len() % n != 0) {
+            return Err(SolverError::Sparse(SparseError::DimensionMismatch {
+                expected: (n, xs.len().div_ceil(n.max(1))),
+                found: (xs.len(), 1),
+            }));
+        }
+        let mut out = Vec::with_capacity(xs.len().checked_div(n).unwrap_or(0));
+        for rhs in xs.chunks_exact_mut(n.max(1)) {
+            out.push(self.solve_refined(rhs)?);
+        }
+        Ok(out)
+    }
+
+    /// One solve + refinement loop against the current factors and the
+    /// retained matrix. `x` holds `b` on entry; `self.rhs` holds `b` on
+    /// exit (the residual-gate retry depends on that). Does **not**
+    /// touch the stats — the public entry points commit once per caller
+    /// call, for the returned solution only.
+    fn refined_pass(&mut self, x: &mut [f64]) -> Result<SolveQuality, SolverError> {
+        self.require_factors()?;
+        let n = x.len();
+        if n != self.solver.dim() {
+            // The engine's own check would reject this too, but only
+            // after `self.rhs[..n]` had panicked on an oversized `x` —
+            // report it as the same recoverable error `solve()` gives.
+            return Err(SolverError::Sparse(SparseError::DimensionMismatch {
+                expected: (self.solver.dim(), 1),
+                found: (n, 1),
+            }));
+        }
+        let num = self.num.as_ref().expect("checked above");
+        let a = self
+            .current
+            .as_ref()
+            .expect("factors imply a retained matrix");
+        let target = self.refine.target_residual;
+        let a_norm = self.a_norm;
+
+        self.rhs[..n].copy_from_slice(x);
+        let b = &self.rhs[..n];
+        let bnorm = norm_inf(b);
+        num.solve_in_place(x, &mut self.ws)?;
+
+        let resid = &mut self.resid[..n];
+        let mut rel = residual_into(a, x, b, resid, a_norm, bnorm);
+        let initial_residual = rel;
+        let mut iterations = 0usize;
+        while rel > target && iterations < self.refine.max_iterations {
+            // d = A⁻¹ r, then x += d and re-measure.
+            num.solve_in_place(resid, &mut self.ws)?;
+            for (xi, di) in x.iter_mut().zip(resid.iter()) {
+                *xi += *di;
+            }
+            rel = residual_into(a, x, b, resid, a_norm, bnorm);
+            iterations += 1;
+        }
+
+        Ok(SolveQuality {
+            iterations,
+            initial_residual,
+            residual: rel,
+            converged: rel <= target,
+        })
+    }
+}
+
+impl<S: SparseLuSolver> std::fmt::Debug for SolveSession<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveSession")
+            .field("engine", &self.engine())
+            .field("dim", &self.dim())
+            .field("state", &self.state)
+            .field("policy", &self.policy)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// `resid ← b − A·x`; returns the scaled relative residual
+/// `‖r‖∞ / (‖A‖∞‖x‖∞ + ‖b‖∞)` without allocating.
+fn residual_into(
+    a: &CscMat,
+    x: &[f64],
+    b: &[f64],
+    resid: &mut [f64],
+    a_norm: f64,
+    bnorm: f64,
+) -> f64 {
+    resid.copy_from_slice(b);
+    spmv_sub(a, x, resid);
+    let r = norm_inf(resid);
+    let denom = a_norm * norm_inf(x) + bnorm;
+    if denom == 0.0 {
+        r
+    } else {
+        r / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basker_sparse::spmv::spmv;
+    use basker_sparse::TripletMat;
+
+    fn circuitish(n: usize) -> CscMat {
+        let mut t = TripletMat::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 10.0 + (i % 3) as f64);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+            }
+            if i >= 4 {
+                t.push(i, i - 4, 0.5);
+            }
+        }
+        t.to_csc()
+    }
+
+    fn scaled(a: &CscMat, f: f64) -> CscMat {
+        CscMat::from_parts_unchecked(
+            a.nrows(),
+            a.ncols(),
+            a.colptr().to_vec(),
+            a.rowind().to_vec(),
+            a.values().iter().map(|v| v * f).collect(),
+        )
+    }
+
+    #[test]
+    fn lifecycle_states_and_counters() {
+        let a = circuitish(24);
+        let cfg = SessionConfig::new()
+            .engine(Engine::Klu)
+            .policy(ReusePolicy::AlwaysRefactor);
+        let mut s = SolveSession::new(&a, &cfg).unwrap();
+        assert_eq!(s.state(), SessionState::Analyzed);
+        assert!(s.solve(&mut [1.0; 24]).is_err(), "no factors yet");
+
+        assert_eq!(s.step(&a).unwrap(), SessionState::Factored);
+        assert_eq!(s.step(&scaled(&a, 1.1)).unwrap(), SessionState::Refactored);
+        assert_eq!(s.step(&scaled(&a, 0.9)).unwrap(), SessionState::Refactored);
+        let st = s.stats();
+        assert_eq!((st.steps, st.factors, st.refactors), (3, 1, 2));
+        assert_eq!(st.repivot_fallbacks, 0);
+    }
+
+    #[test]
+    fn always_factor_runs_fresh_pivoting_each_step() {
+        let a = circuitish(16);
+        let cfg = SessionConfig::new()
+            .engine(Engine::Basker)
+            .threads(2)
+            .policy(ReusePolicy::AlwaysFactor);
+        let mut s = SolveSession::new(&a, &cfg).unwrap();
+        for k in 0..4 {
+            let st = s.step(&scaled(&a, 1.0 + 0.05 * k as f64)).unwrap();
+            assert_eq!(st, SessionState::Factored);
+        }
+        assert_eq!(s.stats().factors, 4);
+        assert_eq!(s.stats().refactors, 0);
+    }
+
+    #[test]
+    fn refined_solve_meets_target_and_reports_quality() {
+        let a = circuitish(30);
+        let cfg = SessionConfig::new().engine(Engine::Snlu).threads(2);
+        let mut s = SolveSession::new(&a, &cfg).unwrap();
+        s.step(&a).unwrap();
+        let xtrue: Vec<f64> = (0..30).map(|i| 1.0 + (i % 5) as f64).collect();
+        let mut x = spmv(&a, &xtrue);
+        let q = s.solve_refined(&mut x).unwrap();
+        assert!(q.converged, "residual {}", q.residual);
+        assert!(q.residual <= q.initial_residual);
+        for (u, v) in x.iter().zip(&xtrue) {
+            assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn batched_solves_match_singles() {
+        let a = circuitish(20);
+        let cfg = SessionConfig::new().engine(Engine::Klu);
+        let mut s = SolveSession::new(&a, &cfg).unwrap();
+        s.step(&a).unwrap();
+        let b1 = vec![1.0; 20];
+        let b2: Vec<f64> = (0..20).map(|i| 0.25 * i as f64).collect();
+        let mut packed: Vec<f64> = b1.iter().chain(b2.iter()).copied().collect();
+        s.solve_multi(&mut packed).unwrap();
+        let mut x1 = b1.clone();
+        s.solve(&mut x1).unwrap();
+        let mut x2 = b2.clone();
+        s.solve(&mut x2).unwrap();
+        assert_eq!(&packed[..20], &x1[..]);
+        assert_eq!(&packed[20..], &x2[..]);
+        assert_eq!(s.stats().solves, 4);
+
+        let mut refined: Vec<f64> = b1.iter().chain(b2.iter()).copied().collect();
+        let qs = s.solve_refined_multi(&mut refined).unwrap();
+        assert_eq!(qs.len(), 2);
+        assert!(qs.iter().all(|q| q.converged));
+    }
+
+    #[test]
+    fn pattern_change_is_rejected() {
+        let a = circuitish(12);
+        let mut s = SolveSession::new(&a, &SessionConfig::new().engine(Engine::Klu)).unwrap();
+        s.step(&a).unwrap();
+        let mut t = TripletMat::new(12, 12);
+        for i in 0..12 {
+            t.push(i, i, 2.0);
+        }
+        let diag = t.to_csc();
+        let err = s.step(&diag).unwrap_err();
+        assert!(matches!(
+            err,
+            SolverError::Sparse(SparseError::InvalidStructure(_))
+        ));
+        // dimension mismatch too
+        let small = circuitish(5);
+        assert!(s.step(&small).is_err());
+    }
+
+    #[test]
+    fn wrong_sized_rhs_is_an_error_not_a_panic() {
+        let a = circuitish(10);
+        let mut s = SolveSession::new(&a, &SessionConfig::new().engine(Engine::Klu)).unwrap();
+        s.step(&a).unwrap();
+        let mut long = vec![1.0; 11];
+        assert!(s.solve_refined(&mut long).is_err());
+        assert!(s.solve(&mut long).is_err());
+        let mut short = vec![1.0; 9];
+        assert!(s.solve_refined(&mut short).is_err());
+    }
+
+    #[test]
+    fn failed_step_invalidates_factors() {
+        // A genuinely singular step (every value zeroed in one diagonal
+        // entry's whole block) fails even the re-pivot fallback; the
+        // session must drop the (possibly half-refactored) factors and
+        // refuse further solves instead of using them silently.
+        let mut t = TripletMat::new(2, 2);
+        t.push(0, 0, 4.0);
+        t.push(0, 1, 2.0);
+        t.push(1, 0, 2.0);
+        t.push(1, 1, 1.0 + 1e-9);
+        let a = t.to_csc();
+        let cfg = SessionConfig::new()
+            .engine(Engine::Klu)
+            .policy(ReusePolicy::AlwaysRefactor);
+        let mut s = SolveSession::new(&a, &cfg).unwrap();
+        s.step(&a).unwrap();
+        // exactly singular: [[4, 2], [2, 1]]
+        let singular = CscMat::from_parts_unchecked(
+            2,
+            2,
+            a.colptr().to_vec(),
+            a.rowind().to_vec(),
+            vec![4.0, 2.0, 2.0, 1.0],
+        );
+        assert!(s.step(&singular).is_err());
+        assert_eq!(s.state(), SessionState::Analyzed);
+        assert!(s.numeric().is_none());
+        assert!(
+            matches!(s.solve(&mut [1.0, 1.0]), Err(SolverError::Config(_))),
+            "stale factors must not serve solves"
+        );
+        // a healthy step recovers the session
+        s.step(&a).unwrap();
+        let mut x = vec![1.0, 1.0];
+        s.solve(&mut x).unwrap();
+    }
+
+    #[test]
+    fn generic_session_over_concrete_engine() {
+        use basker::Basker;
+        let a = circuitish(18);
+        let cfg = SessionConfig::new();
+        let solver =
+            <Basker as SparseLuSolver>::analyze(&a, &SolverConfig::new().threads(2)).unwrap();
+        let mut s: SolveSession<Basker> = solver.into_session(&cfg);
+        s.step(&a).unwrap();
+        let mut x = vec![1.0; 18];
+        let q = s.solve_refined(&mut x).unwrap();
+        assert!(q.converged);
+        assert_eq!(s.engine(), Engine::Basker);
+    }
+}

@@ -63,6 +63,53 @@ impl SolverStats {
     }
 }
 
+/// Numeric quality of a factorization, uniform across engines — the
+/// signal the session layer's adaptive reuse policy watches to decide
+/// when frozen pivots have drifted into bad territory.
+///
+/// For the Gilbert–Peierls engines (KLU, Basker) the pivot extremes are
+/// the `U`-diagonal magnitudes (so `min/max` is exactly KLU's
+/// `klu_rcond` estimate and `perturbed_pivots` is always zero); for the
+/// static-pivoting supernodal engine the extremes include perturbed
+/// pivots and `perturbed_pivots` counts them.
+#[derive(Debug, Clone, Copy)]
+pub struct FactorQuality {
+    /// Smallest pivot magnitude, `min |u_jj|` (`∞` for a 0×0 matrix).
+    pub min_pivot: f64,
+    /// Largest pivot magnitude, `max |u_jj|` (`0` for a 0×0 matrix).
+    pub max_pivot: f64,
+    /// Pivots statically perturbed instead of exchanged (supernodal
+    /// engine only; zero for the pivoting engines).
+    pub perturbed_pivots: usize,
+}
+
+impl FactorQuality {
+    /// KLU's cheap reciprocal condition estimate `min |u_jj| / max
+    /// |u_jj|` ∈ [0, 1]; tiny values flag factors one value-drift away
+    /// from a singular pivot. Returns 1.0 for an empty matrix.
+    pub fn rcond_estimate(&self) -> f64 {
+        if self.max_pivot > 0.0 {
+            self.min_pivot / self.max_pivot
+        } else if self.min_pivot.is_infinite() {
+            1.0 // 0x0: vacuously perfect
+        } else {
+            0.0
+        }
+    }
+
+    /// Pivot growth proxy `max |u_jj| / ‖A‖∞`: how far elimination
+    /// amplified the matrix's own scale. O(1)–O(10) is healthy; explosive
+    /// growth on a refactorization means the frozen pivot sequence no
+    /// longer suits the values.
+    pub fn pivot_growth(&self, a_norm_inf: f64) -> f64 {
+        if a_norm_inf > 0.0 && self.max_pivot > 0.0 {
+            self.max_pivot / a_norm_inf
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The symbolic side of the lifecycle: pattern analysis and numeric
 /// factorization. `analyze → Symbolic`, `factor → Numeric`.
 pub trait SparseLuSolver: Sized {
@@ -82,6 +129,21 @@ pub trait SparseLuSolver: Sized {
 
     /// Matrix dimension this analysis is for.
     fn dim(&self) -> usize;
+
+    /// Lifts this symbolic handle into a [`SolveSession`] — the
+    /// policy-driven transient-simulation surface (statically dispatched
+    /// for a concrete engine; [`LinearSolver`] sessions usually come
+    /// from [`SolveSession::new`] instead). Engine settings inside the
+    /// session config are ignored: this handle already embeds its own.
+    ///
+    /// [`SolveSession`]: crate::session::SolveSession
+    /// [`SolveSession::new`]: crate::session::SolveSession::new
+    fn into_session(self, cfg: &crate::session::SessionConfig) -> crate::session::SolveSession<Self>
+    where
+        Self: Sized,
+    {
+        crate::session::SolveSession::over(self, cfg)
+    }
 }
 
 /// The numeric side of the lifecycle: value-only refactorization and
@@ -128,6 +190,11 @@ pub trait LuNumeric {
 
     /// Metrics of the last (re)factorization.
     fn stats(&self) -> SolverStats;
+
+    /// Numeric quality of the current factors (pivot extremes +
+    /// perturbation count) — recomputed from the factors, so it reflects
+    /// the last `factor`/`refactor`, not the first.
+    fn quality(&self) -> FactorQuality;
 
     /// Matrix dimension.
     fn dim(&self) -> usize;
@@ -205,6 +272,15 @@ impl LuNumeric for KluNumeric {
         }
     }
 
+    fn quality(&self) -> FactorQuality {
+        let (min_pivot, max_pivot) = self.pivot_range();
+        FactorQuality {
+            min_pivot,
+            max_pivot,
+            perturbed_pivots: 0,
+        }
+    }
+
     fn dim(&self) -> usize {
         self.symbolic().n()
     }
@@ -273,6 +349,15 @@ impl LuNumeric for BaskerNumeric {
         }
     }
 
+    fn quality(&self) -> FactorQuality {
+        let (min_pivot, max_pivot) = self.pivot_range();
+        FactorQuality {
+            min_pivot,
+            max_pivot,
+            perturbed_pivots: 0,
+        }
+    }
+
     fn dim(&self) -> usize {
         self.symbolic().structure().n
     }
@@ -324,6 +409,15 @@ impl LuNumeric for SnluNumeric {
             threads: self.symbolic().options().nthreads,
             perturbed_pivots: self.perturbed_pivots,
             ..SolverStats::default()
+        }
+    }
+
+    fn quality(&self) -> FactorQuality {
+        let (min_pivot, max_pivot) = self.pivot_range();
+        FactorQuality {
+            min_pivot,
+            max_pivot,
+            perturbed_pivots: self.perturbed_pivots,
         }
     }
 
@@ -544,12 +638,14 @@ impl Factorization {
         }
     }
 
-    /// Convenience allocating solve for cold paths; hot loops should use
-    /// [`LuNumeric::solve_in_place`] with a reused [`SolveWorkspace`].
-    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolverError> {
-        let mut x = b.to_vec();
-        self.solve_in_place(&mut x, &mut SolveWorkspace::new())?;
-        Ok(x)
+    /// Numeric quality of the current factors (see
+    /// [`LuNumeric::quality`]).
+    pub fn quality(&self) -> FactorQuality {
+        match &self.inner {
+            NumericInner::Klu(n) => LuNumeric::quality(n),
+            NumericInner::Basker(n) => LuNumeric::quality(n),
+            NumericInner::Snlu(n) => LuNumeric::quality(n),
+        }
     }
 
     /// Borrows the Basker factors when that engine was chosen.
@@ -572,6 +668,10 @@ impl LuNumeric for Factorization {
 
     fn stats(&self) -> SolverStats {
         Factorization::stats(self)
+    }
+
+    fn quality(&self) -> FactorQuality {
+        Factorization::quality(self)
     }
 
     fn dim(&self) -> usize {
@@ -635,10 +735,35 @@ mod tests {
         let mut ws = SolveWorkspace::new();
         let mut packed: Vec<f64> = b1.iter().chain(b2.iter()).copied().collect();
         num.solve_multi_in_place(&mut packed, &mut ws).unwrap();
-        let x1 = num.solve(&b1).unwrap();
-        let x2 = num.solve(&b2).unwrap();
-        assert_eq!(&packed[..20], &x1[..]);
-        assert_eq!(&packed[20..], &x2[..]);
+        let solve_one = |b: &[f64]| {
+            let mut x = b.to_vec();
+            num.solve_in_place(&mut x, &mut SolveWorkspace::new())
+                .unwrap();
+            x
+        };
+        assert_eq!(&packed[..20], &solve_one(&b1)[..]);
+        assert_eq!(&packed[20..], &solve_one(&b2)[..]);
+    }
+
+    #[test]
+    fn quality_uniform_across_engines() {
+        let a = circuitish(25);
+        for engine in [Engine::Klu, Engine::Basker, Engine::Snlu] {
+            let solver = LinearSolver::analyze(&a, &SolverConfig::new().engine(engine)).unwrap();
+            let num = SparseLuSolver::factor(&solver, &a).unwrap();
+            let q = num.quality();
+            assert!(
+                q.min_pivot > 0.0 && q.min_pivot <= q.max_pivot,
+                "{engine}: pivot range ({}, {})",
+                q.min_pivot,
+                q.max_pivot
+            );
+            let r = q.rcond_estimate();
+            assert!((0.0..=1.0).contains(&r), "{engine}: rcond {r}");
+            // Diagonally dominant circuitish matrix: healthy growth.
+            let growth = q.pivot_growth(basker_sparse::util::mat_norm_inf(&a));
+            assert!(growth > 0.0 && growth < 10.0, "{engine}: growth {growth}");
+        }
     }
 
     #[test]

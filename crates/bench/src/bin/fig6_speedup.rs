@@ -16,7 +16,8 @@
 //! more than the thread effect being measured.
 
 use basker::SyncMode;
-use basker_bench::{analyze, fmt_secs, print_markdown_table, BenchArgs, SolverKind};
+use basker_api::ReusePolicy;
+use basker_bench::{fmt_secs, open_session, print_markdown_table, BenchArgs, SolverKind};
 use basker_matgen::{table1_suite, Scale};
 use std::time::Instant;
 
@@ -109,42 +110,40 @@ fn main() {
     let mut rows = Vec::new();
     for e in &entries {
         let a = e.generate(scale);
-        // Analyze every configuration up front, then time ONLY the
-        // numeric phase (what the paper's Fig. 6 compares), visiting the
-        // configurations in interleaved rounds and keeping each one's
-        // minimum. Two sources of systematic bias are controlled: (1)
-        // measuring a config in one contiguous block confounds thread
-        // count with process warm-up (allocator and cache drift), so
-        // rounds interleave; (2) a neighboring engine with a very
-        // different allocation profile perturbs the next measurement, so
-        // each engine's thread sweep runs in its own pass, sharing only
-        // the serial-KLU baseline.
+        // Open a session per configuration up front (symbolic analysis
+        // once), then time ONLY the numeric stepping (what the paper's
+        // Fig. 6 compares) under `ReusePolicy::AlwaysFactor` — every
+        // step is a fresh pivoting factorization, exactly the paper's
+        // per-matrix semantics. Configurations are visited in
+        // interleaved rounds, keeping each one's minimum. Two sources of
+        // systematic bias are controlled: (1) measuring a config in one
+        // contiguous block confounds thread count with process warm-up
+        // (allocator and cache drift), so rounds interleave; (2) a
+        // neighboring engine with a very different allocation profile
+        // perturbs the next measurement, so each engine's thread sweep
+        // runs in its own pass, sharing only the serial-KLU baseline.
         const ROUNDS: usize = 48;
         let measure = |kinds: &[SolverKind]| -> Vec<f64> {
-            // A failed analyze or factor aborts the run: dropping or
+            // A failed analyze or step aborts the run: dropping or
             // skipping a config would either shift every later column
             // of the table onto the wrong solver or leave an INFINITY
             // that serializes as invalid JSON in the checked-in
             // baseline.
-            let mut configs: Vec<(SolverKind, basker_bench::SolverHandle, f64)> = kinds
+            let mut configs: Vec<(SolverKind, basker_api::SolveSession, f64)> = kinds
                 .iter()
                 .map(|&kind| {
-                    let h = analyze(&a, kind).unwrap_or_else(|err| {
-                        panic!("{} on {}: analyze failed: {err}", kind.label(), e.name)
-                    });
-                    (kind, h, f64::INFINITY)
+                    let s =
+                        open_session(&a, kind, ReusePolicy::AlwaysFactor).unwrap_or_else(|err| {
+                            panic!("{} on {}: analyze failed: {err}", kind.label(), e.name)
+                        });
+                    (kind, s, f64::INFINITY)
                 })
                 .collect();
             for _ in 0..ROUNDS {
-                for (kind, handle, best) in configs.iter_mut() {
+                for (kind, session, best) in configs.iter_mut() {
                     let t = Instant::now();
-                    // Time the numeric phase only; freeing the previous
-                    // factors happens outside the measured window.
-                    match handle.factor(&a) {
-                        Ok(num) => {
-                            *best = best.min(t.elapsed().as_secs_f64());
-                            std::hint::black_box(&num);
-                        }
+                    match session.step(&a) {
+                        Ok(_) => *best = best.min(t.elapsed().as_secs_f64()),
                         Err(err) => {
                             panic!("{} on {}: factor failed: {err}", kind.label(), e.name)
                         }

@@ -14,56 +14,99 @@
 //!
 //! A second table reports the *value-only refactorization* fast path
 //! (this library's extension; KLU offers the same), which skips pivoting
-//! entirely and is the right tool when values drift gently.
+//! when quality allows.
 //!
-//! Every engine runs through the unified `LinearSolver` lifecycle — one
-//! loop body serves all of them, and the solve path reuses a single
-//! `SolveWorkspace` (zero allocation per solve).
+//! Every engine runs through a [`SolveSession`]: the loop body is
+//! `session.step(&m)` (+ `solve_refined` in residual-checked mode) and
+//! **all** factor-vs-refactor-vs-re-pivot decisions are made by the
+//! session's [`ReusePolicy`] — the harness contains no fallback
+//! branching. Per-engine lifecycle decisions come back via
+//! [`SessionStats`].
 //!
-//! Usage: `xyce_sequence [nsteps] [test|bench]` (defaults: 200, bench).
+//! Usage: `xyce_sequence [nsteps] [test|bench] [--json PATH]`
+//! (defaults: 200, bench). `test` additionally solves and
+//! residual-checks every step; `--json` writes the measured rows (the
+//! checked-in `BENCH_xyce.json` baseline is produced this way).
 
 use basker::SyncMode;
-use basker_api::{LinearSolver, SolverConfig};
+use basker_api::{ReusePolicy, SessionConfig, SessionStats, SolveSession};
 use basker_bench::SolverKind;
 use basker_matgen::{CircuitParams, XyceSequence, XyceSequenceParams};
-use basker_sparse::util::relative_residual;
-use basker_sparse::{CscMat, SolveWorkspace};
 use std::time::Instant;
 
-/// Paper semantics: fresh pivoting factorization per step.
-fn time_factor_sequence(solver: &LinearSolver, seq: &XyceSequence, nsteps: usize) -> f64 {
+struct EngineRow {
+    label: String,
+    factor_seconds: f64,
+    refactor_seconds: f64,
+    stats: SessionStats,
+    worst_residual: f64,
+}
+
+/// Drives one engine through the whole sequence under `policy`; in
+/// `check` mode every step is solved with refinement and the residual
+/// asserted. Returns (wall seconds of the step loop, session stats,
+/// worst refined residual).
+fn run_sequence(
+    kind: SolverKind,
+    policy: ReusePolicy,
+    seq: &XyceSequence,
+    nsteps: usize,
+    check: bool,
+) -> (f64, SessionStats, f64) {
+    let cfg = SessionConfig::new()
+        .solver(kind.config())
+        .policy(policy)
+        .target_residual(1e-9);
+    let mut session = SolveSession::new(seq.pattern(), &cfg).expect("analyze");
+    let b = vec![1.0; session.dim()];
+    let mut x = vec![0.0; session.dim()];
+    let mut worst = 0.0f64;
     let t0 = Instant::now();
     for s in 0..nsteps {
         let m = seq.matrix_at(s);
-        solver.factor(&m).expect("factor");
-    }
-    t0.elapsed().as_secs_f64()
-}
-
-/// Extension semantics: value-only refactor with pivot fallback.
-fn time_refactor_sequence(
-    solver: &LinearSolver,
-    seq: &XyceSequence,
-    a0: &CscMat,
-    nsteps: usize,
-) -> (f64, usize) {
-    let t0 = Instant::now();
-    let mut num = solver.factor(a0).expect("factor");
-    let mut fallbacks = 0usize;
-    for s in 1..nsteps {
-        let m = seq.matrix_at(s);
-        if num.refactor(&m).is_err() {
-            num = solver.factor(&m).expect("re-pivot");
-            fallbacks += 1;
+        // The whole §V-F loop body: the session decides factor vs
+        // refactor vs re-pivot; no branching here.
+        session.step(&m).expect("step");
+        if check {
+            x.copy_from_slice(&b);
+            let q = session.solve_refined(&mut x).expect("solve");
+            assert!(
+                q.residual < 1e-7,
+                "{} step {s}: residual {}",
+                kind.label(),
+                q.residual
+            );
+            worst = worst.max(q.residual);
         }
     }
-    (t0.elapsed().as_secs_f64(), fallbacks)
+    let secs = t0.elapsed().as_secs_f64();
+    (secs, session.stats().clone(), worst)
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let nsteps: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
-    let scale_test = args.get(2).map(|s| s == "test").unwrap_or(false);
+    let mut nsteps: usize = 200;
+    let mut scale_test = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "test" => scale_test = true,
+            "bench" => scale_test = false,
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("usage: xyce_sequence [nsteps] [test|bench] [--json PATH]");
+                    std::process::exit(2);
+                }))
+            }
+            s => match s.parse() {
+                Ok(n) => nsteps = n,
+                Err(_) => {
+                    eprintln!("usage: xyce_sequence [nsteps] [test|bench] [--json PATH]");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
 
     let seq = XyceSequence::new(&XyceSequenceParams {
         circuit: CircuitParams {
@@ -76,64 +119,106 @@ fn main() {
         switching_fraction: 0.04,
         seed: 99,
     });
-    let a0 = seq.pattern().clone();
+    let a0 = seq.pattern();
     println!(
         "# Xyce sequence analogue: {nsteps} matrices, n = {}, |A| = {}\n",
         a0.nrows(),
         a0.nnz()
     );
+    {
+        let auto = SolveSession::new(a0, &SessionConfig::new().threads(2)).expect("analyze");
+        println!(
+            "(Engine::Auto classifies this circuit sequence as `{}`)\n",
+            auto.engine()
+        );
+    }
 
-    // ---- symbolic analyses, once per solver, one unified entry point ----
-    let mk = |kind: SolverKind| -> LinearSolver {
-        LinearSolver::analyze(&a0, &kind.config()).expect("analyze")
-    };
-    let bsk = mk(SolverKind::Basker {
-        threads: 2,
-        sync: SyncMode::PointToPoint,
-    });
-    let klu = mk(SolverKind::Klu);
-    let pmkl = mk(SolverKind::Pmkl { threads: 2 });
-    let auto = LinearSolver::analyze(&a0, &SolverConfig::new().threads(2)).expect("analyze");
-    println!(
-        "(Engine::Auto classifies this circuit sequence as `{}`)\n",
-        auto.engine()
-    );
+    let kinds = [
+        SolverKind::Basker {
+            threads: 2,
+            sync: SyncMode::PointToPoint,
+        },
+        SolverKind::Klu,
+        SolverKind::Pmkl { threads: 2 },
+    ];
 
-    // ---- paper semantics: numeric factorization (with pivoting) per step
-    let basker_secs = time_factor_sequence(&bsk, &seq, nsteps);
-    let klu_secs = time_factor_sequence(&klu, &seq, nsteps);
-    let pmkl_secs = time_factor_sequence(&pmkl, &seq, nsteps);
-
-    // accuracy spot-check on the last step, allocation-free solve path
-    let lastm = seq.matrix_at(nsteps - 1);
-    let num = bsk.factor(&lastm).expect("factor");
-    let b = vec![1.0; a0.ncols()];
-    let mut x = b.clone();
-    let mut ws = SolveWorkspace::for_dim(a0.ncols());
-    num.solve_in_place(&mut x, &mut ws).expect("solve");
-    let resid = relative_residual(&lastm, &x, &b);
-    assert!(resid < 1e-8, "basker residual {resid}");
+    let rows: Vec<EngineRow> = kinds
+        .iter()
+        .map(|&kind| {
+            // Paper semantics: fresh pivoting per step.
+            let (factor_seconds, _, _) =
+                run_sequence(kind, ReusePolicy::AlwaysFactor, &seq, nsteps, false);
+            // Extension: adaptive value-only reuse with quality gates;
+            // residual-checked at test scale.
+            let (refactor_seconds, stats, worst_residual) =
+                run_sequence(kind, ReusePolicy::adaptive(), &seq, nsteps, scale_test);
+            EngineRow {
+                label: kind.label(),
+                factor_seconds,
+                refactor_seconds,
+                stats,
+                worst_residual,
+            }
+        })
+        .collect();
 
     println!("## numeric factorization per step (the paper's experiment)\n");
     println!("| solver | total seconds |");
     println!("|---|---|");
-    println!("| Basker (2 threads) | {basker_secs:.2} |");
-    println!("| KLU | {klu_secs:.2} |");
-    println!("| PMKL stand-in (2 threads) | {pmkl_secs:.2} |");
+    for r in &rows {
+        println!("| {} | {:.2} |", r.label, r.factor_seconds);
+    }
+    let basker = &rows[0];
     println!();
     println!(
         "Basker speedup: {:.2}x vs KLU (paper 5.22x on 16 cores), {:.2}x vs \
-         PMKL (paper 5.43x). Compressed by the 2-core container.",
-        klu_secs / basker_secs,
-        pmkl_secs / basker_secs
+         PMKL (paper 5.43x). Compressed by the small-core container.",
+        rows[1].factor_seconds / basker.factor_seconds,
+        rows[2].factor_seconds / basker.factor_seconds
     );
 
-    // ---- extension: value-only refactorization fast path ----
-    let (basker_re, fallbacks) = time_refactor_sequence(&bsk, &seq, &a0, nsteps);
-    let (klu_re, kfallbacks) = time_refactor_sequence(&klu, &seq, &a0, nsteps);
-    println!("\n## value-only refactorization variant (extension)\n");
-    println!("| solver | total seconds | pivot fallbacks |");
-    println!("|---|---|---|");
-    println!("| Basker refactor | {basker_re:.2} | {fallbacks} |");
-    println!("| KLU refactor | {klu_re:.2} | {kfallbacks} |");
+    println!("\n## adaptive refactor sessions (extension)\n");
+    println!(
+        "| solver | total seconds | refactors | pivot fallbacks | quality re-pivots | \
+         refine iters |"
+    );
+    println!("|---|---|---|---|---|---|");
+    for r in &rows {
+        println!(
+            "| {} | {:.2} | {} | {} | {} | {} |",
+            r.label,
+            r.refactor_seconds,
+            r.stats.refactors,
+            r.stats.repivot_fallbacks,
+            r.stats.quality_repivots,
+            r.stats.refine_iterations,
+        );
+    }
+    if scale_test {
+        let worst = rows.iter().map(|r| r.worst_residual).fold(0.0, f64::max);
+        println!("\nresidual-checked mode: worst refined residual {worst:.2e}");
+    }
+
+    if let Some(path) = json_path {
+        let mut out = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"solver\": \"{}\", \"nsteps\": {nsteps}, \
+                 \"factor_seconds\": {:.6}, \"refactor_seconds\": {:.6}, \
+                 \"refactors\": {}, \"repivot_fallbacks\": {}, \
+                 \"quality_repivots\": {}, \"refine_iterations\": {}}}{}\n",
+                r.label,
+                r.factor_seconds,
+                r.refactor_seconds,
+                r.stats.refactors,
+                r.stats.repivot_fallbacks,
+                r.stats.quality_repivots,
+                r.stats.refine_iterations,
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(&path, out).expect("write json");
+        eprintln!("wrote {path}");
+    }
 }

@@ -11,7 +11,9 @@
 //! repeated `factor`/`refactor`, allocation-free `solve_in_place`.
 
 use basker::SyncMode;
-use basker_api::{Engine, Factorization, LinearSolver, SolverConfig};
+use basker_api::{
+    Engine, Factorization, LinearSolver, ReusePolicy, SessionConfig, SolveSession, SolverConfig,
+};
 use basker_snlu::SnluMode;
 use basker_sparse::spmv::spmv;
 use basker_sparse::util::relative_residual;
@@ -110,6 +112,19 @@ pub type NumericHandle = Factorization;
 /// Analyzes once.
 pub fn analyze(a: &CscMat, kind: SolverKind) -> Result<SolverHandle, String> {
     LinearSolver::analyze(a, &kind.config()).map_err(|e| e.to_string())
+}
+
+/// Opens a [`SolveSession`] for this solver kind under `policy` — the
+/// entry point for sequence-style harnesses (`xyce_sequence`,
+/// `fig6_speedup`): the session owns every factor/refactor/re-pivot
+/// decision, the harness just steps.
+pub fn open_session(
+    a: &CscMat,
+    kind: SolverKind,
+    policy: ReusePolicy,
+) -> Result<SolveSession, String> {
+    let cfg = SessionConfig::new().solver(kind.config()).policy(policy);
+    SolveSession::new(a, &cfg).map_err(|e| e.to_string())
 }
 
 /// Times the numeric phase: repeats until `min_secs` total or `max_reps`,

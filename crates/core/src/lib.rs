@@ -357,6 +357,31 @@ impl BaskerNumeric {
             .sum()
     }
 
+    /// `(min |pivot|, max |pivot|)` over every factored block (small BTF
+    /// blocks and the ND tree's diagonal factors alike). `min/max` is the
+    /// KLU-style reciprocal condition estimate; the extremes feed the
+    /// session layer's refactor-path quality gates. `(∞, 0)` for an empty
+    /// matrix.
+    pub fn pivot_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        let mut fold = |(l, h): (f64, f64)| {
+            lo = lo.min(l);
+            hi = hi.max(h);
+        };
+        for f in &self.factors {
+            match f {
+                BlockFactors::Small(b) => fold(b.pivot_range()),
+                BlockFactors::Nd { f, .. } => {
+                    for blu in &f.fact_diag {
+                        fold(blu.pivot_range());
+                    }
+                }
+            }
+        }
+        (lo, hi)
+    }
+
     /// Solves `A·x = b` in place: on entry `x` holds `b`, on exit the
     /// solution. After the workspace's first use at this dimension the
     /// call performs **no heap allocation** — the path a transient
@@ -403,33 +428,6 @@ impl BaskerNumeric {
         });
     }
 
-    /// Solves `A·x = b`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "allocates per call; use `solve_in_place` with a reusable `SolveWorkspace`"
-    )]
-    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        let mut x = b.to_vec();
-        self.solve_in_place(&mut x, &mut SolveWorkspace::new());
-        x
-    }
-
-    /// Solves for several right-hand sides.
-    #[deprecated(
-        since = "0.2.0",
-        note = "allocates per call; use `solve_multi_in_place` with a reusable `SolveWorkspace`"
-    )]
-    pub fn solve_multi(&self, b: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        let mut ws = SolveWorkspace::for_dim(self.sym.inner.structure.n);
-        b.iter()
-            .map(|rhs| {
-                let mut x = rhs.clone();
-                self.solve_in_place(&mut x, &mut ws);
-                x
-            })
-            .collect()
-    }
-
     /// Refactorizes with new values (identical pattern), reusing patterns
     /// **and pivot sequences** — no graph search, no new pivoting. Fails
     /// with [`SparseError::ZeroPivot`] if a pivot collapses; callers then
@@ -464,12 +462,19 @@ impl BaskerNumeric {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy allocating wrappers stay covered here
 mod tests {
     use super::*;
     use basker_sparse::spmv::spmv;
     use basker_sparse::util::relative_residual;
     use basker_sparse::TripletMat;
+
+    /// Test-side allocating convenience over the in-place path (the
+    /// legacy `solve` wrapper removed from the public API).
+    fn solve(num: &BaskerNumeric, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        num.solve_in_place(&mut x, &mut SolveWorkspace::new());
+        x
+    }
 
     fn grid2d_unsym(k: usize) -> CscMat {
         let n = k * k;
@@ -514,7 +519,7 @@ mod tests {
         let num = sym.factor(a).unwrap();
         let xtrue: Vec<f64> = (0..a.ncols()).map(|i| 0.5 + (i % 5) as f64).collect();
         let b = spmv(a, &xtrue);
-        let x = num.solve(&b);
+        let x = solve(&num, &b);
         assert!(
             relative_residual(a, &x, &b) < 1e-11,
             "residual too large (threads={})",
@@ -615,7 +620,7 @@ mod tests {
         let n1 = sym.factor(&a).unwrap();
         let n2 = sym.factor(&a).unwrap();
         let b = vec![1.0; a.ncols()];
-        assert_eq!(n1.solve(&b), n2.solve(&b));
+        assert_eq!(solve(&n1, &b), solve(&n2, &b));
     }
 
     #[test]
@@ -639,7 +644,7 @@ mod tests {
         num.refactor(&a2).unwrap();
         let xtrue: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.1).cos()).collect();
         let b = spmv(&a2, &xtrue);
-        let x = num.solve(&b);
+        let x = solve(&num, &b);
         assert!(relative_residual(&a2, &x, &b) < 1e-11);
     }
 

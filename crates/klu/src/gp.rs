@@ -52,6 +52,15 @@ impl BlockLu {
         self.l.nnz() + self.u.nnz() + b - self.l.ncols()
     }
 
+    /// `(min |u_jj|, max |u_jj|)` over the pivots of this block — the raw
+    /// material of KLU-style condition estimates (`klu_rcond` is exactly
+    /// `min/max`) and of pivot-growth gates on the refactorization path.
+    /// Returns `(∞, 0)` for an empty block so callers can fold ranges
+    /// with `min`/`max`.
+    pub fn pivot_range(&self) -> (f64, f64) {
+        basker_sparse::util::u_diag_pivot_range(&self.u)
+    }
+
     /// Applies `x ← U⁻¹ L⁻¹ P x` for the diagonal block (dense rhs).
     ///
     /// Allocates a temporary for the pivot permutation; hot paths should
@@ -759,6 +768,15 @@ impl BlockFactor {
         }
     }
 
+    /// `(min |pivot|, max |pivot|)` of this block (see
+    /// [`BlockLu::pivot_range`]).
+    pub fn pivot_range(&self) -> (f64, f64) {
+        match self {
+            BlockFactor::Singleton(v) => (v.abs(), v.abs()),
+            BlockFactor::Full(blu) => blu.pivot_range(),
+        }
+    }
+
     /// In-place block solve `x ← (LU)⁻¹ P x`.
     pub fn solve_in_place(&self, x: &mut [f64]) {
         match self {
@@ -992,6 +1010,18 @@ mod tests {
         assert_eq!(blu.u.get(0, 0), 5.0);
         assert_eq!(blu.l.get(0, 0), 1.0);
         assert!(blu.lu_nnz() == 1);
+    }
+
+    #[test]
+    fn pivot_range_tracks_u_diagonal_extremes() {
+        let a = CscMat::from_dense(&[vec![-8.0, 1.0], vec![0.0, 0.5]]);
+        let blu = factor_block_column(&a, &[], 0.001, 0).unwrap();
+        let (lo, hi) = blu.pivot_range();
+        assert_eq!((lo, hi), (0.5, 8.0));
+        // Fold semantics for the degenerate cases.
+        let empty = factor_block_column(&CscMat::zero(0, 0), &[], 1.0, 0).unwrap();
+        assert_eq!(empty.pivot_range(), (f64::INFINITY, 0.0));
+        assert_eq!(BlockFactor::Singleton(-3.0).pivot_range(), (3.0, 3.0));
     }
 
     #[test]

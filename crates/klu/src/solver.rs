@@ -232,6 +232,19 @@ impl KluNumeric {
         self.blocks.iter().map(|b| b.flops()).sum()
     }
 
+    /// `(min |pivot|, max |pivot|)` over every factored diagonal block —
+    /// `min/max` is KLU's `rcond` estimate, and the extremes feed the
+    /// refactor-path quality gates of the session layer. `(∞, 0)` for an
+    /// empty matrix.
+    pub fn pivot_range(&self) -> (f64, f64) {
+        self.blocks
+            .iter()
+            .map(|b| b.pivot_range())
+            .fold((f64::INFINITY, 0.0), |(lo, hi), (l, h)| {
+                (lo.min(l), hi.max(h))
+            })
+    }
+
     /// Refreshes values from `a` (identical pattern), reusing patterns and
     /// pivot sequences. Fails with [`SparseError::ZeroPivot`] when a pivot
     /// collapses to zero; callers should then re-`factor`.
@@ -279,42 +292,22 @@ impl KluNumeric {
     pub fn solve_multi_in_place(&self, xs: &mut [f64], ws: &mut SolveWorkspace) {
         basker_sparse::workspace::for_each_rhs(self.sym.n, xs, |rhs| self.solve_in_place(rhs, ws));
     }
-
-    /// Solves `A·x = b`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "allocates per call; use `solve_in_place` with a reusable `SolveWorkspace`"
-    )]
-    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        let mut x = b.to_vec();
-        self.solve_in_place(&mut x, &mut SolveWorkspace::new());
-        x
-    }
-
-    /// Solves for several right-hand sides (columns of `b`).
-    #[deprecated(
-        since = "0.2.0",
-        note = "allocates per call; use `solve_multi_in_place` with a reusable `SolveWorkspace`"
-    )]
-    pub fn solve_multi(&self, b: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        let mut ws = SolveWorkspace::for_dim(self.sym.n);
-        b.iter()
-            .map(|rhs| {
-                let mut x = rhs.clone();
-                self.solve_in_place(&mut x, &mut ws);
-                x
-            })
-            .collect()
-    }
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy allocating wrappers stay covered here
 mod tests {
     use super::*;
     use basker_sparse::spmv::spmv;
     use basker_sparse::util::relative_residual;
     use basker_sparse::TripletMat;
+
+    /// Test-side allocating convenience over the in-place path (the
+    /// legacy `solve` wrapper removed from the public API).
+    fn solve(num: &KluNumeric, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        num.solve_in_place(&mut x, &mut SolveWorkspace::new());
+        x
+    }
 
     fn reducible_matrix(n_half: usize) -> CscMat {
         // Two coupled subsystems: block upper triangular by construction
@@ -350,7 +343,7 @@ mod tests {
             .map(|i| (i as f64 * 0.3).sin() + 1.5)
             .collect();
         let b = spmv(&a, &xtrue);
-        let x = num.solve(&b);
+        let x = solve(&num, &b);
         assert!(relative_residual(&a, &x, &b) < 1e-12);
     }
 
@@ -365,7 +358,7 @@ mod tests {
         assert_eq!(sym.nblocks(), 1);
         let num = sym.factor(&a).unwrap();
         let b = vec![1.0; a.ncols()];
-        let x = num.solve(&b);
+        let x = solve(&num, &b);
         assert!(relative_residual(&a, &x, &b) < 1e-12);
     }
 
@@ -379,7 +372,7 @@ mod tests {
         let sym = KluSymbolic::analyze(&a, &opts).unwrap();
         let num = sym.factor(&a).unwrap();
         let b = vec![1.0; a.ncols()];
-        let x = num.solve(&b);
+        let x = solve(&num, &b);
         assert!(relative_residual(&a, &x, &b) < 1e-12);
     }
 
@@ -405,7 +398,7 @@ mod tests {
         num.refactor(&a2).unwrap();
         let xtrue: Vec<f64> = (0..a.ncols()).map(|i| 1.0 + i as f64).collect();
         let b = spmv(&a2, &xtrue);
-        let x = num.solve(&b);
+        let x = solve(&num, &b);
         assert!(relative_residual(&a2, &x, &b) < 1e-12);
     }
 
@@ -436,7 +429,7 @@ mod tests {
         let sym = KluSymbolic::analyze(&a, &KluOptions::default()).unwrap();
         assert_eq!(sym.nblocks(), 8);
         let num = sym.factor(&a).unwrap();
-        let x = num.solve(&[2.0; 8]);
+        let x = solve(&num, &[2.0; 8]);
         assert!(x.iter().all(|&v| (v - 2.0).abs() < 1e-15));
         assert_eq!(num.lu_nnz(), 8);
     }
@@ -458,13 +451,26 @@ mod tests {
     #[test]
     fn solve_multi_matches_single() {
         let a = reducible_matrix(4);
+        let n = a.ncols();
         let sym = KluSymbolic::analyze(&a, &KluOptions::default()).unwrap();
         let num = sym.factor(&a).unwrap();
-        let b1 = vec![1.0; a.ncols()];
-        let b2: Vec<f64> = (0..a.ncols()).map(|i| i as f64).collect();
-        let xs = num.solve_multi(&[b1.clone(), b2.clone()]);
-        assert_eq!(xs[0], num.solve(&b1));
-        assert_eq!(xs[1], num.solve(&b2));
+        let b1 = vec![1.0; n];
+        let b2: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut packed: Vec<f64> = b1.iter().chain(b2.iter()).copied().collect();
+        num.solve_multi_in_place(&mut packed, &mut SolveWorkspace::for_dim(n));
+        assert_eq!(&packed[..n], &solve(&num, &b1)[..]);
+        assert_eq!(&packed[n..], &solve(&num, &b2)[..]);
+    }
+
+    #[test]
+    fn pivot_range_spans_blocks() {
+        let a = reducible_matrix(5);
+        let sym = KluSymbolic::analyze(&a, &KluOptions::default()).unwrap();
+        let num = sym.factor(&a).unwrap();
+        let (lo, hi) = num.pivot_range();
+        assert!(lo > 0.0 && lo <= hi, "pivot range ({lo}, {hi})");
+        // rcond-style estimate is in (0, 1].
+        assert!(lo / hi <= 1.0);
     }
 
     #[test]

@@ -51,7 +51,8 @@ pub struct SnluNumeric {
     pub flops: f64,
     /// Number of statically perturbed pivots.
     pub perturbed_pivots: usize,
-    /// Iterative-refinement sweeps applied by [`solve`](Self::solve).
+    /// Iterative-refinement sweeps applied by
+    /// [`solve_in_place`](Self::solve_in_place).
     pub refine_steps: usize,
 }
 
@@ -313,9 +314,9 @@ impl SnluNumeric {
         self.solve_in_place_against(&self.a, x, ws);
     }
 
-    /// The refinement loop against an explicit matrix — shared by the
-    /// in-place path (retained matrix) and the legacy wrapper (caller's
-    /// matrix, preserving its original semantics).
+    /// The refinement loop against an explicit matrix (always the
+    /// retained one; split out so the matrix borrow stays disjoint from
+    /// the factor borrows).
     fn solve_in_place_against(&self, a: &CscMat, x: &mut [f64], ws: &mut SolveWorkspace) {
         let n = self.l.ncols();
         assert_eq!(x.len(), n);
@@ -339,18 +340,12 @@ impl SnluNumeric {
         });
     }
 
-    /// Solves `A·x = b` with iterative refinement against the **given**
-    /// matrix (the legacy contract; `solve_in_place` refines against the
-    /// matrix retained at factorization time instead).
-    #[deprecated(
-        since = "0.2.0",
-        note = "allocates per call; use `solve_in_place` with a reusable \
-                `SolveWorkspace` (refines against the retained matrix)"
-    )]
-    pub fn solve(&self, a: &CscMat, b: &[f64]) -> Vec<f64> {
-        let mut x = b.to_vec();
-        self.solve_in_place_against(a, &mut x, &mut SolveWorkspace::new());
-        x
+    /// `(min |pivot|, max |pivot|)` over the (possibly perturbed) static
+    /// pivots — together with [`perturbed_pivots`](Self::perturbed_pivots)
+    /// the quality signal the session layer's adaptive reuse policy
+    /// watches. `(∞, 0)` for an empty matrix.
+    pub fn pivot_range(&self) -> (f64, f64) {
+        basker_sparse::util::u_diag_pivot_range(&self.u)
     }
 
     /// One triangular-solve pass `out ← (or +=) A⁻¹·rhs` through the
@@ -391,13 +386,21 @@ impl SnluNumeric {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy allocating wrapper stays covered here
 mod tests {
     use super::*;
     use crate::symbolic::{SnluMode, SnluOptions};
     use basker_sparse::spmv::spmv;
     use basker_sparse::util::relative_residual;
     use basker_sparse::TripletMat;
+
+    /// Test-side allocating convenience over the in-place path (the
+    /// legacy `solve(a, b)` wrapper removed from the public API; the
+    /// in-place path refines against the retained matrix).
+    fn solve(num: &SnluNumeric, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        num.solve_in_place(&mut x, &mut SolveWorkspace::new());
+        x
+    }
 
     fn grid2d(k: usize) -> CscMat {
         let n = k * k;
@@ -425,7 +428,7 @@ mod tests {
         let num = sym.factor(a).unwrap();
         let xtrue: Vec<f64> = (0..a.ncols()).map(|i| 1.0 + (i % 5) as f64 * 0.5).collect();
         let b = spmv(a, &xtrue);
-        let x = num.solve(a, &b);
+        let x = solve(&num, &b);
         assert!(
             relative_residual(a, &x, &b) < 1e-10,
             "residual {} too large",
@@ -509,7 +512,7 @@ mod tests {
         // The MWCM avoids the tiny entry, so no perturbation may even be
         // needed; either way the solve must work.
         let b = vec![1.0, 2.0, 5.0];
-        let x = num.solve(&a, &b);
+        let x = solve(&num, &b);
         assert!(relative_residual(&a, &x, &b) < 1e-8);
     }
 
@@ -528,7 +531,7 @@ mod tests {
         let a = CscMat::identity(6);
         let sym = Snlu::analyze(&a, &SnluOptions::default()).unwrap();
         let num = sym.factor(&a).unwrap();
-        let x = num.solve(&a, &[3.0; 6]);
+        let x = solve(&num, &[3.0; 6]);
         for v in x {
             assert!((v - 3.0).abs() < 1e-14);
         }

@@ -16,10 +16,19 @@ pub fn norm1(x: &[f64]) -> f64 {
 /// Matrix infinity norm (max absolute row sum).
 pub fn mat_norm_inf(a: &CscMat) -> f64 {
     let mut rowsum = vec![0.0f64; a.nrows()];
+    mat_norm_inf_with(a, &mut rowsum)
+}
+
+/// Allocation-free variant of [`mat_norm_inf`] for hot loops (e.g. a
+/// session recomputing `‖A‖∞` per transient step): `rowsum` must be at
+/// least `a.nrows()` long and is clobbered.
+pub fn mat_norm_inf_with(a: &CscMat, rowsum: &mut [f64]) -> f64 {
+    let rowsum = &mut rowsum[..a.nrows()];
+    rowsum.fill(0.0);
     for (i, _, v) in a.iter() {
         rowsum[i] += v.abs();
     }
-    norm_inf(&rowsum)
+    norm_inf(rowsum)
 }
 
 /// Matrix one norm (max absolute column sum).
@@ -43,6 +52,23 @@ pub fn relative_residual(a: &CscMat, x: &[f64], b: &[f64]) -> f64 {
     } else {
         rmax / denom
     }
+}
+
+/// `(min |u_jj|, max |u_jj|)` over the diagonal of an upper triangular
+/// factor stored with sorted columns and the pivot (diagonal) entry
+/// **last** in each column — the layout every engine's assembled `U`
+/// uses. Returns `(∞, 0)` for a 0×0 matrix so callers can fold ranges
+/// of several blocks with `min`/`max`.
+pub fn u_diag_pivot_range(u: &CscMat) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+    for j in 0..u.ncols() {
+        let vals = u.col_values(j);
+        let p = vals[vals.len() - 1].abs();
+        lo = lo.min(p);
+        hi = hi.max(p);
+    }
+    (lo, hi)
 }
 
 /// Componentwise approximate equality with absolute + relative slack.

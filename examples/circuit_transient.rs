@@ -1,11 +1,10 @@
 //! Transient circuit simulation (the paper's §V-F motivation): a SPICE
 //! style time-stepping loop generates a long sequence of matrices with
-//! the same structure but different values; the solver reuses its
-//! symbolic analysis across the whole run, takes the value-only
-//! refactorization fast path, and falls back to a fresh pivoting
-//! factorization only when a pivot collapses. The whole loop runs
-//! through the engine-agnostic `LinearSolver` API with one reused
-//! `SolveWorkspace`, so the steady state allocates nothing per step.
+//! the same structure but different values. A `SolveSession` owns the
+//! whole lifecycle — symbolic reuse, the value-only refactorization fast
+//! path, the fall back to fresh pivoting when quality degrades, and
+//! iterative refinement on every solve — so the loop body is two calls
+//! and the steady state allocates nothing per step.
 //!
 //! Run with: `cargo run --release --example circuit_transient [steps]`
 
@@ -38,46 +37,46 @@ fn main() {
         a0.nnz()
     );
 
-    let cfg = SolverConfig::new().engine(Engine::Auto).threads(2);
-    let solver = LinearSolver::analyze(&a0, &cfg).expect("analyze");
-    println!("Engine::Auto selected `{}`", solver.engine());
+    let cfg = SessionConfig::new()
+        .engine(Engine::Auto)
+        .threads(2)
+        .policy(ReusePolicy::adaptive())
+        .target_residual(1e-10);
+    let mut session = SolveSession::new(&a0, &cfg).expect("analyze");
+    println!("Engine::Auto selected `{}`", session.engine());
 
+    // The "simulation": each step refreshes the Jacobian and solves.
+    // The session decides factor vs refactor vs re-pivot; each solve is
+    // refined to the residual target.
     let t0 = Instant::now();
-    let mut num = solver.factor(&a0).expect("first factor");
-    let mut ws = SolveWorkspace::for_dim(a0.ncols());
-    let mut refactors = 0usize;
-    let mut repivots = 0usize;
-    let mut worst_resid = 0.0f64;
-
-    // The "simulation": each step solves with the current Jacobian.
     let b = vec![1e-3; a0.ncols()];
     let mut x = vec![0.0; a0.ncols()];
-    for s in 1..steps {
+    for s in 0..steps {
         let m = seq.matrix_at(s);
-        match num.refactor(&m) {
-            Ok(()) => refactors += 1,
-            Err(e) => {
-                // value drift invalidated the pivot sequence: re-pivot
-                assert!(e.is_pivot_failure(), "unexpected failure: {e}");
-                num = solver.factor(&m).expect("re-pivot factor");
-                repivots += 1;
-            }
-        }
+        session.step(&m).expect("step");
         x.copy_from_slice(&b);
-        num.solve_in_place(&mut x, &mut ws).expect("solve");
-        worst_resid = worst_resid.max(relative_residual(&m, &x, &b));
+        session.solve_refined(&mut x).expect("solve");
     }
     let total = t0.elapsed().as_secs_f64();
 
+    let st = session.stats();
     println!(
-        "{} fast refactors + {} pivot-refresh factors in {:.2}s \
-         ({:.2} ms/step)",
-        refactors,
-        repivots,
+        "{} fast refactors + {} scheduled factors + {} fallback/gate \
+         re-pivots in {:.2}s ({:.2} ms/step, {} refinement sweeps)",
+        st.refactors,
+        st.factors - st.repivot_fallbacks - st.quality_repivots,
+        st.repivot_fallbacks + st.quality_repivots,
         total,
-        1e3 * total / steps as f64
+        1e3 * total / steps as f64,
+        st.refine_iterations,
     );
-    println!("worst relative residual over the run: {worst_resid:.2e}");
-    assert!(worst_resid < 1e-8, "losing accuracy across the sequence");
+    println!(
+        "worst relative residual over the run: {:.2e}",
+        st.worst_residual
+    );
+    assert!(
+        st.worst_residual < 1e-8,
+        "losing accuracy across the sequence"
+    );
     println!("ok");
 }

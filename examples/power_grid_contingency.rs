@@ -19,12 +19,12 @@ fn main() {
     let n = grid.nrows();
     println!("grid: n = {n}, |A| = {}", grid.nnz());
 
-    let cfg = SolverConfig::new().engine(Engine::Auto).threads(2);
-    let solver = LinearSolver::analyze(&grid, &cfg).expect("analyze");
-    println!("Engine::Auto selected `{}`", solver.engine());
+    let cfg = SessionConfig::new().engine(Engine::Auto).threads(2);
+    let mut session = SolveSession::new(&grid, &cfg).expect("analyze");
+    println!("Engine::Auto selected `{}`", session.engine());
 
-    let base = solver.factor(&grid).expect("base factor");
-    let stats = base.stats();
+    session.step(&grid).expect("base factor");
+    let stats = session.stats().last_factor.clone();
     println!(
         "base case factored: |L+U| = {} (fill density {:.2}), {} BTF blocks",
         stats.lu_nnz,
@@ -36,16 +36,16 @@ fn main() {
     let b: Vec<f64> = (0..n)
         .map(|i| if i % 17 == 0 { 1.0 } else { 0.0 })
         .collect();
-    let mut ws = SolveWorkspace::for_dim(n);
     let mut x0 = b.clone();
-    base.solve_in_place(&mut x0, &mut ws).expect("base solve");
+    session.solve(&mut x0).expect("base solve");
 
     // Contingencies: weaken one feeder-coupling entry at a time (same
-    // pattern, new values) and re-solve via refactorization.
+    // pattern, new values) and re-solve — the session takes the
+    // refactor fast path and re-pivots on its own if an outage ever
+    // collapses a pivot.
     let t0 = Instant::now();
     let ncontingencies = 25usize;
     let mut worst_shift = 0.0f64;
-    let mut num = base;
     let mut x = vec![0.0; n];
     for c in 0..ncontingencies {
         let mut vals = grid.values().to_vec();
@@ -68,13 +68,14 @@ fn main() {
             grid.rowind().to_vec(),
             vals,
         );
-        if num.refactor(&outage).is_err() {
-            num = solver.factor(&outage).expect("re-pivot");
-        }
+        session.step(&outage).expect("step");
         x.copy_from_slice(&b);
-        num.solve_in_place(&mut x, &mut ws).expect("solve");
-        let resid = relative_residual(&outage, &x, &b);
-        assert!(resid < 1e-10, "contingency {c}: residual {resid}");
+        let q = session.solve_refined(&mut x).expect("solve");
+        assert!(
+            q.residual < 1e-10,
+            "contingency {c}: residual {}",
+            q.residual
+        );
         let shift = x
             .iter()
             .zip(x0.iter())

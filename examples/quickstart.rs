@@ -52,7 +52,10 @@ fn main() {
     println!("relative residual: {resid:.2e}");
     assert!(resid < 1e-12);
 
-    // --- values change (new operating point): refactor ----------------
+    // --- values change (new operating point): open a session ----------
+    // For a *stream* of same-pattern matrices, `SolveSession` owns the
+    // factor/refactor lifecycle: its policy takes the value-only fast
+    // path here and would re-pivot on its own if a pivot collapsed.
     let a2 = CscMat::from_parts_unchecked(
         a.nrows(),
         a.ncols(),
@@ -60,11 +63,17 @@ fn main() {
         a.rowind().to_vec(),
         a.values().iter().map(|v| v * 1.3).collect(),
     );
-    let mut num = num;
-    num.refactor(&a2).expect("refactor");
+    let mut session = SolveSession::new(&a, &SessionConfig::new().threads(2)).expect("analyze");
+    session.step(&a).expect("factor");
+    session.step(&a2).expect("refactor");
+    println!(
+        "session states: {} refactor(s), {} fresh factor(s)",
+        session.stats().refactors,
+        session.stats().factors
+    );
     let mut x2 = b.clone();
-    num.solve_in_place(&mut x2, &mut ws).expect("solve");
+    let quality = session.solve_refined(&mut x2).expect("solve");
     println!("after refactor, node 0 voltage: {:.4}", x2[0]);
-    assert!(relative_residual(&a2, &x2, &b) < 1e-12);
+    assert!(quality.converged && quality.residual < 1e-12);
     println!("ok");
 }

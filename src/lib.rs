@@ -2,35 +2,40 @@
 //!
 //! Re-exports the user-facing types of every crate so the examples and
 //! integration tests read like downstream user code. The recommended
-//! entry point is the unified [`LinearSolver`](basker_api::LinearSolver)
-//! lifecycle — one `analyze → factor/refactor → solve_in_place` API over
-//! all three engines, with [`Engine::Auto`](basker_api::Engine) picking
-//! the engine from the matrix structure:
+//! entry point is the [`SolveSession`](basker_api::SolveSession)
+//! lifecycle — a policy-driven factor/refactor session over a stream of
+//! same-pattern matrices, with [`Engine::Auto`](basker_api::Engine)
+//! picking the engine from the matrix structure:
 //!
 //! ```
 //! use basker_repro::prelude::*;
 //!
 //! let a = CscMat::from_dense(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
-//! let cfg = SolverConfig::new().engine(Engine::Auto).threads(2);
-//! let solver = LinearSolver::analyze(&a, &cfg).unwrap();
-//! let num = solver.factor(&a).unwrap();
+//! let cfg = SessionConfig::new().threads(2);
+//! let mut session = SolveSession::new(&a, &cfg).unwrap();
 //!
-//! // Repeated solves through a reused workspace are allocation-free.
-//! let mut ws = SolveWorkspace::for_dim(2);
-//! let mut x = vec![5.0, 4.0];
-//! num.solve_in_place(&mut x, &mut ws).unwrap();
+//! // One loop body for a whole transient run: the session decides
+//! // factor vs refactor vs re-pivot and refines each solve.
+//! session.step(&a).unwrap();
+//! let mut x = vec![5.0, 4.0]; // b in, x out
+//! let quality = session.solve_refined(&mut x).unwrap();
+//! assert!(quality.converged);
 //! assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
 //! ```
 //!
-//! The engine-specific APIs (`Basker`, `KluSymbolic`, `Snlu`) remain
-//! available for code that needs engine-only features.
+//! One layer down, [`LinearSolver`](basker_api::LinearSolver) exposes
+//! the manual `analyze → factor/refactor → solve_in_place` lifecycle the
+//! session is built on, and the engine-specific APIs (`Basker`,
+//! `KluSymbolic`, `Snlu`) remain available for code that needs
+//! engine-only features.
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use basker::{Basker, BaskerNumeric, BaskerOptions, BaskerStats, SyncMode};
     pub use basker_api::{
-        Engine, Factorization, LinearSolver, LuNumeric, SolverConfig, SolverError, SolverStats,
-        SparseLuSolver,
+        Engine, FactorQuality, Factorization, LinearSolver, LuNumeric, ReusePolicy, SessionConfig,
+        SessionState, SessionStats, SolveQuality, SolveSession, SolverConfig, SolverError,
+        SolverStats, SparseLuSolver,
     };
     pub use basker_klu::{KluNumeric, KluOptions, KluSymbolic};
     pub use basker_matgen::{

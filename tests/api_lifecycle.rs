@@ -230,10 +230,12 @@ fn stats_are_uniform_across_engines() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_wrappers_delegate_to_in_place_paths() {
-    // The legacy allocating APIs must produce bit-identical results to
-    // the in-place paths they now wrap.
+fn native_in_place_paths_match_unified_facade() {
+    // The engines' native in-place solves and the type-erased
+    // `Factorization` must produce bit-identical results (the facade
+    // adds dispatch, never arithmetic). The legacy allocating
+    // `solve`/`solve_multi` wrappers are gone; in-place is the only
+    // solve surface.
     let a = circuit(&CircuitParams {
         nsub: 3,
         sub_size: 24,
@@ -243,13 +245,28 @@ fn deprecated_wrappers_delegate_to_in_place_paths() {
     let b: Vec<f64> = (0..a.ncols()).map(|i| 1.0 + (i % 5) as f64).collect();
     let mut ws = SolveWorkspace::for_dim(a.ncols());
 
-    let bn = Basker::analyze(&a, &BaskerOptions::default())
-        .unwrap()
-        .factor(&a)
-        .unwrap();
+    let via_facade = |engine: Engine| -> Vec<f64> {
+        let cfg = SolverConfig::new().engine(engine).threads(2);
+        let num = LinearSolver::analyze(&a, &cfg).unwrap().factor(&a).unwrap();
+        let mut x = b.clone();
+        num.solve_in_place(&mut x, &mut SolveWorkspace::new())
+            .unwrap();
+        x
+    };
+
+    let bn = Basker::analyze(
+        &a,
+        &BaskerOptions {
+            nthreads: 2,
+            ..BaskerOptions::default()
+        },
+    )
+    .unwrap()
+    .factor(&a)
+    .unwrap();
     let mut x = b.clone();
     bn.solve_in_place(&mut x, &mut ws);
-    assert_eq!(bn.solve(&b), x);
+    assert_eq!(via_facade(Engine::Basker), x);
 
     let kn = KluSymbolic::analyze(&a, &KluOptions::default())
         .unwrap()
@@ -257,14 +274,45 @@ fn deprecated_wrappers_delegate_to_in_place_paths() {
         .unwrap();
     let mut x = b.clone();
     kn.solve_in_place(&mut x, &mut ws);
-    assert_eq!(kn.solve(&b), x);
-    assert_eq!(kn.solve_multi(std::slice::from_ref(&b))[0], x);
+    assert_eq!(via_facade(Engine::Klu), x);
 
-    let sn = Snlu::analyze(&a, &SnluOptions::default())
-        .unwrap()
-        .factor(&a)
-        .unwrap();
+    let sn = Snlu::analyze(
+        &a,
+        &SnluOptions {
+            nthreads: 2,
+            ..SnluOptions::default()
+        },
+    )
+    .unwrap()
+    .factor(&a)
+    .unwrap();
     let mut x = b.clone();
     sn.solve_in_place(&mut x, &mut ws);
-    assert_eq!(sn.solve(&a, &b), x);
+    assert_eq!(via_facade(Engine::Snlu), x);
+}
+
+#[test]
+fn quality_hook_reports_pivot_extremes_per_engine() {
+    let a = circuit(&CircuitParams {
+        nsub: 3,
+        sub_size: 24,
+        feedthrough: 0.6,
+        ..CircuitParams::default()
+    });
+    for engine in [Engine::Klu, Engine::Basker, Engine::Snlu] {
+        let cfg = SolverConfig::new().engine(engine).threads(2);
+        let num = LinearSolver::analyze(&a, &cfg).unwrap().factor(&a).unwrap();
+        let q = num.quality();
+        assert!(
+            q.min_pivot > 0.0 && q.min_pivot <= q.max_pivot,
+            "{engine}: ({}, {})",
+            q.min_pivot,
+            q.max_pivot
+        );
+        let rcond = q.rcond_estimate();
+        assert!(rcond > 0.0 && rcond <= 1.0, "{engine}: rcond {rcond}");
+        if engine != Engine::Snlu {
+            assert_eq!(q.perturbed_pivots, 0, "{engine} pivots, never perturbs");
+        }
+    }
 }

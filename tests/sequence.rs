@@ -1,7 +1,8 @@
 //! Integration: the Xyce-style matrix sequence — symbolic reuse,
 //! refactorization, pivot-collapse fallback — stays accurate end to end,
-//! driven for every engine through the unified `LinearSolver` lifecycle
-//! with one reused workspace.
+//! driven for every engine through the `SolveSession` lifecycle: the
+//! session's policy makes every factor/refactor/fallback decision, the
+//! test only steps and solves.
 
 use basker_repro::prelude::*;
 
@@ -19,32 +20,40 @@ fn sequence(steps: usize) -> XyceSequence {
     })
 }
 
-/// The transient loop every engine must sustain: refactor each step,
-/// fall back to a pivoting factor when the engine reports a singular
-/// pivot, solve in place, check the residual.
+/// The transient loop every engine must sustain, now two calls per step:
+/// the session refactors, falls back to pivoting when needed, and
+/// refines each solve to the tolerance.
 fn track_sequence(engine: Engine, steps: usize, tol: f64) {
     let seq = sequence(steps);
     let a0 = seq.pattern().clone();
-    let cfg = SolverConfig::new().engine(engine).threads(2);
-    let solver = LinearSolver::analyze(&a0, &cfg).unwrap();
-    let mut num = solver.factor(&a0).unwrap();
+    let cfg = SessionConfig::new()
+        .engine(engine)
+        .threads(2)
+        .policy(ReusePolicy::adaptive())
+        .target_residual(tol);
+    let mut session = SolveSession::new(&a0, &cfg).unwrap();
     let b = vec![1.0; a0.ncols()];
     let mut x = vec![0.0; a0.ncols()];
-    let mut ws = SolveWorkspace::for_dim(a0.ncols());
-    for s in 1..steps {
+    for s in 0..steps {
         let m = seq.matrix_at(s);
-        if let Err(e) = num.refactor(&m) {
-            assert!(
-                e.is_pivot_failure(),
-                "{engine} step {s}: unexpected refactor failure {e}"
-            );
-            num = solver.factor(&m).unwrap();
-        }
+        session.step(&m).unwrap();
         x.copy_from_slice(&b);
-        num.solve_in_place(&mut x, &mut ws).unwrap();
-        let r = relative_residual(&m, &x, &b);
-        assert!(r < tol, "{engine} step {s}: residual {r}");
+        let q = session.solve_refined(&mut x).unwrap();
+        assert!(
+            q.residual < tol * 10.0,
+            "{engine} step {s}: residual {} (initial {})",
+            q.residual,
+            q.initial_residual
+        );
     }
+    let st = session.stats();
+    assert_eq!(st.steps, steps, "{engine}");
+    assert_eq!(
+        st.factors + st.refactors,
+        steps,
+        "{engine}: every step must leave usable factors"
+    );
+    assert!(st.worst_residual < tol * 10.0, "{engine}");
 }
 
 #[test]
@@ -60,7 +69,7 @@ fn klu_tracks_sequence() {
 #[test]
 fn snlu_tracks_sequence_with_static_pivoting() {
     // Static pivoting + refinement: looser tolerance, but the refactor
-    // path never needs the pivot fallback.
+    // path never needs the singular-pivot fallback.
     track_sequence(Engine::Snlu, 25, 1e-6);
 }
 
@@ -71,8 +80,9 @@ fn auto_tracks_sequence() {
 
 #[test]
 fn refactor_and_fresh_factor_agree_when_pivots_stable() {
-    // gentle value scaling keeps the pivot sequence valid: refactor and
-    // factor must then produce identical solutions.
+    // gentle value scaling keeps the pivot sequence valid: a session
+    // step that refactors and a fresh factorization must then produce
+    // identical solutions.
     let seq = sequence(10);
     let a0 = seq.pattern().clone();
     let gentle = CscMat::from_parts_unchecked(
@@ -82,16 +92,23 @@ fn refactor_and_fresh_factor_agree_when_pivots_stable() {
         a0.rowind().to_vec(),
         a0.values().iter().map(|v| v * 1.01).collect(),
     );
+    let cfg = SessionConfig::new()
+        .engine(Engine::Basker)
+        .policy(ReusePolicy::AlwaysRefactor);
+    let mut session = SolveSession::new(&a0, &cfg).unwrap();
+    session.step(&a0).unwrap();
+    assert_eq!(session.step(&gentle).unwrap(), SessionState::Refactored);
+
     let solver = LinearSolver::analyze(&a0, &SolverConfig::new().engine(Engine::Basker)).unwrap();
-    let mut num = solver.factor(&a0).unwrap();
-    num.refactor(&gentle).unwrap();
     let fresh = solver.factor(&gentle).unwrap();
+
     let b = vec![1.0; a0.ncols()];
-    let mut ws = SolveWorkspace::new();
     let mut xr = b.clone();
-    num.solve_in_place(&mut xr, &mut ws).unwrap();
+    session.solve(&mut xr).unwrap();
     let mut xf = b.clone();
-    fresh.solve_in_place(&mut xf, &mut ws).unwrap();
+    fresh
+        .solve_in_place(&mut xf, &mut SolveWorkspace::new())
+        .unwrap();
     for (a, b) in xr.iter().zip(xf.iter()) {
         assert!((a - b).abs() < 1e-9, "refactor {a} vs fresh {b}");
     }

@@ -1,0 +1,211 @@
+//! Integration: the `SolveSession` lifecycle under adversarial value
+//! drift — hard pivot collapse mid-stream (singular-pivot fallback),
+//! gradual pivot decay (adaptive quality gates), and iterative
+//! refinement rescuing an ill-conditioned solve. No error may escape the
+//! session in any of these scenarios.
+
+use basker_repro::prelude::*;
+
+/// A 13×13 matrix of 2×2 BTF blocks plus one **forced-transversal
+/// singleton**, with strictly block-upper couplings.
+///
+/// Two engineered weak spots:
+/// * block 0 is `[[d, 2.5], [1, 1]]` — the pivoting engines freeze the
+///   `d` pivot at the first factorization (it starts at 10, dominant)
+///   and suffer as it drifts; its determinant `d − 2.5` stays nonzero
+///   at every drift value used below, so a *fresh* pivoting
+///   factorization always recovers;
+/// * index 2 is a 1×1 block holding `e`, the **only** entry of its row
+///   and column — every transversal must pivot on it, so even the
+///   static-pivoting engine (whose MWCM would otherwise route around a
+///   decaying entry) is exposed to its drift.
+fn drifting(d: f64, e: f64) -> CscMat {
+    let n = 13;
+    let mut t = TripletMat::new(n, n);
+    t.push(0, 0, d);
+    t.push(0, 1, 2.5);
+    t.push(1, 0, 1.0);
+    t.push(1, 1, 1.0);
+    t.push(2, 2, e);
+    for k in 0..5 {
+        let (i, j) = (3 + 2 * k, 4 + 2 * k);
+        t.push(i, i, 10.0 + k as f64);
+        t.push(j, j, 5.0 + k as f64);
+        t.push(i, j, 1.0);
+        t.push(j, i, 1.0);
+    }
+    // strictly block-upper couplings (skipping row/col 2, which must
+    // stay a forced singleton): block k → block k+1
+    t.push(0, 3, 0.5);
+    for k in 0..4 {
+        t.push(3 + 2 * k, 5 + 2 * k, 0.5);
+    }
+    t.to_csc()
+}
+
+/// Satellite: a linear drift takes the frozen pivot through **exactly
+/// zero** mid-stream. The pivoting engines must take the singular-pivot
+/// fallback (a fresh factorization) without the error escaping; the
+/// static-pivoting engine never fails a refactor in the first place.
+#[test]
+fn hard_pivot_collapse_triggers_fallback_without_escaping() {
+    for engine in [Engine::Klu, Engine::Basker, Engine::Snlu] {
+        let a0 = drifting(10.0, 8.0);
+        let cfg = SessionConfig::new()
+            .engine(engine)
+            .threads(2)
+            .policy(ReusePolicy::AlwaysRefactor)
+            .target_residual(1e-9);
+        let mut session = SolveSession::new(&a0, &cfg).unwrap();
+        let b = vec![1.0; 13];
+        let mut x = vec![0.0; 13];
+        for s in 0..=12 {
+            // d = 10 − s: hits 0.0 exactly at s = 10 while the block
+            // stays nonsingular (det = 7.5 − s ≠ 0 at integers).
+            let m = drifting(10.0 - s as f64, 8.0);
+            session
+                .step(&m)
+                .unwrap_or_else(|e| panic!("{engine} step {s}: {e}"));
+            x.copy_from_slice(&b);
+            let q = session.solve_refined(&mut x).unwrap();
+            assert!(
+                q.residual < 1e-8,
+                "{engine} step {s}: residual {}",
+                q.residual
+            );
+        }
+        let st = session.stats();
+        assert_eq!(st.steps, 13, "{engine}");
+        if engine == Engine::Snlu {
+            // static pivoting perturbs instead of failing
+            assert_eq!(st.repivot_fallbacks, 0, "{engine}");
+        } else {
+            assert!(
+                st.repivot_fallbacks >= 1,
+                "{engine}: the zero crossing must force a re-pivot fallback \
+                 (stats: {st:?})"
+            );
+        }
+    }
+}
+
+/// Satellite: an exponential decay makes the frozen pivot *unstable*
+/// without ever reaching exact zero — refactorization keeps succeeding,
+/// but with explosive pivot growth. The adaptive policy must notice
+/// (growth/rcond gates for the pivoting engines, the
+/// perturbation/growth gates for the static-pivoting engine) and
+/// re-pivot on all three engines, again without any error escaping.
+#[test]
+fn adaptive_gates_repivot_on_unstable_drift() {
+    for engine in [Engine::Klu, Engine::Basker, Engine::Snlu] {
+        let a0 = drifting(10.0, 8.0);
+        let cfg = SessionConfig::new()
+            .engine(engine)
+            .threads(2)
+            .policy(ReusePolicy::Adaptive {
+                growth_limit: 1e4,
+                residual_limit: 1e-8,
+            })
+            .target_residual(1e-10);
+        let mut session = SolveSession::new(&a0, &cfg).unwrap();
+        let b = vec![1.0; 13];
+        let mut x = vec![0.0; 13];
+        for s in 0..=12 {
+            // d = 10^(1−s): decays to 1e-11, far below any healthy
+            // pivot, but never exactly zero.
+            let m = drifting(10f64.powi(1 - s), 10f64.powi(1 - s));
+            session
+                .step(&m)
+                .unwrap_or_else(|e| panic!("{engine} step {s}: {e}"));
+            x.copy_from_slice(&b);
+            let q = session.solve_refined(&mut x).unwrap();
+            assert!(
+                q.residual < 1e-7,
+                "{engine} step {s}: residual {}",
+                q.residual
+            );
+        }
+        let st = session.stats();
+        assert!(
+            st.quality_repivots >= 1,
+            "{engine}: decaying pivot must trip an adaptive gate (stats: {st:?})"
+        );
+        assert_eq!(
+            st.repivot_fallbacks, 0,
+            "{engine}: the gate must fire before any hard collapse (stats: {st:?})"
+        );
+    }
+}
+
+/// Satellite: an ill-conditioned system where the plain solve misses the
+/// residual target but `solve_refined` meets it, with
+/// `SolveQuality::iterations > 0`. A tiny pivot tolerance forces the
+/// Gilbert–Peierls engines to keep a 1e-12 diagonal pivot, which costs
+/// ~8 digits of accuracy that refinement wins back.
+#[test]
+fn refinement_rescues_ill_conditioned_solve() {
+    let n = 6;
+    let mut t = TripletMat::new(n, n);
+    t.push(0, 0, 1e-12);
+    t.push(0, 1, 1.0);
+    t.push(1, 0, 1.0);
+    t.push(1, 1, 1.0);
+    for i in 2..n {
+        t.push(i, i, 3.0 + i as f64);
+    }
+    let a = t.to_csc();
+
+    for engine in [Engine::Klu, Engine::Basker] {
+        let cfg = SessionConfig::new()
+            .solver(
+                SolverConfig::new()
+                    .engine(engine)
+                    .threads(2)
+                    // No BTF/MWCM: the bottleneck transversal would
+                    // permute the healthy 1.0 onto the diagonal and
+                    // defeat the scenario.
+                    .use_btf(false)
+                    // keep the 1e-12 diagonal as pivot: |1e-12| >= 1e-13 * 1.0
+                    .pivot_tol(1e-13),
+            )
+            .target_residual(1e-12)
+            .max_refine_iterations(4);
+        let mut session = SolveSession::new(&a, &cfg).unwrap();
+        session.step(&a).unwrap();
+
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let mut x = b.clone();
+        let q = session.solve_refined(&mut x).unwrap();
+        assert!(
+            q.initial_residual > 1e-12,
+            "{engine}: the plain solve should miss the target with a frozen \
+             tiny pivot (initial residual {})",
+            q.initial_residual
+        );
+        assert!(
+            q.iterations > 0,
+            "{engine}: refinement must have run ({q:?})"
+        );
+        assert!(
+            q.converged && q.residual <= 1e-12,
+            "{engine}: refinement must reach the target ({q:?})"
+        );
+        assert_eq!(session.stats().refine_iterations, q.iterations);
+    }
+}
+
+/// The session surfaces the same quality data the policies consume.
+#[test]
+fn session_exposes_quality_and_stats() {
+    let a = drifting(10.0, 8.0);
+    let mut session =
+        SolveSession::new(&a, &SessionConfig::new().engine(Engine::Basker).threads(2)).unwrap();
+    assert!(session.quality().is_none(), "no factors before first step");
+    session.step(&a).unwrap();
+    let q = session.quality().unwrap();
+    assert!(q.min_pivot > 0.0 && q.min_pivot <= q.max_pivot);
+    assert!(q.rcond_estimate() > 0.0);
+    assert_eq!(session.stats().last_factor.engine, Some(Engine::Basker));
+    assert_eq!(session.state(), SessionState::Factored);
+    assert_eq!(session.dim(), 13);
+}
