@@ -310,7 +310,9 @@ mod tests {
     #[test]
     fn auto_picks_gilbert_peierls_for_circuit_shapes() {
         let a = diagonal_chain(50);
-        let cfg = SolverConfig::new();
+        // Pin the thread counts: the default honours BASKER_NUM_THREADS,
+        // and CI runs this suite at 1 thread too.
+        let cfg = SolverConfig::new().threads(2);
         assert_eq!(cfg.resolve_engine(&a).unwrap(), Engine::Basker);
         let serial = SolverConfig::new().threads(1);
         assert_eq!(serial.resolve_engine(&a).unwrap(), Engine::Klu);

@@ -1,7 +1,12 @@
-//! # Unified solver API: sessions over engines
+//! # Unified solver API: services, sessions, engines
 //!
-//! Two layers over the workspace's three sparse LU engines:
+//! Three layers over the workspace's three sparse LU engines:
 //!
+//! * **[`SolverService`]** — the multi-tenant serving layer: `N`
+//!   concurrent transient streams (each a [`SolveSession`] with its own
+//!   reuse policy) multiplexed over one shared worker team, with bounded
+//!   per-stream queues, fair scheduling, pooled solve workspaces and
+//!   per-stream failure isolation. Spawns no OS threads of its own.
 //! * **[`SolveSession`]** — the recommended surface for the dominant
 //!   workload (transient simulation, paper §V-F): feed a stream of
 //!   same-pattern matrices, and the session owns the whole lifecycle —
@@ -76,11 +81,16 @@
 
 pub mod config;
 pub mod error;
+pub mod service;
 pub mod session;
 pub mod solver;
 
 pub use config::{Engine, SolverConfig};
 pub use error::SolverError;
+pub use service::{
+    SchedulingPolicy, ServiceConfig, ServiceStats, SolverService, StepResult, StepTicket,
+    StreamHandle, StreamStats,
+};
 pub use session::{
     ReusePolicy, SessionConfig, SessionState, SessionStats, SolveQuality, SolveSession,
 };

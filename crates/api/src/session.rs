@@ -374,6 +374,19 @@ impl<S: SparseLuSolver> SolveSession<S> {
         self.current = Some(a.clone());
     }
 
+    /// Exchanges the session's pooled solve workspace with `ws`.
+    ///
+    /// This is the hook the serving layer uses to share a small pool of
+    /// warm workspaces across *many* sessions: a scheduler multiplexing
+    /// `N` streams over `W` concurrent executors swaps a pooled
+    /// workspace in before each job and back out after, so memory scales
+    /// with `W` instead of `N`. Sessions owned directly by one caller
+    /// never need this — their embedded workspace is already reused
+    /// across solves.
+    pub fn swap_workspace(&mut self, ws: &mut SolveWorkspace) {
+        std::mem::swap(&mut self.ws, ws);
+    }
+
     /// Feeds the next matrix of the stream: the policy decides between a
     /// fresh pivoting factorization and a value-only refactorization
     /// (with automatic re-pivot fallback), and the returned state says
@@ -429,16 +442,18 @@ impl<S: SparseLuSolver> SolveSession<S> {
                 if let ReusePolicy::Adaptive { growth_limit, .. } = self.policy {
                     let q = self.num.as_ref().expect("just refactored").quality();
                     if self.pivot_quality_degraded(&q, growth_limit) {
-                        self.stats.quality_repivots += 1;
+                        // Count the re-pivot only once it succeeded — a
+                        // failed forced factorization installs nothing.
                         self.fresh_factor()?;
+                        self.stats.quality_repivots += 1;
                         return Ok(SessionState::Repivoted);
                     }
                 }
                 Ok(SessionState::Refactored)
             }
             Err(e) if e.is_pivot_failure() => {
-                self.stats.repivot_fallbacks += 1;
                 self.fresh_factor()?;
+                self.stats.repivot_fallbacks += 1;
                 Ok(SessionState::Repivoted)
             }
             Err(e) => Err(e),
@@ -554,12 +569,17 @@ impl<S: SparseLuSolver> SolveSession<S> {
                 // Reuse cost too much accuracy: re-pivot and redo the
                 // solve from the saved right-hand side. (The refactored
                 // factors are valid, just inaccurate, so a fresh-factor
-                // failure here keeps them installed and propagates.)
+                // failure here keeps them installed and propagates —
+                // with `x` restored to `b` so the caller can retry, and
+                // the re-pivot counted only when one was installed.)
+                let n = x.len();
+                if let Err(e) = self.fresh_factor() {
+                    x.copy_from_slice(&self.rhs[..n]);
+                    return Err(e);
+                }
                 self.stats.quality_repivots += 1;
-                self.fresh_factor()?;
                 self.state = SessionState::Repivoted;
                 self.stats.last_factor = self.num.as_ref().expect("factors exist").stats();
-                let n = x.len();
                 x.copy_from_slice(&self.rhs[..n]);
                 q = self.refined_pass(x)?;
                 sweeps += q.iterations;

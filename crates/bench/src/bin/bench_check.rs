@@ -1,0 +1,482 @@
+//! **CI perf-regression gate** — compares a freshly measured harness
+//! JSON against the checked-in `BENCH_*.json` baseline and fails (exit
+//! 1) on regressions.
+//!
+//! Philosophy: CI hosts are noisy, small and often 1-CPU, so raw
+//! wall-clock is gated **loosely** (a 4× blow-up is a build problem, a
+//! 40% wobble is weather). What is gated tightly is everything
+//! deterministic or scale-free:
+//!
+//! * **ratios** — refactor-vs-factor time, speedup-vs-KLU — may not
+//!   regress by more than the tolerance (default 25%);
+//! * **counters** — lifecycle decisions (refactors, fallbacks,
+//!   re-pivots) are value-driven and must stay put (±10% / ±2);
+//! * **memory** — `|L+U|` and BTF statistics are deterministic and must
+//!   match exactly;
+//! * **invariants** — residual checks and the serving layer's
+//!   zero-threads-after-warm-up property are hard failures at any size.
+//!
+//! Usage:
+//! `bench_check --kind {fig6|xyce|streams|fig5|table1} BASELINE FRESH [--tolerance 0.25]`
+
+use basker_bench::json::Json;
+
+/// Collected findings; any `fail` flips the exit code.
+#[derive(Default)]
+struct Report {
+    failures: Vec<String>,
+    checks: usize,
+}
+
+impl Report {
+    fn check(&mut self, ok: bool, msg: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !ok {
+            self.failures.push(msg());
+        }
+    }
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_check: cannot read {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("bench_check: {path}: {e}"))
+}
+
+/// The rows of a harness document: either a bare array, or an object
+/// wrapping the array under `key` (the composite `BENCH_fig6.json`
+/// layout).
+fn rows_of<'j>(doc: &'j Json, key: &str, path: &str) -> &'j [Json] {
+    doc.arr()
+        .or_else(|| doc.get(key).and_then(Json::arr))
+        .unwrap_or_else(|| panic!("bench_check: {path}: no '{key}' rows"))
+}
+
+fn num(row: &Json, key: &str, path: &str) -> f64 {
+    row.num_field(key)
+        .unwrap_or_else(|| panic!("bench_check: {path}: row missing numeric '{key}'"))
+}
+
+/// `fresh` must be within `tol` *below* `base` (ratios where bigger is
+/// better: speedups, reuse fractions).
+fn gate_not_worse_down(r: &mut Report, what: &str, base: f64, fresh: f64, tol: f64) {
+    r.check(fresh >= base * (1.0 - tol), || {
+        format!(
+            "{what}: {fresh:.4} regressed more than {:.0}% below baseline {base:.4}",
+            tol * 100.0
+        )
+    });
+}
+
+/// `fresh` must be within `tol` *above* `base` (ratios where smaller is
+/// better: refactor-vs-factor time).
+fn gate_not_worse_up(r: &mut Report, what: &str, base: f64, fresh: f64, tol: f64) {
+    r.check(fresh <= base * (1.0 + tol), || {
+        format!(
+            "{what}: {fresh:.4} regressed more than {:.0}% above baseline {base:.4}",
+            tol * 100.0
+        )
+    });
+}
+
+/// Loose wall-clock sanity: 4× the baseline is a build problem, not
+/// noise.
+fn gate_wall_loose(r: &mut Report, what: &str, base: f64, fresh: f64) {
+    r.check(fresh <= base * 4.0 + 1e-9, || {
+        format!("{what}: wall {fresh:.4}s blew past 4x baseline {base:.4}s")
+    });
+}
+
+/// Lifecycle counters are value-driven: allow ±10% or ±2, whichever is
+/// larger (parallel summation order can nudge a gate at the margin).
+fn gate_counter(r: &mut Report, what: &str, base: f64, fresh: f64) {
+    let slack = (0.1 * base.abs()).max(2.0);
+    r.check((fresh - base).abs() <= slack, || {
+        format!("{what}: counter {fresh} drifted from baseline {base} (slack {slack})")
+    });
+}
+
+fn gate_exact(r: &mut Report, what: &str, base: f64, fresh: f64) {
+    r.check(base == fresh, || {
+        format!("{what}: {fresh} != deterministic baseline {base}")
+    });
+}
+
+fn find_row<'j>(rows: &'j [Json], keys: &[(&str, &str)], nums: &[(&str, f64)]) -> Option<&'j Json> {
+    rows.iter().find(|row| {
+        keys.iter().all(|(k, v)| row.str_field(k) == Some(*v))
+            && nums.iter().all(|(k, v)| row.num_field(k) == Some(*v))
+    })
+}
+
+// ------------------------------------------------------------- kinds --
+
+fn check_fig6(r: &mut Report, base: &Json, fresh: &Json, tol: f64) {
+    let brows = rows_of(base, "fig6_speedup", "baseline");
+    let frows = rows_of(fresh, "fig6_speedup", "fresh");
+    for b in brows {
+        let matrix = b.str_field("matrix").expect("baseline row matrix");
+        let threads = num(b, "threads", "baseline");
+        let label = format!("fig6 {matrix} p={threads}");
+        let Some(f) = find_row(frows, &[("matrix", matrix)], &[("threads", threads)]) else {
+            r.check(false, || format!("{label}: row missing from fresh run"));
+            continue;
+        };
+        gate_not_worse_down(
+            r,
+            &format!("{label} basker_speedup"),
+            num(b, "basker_speedup", "baseline"),
+            num(f, "basker_speedup", "fresh"),
+            tol,
+        );
+        gate_not_worse_down(
+            r,
+            &format!("{label} pmkl_speedup"),
+            num(b, "pmkl_speedup", "baseline"),
+            num(f, "pmkl_speedup", "fresh"),
+            tol,
+        );
+        gate_wall_loose(
+            r,
+            &format!("{label} basker_seconds"),
+            num(b, "basker_seconds", "baseline"),
+            num(f, "basker_seconds", "fresh"),
+        );
+    }
+}
+
+fn check_xyce(r: &mut Report, base: &Json, fresh: &Json, tol: f64) {
+    let brows = rows_of(base, "xyce_sequence", "baseline");
+    let frows = rows_of(fresh, "xyce_sequence", "fresh");
+    for b in brows {
+        let solver = b.str_field("solver").expect("baseline row solver");
+        let label = format!("xyce {solver}");
+        let Some(f) = find_row(frows, &[("solver", solver)], &[]) else {
+            r.check(false, || format!("{label}: row missing from fresh run"));
+            continue;
+        };
+        // The headline metric: how much cheaper value-only refactor
+        // sessions are than fresh pivoting per step.
+        let ratio = |row: &Json, which: &str| {
+            num(row, "refactor_seconds", which) / num(row, "factor_seconds", which).max(1e-12)
+        };
+        gate_not_worse_up(
+            r,
+            &format!("{label} refactor/factor ratio"),
+            ratio(b, "baseline"),
+            ratio(f, "fresh"),
+            tol,
+        );
+        for counter in ["refactors", "repivot_fallbacks", "quality_repivots"] {
+            gate_counter(
+                r,
+                &format!("{label} {counter}"),
+                num(b, counter, "baseline"),
+                num(f, counter, "fresh"),
+            );
+        }
+        gate_wall_loose(
+            r,
+            &format!("{label} factor_seconds"),
+            num(b, "factor_seconds", "baseline"),
+            num(f, "factor_seconds", "fresh"),
+        );
+    }
+}
+
+fn check_streams(r: &mut Report, base: &Json, fresh: &Json, tol: f64) {
+    // Hard invariants of the serving layer, at any scale.
+    r.check(num(fresh, "os_threads_delta", "fresh") == 0.0, || {
+        "streams: OS threads were spawned after warm-up".into()
+    });
+    r.check(
+        fresh.get("residual_ok").and_then(Json::bool) == Some(true),
+        || "streams: a refined residual missed the limit".into(),
+    );
+    r.check(num(fresh, "errors", "fresh") == 0.0, || {
+        "streams: a stream job errored".into()
+    });
+    let expected = num(fresh, "nstreams", "fresh") * num(fresh, "nsteps", "fresh");
+    gate_exact(r, "streams steps", expected, num(fresh, "steps", "fresh"));
+    r.check(num(fresh, "occupancy", "fresh") > 0.0, || {
+        "streams: scheduler never batched (occupancy 0)".into()
+    });
+
+    // Scale-dependent comparisons only when the fresh run matches the
+    // baseline's shape.
+    let same_shape = ["nstreams", "nsteps", "team_width"]
+        .iter()
+        .all(|k| num(base, k, "baseline") == num(fresh, k, "fresh"))
+        && base.str_field("scale") == fresh.str_field("scale");
+    if !same_shape {
+        eprintln!(
+            "bench_check: streams: fresh run shape differs from baseline; skipping ratio gates"
+        );
+        return;
+    }
+    let reuse = |row: &Json, which: &str| {
+        let f = num(row, "factors", which);
+        let rf = num(row, "refactors", which);
+        rf / (f + rf).max(1.0)
+    };
+    gate_not_worse_down(
+        r,
+        "streams refactor fraction",
+        reuse(base, "baseline"),
+        reuse(fresh, "fresh"),
+        tol,
+    );
+    gate_wall_loose(
+        r,
+        "streams wall_seconds",
+        num(base, "wall_seconds", "baseline"),
+        num(fresh, "wall_seconds", "fresh"),
+    );
+}
+
+fn check_fig5(r: &mut Report, base: &Json, fresh: &Json, _tol: f64) {
+    let brows = rows_of(base, "fig5_raw_time", "baseline");
+    let frows = rows_of(fresh, "fig5_raw_time", "fresh");
+    for b in brows {
+        let matrix = b.str_field("matrix").expect("baseline row matrix");
+        let threads = num(b, "threads", "baseline");
+        let label = format!("fig5 {matrix} p={threads}");
+        let Some(f) = find_row(frows, &[("matrix", matrix)], &[("threads", threads)]) else {
+            r.check(false, || format!("{label}: row missing from fresh run"));
+            continue;
+        };
+        for solver in ["basker", "pmkl", "slumt"] {
+            gate_exact(
+                r,
+                &format!("{label} {solver}_lu_nnz"),
+                num(b, &format!("{solver}_lu_nnz"), "baseline"),
+                num(f, &format!("{solver}_lu_nnz"), "fresh"),
+            );
+            r.check(
+                num(f, &format!("{solver}_residual"), "fresh") < 1e-8,
+                || format!("{label}: {solver} residual check failed"),
+            );
+            gate_wall_loose(
+                r,
+                &format!("{label} {solver}_seconds"),
+                num(b, &format!("{solver}_seconds"), "baseline"),
+                num(f, &format!("{solver}_seconds"), "fresh"),
+            );
+        }
+    }
+}
+
+fn check_table1(r: &mut Report, base: &Json, fresh: &Json, _tol: f64) {
+    let brows = rows_of(base, "table1_memory", "baseline");
+    let frows = rows_of(fresh, "table1_memory", "fresh");
+    for b in brows {
+        let matrix = b.str_field("matrix").expect("baseline row matrix");
+        let label = format!("table1 {matrix}");
+        let Some(f) = find_row(frows, &[("matrix", matrix)], &[]) else {
+            r.check(false, || format!("{label}: row missing from fresh run"));
+            continue;
+        };
+        // Memory statistics are deterministic: gate tightly.
+        for key in [
+            "n",
+            "nnz",
+            "klu_lu_nnz",
+            "pmkl_lu_nnz",
+            "basker_lu_nnz",
+            "btf_blocks",
+        ] {
+            gate_exact(
+                r,
+                &format!("{label} {key}"),
+                num(b, key, "baseline"),
+                num(f, key, "fresh"),
+            );
+        }
+    }
+}
+
+fn run_kind(kind: &str, r: &mut Report, base: &Json, fresh: &Json, tol: f64) {
+    match kind {
+        "fig6" => check_fig6(r, base, fresh, tol),
+        "xyce" => check_xyce(r, base, fresh, tol),
+        "streams" => check_streams(r, base, fresh, tol),
+        "fig5" => check_fig5(r, base, fresh, tol),
+        "table1" => check_table1(r, base, fresh, tol),
+        other => {
+            eprintln!("bench_check: unknown kind '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut kind: Option<String> = None;
+    let mut tol = 0.25f64;
+    let mut paths: Vec<String> = Vec::new();
+    let usage = || -> ! {
+        eprintln!(
+            "usage: bench_check --kind {{fig6|xyce|streams|fig5|table1}} \
+             BASELINE FRESH [--tolerance 0.25]"
+        );
+        std::process::exit(2);
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--kind" => kind = Some(args.next().unwrap_or_else(|| usage())),
+            "--tolerance" => {
+                tol = args
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => paths.push(a),
+        }
+    }
+    let Some(kind) = kind else { usage() };
+    if paths.len() != 2 {
+        usage();
+    }
+    let base = load(&paths[0]);
+    let fresh = load(&paths[1]);
+    let mut report = Report::default();
+    run_kind(&kind, &mut report, &base, &fresh, tol);
+
+    println!(
+        "bench_check {kind}: {} checks, {} failures ({} vs {})",
+        report.checks,
+        report.failures.len(),
+        paths[0],
+        paths[1]
+    );
+    for f in &report.failures {
+        println!("  FAIL {f}");
+    }
+    if !report.failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_for(kind: &str, base: &str, fresh: &str, tol: f64) -> Report {
+        let b = Json::parse(base).unwrap();
+        let f = Json::parse(fresh).unwrap();
+        let mut r = Report::default();
+        run_kind(kind, &mut r, &b, &f, tol);
+        r
+    }
+
+    const XYCE_BASE: &str = r#"[{"solver": "KLU", "nsteps": 200, "factor_seconds": 1.0,
+        "refactor_seconds": 0.30, "refactors": 199, "repivot_fallbacks": 0,
+        "quality_repivots": 0, "refine_iterations": 0}]"#;
+
+    #[test]
+    fn xyce_passes_identical_and_fails_ratio_regression() {
+        let r = report_for("xyce", XYCE_BASE, XYCE_BASE, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+        assert!(r.checks >= 5);
+
+        // refactor/factor ratio 0.30 -> 0.45 is a 50% regression.
+        let worse = XYCE_BASE.replace("\"refactor_seconds\": 0.30", "\"refactor_seconds\": 0.45");
+        let r = report_for("xyce", XYCE_BASE, &worse, 0.25);
+        assert_eq!(r.failures.len(), 1, "{:?}", r.failures);
+        assert!(r.failures[0].contains("refactor/factor"));
+    }
+
+    #[test]
+    fn xyce_counter_drift_fails() {
+        let worse = XYCE_BASE.replace("\"repivot_fallbacks\": 0", "\"repivot_fallbacks\": 40");
+        let r = report_for("xyce", XYCE_BASE, &worse, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("repivot_fallbacks")));
+    }
+
+    const FIG6_BASE: &str = r#"{"fig6_speedup": [{"matrix": "hvdc2_like", "paper_fill": 2.8,
+        "threads": 2, "klu_seconds": 0.0102, "basker_seconds": 0.0110,
+        "pmkl_seconds": 0.0139, "basker_speedup": 0.927, "pmkl_speedup": 0.736}]}"#;
+
+    #[test]
+    fn fig6_reads_composite_baseline_and_bare_fresh() {
+        let fresh = r#"[{"matrix": "hvdc2_like", "paper_fill": 2.8, "threads": 2,
+            "klu_seconds": 0.0102, "basker_seconds": 0.0112, "pmkl_seconds": 0.0140,
+            "basker_speedup": 0.91, "pmkl_speedup": 0.73}]"#;
+        let r = report_for("fig6", FIG6_BASE, fresh, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn fig6_speedup_collapse_fails_but_noise_passes() {
+        let collapsed = r#"[{"matrix": "hvdc2_like", "paper_fill": 2.8, "threads": 2,
+            "klu_seconds": 0.0102, "basker_seconds": 0.03, "pmkl_seconds": 0.0140,
+            "basker_speedup": 0.34, "pmkl_speedup": 0.73}]"#;
+        let r = report_for("fig6", FIG6_BASE, collapsed, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("basker_speedup")));
+
+        let missing = r#"[{"matrix": "other", "paper_fill": 1.0, "threads": 2,
+            "klu_seconds": 1.0, "basker_seconds": 1.0, "pmkl_seconds": 1.0,
+            "basker_speedup": 1.0, "pmkl_speedup": 1.0}]"#;
+        let r = report_for("fig6", FIG6_BASE, missing, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("row missing")));
+    }
+
+    const STREAMS_BASE: &str = r#"{"nstreams": 8, "nsteps": 50, "team_width": 4,
+        "scale": "bench", "wall_seconds": 0.1, "serial_seconds": 0.09,
+        "steps_per_second": 4000.0, "os_threads_delta": 0, "worst_residual": 1e-12,
+        "residual_ok": true, "steps": 400, "errors": 0, "factors": 10,
+        "refactors": 390, "batches": 120, "occupancy": 0.8, "max_queue_depth": 1}"#;
+
+    #[test]
+    fn streams_hard_invariants() {
+        let r = report_for("streams", STREAMS_BASE, STREAMS_BASE, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+
+        let spawned = STREAMS_BASE.replace("\"os_threads_delta\": 0", "\"os_threads_delta\": 3");
+        let r = report_for("streams", STREAMS_BASE, &spawned, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("OS threads")));
+
+        let bad_resid = STREAMS_BASE.replace("\"residual_ok\": true", "\"residual_ok\": false");
+        let r = report_for("streams", STREAMS_BASE, &bad_resid, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("residual")));
+    }
+
+    #[test]
+    fn streams_shape_mismatch_keeps_only_invariants() {
+        let other_shape = STREAMS_BASE
+            .replace("\"nsteps\": 50", "\"nsteps\": 20")
+            .replace("\"steps\": 400", "\"steps\": 160");
+        let r = report_for("streams", STREAMS_BASE, &other_shape, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+    }
+
+    const TABLE1_BASE: &str = r#"[{"matrix": "Power0_like", "n": 1000, "nnz": 5000,
+        "klu_lu_nnz": 6000, "pmkl_lu_nnz": 9000, "basker_lu_nnz": 6100,
+        "btf_pct": 95.0, "btf_blocks": 800}]"#;
+
+    #[test]
+    fn table1_memory_gated_exactly() {
+        let r = report_for("table1", TABLE1_BASE, TABLE1_BASE, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+        let drift = TABLE1_BASE.replace("\"basker_lu_nnz\": 6100", "\"basker_lu_nnz\": 6101");
+        let r = report_for("table1", TABLE1_BASE, &drift, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("basker_lu_nnz")));
+    }
+
+    const FIG5_BASE: &str = r#"[{"matrix": "Power0_like", "paper_fill": 1.3, "threads": 1,
+        "basker_seconds": 0.01, "pmkl_seconds": 0.02, "slumt_seconds": 0.02,
+        "basker_lu_nnz": 6100, "pmkl_lu_nnz": 9000, "slumt_lu_nnz": 9000,
+        "basker_residual": 1e-12, "pmkl_residual": 1e-12, "slumt_residual": 1e-12}]"#;
+
+    #[test]
+    fn fig5_residual_and_fill_gates() {
+        let r = report_for("fig5", FIG5_BASE, FIG5_BASE, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+        let bad = FIG5_BASE.replace("\"pmkl_residual\": 1e-12", "\"pmkl_residual\": 1e-3");
+        let r = report_for("fig5", FIG5_BASE, &bad, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("pmkl residual")));
+        let slow = FIG5_BASE.replace("\"basker_seconds\": 0.01", "\"basker_seconds\": 0.2");
+        let r = report_for("fig5", FIG5_BASE, &slow, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("basker_seconds")));
+    }
+}

@@ -6,26 +6,39 @@
 //! (b) Basker is fastest on 5 of the 6 matrices (all but the
 //! highest-fill `Xyce3`).
 //!
-//! Usage: `fig5_raw_time [test|bench]` (default `bench`).
+//! Usage: `fig5_raw_time [test|bench] [--json PATH]` (default `bench`).
+//! `--json` writes the measured rows — times plus the deterministic
+//! side-channel the CI regression gate (`bench_check --kind fig5`)
+//! holds tightly: per-solver `|L+U|` and solve residuals (the
+//! checked-in `BENCH_fig5.json` baseline is produced this way).
 
 use basker::SyncMode;
-use basker_bench::{fmt_secs, print_markdown_table, run_solver, SolverKind};
+use basker_bench::{fmt_secs, print_markdown_table, run_solver, BenchArgs, RunResult, SolverKind};
 use basker_matgen::table1_suite;
 
+struct Cell {
+    matrix: String,
+    paper_fill: f64,
+    threads: usize,
+    /// Per solver (basker, pmkl, slumt): the full measured result.
+    results: Vec<Result<RunResult, String>>,
+}
+
 fn main() {
-    let scale = basker_bench::scale_from_args("fig5_raw_time");
+    let args = BenchArgs::parse("fig5_raw_time", false);
     let threads = [1usize, 2, 4];
     println!("# Figure 5 analogue: raw numeric time, six matrices\n");
     println!("(container: 2 physical cores; 4 threads oversubscribe)\n");
 
     let entries: Vec<_> = table1_suite().into_iter().filter(|e| e.fig56).collect();
+    let mut cells = Vec::new();
     let mut rows = Vec::new();
     let mut basker_best = 0usize;
     let mut pmkl_ge_slumt = 0usize;
     let mut cells_total = 0usize;
 
     for e in &entries {
-        let a = e.generate(scale);
+        let a = e.generate(args.scale);
         for &p in &threads {
             let kinds = [
                 SolverKind::Basker {
@@ -35,11 +48,13 @@ fn main() {
                 SolverKind::Pmkl { threads: p },
                 SolverKind::SluMt { threads: p },
             ];
-            let times: Vec<f64> = kinds
+            let results: Vec<Result<RunResult, String>> =
+                kinds.iter().map(|&k| run_solver(&a, k, 0.2, 5)).collect();
+            let times: Vec<f64> = results
                 .iter()
-                .map(|&k| {
-                    run_solver(&a, k, 0.2, 5)
-                        .map(|r| r.factor_seconds)
+                .map(|r| {
+                    r.as_ref()
+                        .map(|x| x.factor_seconds)
                         .unwrap_or(f64::INFINITY)
                 })
                 .collect();
@@ -58,6 +73,12 @@ fn main() {
                 fmt_secs(times[1]),
                 fmt_secs(times[2]),
             ]);
+            cells.push(Cell {
+                matrix: e.name.to_string(),
+                paper_fill: e.paper.fill_klu,
+                threads: p,
+                results,
+            });
         }
     }
     print_markdown_table(
@@ -77,4 +98,32 @@ fn main() {
          PMKL <= SLU-MT in {pmkl_ge_slumt}/{cells_total} cells \
          (paper: Basker best on 5/6 matrices, PMKL always >= SLU-MT)."
     );
+
+    if let Some(path) = args.json {
+        let mut out = String::from("[\n");
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"matrix\": \"{}\", \"paper_fill\": {:.1}, \"threads\": {}",
+                c.matrix, c.paper_fill, c.threads
+            ));
+            for (solver, r) in ["basker", "pmkl", "slumt"].iter().zip(&c.results) {
+                // A failed run records sentinel values the gate rejects.
+                let (secs, nnz, resid) = r
+                    .as_ref()
+                    .map(|x| (x.factor_seconds, x.lu_nnz as f64, x.residual))
+                    .unwrap_or((-1.0, -1.0, 1.0));
+                out.push_str(&format!(
+                    ", \"{solver}_seconds\": {secs:.6}, \"{solver}_lu_nnz\": {nnz:.0}, \
+                     \"{solver}_residual\": {resid:.3e}"
+                ));
+            }
+            out.push_str(&format!(
+                "}}{}\n",
+                if i + 1 < cells.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(&path, out).expect("write json");
+        eprintln!("wrote {path}");
+    }
 }

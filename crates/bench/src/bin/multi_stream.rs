@@ -1,0 +1,260 @@
+//! **Serving-layer harness** — N concurrent transient streams
+//! multiplexed over one shared worker team through [`SolverService`].
+//!
+//! This is the workload the service exists for: many independent
+//! Xyce-style sequences (different seeds, mixed engines) stepping at
+//! once. The harness measures the multiplexed run against a serial
+//! baseline (the same sequences through plain `SolveSession`s, one
+//! after another), checks every refined solve's residual, and asserts
+//! the serving layer's headline property: **zero OS threads spawned
+//! after warm-up**, no matter how many streams are in flight
+//! ([`basker_runtime::os_threads_spawned`]).
+//!
+//! On the 1-CPU CI container the service cannot beat the serial
+//! baseline on wall clock (there is nothing to overlap onto); what the
+//! numbers there establish is that the multiplexing overhead is small
+//! and the thread/residual invariants hold. On a multicore host the
+//! service additionally overlaps independent factorizations across
+//! ranks.
+//!
+//! Usage: `multi_stream [nstreams] [nsteps] [test|bench] [--json PATH]`
+//! (defaults: 8 streams, 50 steps, bench scale). `test` runs small
+//! matrices and hard-asserts every residual; `--json` writes the
+//! measured summary (the checked-in `BENCH_streams.json` baseline is
+//! produced this way).
+
+use basker_api::{
+    Engine, ReusePolicy, ServiceConfig, SessionConfig, SolveSession, SolverService, StepTicket,
+};
+use basker_matgen::{CircuitParams, Scale, XyceSequence, XyceSequenceParams};
+use basker_runtime::os_threads_spawned;
+use std::time::Instant;
+
+const TEAM_WIDTH: usize = 4;
+const RESIDUAL_LIMIT: f64 = 1e-7;
+
+fn sequence(k: usize, nsteps: usize, scale: Scale) -> XyceSequence {
+    let (nsub, sub_size) = match scale {
+        Scale::Test => (3, 24),
+        Scale::Bench => (6, 64),
+    };
+    XyceSequence::new(&XyceSequenceParams {
+        circuit: CircuitParams {
+            nsub,
+            sub_size,
+            feedthrough: 0.7,
+            ..CircuitParams::default()
+        },
+        nsteps,
+        switching_fraction: 0.04,
+        seed: 100 + k as u64,
+    })
+}
+
+/// Mixed tenancy: stream k's engine cycles through all three.
+fn engine_for(k: usize) -> Engine {
+    match k % 3 {
+        0 => Engine::Basker,
+        1 => Engine::Klu,
+        _ => Engine::Snlu,
+    }
+}
+
+fn session_config(k: usize) -> SessionConfig {
+    SessionConfig::new()
+        .engine(engine_for(k))
+        .policy(ReusePolicy::adaptive())
+        .target_residual(1e-9)
+}
+
+fn main() {
+    let mut positional: Vec<usize> = Vec::new();
+    let mut scale = Scale::Bench;
+    let mut json_path: Option<String> = None;
+    let usage = || -> ! {
+        eprintln!("usage: multi_stream [nstreams] [nsteps] [test|bench] [--json PATH]");
+        std::process::exit(2);
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "test" => scale = Scale::Test,
+            "bench" => scale = Scale::Bench,
+            "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
+            s => match s.parse() {
+                Ok(n) => positional.push(n),
+                Err(_) => usage(),
+            },
+        }
+    }
+    if positional.len() > 2 {
+        usage();
+    }
+    let nstreams = positional.first().copied().unwrap_or(8).max(1);
+    let nsteps = positional.get(1).copied().unwrap_or(50).max(2);
+
+    let seqs: Vec<XyceSequence> = (0..nstreams).map(|k| sequence(k, nsteps, scale)).collect();
+    println!(
+        "# Multi-stream service: {nstreams} concurrent transient streams, \
+         {nsteps} steps each, team width {TEAM_WIDTH}\n"
+    );
+    println!(
+        "streams: n = {} per stream, engines cycle basker/klu/snlu, \
+         adaptive reuse policy\n",
+        seqs[0].pattern().nrows()
+    );
+
+    // ---- the multiplexed run ------------------------------------------
+    let service = SolverService::new(&ServiceConfig::new().threads(TEAM_WIDTH));
+    let mut handles: Vec<_> = seqs
+        .iter()
+        .enumerate()
+        .map(|(k, seq)| {
+            service
+                .stream(seq.pattern(), &session_config(k))
+                .expect("stream analyze")
+        })
+        .collect();
+
+    // Warm-up: the first step of every stream brings up the team, the
+    // workspace pool and each session's factors.
+    for (k, h) in handles.iter_mut().enumerate() {
+        let n = h.dim();
+        let r = h
+            .step_refined(&seqs[k].matrix_at(0), vec![1.0; n])
+            .expect("warm-up step");
+        assert!(r.quality[0].residual < RESIDUAL_LIMIT, "warm-up residual");
+    }
+    let spawned_after_warmup = os_threads_spawned();
+
+    let mut worst = 0.0f64;
+    let t0 = Instant::now();
+    for s in 1..nsteps {
+        // Pipeline: submit every stream's step, then collect. Waiting on
+        // the first ticket makes the caller the dispatcher, so sibling
+        // jobs run as batches over the team ranks.
+        let tickets: Vec<StepTicket> = handles
+            .iter_mut()
+            .enumerate()
+            .map(|(k, h)| {
+                let n = h.dim();
+                h.submit_refined(&seqs[k].matrix_at(s), vec![1.0; n])
+                    .expect("submit")
+            })
+            .collect();
+        for (k, t) in tickets.into_iter().enumerate() {
+            let r = t
+                .wait()
+                .unwrap_or_else(|e| panic!("stream {k} step {s}: {e}"));
+            let q = r.quality[0];
+            if scale == Scale::Test {
+                assert!(
+                    q.residual < RESIDUAL_LIMIT,
+                    "stream {k} step {s}: residual {}",
+                    q.residual
+                );
+            }
+            worst = worst.max(q.residual);
+        }
+    }
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let threads_delta = os_threads_spawned() - spawned_after_warmup;
+    let stats = service.stats();
+
+    // ---- the serial baseline ------------------------------------------
+    // The same work without the service: each stream is a plain session
+    // (same serial engine config) stepped to completion one after
+    // another.
+    let mut serial_sessions: Vec<SolveSession> = seqs
+        .iter()
+        .enumerate()
+        .map(|(k, seq)| {
+            SolveSession::new(seq.pattern(), &session_config(k).threads(1)).expect("analyze")
+        })
+        .collect();
+    for (k, s) in serial_sessions.iter_mut().enumerate() {
+        s.step(&seqs[k].matrix_at(0)).expect("serial warm-up");
+    }
+    let t1 = Instant::now();
+    for s in 1..nsteps {
+        for (k, session) in serial_sessions.iter_mut().enumerate() {
+            session.step(&seqs[k].matrix_at(s)).expect("serial step");
+            let mut x = vec![1.0; session.dim()];
+            session.solve_refined(&mut x).expect("serial solve");
+        }
+    }
+    let serial_seconds = t1.elapsed().as_secs_f64();
+
+    // ---- report -------------------------------------------------------
+    let total_steps = nstreams * (nsteps - 1);
+    let steps_per_second = total_steps as f64 / wall_seconds;
+    let residual_ok = worst < RESIDUAL_LIMIT;
+    println!("| metric | value |");
+    println!("|---|---|");
+    println!("| service wall seconds | {wall_seconds:.3} |");
+    println!("| serial wall seconds | {serial_seconds:.3} |");
+    println!("| steps/second (service) | {steps_per_second:.0} |");
+    println!("| OS threads spawned after warm-up | {threads_delta} |");
+    println!("| worst refined residual | {worst:.2e} |");
+    println!("| scheduler batches | {} |", stats.batches);
+    println!("| team occupancy | {:.2} |", stats.occupancy);
+    println!("| max queue depth | {} |", stats.max_queue_depth);
+    println!(
+        "| factors / refactors | {} / {} |",
+        stats.factors, stats.refactors
+    );
+    println!();
+    for s in &stats.per_stream {
+        println!(
+            "stream {}: engine {}, {} steps, {} errors, {} factors, {} refactors, \
+             worst residual {:.2e}",
+            s.id,
+            s.engine,
+            s.steps,
+            s.errors,
+            s.session.factors,
+            s.session.refactors,
+            s.session.worst_residual
+        );
+    }
+
+    assert_eq!(
+        threads_delta, 0,
+        "the service must multiplex on the warm team: zero OS threads after warm-up"
+    );
+    assert_eq!(stats.errors, 0, "no stream may error in this workload");
+    assert_eq!(stats.steps, nstreams * nsteps, "every submitted step ran");
+    if scale == Scale::Test {
+        assert!(residual_ok, "worst residual {worst:.2e}");
+    }
+
+    if let Some(path) = json_path {
+        let out = format!(
+            "{{\n  \"nstreams\": {nstreams},\n  \"nsteps\": {nsteps},\n  \
+             \"team_width\": {TEAM_WIDTH},\n  \"scale\": \"{}\",\n  \
+             \"wall_seconds\": {wall_seconds:.6},\n  \
+             \"serial_seconds\": {serial_seconds:.6},\n  \
+             \"steps_per_second\": {steps_per_second:.1},\n  \
+             \"os_threads_delta\": {threads_delta},\n  \
+             \"worst_residual\": {worst:.3e},\n  \
+             \"residual_ok\": {residual_ok},\n  \
+             \"steps\": {},\n  \"errors\": {},\n  \
+             \"factors\": {},\n  \"refactors\": {},\n  \
+             \"batches\": {},\n  \"occupancy\": {:.4},\n  \
+             \"max_queue_depth\": {}\n}}\n",
+            match scale {
+                Scale::Test => "test",
+                Scale::Bench => "bench",
+            },
+            stats.steps,
+            stats.errors,
+            stats.factors,
+            stats.refactors,
+            stats.batches,
+            stats.occupancy,
+            stats.max_queue_depth,
+        );
+        std::fs::write(&path, out).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -7,14 +7,29 @@
 //! order of magnitude on powergrids), while the supernodal solver uses
 //! slightly less memory above that line.
 //!
-//! Usage: `table1_memory [test|bench]` (default `bench`).
+//! Usage: `table1_memory [test|bench] [--json PATH]` (default `bench`).
+//! `--json` writes the measured rows; memory counts are deterministic,
+//! so the CI regression gate (`bench_check --kind table1`) holds the
+//! checked-in `BENCH_table1.json` baseline **exactly**.
 
 use basker::SyncMode;
-use basker_bench::{analyze, fmt_eng, print_markdown_table, SolverKind};
+use basker_bench::{analyze, fmt_eng, print_markdown_table, BenchArgs, SolverKind};
 use basker_matgen::table1_suite;
 
+struct JsonRow {
+    matrix: String,
+    n: usize,
+    nnz: usize,
+    klu_nnz: f64,
+    pmkl_nnz: f64,
+    basker_nnz: f64,
+    btf_pct: f64,
+    btf_blocks: f64,
+}
+
 fn main() {
-    let scale = basker_bench::scale_from_args("table1_memory");
+    let args = BenchArgs::parse("table1_memory", false);
+    let scale = args.scale;
     println!("# Table I analogue: |L+U| memory comparison\n");
     println!(
         "Columns mirror the paper: matrix, n, |A|, |L+U| for KLU / PMKL / \
@@ -23,6 +38,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut json_rows: Vec<JsonRow> = Vec::new();
     let mut wins_low = 0usize;
     let mut total_low = 0usize;
     let mut wins_high = 0usize;
@@ -77,6 +93,17 @@ fn main() {
             }
         }
 
+        json_rows.push(JsonRow {
+            matrix: e.name.to_string(),
+            n: a.nrows(),
+            nnz: a.nnz(),
+            klu_nnz,
+            pmkl_nnz,
+            basker_nnz,
+            btf_pct,
+            btf_blocks,
+        });
+
         let fill = klu_nnz / a.nnz() as f64;
         rows.push(vec![
             e.name.to_string(),
@@ -112,4 +139,31 @@ fn main() {
          (paper: all of them) and {wins_high}/{total_high} high-fill \
          matrices (paper: PMKL slightly smaller above the line)."
     );
+
+    if let Some(path) = args.json {
+        // NaN (a failed solver) serializes as -1 — an impossible count
+        // the regression gate will flag.
+        let clean = |x: f64| if x.is_finite() { x } else { -1.0 };
+        let mut out = String::from("[\n");
+        for (i, r) in json_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"matrix\": \"{}\", \"n\": {}, \"nnz\": {}, \
+                 \"klu_lu_nnz\": {:.0}, \"pmkl_lu_nnz\": {:.0}, \
+                 \"basker_lu_nnz\": {:.0}, \"btf_pct\": {:.2}, \
+                 \"btf_blocks\": {:.0}}}{}\n",
+                r.matrix,
+                r.n,
+                r.nnz,
+                clean(r.klu_nnz),
+                clean(r.pmkl_nnz),
+                clean(r.basker_nnz),
+                clean(r.btf_pct),
+                clean(r.btf_blocks),
+                if i + 1 < json_rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(&path, out).expect("write json");
+        eprintln!("wrote {path}");
+    }
 }

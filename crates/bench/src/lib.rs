@@ -10,6 +10,8 @@
 //! kind of engine-agnostic caller the API exists for: one `analyze`,
 //! repeated `factor`/`refactor`, allocation-free `solve_in_place`.
 
+pub mod json;
+
 use basker::SyncMode;
 use basker_api::{
     Engine, Factorization, LinearSolver, ReusePolicy, SessionConfig, SolveSession, SolverConfig,

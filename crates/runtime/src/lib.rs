@@ -338,10 +338,60 @@ impl WorkerTeam {
     }
 }
 
+impl WorkerTeam {
+    /// Runs `njobs` **independent** jobs on the team, each exactly once:
+    /// the work-queue entry point next to [`broadcast`](Self::broadcast)
+    /// for callers that have a bag of unrelated tasks (e.g. a serving
+    /// layer multiplexing factorizations from many sessions) rather than
+    /// one SPMD region.
+    ///
+    /// Every rank — the caller as rank 0 plus the parked workers — pops
+    /// job indices from a shared atomic cursor and runs `op(index)` until
+    /// the queue drains, so up to `width` jobs execute concurrently with
+    /// no per-job thread creation. The call blocks until all jobs have
+    /// run (a scoped join: `op` may borrow from the caller's stack).
+    ///
+    /// Unlike `broadcast`, jobs must not rely on cross-job concurrency:
+    /// when the queue is a single job, when the team has width 1, or when
+    /// the caller **is already one of this team's ranks** (a job
+    /// submitting more jobs), the whole list is executed inline on the
+    /// calling thread. That last case is the re-entrance guard: a job
+    /// that reaches back into the team would otherwise deadlock on the
+    /// busy ranks or fall back to spawning transient threads — the
+    /// inline path does neither, which is what keeps a warm serving
+    /// layer at zero OS-thread creation even under re-entrant jobs.
+    pub fn run_worklist<OP>(&self, njobs: usize, op: OP)
+    where
+        OP: Fn(usize) + Sync,
+    {
+        if njobs == 0 {
+            return;
+        }
+        if self.shared.width == 1 || njobs == 1 || self.on_worker_thread() {
+            // Inline-execute guard: sound because worklist jobs are
+            // independent by contract (no cross-job synchronization).
+            for i in 0..njobs {
+                op(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        self.broadcast(|_ctx| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= njobs {
+                break;
+            }
+            op(i);
+        });
+    }
+}
+
 /// Fallback for a broadcast issued from inside one of the team's own
 /// jobs: the persistent ranks are occupied, so run the nested region on
 /// transient scoped threads (rank 0 inline on the caller). Counted in
-/// [`os_threads_spawned`] — warm-path code never takes this branch.
+/// [`os_threads_spawned`] — warm-path code never takes this branch, and
+/// queue-style work should use [`WorkerTeam::run_worklist`], whose
+/// re-entrant fallback executes inline without spawning at all.
 fn nested_scoped_broadcast<OP, R>(n: usize, op: &OP) -> Vec<R>
 where
     OP: Fn(TeamContext) -> R + Sync,
@@ -629,6 +679,70 @@ mod tests {
         if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
             assert!(pin_current_thread_to(0));
         }
+    }
+
+    #[test]
+    fn worklist_runs_every_job_exactly_once() {
+        let team = WorkerTeam::new(TeamConfig::new(3));
+        let hits: Vec<AtomicUsize> = (0..20).map(|_| AtomicUsize::new(0)).collect();
+        team.run_worklist(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "job {i}");
+        }
+    }
+
+    #[test]
+    fn worklist_uses_multiple_ranks_for_parallel_jobs() {
+        // Two jobs that each wait for the other to start can only finish
+        // when the worklist genuinely runs them concurrently.
+        let team = WorkerTeam::new(TeamConfig::new(2));
+        let arrived = AtomicUsize::new(0);
+        team.run_worklist(2, |_| {
+            arrived.fetch_add(1, Ordering::SeqCst);
+            while arrived.load(Ordering::SeqCst) < 2 {
+                std::thread::yield_now();
+            }
+        });
+        assert_eq!(arrived.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn reentrant_worklist_executes_inline_without_spawning() {
+        // A worklist job that submits another worklist to the same team
+        // (the serving-layer re-entrance scenario) must complete without
+        // deadlock and without creating any OS thread.
+        let team = Arc::new(WorkerTeam::new(TeamConfig::new(2)));
+        let before = os_threads_spawned();
+        let inner_runs = AtomicUsize::new(0);
+        let t2 = team.clone();
+        team.run_worklist(2, |_| {
+            assert!(t2.on_worker_thread(), "worklist jobs run as team ranks");
+            t2.run_worklist(3, |_| {
+                inner_runs.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(inner_runs.load(Ordering::SeqCst), 6);
+        assert_eq!(
+            os_threads_spawned(),
+            before,
+            "re-entrant worklists must take the inline guard, not spawn"
+        );
+    }
+
+    #[test]
+    fn worklist_on_width_one_team_runs_inline() {
+        let before = os_threads_spawned();
+        let team = WorkerTeam::new(TeamConfig::new(1));
+        let caller = std::thread::current().id();
+        let ran = AtomicUsize::new(0);
+        team.run_worklist(5, |_| {
+            assert_eq!(std::thread::current().id(), caller);
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 5);
+        assert_eq!(os_threads_spawned(), before);
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Serving many transient simulations at once: eight independent
+//! Xyce-style sequences multiplexed over one shared worker team through
+//! [`SolverService`].
+//!
+//! Each "tenant" is a circuit with its own matrix pattern, engine and
+//! reuse policy; the service interleaves their factor/refactor/solve
+//! jobs onto the team ranks — no per-stream thread pools, no OS threads
+//! spawned after warm-up. One tenant is fed a numerically singular
+//! matrix mid-run to show failure isolation: its step errors, its
+//! neighbours never notice, and it recovers on the next healthy step.
+//!
+//! Run with `cargo run --example concurrent_transients`.
+
+use basker_repro::basker_runtime::os_threads_spawned;
+use basker_repro::prelude::*;
+
+fn main() {
+    let nstreams = 8usize;
+    let nsteps = 30usize;
+
+    // Eight tenants: Xyce-like sequences with different seeds, engines
+    // cycling through all three, everyone on the adaptive reuse policy.
+    let seqs: Vec<XyceSequence> = (0..nstreams)
+        .map(|k| {
+            XyceSequence::new(&XyceSequenceParams {
+                circuit: CircuitParams {
+                    nsub: 3,
+                    sub_size: 24,
+                    feedthrough: 0.7,
+                    ..CircuitParams::default()
+                },
+                nsteps,
+                switching_fraction: 0.04,
+                seed: 7 + k as u64,
+            })
+        })
+        .collect();
+
+    let service = SolverService::new(&ServiceConfig::new().threads(4));
+    let mut handles: Vec<StreamHandle> = seqs
+        .iter()
+        .enumerate()
+        .map(|(k, seq)| {
+            let engine = [Engine::Basker, Engine::Klu, Engine::Snlu][k % 3];
+            let cfg = SessionConfig::new()
+                .engine(engine)
+                .policy(ReusePolicy::adaptive())
+                .target_residual(1e-9);
+            service.stream(seq.pattern(), &cfg).expect("analyze")
+        })
+        .collect();
+    let n = handles[0].dim();
+    println!("serving {nstreams} transient streams (n = {n} each) over one team of 4\n");
+
+    // Warm-up step, then note the thread count: it must not move again.
+    for (k, h) in handles.iter_mut().enumerate() {
+        h.step_refined(&seqs[k].matrix_at(0), vec![1.0; n])
+            .expect("warm-up");
+    }
+    let warm_threads = os_threads_spawned();
+
+    let mut isolated_error: Option<String> = None;
+    for s in 1..nsteps {
+        // Pipeline: enqueue every tenant's step, then collect results.
+        // Stream 4 — a KLU tenant; the pivoting engines report hard
+        // collapses — is fed an all-zero matrix at step 10: only its
+        // own ticket errors.
+        let tickets: Vec<(usize, StepTicket)> = handles
+            .iter_mut()
+            .enumerate()
+            .map(|(k, h)| {
+                let m = if k == 4 && s == 10 {
+                    let p = seqs[k].pattern();
+                    CscMat::from_parts_unchecked(
+                        n,
+                        n,
+                        p.colptr().to_vec(),
+                        p.rowind().to_vec(),
+                        vec![0.0; p.nnz()],
+                    )
+                } else {
+                    seqs[k].matrix_at(s)
+                };
+                (k, h.submit_refined(&m, vec![1.0; n]).expect("submit"))
+            })
+            .collect();
+        for (k, t) in tickets {
+            match t.wait() {
+                Ok(r) => assert!(
+                    r.quality[0].residual < 1e-7,
+                    "stream {k} step {s}: residual {}",
+                    r.quality[0].residual
+                ),
+                Err(e) => {
+                    assert_eq!(k, 4, "only the sabotaged stream may fail");
+                    isolated_error = Some(format!("step {s}: {e}"));
+                }
+            }
+        }
+    }
+
+    println!(
+        "isolated failure on stream 4 -> {}",
+        isolated_error.as_deref().unwrap_or("(none)")
+    );
+    println!(
+        "OS threads spawned during steady-state serving: {}\n",
+        os_threads_spawned() - warm_threads
+    );
+
+    let stats = service.stats();
+    println!("| stream | engine | steps | errors | factors | refactors | worst residual |");
+    println!("|---|---|---|---|---|---|---|");
+    for s in &stats.per_stream {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {:.1e} |",
+            s.id,
+            s.engine,
+            s.steps,
+            s.errors,
+            s.session.factors,
+            s.session.refactors,
+            s.session.worst_residual
+        );
+    }
+    println!(
+        "\nservice: {} jobs in {} batches, occupancy {:.2}, {} errors total",
+        stats.steps, stats.batches, stats.occupancy, stats.errors
+    );
+    assert_eq!(stats.errors, 1, "exactly the sabotaged step failed");
+    assert_eq!(
+        os_threads_spawned(),
+        warm_threads,
+        "zero spawns after warm-up"
+    );
+}

@@ -27,15 +27,19 @@
 //! the manual `analyze → factor/refactor → solve_in_place` lifecycle the
 //! session is built on, and the engine-specific APIs (`Basker`,
 //! `KluSymbolic`, `Snlu`) remain available for code that needs
-//! engine-only features.
+//! engine-only features. One layer *up*,
+//! [`SolverService`](basker_api::SolverService) serves many concurrent
+//! transient streams at once, multiplexing their factor/refactor/solve
+//! jobs over one shared worker team.
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use basker::{Basker, BaskerNumeric, BaskerOptions, BaskerStats, SyncMode};
     pub use basker_api::{
-        Engine, FactorQuality, Factorization, LinearSolver, LuNumeric, ReusePolicy, SessionConfig,
-        SessionState, SessionStats, SolveQuality, SolveSession, SolverConfig, SolverError,
-        SolverStats, SparseLuSolver,
+        Engine, FactorQuality, Factorization, LinearSolver, LuNumeric, ReusePolicy,
+        SchedulingPolicy, ServiceConfig, ServiceStats, SessionConfig, SessionState, SessionStats,
+        SolveQuality, SolveSession, SolverConfig, SolverError, SolverService, SolverStats,
+        SparseLuSolver, StepResult, StepTicket, StreamHandle, StreamStats,
     };
     pub use basker_klu::{KluNumeric, KluOptions, KluSymbolic};
     pub use basker_matgen::{

@@ -42,3 +42,8 @@ fn power_grid_contingency_runs() {
 fn solver_faceoff_runs() {
     run_example("solver_faceoff");
 }
+
+#[test]
+fn concurrent_transients_runs() {
+    run_example("concurrent_transients");
+}
