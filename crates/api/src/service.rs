@@ -23,7 +23,10 @@
 //!                        └───────────┬─────────────┘
 //!                                    │ batch of ≤ width jobs
 //!                                    ▼
-//!                     WorkerTeam::run_worklist (shared, hot)
+//!              one assistable task over the shared worker team
+//!              (WorkerTeam::run_worklist → atomically-claimed
+//!               work index; blocked ranks anywhere in the
+//!               process can `try_assist` the remaining jobs)
 //!                      rank 0   rank 1   …   rank p−1
 //! ```
 //!
@@ -77,7 +80,7 @@
 use crate::config::Engine;
 use crate::error::SolverError;
 use crate::session::{SessionConfig, SessionState, SessionStats, SolveQuality, SolveSession};
-use basker_runtime::{shared_team, WorkerTeam};
+use basker_runtime::{assist_counters, shared_team, AssistCounters, WorkerTeam};
 use basker_sparse::{CscMat, SolveWorkspace, SparseError};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -266,6 +269,17 @@ pub struct ServiceStats {
     pub refactors: usize,
     /// Worst refined residual any stream's session has reported.
     pub worst_residual: f64,
+    /// Work items executed through the scheduler's assist loop since the
+    /// service opened (process-wide: blocked ranks of *any* pool joining
+    /// any task — cross-stream jobs and factorization-internal columns
+    /// share one assist registry).
+    pub columns_assisted: u64,
+    /// Distinct scheduler tasks joined by assisting threads since the
+    /// service opened (process-wide, like `columns_assisted`).
+    pub tasks_joined: u64,
+    /// Assist probes (hits and misses) since the service opened
+    /// (process-wide, like `columns_assisted`).
+    pub steal_attempts: u64,
     /// Per-stream roll-up.
     pub per_stream: Vec<StreamStats>,
 }
@@ -315,6 +329,9 @@ struct ServiceInner {
     /// Signalled when queue room may have appeared — backpressured
     /// submitters park here.
     room: Condvar,
+    /// Process-wide assist counters at service creation; `stats()`
+    /// reports the delta since then.
+    assist_baseline: AssistCounters,
 }
 
 #[derive(Default)]
@@ -432,6 +449,7 @@ impl SolverService {
                 }),
                 done: Condvar::new(),
                 room: Condvar::new(),
+                assist_baseline: assist_counters(),
             }),
         }
     }
@@ -524,6 +542,8 @@ impl SolverService {
             .filter_map(|id| st.streams.get(id).map(|e| e.stats_for(*id)))
             .collect();
         let c = &st.stats;
+        let assist = assist_counters();
+        let base = &self.inner.assist_baseline;
         ServiceStats {
             team_width: self.inner.team.width(),
             streams: per_stream.len(),
@@ -545,6 +565,9 @@ impl SolverService {
                 .iter()
                 .map(|s| s.session.worst_residual)
                 .fold(0.0, f64::max),
+            columns_assisted: assist.items_assisted - base.items_assisted,
+            tasks_joined: assist.tasks_joined - base.tasks_joined,
+            steal_attempts: assist.steal_attempts - base.steal_attempts,
             per_stream,
         }
     }

@@ -52,6 +52,15 @@ pub struct SolverStats {
     /// other engines). Makes sync overhead observable per rank without
     /// the ablation harness.
     pub sync_wait_ns: Vec<u64>,
+    /// Work items (pipeline columns, worklist jobs) executed by blocked
+    /// threads through the scheduler's assist loop during the last
+    /// factorization (Basker only).
+    pub columns_assisted: u64,
+    /// Distinct scheduler tasks joined by blocked threads (Basker only).
+    pub tasks_joined: u64,
+    /// Assist probes issued by blocked threads, hits and misses (Basker
+    /// only).
+    pub steal_attempts: u64,
     /// Wall-clock seconds of the last (re)factorization, when measured.
     pub factor_seconds: f64,
 }
@@ -344,6 +353,9 @@ impl LuNumeric for BaskerNumeric {
             threads: self.stats.threads,
             sync_fraction: self.stats.sync_fraction(),
             sync_wait_ns: self.stats.sync_wait_ns.clone(),
+            columns_assisted: self.stats.columns_assisted,
+            tasks_joined: self.stats.tasks_joined,
+            steal_attempts: self.stats.steal_attempts,
             factor_seconds: self.stats.numeric_seconds,
             ..SolverStats::default()
         }

@@ -17,7 +17,8 @@
 //!   zero-threads-after-warm-up property are hard failures at any size.
 //!
 //! Usage:
-//! `bench_check --kind {fig6|xyce|streams|fig5|table1} BASELINE FRESH [--tolerance 0.25]`
+//! `bench_check --kind {fig6|xyce|streams|fig5|table1|fig7|fig8|table2}
+//! BASELINE FRESH [--tolerance 0.25]`
 
 use basker_bench::json::Json;
 
@@ -201,6 +202,25 @@ fn check_streams(r: &mut Report, base: &Json, fresh: &Json, tol: f64) {
     r.check(num(fresh, "occupancy", "fresh") > 0.0, || {
         "streams: scheduler never batched (occupancy 0)".into()
     });
+    // Assist-loop observability: the counters must be reported, and a
+    // width-1 service must never touch the assist registry (the
+    // single-core zero-overhead contract).
+    let steals = num(fresh, "steal_attempts", "fresh");
+    let assisted = num(fresh, "columns_assisted", "fresh");
+    if num(fresh, "team_width", "fresh") == 1.0 {
+        r.check(steals == 0.0 && assisted == 0.0, || {
+            format!(
+                "streams: width-1 run probed the assist registry \
+                 (steal_attempts {steals}, columns_assisted {assisted})"
+            )
+        });
+    }
+    r.check(assisted <= steals, || {
+        format!(
+            "streams: columns_assisted {assisted} exceeds steal_attempts \
+             {steals} (every assisted item needs a probe)"
+        )
+    });
 
     // Scale-dependent comparisons only when the fresh run matches the
     // baseline's shape.
@@ -295,6 +315,96 @@ fn check_table1(r: &mut Report, base: &Json, fresh: &Json, _tol: f64) {
     }
 }
 
+/// The wall-clock-only fig7 profile rows: every timing is host weather,
+/// so each solver column gets only the loose 4× build-problem gate, plus
+/// a hard failure when a solver stopped finishing at all (`inf`).
+fn check_fig7(r: &mut Report, base: &Json, fresh: &Json, _tol: f64) {
+    let brows = rows_of(base, "fig7_profiles", "baseline");
+    let frows = rows_of(fresh, "fig7_profiles", "fresh");
+    for b in brows {
+        let matrix = b.str_field("matrix").expect("baseline row matrix");
+        let label = format!("fig7 {matrix}");
+        let Some(f) = find_row(frows, &[("matrix", matrix)], &[]) else {
+            r.check(false, || format!("{label}: row missing from fresh run"));
+            continue;
+        };
+        for key in [
+            "klu_seconds",
+            "basker1_seconds",
+            "baskerp_seconds",
+            "pmkl1_seconds",
+            "pmklp_seconds",
+        ] {
+            let fv = num(f, key, "fresh");
+            r.check(fv.is_finite(), || {
+                format!("{label} {key}: solver failed (non-finite time)")
+            });
+            gate_wall_loose(r, &format!("{label} {key}"), num(b, key, "baseline"), fv);
+        }
+    }
+}
+
+/// Self-relative speedups on ideal inputs. On a small/1-CPU CI host the
+/// p>1 self-speedup is dominated by scheduler weather (back-to-back
+/// runs of the same binary swing 2x), so the speedup gate uses the same
+/// loose 4x build-problem band as the wall gates: it catches a parallel
+/// path that collapses (deadlocked assist loop, serialized pipeline)
+/// without flagging host noise.
+fn check_fig8(r: &mut Report, base: &Json, fresh: &Json, _tol: f64) {
+    let brows = rows_of(base, "fig8_ideal", "baseline");
+    let frows = rows_of(fresh, "fig8_ideal", "fresh");
+    for b in brows {
+        let solver = b.str_field("solver").expect("baseline row solver");
+        let matrix = b.str_field("matrix").expect("baseline row matrix");
+        let threads = num(b, "threads", "baseline");
+        let label = format!("fig8 {solver} {matrix} p={threads}");
+        let Some(f) = find_row(
+            frows,
+            &[("solver", solver), ("matrix", matrix)],
+            &[("threads", threads)],
+        ) else {
+            r.check(false, || format!("{label}: row missing from fresh run"));
+            continue;
+        };
+        let bs = num(b, "speedup", "baseline");
+        let fs = num(f, "speedup", "fresh");
+        r.check(fs.is_finite() && fs > 0.0, || {
+            format!("{label} speedup: non-positive ({fs})")
+        });
+        r.check(fs >= bs / 4.0, || {
+            format!("{label} speedup: {fs:.3} collapsed below 1/4 of baseline {bs:.3}")
+        });
+        gate_wall_loose(
+            r,
+            &format!("{label} seconds"),
+            num(b, "seconds", "baseline"),
+            num(f, "seconds", "fresh"),
+        );
+    }
+}
+
+/// Mesh-suite memory statistics are deterministic: exact gates only.
+fn check_table2(r: &mut Report, base: &Json, fresh: &Json, _tol: f64) {
+    let brows = rows_of(base, "table2_meshes", "baseline");
+    let frows = rows_of(fresh, "table2_meshes", "fresh");
+    for b in brows {
+        let matrix = b.str_field("matrix").expect("baseline row matrix");
+        let label = format!("table2 {matrix}");
+        let Some(f) = find_row(frows, &[("matrix", matrix)], &[]) else {
+            r.check(false, || format!("{label}: row missing from fresh run"));
+            continue;
+        };
+        for key in ["n", "nnz", "pmkl_lu_nnz"] {
+            gate_exact(
+                r,
+                &format!("{label} {key}"),
+                num(b, key, "baseline"),
+                num(f, key, "fresh"),
+            );
+        }
+    }
+}
+
 fn run_kind(kind: &str, r: &mut Report, base: &Json, fresh: &Json, tol: f64) {
     match kind {
         "fig6" => check_fig6(r, base, fresh, tol),
@@ -302,6 +412,9 @@ fn run_kind(kind: &str, r: &mut Report, base: &Json, fresh: &Json, tol: f64) {
         "streams" => check_streams(r, base, fresh, tol),
         "fig5" => check_fig5(r, base, fresh, tol),
         "table1" => check_table1(r, base, fresh, tol),
+        "fig7" => check_fig7(r, base, fresh, tol),
+        "fig8" => check_fig8(r, base, fresh, tol),
+        "table2" => check_table2(r, base, fresh, tol),
         other => {
             eprintln!("bench_check: unknown kind '{other}'");
             std::process::exit(2);
@@ -315,7 +428,8 @@ fn main() {
     let mut paths: Vec<String> = Vec::new();
     let usage = || -> ! {
         eprintln!(
-            "usage: bench_check --kind {{fig6|xyce|streams|fig5|table1}} \
+            "usage: bench_check --kind \
+             {{fig6|xyce|streams|fig5|table1|fig7|fig8|table2}} \
              BASELINE FRESH [--tolerance 0.25]"
         );
         std::process::exit(2);
@@ -425,7 +539,8 @@ mod tests {
         "scale": "bench", "wall_seconds": 0.1, "serial_seconds": 0.09,
         "steps_per_second": 4000.0, "os_threads_delta": 0, "worst_residual": 1e-12,
         "residual_ok": true, "steps": 400, "errors": 0, "factors": 10,
-        "refactors": 390, "batches": 120, "occupancy": 0.8, "max_queue_depth": 1}"#;
+        "refactors": 390, "batches": 120, "occupancy": 0.8, "max_queue_depth": 1,
+        "columns_assisted": 12, "tasks_joined": 3, "steal_attempts": 40}"#;
 
     #[test]
     fn streams_hard_invariants() {
@@ -478,5 +593,77 @@ mod tests {
         let slow = FIG5_BASE.replace("\"basker_seconds\": 0.01", "\"basker_seconds\": 0.2");
         let r = report_for("fig5", FIG5_BASE, &slow, 0.25);
         assert!(r.failures.iter().any(|f| f.contains("basker_seconds")));
+    }
+
+    #[test]
+    fn streams_assist_gates() {
+        // More assisted columns than probes is impossible by construction.
+        let bogus = STREAMS_BASE
+            .replace("\"columns_assisted\": 12", "\"columns_assisted\": 50")
+            .replace("\"steal_attempts\": 40", "\"steal_attempts\": 10");
+        let r = report_for("streams", STREAMS_BASE, &bogus, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("columns_assisted")));
+
+        // A width-1 run must never touch the assist registry.
+        let width1 = STREAMS_BASE.replace("\"team_width\": 4", "\"team_width\": 1");
+        let r = report_for("streams", STREAMS_BASE, &width1, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("width-1")));
+        let width1_clean = width1
+            .replace("\"columns_assisted\": 12", "\"columns_assisted\": 0")
+            .replace("\"tasks_joined\": 3", "\"tasks_joined\": 0")
+            .replace("\"steal_attempts\": 40", "\"steal_attempts\": 0");
+        let r = report_for("streams", STREAMS_BASE, &width1_clean, 0.25);
+        assert!(!r.failures.iter().any(|f| f.contains("width-1")));
+    }
+
+    const FIG7_BASE: &str = r#"[{"matrix": "Power0_like", "threads": 2,
+        "klu_seconds": 0.010, "basker1_seconds": 0.012, "baskerp_seconds": 0.009,
+        "pmkl1_seconds": 0.020, "pmklp_seconds": 0.015}]"#;
+
+    #[test]
+    fn fig7_wall_loose_and_finite_gates() {
+        let r = report_for("fig7", FIG7_BASE, FIG7_BASE, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+
+        // 10x is past the loose wall gate even on a noisy host.
+        let blown = FIG7_BASE.replace("\"baskerp_seconds\": 0.009", "\"baskerp_seconds\": 0.09");
+        let r = report_for("fig7", FIG7_BASE, &blown, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("baskerp_seconds")));
+
+        let missing = FIG7_BASE.replace("Power0_like", "other");
+        let r = report_for("fig7", FIG7_BASE, &missing, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("row missing")));
+    }
+
+    const FIG8_BASE: &str = r#"[{"solver": "basker", "matrix": "mesh_like", "threads": 2,
+        "seconds": 0.02, "speedup": 1.6}]"#;
+
+    #[test]
+    fn fig8_speedup_collapse_fails_but_host_noise_passes() {
+        let r = report_for("fig8", FIG8_BASE, FIG8_BASE, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+
+        // 1.6 -> 0.3 is below a quarter of baseline: a collapsed
+        // parallel path, not host weather.
+        let collapsed = FIG8_BASE.replace("\"speedup\": 1.6", "\"speedup\": 0.3");
+        let r = report_for("fig8", FIG8_BASE, &collapsed, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("speedup")));
+
+        // 1.6 -> 0.8 is a 2x swing: routine on a 1-CPU host, passes.
+        let noisy = FIG8_BASE.replace("\"speedup\": 1.6", "\"speedup\": 0.8");
+        let r = report_for("fig8", FIG8_BASE, &noisy, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+    }
+
+    const TABLE2_BASE: &str = r#"[{"matrix": "mesh_like_s1", "n": 900, "nnz": 4400,
+        "pmkl_lu_nnz": 21000}]"#;
+
+    #[test]
+    fn table2_memory_gated_exactly() {
+        let r = report_for("table2", TABLE2_BASE, TABLE2_BASE, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+        let drift = TABLE2_BASE.replace("\"pmkl_lu_nnz\": 21000", "\"pmkl_lu_nnz\": 21001");
+        let r = report_for("table2", TABLE2_BASE, &drift, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("pmkl_lu_nnz")));
     }
 }

@@ -3,16 +3,19 @@
 //! plus the headline geometric-mean speedups (paper: 5.91× on 16
 //! SandyBridge cores, 7.4× on 32 Phi cores, vs PMKL's 1.5× / 5.78×).
 //!
-//! Usage: `fig7_profiles [test|bench]` (default `bench`).
+//! Usage: `fig7_profiles [test|bench] [--json PATH]` (default `bench`).
+//! `--json` additionally writes the per-matrix timings as a JSON array
+//! (used for the checked-in `BENCH_fig7.json` baseline).
 
 use basker::SyncMode;
 use basker_bench::{
-    geometric_mean, performance_profile, print_markdown_table, run_solver, SolverKind,
+    geometric_mean, performance_profile, print_markdown_table, run_solver, BenchArgs, SolverKind,
 };
 use basker_matgen::table1_suite;
 
 fn main() {
-    let scale = basker_bench::scale_from_args("fig7_profiles");
+    let args = BenchArgs::parse("fig7_profiles", false);
+    let (scale, json_path) = (args.scale, args.json);
     let pmax = 2usize; // physical cores in this container
     println!("# Figure 7 analogue: performance profiles over the suite\n");
 
@@ -135,4 +138,26 @@ fn main() {
         ],
         &rows,
     );
+
+    if let Some(path) = json_path {
+        let mut out = String::from("[\n");
+        for i in 0..suite.len() {
+            out.push_str(&format!(
+                "  {{\"matrix\": \"{}\", \"threads\": {pmax}, \
+                 \"klu_seconds\": {:.6}, \"basker1_seconds\": {:.6}, \
+                 \"baskerp_seconds\": {:.6}, \"pmkl1_seconds\": {:.6}, \
+                 \"pmklp_seconds\": {:.6}}}{}\n",
+                names[i],
+                klu_t[i],
+                basker1_t[i],
+                baskerp_t[i],
+                pmkl1_t[i],
+                pmklp_t[i],
+                if i + 1 < suite.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(&path, out).expect("write json");
+        eprintln!("wrote {path}");
+    }
 }

@@ -7,14 +7,18 @@
 //! Gilbert–Peierls scales on its ideal inputs like a supernodal solver
 //! does on meshes.
 //!
-//! Usage: `fig8_ideal [test|bench]` (default `bench`).
+//! Usage: `fig8_ideal [test|bench] [--json PATH]` (default `bench`).
+//! `--json` additionally writes every (solver, matrix, threads) speedup
+//! point as a JSON array (used for the checked-in `BENCH_fig8.json`
+//! baseline).
 
 use basker::SyncMode;
-use basker_bench::{print_markdown_table, run_solver, trend_slope, SolverKind};
+use basker_bench::{print_markdown_table, run_solver, trend_slope, BenchArgs, SolverKind};
 use basker_matgen::{mesh_suite, table1_suite};
 
 fn main() {
-    let scale = basker_bench::scale_from_args("fig8_ideal");
+    let args = BenchArgs::parse("fig8_ideal", false);
+    let (scale, json_path) = (args.scale, args.json);
     let threads = [1usize, 2, 4];
     println!("# Figure 8 analogue: self-relative speedup on ideal inputs\n");
 
@@ -24,6 +28,7 @@ fn main() {
     let meshes = mesh_suite();
 
     let mut rows = Vec::new();
+    let mut jrows: Vec<(&str, &str, usize, f64, f64)> = Vec::new();
     let mut xs_b = Vec::new();
     let mut ys_b = Vec::new();
     let mut xs_p = Vec::new();
@@ -55,6 +60,7 @@ fn main() {
             .map(|r| r.factor_seconds)
             .unwrap_or(f64::NAN);
             let s = t1 / tp;
+            jrows.push(("Basker", e.name, p, tp, s));
             xs_b.push(p as f64);
             ys_b.push(s);
             rows.push(vec![
@@ -75,6 +81,7 @@ fn main() {
                 .map(|r| r.factor_seconds)
                 .unwrap_or(f64::NAN);
             let s = t1 / tp;
+            jrows.push(("PMKL", e.name, p, tp, s));
             xs_p.push(p as f64);
             ys_p.push(s);
             rows.push(vec![
@@ -96,4 +103,19 @@ fn main() {
          SandyBridge; ratio here {:.2}).",
         sb / sp
     );
+
+    if let Some(path) = json_path {
+        let mut out = String::from("[\n");
+        for (i, (solver, matrix, p, secs, speedup)) in jrows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"solver\": \"{solver}\", \"matrix\": \"{matrix}\", \
+                 \"threads\": {p}, \"seconds\": {secs:.6}, \
+                 \"speedup\": {speedup:.4}}}{}\n",
+                if i + 1 < jrows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(&path, out).expect("write json");
+        eprintln!("wrote {path}");
+    }
 }

@@ -30,7 +30,6 @@ use basker_matgen::{CircuitParams, Scale, XyceSequence, XyceSequenceParams};
 use basker_runtime::os_threads_spawned;
 use std::time::Instant;
 
-const TEAM_WIDTH: usize = 4;
 const RESIDUAL_LIMIT: f64 = 1e-7;
 
 fn sequence(k: usize, nsteps: usize, scale: Scale) -> XyceSequence {
@@ -92,11 +91,14 @@ fn main() {
     }
     let nstreams = positional.first().copied().unwrap_or(8).max(1);
     let nsteps = positional.get(1).copied().unwrap_or(50).max(2);
+    // Shared-team width: BASKER_NUM_THREADS when set (the CI matrix runs
+    // this harness at widths 1 and 4), 4 otherwise.
+    let team_width = basker::env_default_threads().unwrap_or(4);
 
     let seqs: Vec<XyceSequence> = (0..nstreams).map(|k| sequence(k, nsteps, scale)).collect();
     println!(
         "# Multi-stream service: {nstreams} concurrent transient streams, \
-         {nsteps} steps each, team width {TEAM_WIDTH}\n"
+         {nsteps} steps each, team width {team_width}\n"
     );
     println!(
         "streams: n = {} per stream, engines cycle basker/klu/snlu, \
@@ -105,7 +107,7 @@ fn main() {
     );
 
     // ---- the multiplexed run ------------------------------------------
-    let service = SolverService::new(&ServiceConfig::new().threads(TEAM_WIDTH));
+    let service = SolverService::new(&ServiceConfig::new().threads(team_width));
     let mut handles: Vec<_> = seqs
         .iter()
         .enumerate()
@@ -203,6 +205,10 @@ fn main() {
         "| factors / refactors | {} / {} |",
         stats.factors, stats.refactors
     );
+    println!(
+        "| assist: columns / tasks / probes | {} / {} / {} |",
+        stats.columns_assisted, stats.tasks_joined, stats.steal_attempts
+    );
     println!();
     for s in &stats.per_stream {
         println!(
@@ -227,11 +233,24 @@ fn main() {
     if scale == Scale::Test {
         assert!(residual_ok, "worst residual {worst:.2e}");
     }
+    if team_width == 1 {
+        // Zero-overhead single-core contract: a width-1 service runs
+        // every job inline on the caller — nothing to assist, nothing to
+        // steal, no scheduler atomics beyond task entry.
+        assert_eq!(
+            stats.steal_attempts, 0,
+            "width-1 service must never probe the assist registry"
+        );
+        assert_eq!(
+            stats.columns_assisted, 0,
+            "width-1 service must never run assisted work"
+        );
+    }
 
     if let Some(path) = json_path {
         let out = format!(
             "{{\n  \"nstreams\": {nstreams},\n  \"nsteps\": {nsteps},\n  \
-             \"team_width\": {TEAM_WIDTH},\n  \"scale\": \"{}\",\n  \
+             \"team_width\": {team_width},\n  \"scale\": \"{}\",\n  \
              \"wall_seconds\": {wall_seconds:.6},\n  \
              \"serial_seconds\": {serial_seconds:.6},\n  \
              \"steps_per_second\": {steps_per_second:.1},\n  \
@@ -241,7 +260,9 @@ fn main() {
              \"steps\": {},\n  \"errors\": {},\n  \
              \"factors\": {},\n  \"refactors\": {},\n  \
              \"batches\": {},\n  \"occupancy\": {:.4},\n  \
-             \"max_queue_depth\": {}\n}}\n",
+             \"max_queue_depth\": {},\n  \
+             \"columns_assisted\": {},\n  \"tasks_joined\": {},\n  \
+             \"steal_attempts\": {}\n}}\n",
             match scale {
                 Scale::Test => "test",
                 Scale::Bench => "bench",
@@ -253,6 +274,9 @@ fn main() {
             stats.batches,
             stats.occupancy,
             stats.max_queue_depth,
+            stats.columns_assisted,
+            stats.tasks_joined,
+            stats.steal_attempts,
         );
         std::fs::write(&path, out).expect("write json");
         eprintln!("wrote {path}");

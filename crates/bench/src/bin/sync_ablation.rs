@@ -1,20 +1,41 @@
-//! **§IV synchronization ablation** — Basker's point-to-point pipelined
-//! sync vs a full team barrier at every dependency level, on a
-//! `G2_Circuit`-like mesh matrix.
+//! **§IV synchronization ablation** — the work-assisting scheduler's
+//! assist-then-wait path vs the legacy escalating backoff vs a full team
+//! barrier at every dependency level, on a `G2_Circuit`-like mesh matrix.
 //!
 //! Paper numbers (8 cores, G2_Circuit): barrier-style synchronization
 //! costs 11 % of total runtime; point-to-point reduces it to 2.3 %
-//! (~79 % improvement). The shape to check: the point-to-point sync
-//! fraction is a small fraction of the barrier one, and total time drops.
+//! (~79 % improvement). The shape to check: both point-to-point variants
+//! keep the sync fraction a small fraction of the barrier one — and the
+//! assist path additionally converts blocked time into executed columns
+//! (the `columns_assisted` counter), which the backoff path by
+//! construction cannot.
+//!
+//! Modes measured:
+//! * `assist` — [`SyncMode::PointToPoint`]: blocked ranks join in-flight
+//!   assistable tasks (the default scheduler path);
+//! * `backoff` — [`SyncMode::Backoff`]: the pre-scheduler escalating
+//!   spin → yield → sleep loop, kept behind this flag as the transition
+//!   ablation;
+//! * `barrier` — [`SyncMode::Barrier`]: the naive level-synchronous
+//!   baseline.
 //!
 //! Usage: `sync_ablation [test|bench] [--json PATH]` (default `bench`).
-//! `--json` additionally writes the measured rows as a JSON array (used
-//! for the checked-in `BENCH_fig6.json` baseline).
+//! `--json` additionally writes the measured rows as a JSON array.
 
 use basker::{Basker, BaskerOptions, SyncMode};
 use basker_bench::BenchArgs;
 use basker_matgen::{mesh2d, Scale};
 use std::time::Instant;
+
+struct Row {
+    mode: &'static str,
+    threads: usize,
+    secs: f64,
+    frac: f64,
+    columns_assisted: u64,
+    tasks_joined: u64,
+    steal_attempts: u64,
+}
 
 fn main() {
     let args = BenchArgs::parse("sync_ablation", false);
@@ -29,14 +50,15 @@ fn main() {
         a.nrows(),
         a.nnz()
     );
-    println!("| mode | threads | numeric seconds | sync fraction |");
-    println!("|---|---|---|---|");
+    println!("| mode | threads | numeric seconds | sync fraction | cols assisted | tasks joined | steal attempts |");
+    println!("|---|---|---|---|---|---|---|");
 
     let threads = [1usize, 2, 4];
-    let mut rows: Vec<(&str, usize, f64, f64)> = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
     for (mode, name) in [
         (SyncMode::Barrier, "barrier"),
-        (SyncMode::PointToPoint, "point-to-point"),
+        (SyncMode::Backoff, "backoff"),
+        (SyncMode::PointToPoint, "assist"),
     ] {
         for &p in &threads {
             let sym = Basker::analyze(
@@ -50,51 +72,84 @@ fn main() {
             )
             .expect("analyze");
             // best of 3
-            let mut best_secs = f64::INFINITY;
-            let mut best_frac = 0.0;
+            let mut best: Option<Row> = None;
             for _ in 0..3 {
                 let t = Instant::now();
                 let num = sym.factor(&a).expect("factor");
                 let secs = t.elapsed().as_secs_f64();
-                if secs < best_secs {
-                    best_secs = secs;
-                    best_frac = num.stats.sync_fraction();
+                if best.as_ref().map_or(true, |b| secs < b.secs) {
+                    best = Some(Row {
+                        mode: name,
+                        threads: p,
+                        secs,
+                        frac: num.stats.sync_fraction(),
+                        columns_assisted: num.stats.columns_assisted,
+                        tasks_joined: num.stats.tasks_joined,
+                        steal_attempts: num.stats.steal_attempts,
+                    });
                 }
             }
+            let row = best.expect("at least one rep");
             println!(
-                "| {name} | {p} | {best_secs:.4} | {:.1}% |",
-                best_frac * 100.0
+                "| {name} | {p} | {:.4} | {:.1}% | {} | {} | {} |",
+                row.secs,
+                row.frac * 100.0,
+                row.columns_assisted,
+                row.tasks_joined,
+                row.steal_attempts
             );
-            rows.push((name, p, best_secs, best_frac));
+            // The ablation modes must never probe the assist registry —
+            // that is exactly what the flag disables.
+            if mode != SyncMode::PointToPoint {
+                assert_eq!(
+                    (row.columns_assisted, row.steal_attempts),
+                    (0, 0),
+                    "{name} mode must not assist"
+                );
+            }
+            // Single-thread zero-overhead contract: no waits, no probes.
+            if p == 1 {
+                assert_eq!(row.steal_attempts, 0, "p=1 must not reach the wait loop");
+            }
+            rows.push(row);
         }
     }
     println!();
+    let frac_of = |mode: &str, p: usize| {
+        rows.iter()
+            .find(|r| r.mode == mode && r.threads == p)
+            .unwrap()
+            .frac
+    };
     for &p in &threads[1..] {
-        let b = rows
-            .iter()
-            .find(|(n, q, _, _)| *n == "barrier" && *q == p)
-            .unwrap()
-            .3;
-        let s = rows
-            .iter()
-            .find(|(n, q, _, _)| *n == "point-to-point" && *q == p)
-            .unwrap()
-            .3;
+        let b = frac_of("barrier", p);
+        let o = frac_of("backoff", p);
+        let s = frac_of("assist", p);
         let improvement = if b > 0.0 { 100.0 * (b - s) / b } else { 0.0 };
         println!(
-            "{p} threads: barrier {:.1}% -> point-to-point {:.1}% \
-             ({improvement:.0}% reduction; paper: 11% -> 2.3%, ~79%).",
+            "{p} threads: barrier {:.1}% / backoff {:.1}% -> assist {:.1}% \
+             ({improvement:.0}% reduction vs barrier; paper: 11% -> 2.3%, ~79%).",
             b * 100.0,
+            o * 100.0,
             s * 100.0
         );
     }
 
     if let Some(path) = json_path {
         let mut out = String::from("[\n");
-        for (i, (name, p, secs, frac)) in rows.iter().enumerate() {
+        for (i, r) in rows.iter().enumerate() {
             out.push_str(&format!(
-                "  {{\"mode\": \"{name}\", \"threads\": {p}, \
-                 \"numeric_seconds\": {secs:.6}, \"sync_fraction\": {frac:.4}}}{}\n",
+                "  {{\"mode\": \"{}\", \"threads\": {}, \
+                 \"numeric_seconds\": {:.6}, \"sync_fraction\": {:.4}, \
+                 \"columns_assisted\": {}, \"tasks_joined\": {}, \
+                 \"steal_attempts\": {}}}{}\n",
+                r.mode,
+                r.threads,
+                r.secs,
+                r.frac,
+                r.columns_assisted,
+                r.tasks_joined,
+                r.steal_attempts,
                 if i + 1 < rows.len() { "," } else { "" },
             ));
         }

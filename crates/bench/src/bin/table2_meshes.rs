@@ -1,21 +1,26 @@
 //! **Table II reproduction** — the 2/3-D mesh problems used to measure
 //! the supernodal comparator at its best (paper §V-E).
 //!
-//! Usage: `table2_meshes [test|bench]` (default `bench`).
+//! Usage: `table2_meshes [test|bench] [--json PATH]` (default `bench`).
+//! `--json` additionally writes the deterministic memory statistics as a
+//! JSON array (used for the checked-in `BENCH_table2.json` baseline).
 
-use basker_bench::{analyze, fmt_eng, print_markdown_table, SolverKind};
+use basker_bench::{analyze, fmt_eng, print_markdown_table, BenchArgs, SolverKind};
 use basker_matgen::mesh_suite;
 
 fn main() {
-    let scale = basker_bench::scale_from_args("table2_meshes");
+    let args = BenchArgs::parse("table2_meshes", false);
+    let (scale, json_path) = (args.scale, args.json);
     println!("# Table II analogue: 2/3D mesh problems (PMKL's ideal inputs)\n");
     let mut rows = Vec::new();
+    let mut jrows: Vec<(String, usize, usize, f64)> = Vec::new();
     for e in mesh_suite() {
         let a = e.generate(scale);
         let lu = analyze(&a, SolverKind::Pmkl { threads: 2 })
             .and_then(|h| h.factor(&a).map_err(|e| e.to_string()))
             .map(|n| n.stats().lu_nnz as f64)
             .unwrap_or(f64::NAN);
+        jrows.push((e.name.to_string(), a.nrows(), a.nnz(), lu));
         rows.push(vec![
             e.name.to_string(),
             a.nrows().to_string(),
@@ -41,4 +46,18 @@ fn main() {
         ],
         &rows,
     );
+
+    if let Some(path) = json_path {
+        let mut out = String::from("[\n");
+        for (i, (matrix, n, nnz, lu)) in jrows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"matrix\": \"{matrix}\", \"n\": {n}, \"nnz\": {nnz}, \
+                 \"pmkl_lu_nnz\": {lu:.0}}}{}\n",
+                if i + 1 < jrows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(&path, out).expect("write json");
+        eprintln!("wrote {path}");
+    }
 }

@@ -57,6 +57,7 @@ impl SolverKind {
         match self {
             SolverKind::Basker { threads, sync } => match sync {
                 SyncMode::PointToPoint => format!("Basker(p={threads})"),
+                SyncMode::Backoff => format!("Basker-backoff(p={threads})"),
                 SyncMode::Barrier => format!("Basker-barrier(p={threads})"),
             },
             SolverKind::Klu => "KLU".to_string(),

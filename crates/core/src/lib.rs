@@ -46,7 +46,7 @@ pub mod symbolic;
 pub mod sync;
 
 pub use stats::BaskerStats;
-pub use sync::SyncMode;
+pub use sync::{AssistTally, SyncMode};
 
 use crate::fine_btf::{factor_small_blocks, partition_by_flops, SmallBlock};
 use crate::parnum::{factor_nd_parallel, NdFactors};
@@ -225,6 +225,7 @@ impl Basker {
         // Fine ND path: each large block with the whole team.
         let mut factors: Vec<BlockFactors> = Vec::with_capacity(st.nblocks());
         let mut sync_wait = vec![0u64; inner.threads];
+        let mut assist = AssistTally::default();
         let mut nd_blocks_ct = 0usize;
         for b in 0..st.nblocks() {
             match &st.kinds[b] {
@@ -247,6 +248,7 @@ impl Basker {
                     for (t, w) in f.wait_ns.iter().enumerate() {
                         sync_wait[t] += w;
                     }
+                    assist.merge(f.assist);
                     nd_blocks_ct += 1;
                     factors.push(BlockFactors::Nd { blocks, f });
                 }
@@ -267,6 +269,9 @@ impl Basker {
             flops,
             numeric_seconds: t0.elapsed().as_secs_f64(),
             sync_wait_ns: sync_wait,
+            columns_assisted: assist.columns_assisted,
+            tasks_joined: assist.tasks_joined,
+            steal_attempts: assist.steal_attempts,
             btf_blocks: st.nblocks(),
             nd_blocks: nd_blocks_ct,
             threads: inner.threads,

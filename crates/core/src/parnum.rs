@@ -35,7 +35,7 @@
 
 use crate::reduce::{reduce_col, ReduceWorkspace};
 use crate::structure::{NdBlocks, NdStructure};
-use crate::sync::{ColumnSlots, Slot, SyncMode, TeamSync, WaitClock};
+use crate::sync::{AssistTally, ColumnSlots, Slot, SyncMode, TeamSync, WaitCtx};
 use basker_klu::gp::{lsolve_col, BlockColumnFactorizer, BlockLu, LsolveWorkspace};
 use basker_sparse::col::cols_to_csc;
 use basker_sparse::{CscMat, Result, SparseCol, SparseError};
@@ -51,10 +51,13 @@ pub struct NdFactors {
     /// the panel `U_{k,v}` in `k`'s pivotal row coordinates.
     pub fact_upper: Vec<Vec<CscMat>>,
     /// Per-thread nanoseconds spent blocked on synchronization (one
-    /// entry per rank of the team that produced these factors).
+    /// entry per rank of the team that produced these factors). Time a
+    /// blocked rank spent *assisting* other work is excluded.
     pub wait_ns: Vec<u64>,
     /// Numeric flops of the factorization kernels.
     pub flops: f64,
+    /// Assist-loop activity summed over the team's ranks.
+    pub assist: AssistTally,
 }
 
 impl NdFactors {
@@ -141,15 +144,15 @@ pub fn factor_nd_parallel(
     let slots = PipelineSlots::new(st);
     let team = TeamSync::new(mode, p);
     let error: Mutex<Option<SparseError>> = Mutex::new(None);
-    let clocks: Vec<WaitClock> = (0..p).map(|_| WaitClock::new()).collect();
+    let ctxs: Vec<WaitCtx> = (0..p).map(|_| WaitCtx::new(mode)).collect();
 
-    pool.broadcast(|ctx| {
-        let t = ctx.index();
+    pool.broadcast(|bctx| {
+        let t = bctx.index();
         if t >= p {
             return;
         }
         worker(
-            t, blocks, st, pivot_tol, col_offset, &slots, &team, &error, &clocks[t], levels,
+            t, blocks, st, pivot_tol, col_offset, &slots, &team, &error, &ctxs[t], levels,
         );
     });
 
@@ -183,11 +186,16 @@ pub fn factor_nd_parallel(
         })
         .collect();
     let flops = fact_diag.iter().map(|b| b.flops).sum();
+    let mut assist = AssistTally::default();
+    for c in &ctxs {
+        assist.merge(c.tally());
+    }
     Ok(NdFactors {
         fact_diag,
         fact_upper,
-        wait_ns: clocks.iter().map(|c| c.total_ns()).collect(),
+        wait_ns: ctxs.iter().map(|c| c.wait_ns()).collect(),
         flops,
+        assist,
     })
 }
 
@@ -204,6 +212,17 @@ struct WorkerScratch {
     reduce: ReduceWorkspace,
 }
 
+thread_local! {
+    /// Lsolve scratch for assistable leaf-panel columns. Thread-local
+    /// (rather than the rank's [`WorkerScratch`]) because an *assisting*
+    /// thread is a foreign rank — or a service worker — that arrives
+    /// without the owner's scratch; and the owner itself may hold a
+    /// `&mut` borrow of its `WorkerScratch` elsewhere on the stack. Leaf
+    /// items never wait, so the `RefCell` borrow cannot re-enter.
+    static ASSIST_LSOLVE: std::cell::RefCell<LsolveWorkspace> =
+        std::cell::RefCell::new(LsolveWorkspace::new());
+}
+
 #[allow(clippy::too_many_arguments)]
 fn worker(
     t: usize,
@@ -214,7 +233,7 @@ fn worker(
     slots: &PipelineSlots,
     team: &TeamSync,
     error: &Mutex<Option<SparseError>>,
-    clock: &WaitClock,
+    ctx: &WaitCtx,
     levels: usize,
 ) {
     let my_leaf = st.leaf_of_thread[t];
@@ -246,7 +265,7 @@ fn worker(
             }
         }
     }
-    team.phase(clock);
+    team.phase(ctx);
 
     // ---- separator block columns, bottom-up (lines 9-31) ----
     for slevel in 1..=levels {
@@ -259,12 +278,33 @@ fn worker(
         {
             let panel = &slots.upper[j][my_leaf - start];
             let a = &blocks.upper[j][my_leaf - start];
-            match slots.diag[my_leaf].wait(clock).as_ref() {
+            match slots.diag[my_leaf].wait(ctx).as_ref() {
                 Some(blu) => {
-                    for c in 0..nb {
-                        let col =
-                            lsolve_col(blu, a.col_rows(c), a.col_values(c), &mut scratch.lsolve);
-                        panel.publish(c, Some(col));
+                    if team.mode() == SyncMode::PointToPoint && nb > 1 {
+                        // Register the remaining panel columns as
+                        // assistable work: a rank blocked on one of these
+                        // columns claims and solves it itself instead of
+                        // spinning on the slot. Columns are independent
+                        // (lsolve + publish, no waits inside), so an
+                        // assister can never re-enter the scheduler from
+                        // within an item.
+                        basker_runtime::run_assistable(nb, |c| {
+                            ASSIST_LSOLVE.with(|ws| {
+                                let mut ws = ws.borrow_mut();
+                                let col = lsolve_col(blu, a.col_rows(c), a.col_values(c), &mut ws);
+                                panel.publish(c, Some(col));
+                            });
+                        });
+                    } else {
+                        for c in 0..nb {
+                            let col = lsolve_col(
+                                blu,
+                                a.col_rows(c),
+                                a.col_values(c),
+                                &mut scratch.lsolve,
+                            );
+                            panel.publish(c, Some(col));
+                        }
                     }
                 }
                 None => {
@@ -274,16 +314,16 @@ fn worker(
                 }
             }
         }
-        team.phase(clock);
+        team.phase(ctx);
 
         // treelevels 1..slevel-1: inner separator panels (lines 15-21),
         // streamed per column over the descendants' panel columns.
         for lv in 1..slevel {
             let s = st.ancestors[my_leaf][lv - 1];
             if st.owner[s] == t {
-                separator_panel_columns(blocks, st, j, s, start, slots, clock, &mut scratch);
+                separator_panel_columns(blocks, st, j, s, start, slots, ctx, &mut scratch);
             }
-            team.phase(clock);
+            team.phase(ctx);
         }
 
         // treelevel slevel: distributed reductions (lines 18 & 24) and
@@ -296,7 +336,7 @@ fn worker(
         // waits + L-block lookups), then stream columns through them.
         let my_targets: Vec<TargetReduction<'_>> = (0..ntargets)
             .filter(|i| i % gsize == my_rank)
-            .map(|idx| prepare_target(blocks, st, j, idx, slots, clock))
+            .map(|idx| prepare_target(blocks, st, j, idx, slots, ctx))
             .collect();
 
         if team.mode() == SyncMode::Barrier {
@@ -312,13 +352,13 @@ fn worker(
                         start,
                         c,
                         slots,
-                        clock,
+                        ctx,
                         &mut scratch,
                         &mut red_terms,
                     );
                 }
             }
-            team.phase(clock);
+            team.phase(ctx);
             if is_owner {
                 owner_factor_columns(
                     st,
@@ -328,12 +368,12 @@ fn worker(
                     pivot_tol,
                     col_offset,
                     slots,
-                    clock,
+                    ctx,
                     &record_err,
                     &mut below_cols,
                 );
             }
-            team.phase(clock);
+            team.phase(ctx);
         } else if is_owner {
             // Pipelined: the owner interleaves its reduction columns
             // with the elimination of each column the moment that
@@ -355,7 +395,7 @@ fn worker(
                         start,
                         c,
                         slots,
-                        clock,
+                        ctx,
                         &mut scratch,
                         &mut red_terms,
                     );
@@ -367,7 +407,7 @@ fn worker(
                         c,
                         ntargets,
                         slots,
-                        clock,
+                        ctx,
                         &record_err,
                         &mut below_cols,
                     );
@@ -388,7 +428,7 @@ fn worker(
                         start,
                         c,
                         slots,
-                        clock,
+                        ctx,
                         &mut scratch,
                         &mut red_terms,
                     );
@@ -411,7 +451,7 @@ fn separator_panel_columns(
     s: usize,
     start: usize,
     slots: &PipelineSlots,
-    clock: &WaitClock,
+    ctx: &WaitCtx,
     scratch: &mut WorkerScratch,
 ) {
     let out = &slots.upper[j][s - start];
@@ -421,7 +461,7 @@ fn separator_panel_columns(
     // are (or will shortly be) published by earlier tree levels.
     let mut lblocks: Vec<&CscMat> = Vec::with_capacity(s - st.subtree_start[s]);
     for k in st.descendants(s) {
-        match slots.diag[k].wait(clock).as_ref() {
+        match slots.diag[k].wait(ctx).as_ref() {
             Some(d_k) => lblocks.push(&d_k.below[anc_pos(st, k, s)]),
             None => {
                 for c in 0..nb {
@@ -431,7 +471,7 @@ fn separator_panel_columns(
             }
         }
     }
-    let Some(d_s) = slots.diag[s].wait(clock).as_ref() else {
+    let Some(d_s) = slots.diag[s].wait(ctx).as_ref() else {
         for c in 0..nb {
             out.publish(c, None);
         }
@@ -442,7 +482,7 @@ fn separator_panel_columns(
     'col: for c in 0..nb {
         terms.clear();
         for (ki, k) in st.descendants(s).enumerate() {
-            match slots.upper[j][k - start].wait(c, clock) {
+            match slots.upper[j][k - start].wait(c, ctx) {
                 Some(ucol) => {
                     if lblocks[ki].nnz() > 0 && !ucol.rows.is_empty() {
                         terms.push((lblocks[ki], &ucol.rows, &ucol.vals));
@@ -488,7 +528,7 @@ fn prepare_target<'a>(
     j: usize,
     idx: usize,
     slots: &'a PipelineSlots,
-    clock: &WaitClock,
+    ctx: &WaitCtx,
 ) -> TargetReduction<'a> {
     let (tgt, a_tgt) = if idx == 0 {
         (j, &blocks.diag[j])
@@ -498,7 +538,7 @@ fn prepare_target<'a>(
     let trows = st.nd.nodes[tgt].len();
     let mut lblocks: Vec<&CscMat> = Vec::with_capacity(j - st.subtree_start[j]);
     for k in st.descendants(j) {
-        match slots.diag[k].wait(clock).as_ref() {
+        match slots.diag[k].wait(ctx).as_ref() {
             Some(d_k) => lblocks.push(&d_k.below[anc_pos(st, k, tgt)]),
             None => {
                 return TargetReduction {
@@ -530,7 +570,7 @@ fn reduce_target_col<'a>(
     start: usize,
     c: usize,
     slots: &'a PipelineSlots,
-    clock: &WaitClock,
+    ctx: &WaitCtx,
     scratch: &mut WorkerScratch,
     terms: &mut Vec<(&'a CscMat, &'a [usize], &'a [f64])>,
 ) {
@@ -541,7 +581,7 @@ fn reduce_target_col<'a>(
     };
     terms.clear();
     for (ki, k) in st.descendants(j).enumerate() {
-        match slots.upper[j][k - start].wait(c, clock) {
+        match slots.upper[j][k - start].wait(c, ctx) {
             Some(ucol) => {
                 if lblocks[ki].nnz() > 0 && !ucol.rows.is_empty() {
                     terms.push((lblocks[ki], &ucol.rows, &ucol.vals));
@@ -576,17 +616,17 @@ fn owner_factor_one<'a>(
     c: usize,
     ntargets: usize,
     slots: &'a PipelineSlots,
-    clock: &WaitClock,
+    ctx: &WaitCtx,
     record_err: &impl Fn(SparseError),
     below_cols: &mut Vec<(&'a [usize], &'a [f64])>,
 ) -> bool {
-    let diag_col = match slots.red[j][0].wait(c, clock) {
+    let diag_col = match slots.red[j][0].wait(c, ctx) {
         Some(col) => col,
         None => return false,
     };
     below_cols.clear();
     for idx in 1..ntargets {
-        match slots.red[j][idx].wait(c, clock) {
+        match slots.red[j][idx].wait(c, ctx) {
             Some(col) => below_cols.push((col.rows.as_slice(), col.vals.as_slice())),
             None => return false,
         }
@@ -612,7 +652,7 @@ fn owner_factor_columns<'a>(
     pivot_tol: f64,
     col_offset: usize,
     slots: &'a PipelineSlots,
-    clock: &WaitClock,
+    ctx: &WaitCtx,
     record_err: &impl Fn(SparseError),
     below_cols: &mut Vec<(&'a [usize], &'a [f64])>,
 ) {
@@ -623,9 +663,7 @@ fn owner_factor_columns<'a>(
     let off = col_offset + st.nd.nodes[j].range.start;
     let mut fac = BlockColumnFactorizer::new(nb, &below_nrows, pivot_tol, off);
     for c in 0..nb {
-        if !owner_factor_one(
-            &mut fac, j, c, ntargets, slots, clock, record_err, below_cols,
-        ) {
+        if !owner_factor_one(&mut fac, j, c, ntargets, slots, ctx, record_err, below_cols) {
             slots.diag[j].publish(None);
             return;
         }
@@ -766,6 +804,11 @@ mod tests {
     }
 
     #[test]
+    fn four_threads_backoff() {
+        run_case(7, 4, SyncMode::Backoff);
+    }
+
+    #[test]
     fn eight_threads_oversubscribed() {
         run_case(8, 8, SyncMode::PointToPoint);
     }
@@ -799,10 +842,16 @@ mod tests {
         let fp =
             factor_nd_parallel(&blocks, st, 0.001, SyncMode::PointToPoint, 0, &pool(4)).unwrap();
         let fb = factor_nd_parallel(&blocks, st, 0.001, SyncMode::Barrier, 0, &pool(4)).unwrap();
+        let fo = factor_nd_parallel(&blocks, st, 0.001, SyncMode::Backoff, 0, &pool(4)).unwrap();
         for v in 0..st.nnodes() {
             assert_eq!(fp.fact_diag[v].u.values(), fb.fact_diag[v].u.values());
             assert_eq!(fp.fact_diag[v].l.values(), fb.fact_diag[v].l.values());
+            assert_eq!(fp.fact_diag[v].u.values(), fo.fact_diag[v].u.values());
         }
+        // Only the assist mode performs steal probes; the ablation modes
+        // must leave the counters untouched.
+        assert_eq!(fb.assist, AssistTally::default());
+        assert_eq!(fo.assist, AssistTally::default());
     }
 
     #[test]

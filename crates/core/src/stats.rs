@@ -11,8 +11,16 @@ pub struct BaskerStats {
     /// Wall-clock seconds of the numeric phase.
     pub numeric_seconds: f64,
     /// Per-thread nanoseconds spent blocked on synchronization (summed
-    /// over all ND blocks); empty when no ND block exists.
+    /// over all ND blocks); empty when no ND block exists. Time a
+    /// blocked thread spent assisting other work is excluded.
     pub sync_wait_ns: Vec<u64>,
+    /// Work items (pipeline columns, worklist jobs) executed by blocked
+    /// threads through the assist loop, summed over all ND blocks.
+    pub columns_assisted: u64,
+    /// Distinct scheduler tasks joined by blocked threads.
+    pub tasks_joined: u64,
+    /// Assist probes issued by blocked threads (hits and misses).
+    pub steal_attempts: u64,
     /// Number of BTF blocks.
     pub btf_blocks: usize,
     /// Number of BTF blocks handled by the ND path.

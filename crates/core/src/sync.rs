@@ -7,19 +7,28 @@
 //! (Release) and spin-read (Acquire) by consumers.
 //!
 //! [`Slot`] packages that protocol: `publish` stores the value and flips
-//! the flag; `wait` spins (with escalating backoff: spin → yield →
-//! sleep, so oversubscribed hosts don't starve the producer) until the
-//! flag is set, counting the time spent so the sync-overhead ablation
-//! (paper: barrier 11 % vs point-to-point 2.3 % on `G2_Circuit`) can be
-//! measured. [`ColumnSlots`] arranges one slot **per column** of a
-//! pipelined block-column producer — the layout behind the paper's
-//! column-at-a-time separator factorization, where a consumer picks up
-//! column `c` while the producer works on `c + 1`.
+//! the flag; `wait` runs an **assist-then-wait** loop — a brief spin
+//! catches the fast hand-off, after which the blocked rank joins any
+//! in-flight assistable task ([`basker_runtime::try_assist`]) instead of
+//! sleeping, so waiting threads contribute work (another column, another
+//! BTF block, another stream's job) rather than burn timeslices. Time
+//! spent genuinely idle is counted (assist run time is excluded) so the
+//! sync-overhead ablation (paper: barrier 11 % vs point-to-point 2.3 %
+//! on `G2_Circuit`) can be measured. [`ColumnSlots`] arranges one slot
+//! **per column** of a pipelined block-column producer — the layout
+//! behind the paper's column-at-a-time separator factorization, where a
+//! consumer picks up column `c` while the producer works on `c + 1`.
 //!
-//! The barrier comparison mode is provided by [`TeamSync`], which either
-//! no-ops (`PointToPoint`) or runs a full team barrier (`Barrier`) at
-//! every structural phase boundary, mimicking a naive sequence of
-//! parallel-for launches.
+//! Waiting is parameterized by [`WaitCtx`], which carries the wait clock,
+//! the per-rank assist counters, and the strategy: [`SyncMode::
+//! PointToPoint`] waits assist; [`SyncMode::Backoff`] keeps the legacy
+//! escalating spin → yield → sleep loop (the pre-scheduler behavior,
+//! retained as an ablation flag during the transition); [`SyncMode::
+//! Barrier`] also uses the legacy loop for its (barrier-bounded) slot
+//! waits. The barrier comparison mode itself is provided by [`TeamSync`],
+//! which either no-ops (point-to-point modes) or runs a full team barrier
+//! (`Barrier`) at every structural phase boundary, mimicking a naive
+//! sequence of parallel-for launches.
 //!
 //! # Memory-ordering audit
 //!
@@ -54,8 +63,14 @@ use std::time::Instant;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SyncMode {
     /// Producer/consumer flags between dependent threads only (Basker's
-    /// scheme).
+    /// scheme), with blocked ranks **assisting** in-flight tasks instead
+    /// of backing off. The default.
     PointToPoint,
+    /// Producer/consumer flags with the legacy escalating
+    /// spin → yield → sleep backoff instead of assists — the
+    /// pre-scheduler behavior, kept behind this flag as an ablation
+    /// point during the work-assisting transition.
+    Backoff,
     /// Full team barrier at every dependency level (the naive
     /// data-parallel baseline the paper measures against).
     Barrier,
@@ -125,32 +140,58 @@ impl<T> Slot<T> {
         }
     }
 
-    /// Spins until the value is published, accumulating wait time into
-    /// `waits`.
-    pub fn wait<'a>(&'a self, waits: &WaitClock) -> &'a T {
+    /// Blocks until the value is published, accumulating *idle* time into
+    /// `ctx`'s clock. In assist mode (the [`SyncMode::PointToPoint`]
+    /// default) the blocked thread joins in-flight assistable tasks
+    /// between polls; time spent running assisted work is useful work and
+    /// is **excluded** from the recorded wait.
+    pub fn wait<'a>(&'a self, ctx: &WaitCtx) -> &'a T {
         if let Some(v) = self.try_get() {
             return v;
         }
-        let start = Instant::now();
+        let mut idle = 0u64;
+        let mut seg = Instant::now();
         let mut spins = 0u32;
         loop {
             if let Some(v) = self.try_get() {
-                waits.add(start.elapsed().as_nanos() as u64);
+                ctx.clock.add(idle + seg.elapsed().as_nanos() as u64);
                 return v;
             }
             spins = spins.saturating_add(1);
-            // Escalating backoff: a brief spin catches the fast
-            // hand-off, a yield phase lets a ready producer run, and a
-            // sleep phase handles far-away dependencies — essential
-            // when ranks outnumber cores, where a spinning waiter
-            // would otherwise steal the producer's timeslices.
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else if spins < 256 {
-                std::thread::yield_now();
+            if ctx.assist {
+                // Assist-then-wait: a brief spin catches the fast
+                // hand-off; past that, join someone else's in-flight
+                // work instead of sleeping. `spins` resets after an
+                // assist so the cheap poll phase runs again — the
+                // awaited column may have landed meanwhile.
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    let pre = seg.elapsed().as_nanos() as u64;
+                    ctx.steal_attempts.fetch_add(1, Ordering::Relaxed);
+                    if let Some(id) = basker_runtime::try_assist() {
+                        idle += pre;
+                        ctx.note_assist(id);
+                        seg = Instant::now();
+                        spins = 0;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
             } else {
-                let us = (spins - 255).min(50) as u64;
-                std::thread::sleep(std::time::Duration::from_micros(us));
+                // Legacy escalating backoff (SyncMode::Backoff ablation,
+                // and the barrier baseline's slot waits): a brief spin, a
+                // yield phase, then sleeps — essential when ranks
+                // outnumber cores, where a spinning waiter would
+                // otherwise steal the producer's timeslices.
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else if spins < 256 {
+                    std::thread::yield_now();
+                } else {
+                    let us = (spins - 255).min(50) as u64;
+                    std::thread::sleep(std::time::Duration::from_micros(us));
+                }
             }
         }
     }
@@ -194,10 +235,10 @@ impl<T> ColumnSlots<T> {
         self.cols[c].publish(value);
     }
 
-    /// Spins until column `c` is published; `None` means the producer
-    /// poisoned it (upstream numeric failure).
-    pub fn wait<'a>(&'a self, c: usize, waits: &WaitClock) -> Option<&'a T> {
-        self.cols[c].wait(waits).as_ref()
+    /// Blocks (assisting) until column `c` is published; `None` means the
+    /// producer poisoned it (upstream numeric failure).
+    pub fn wait<'a>(&'a self, c: usize, ctx: &WaitCtx) -> Option<&'a T> {
+        self.cols[c].wait(ctx).as_ref()
     }
 
     /// Consumes the slots, yielding each column in order (`None` for
@@ -230,6 +271,87 @@ impl WaitClock {
     }
 }
 
+/// Snapshot of one rank's (or one factorization's, when summed)
+/// assist-loop activity: how much foreign work was run while blocked.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AssistTally {
+    /// Work items (pipeline columns, worklist jobs) executed while
+    /// blocked on a slot.
+    pub columns_assisted: u64,
+    /// Distinct tasks joined by the assist loop.
+    pub tasks_joined: u64,
+    /// Assist probes issued (hits and misses) — the analogue of a
+    /// work-stealing scheduler's steal attempts.
+    pub steal_attempts: u64,
+}
+
+impl AssistTally {
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: AssistTally) {
+        self.columns_assisted += other.columns_assisted;
+        self.tasks_joined += other.tasks_joined;
+        self.steal_attempts += other.steal_attempts;
+    }
+}
+
+/// Per-rank wait context: the wait clock plus the assist strategy and
+/// counters. One per team rank; every blocking primitive in the numeric
+/// phase ([`Slot::wait`], [`ColumnSlots::wait`], [`TeamSync::phase`])
+/// threads a `&WaitCtx` so waits are observable and, in assist mode,
+/// productive.
+///
+/// All counters are Relaxed atomics for the same reason as [`WaitClock`]:
+/// each context is written by one rank and aggregated only after the team
+/// joins, which supplies the happens-before edge.
+pub struct WaitCtx {
+    clock: WaitClock,
+    /// Whether blocked waits should join in-flight assistable tasks
+    /// (true only for [`SyncMode::PointToPoint`]).
+    assist: bool,
+    columns_assisted: AtomicU64,
+    tasks_joined: AtomicU64,
+    steal_attempts: AtomicU64,
+    /// Id of the last task assisted (0 = none yet) — detects joins of a
+    /// *new* task vs repeat items of the same one.
+    last_task: AtomicU64,
+}
+
+impl WaitCtx {
+    /// A fresh context using `mode`'s wait strategy.
+    pub fn new(mode: SyncMode) -> Self {
+        WaitCtx {
+            clock: WaitClock::new(),
+            assist: mode == SyncMode::PointToPoint,
+            columns_assisted: AtomicU64::new(0),
+            tasks_joined: AtomicU64::new(0),
+            steal_attempts: AtomicU64::new(0),
+            last_task: AtomicU64::new(0),
+        }
+    }
+
+    /// Total idle nanoseconds recorded (assist run time excluded).
+    pub fn wait_ns(&self) -> u64 {
+        self.clock.total_ns()
+    }
+
+    /// The assist counters recorded so far.
+    pub fn tally(&self) -> AssistTally {
+        AssistTally {
+            columns_assisted: self.columns_assisted.load(Ordering::Relaxed),
+            tasks_joined: self.tasks_joined.load(Ordering::Relaxed),
+            steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records one successfully assisted work item of task `id`.
+    fn note_assist(&self, id: u64) {
+        self.columns_assisted.fetch_add(1, Ordering::Relaxed);
+        if self.last_task.swap(id, Ordering::Relaxed) != id {
+            self.tasks_joined.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Team-wide synchronization used only in [`SyncMode::Barrier`] mode.
 pub struct TeamSync {
     mode: SyncMode,
@@ -251,13 +373,13 @@ impl TeamSync {
     }
 
     /// In `Barrier` mode, blocks until all `p` threads arrive (counting
-    /// the wait); in `PointToPoint` mode this is a no-op — the slots carry
-    /// all ordering.
-    pub fn phase(&self, waits: &WaitClock) {
+    /// the wait); in the point-to-point modes this is a no-op — the slots
+    /// carry all ordering.
+    pub fn phase(&self, ctx: &WaitCtx) {
         if self.mode == SyncMode::Barrier {
             let start = Instant::now();
             self.barrier.wait();
-            waits.add(start.elapsed().as_nanos() as u64);
+            ctx.clock.add(start.elapsed().as_nanos() as u64);
         }
     }
 }
@@ -273,9 +395,14 @@ mod tests {
         assert!(s.try_get().is_none());
         s.publish(vec![1, 2, 3]);
         assert_eq!(s.try_get().unwrap(), &vec![1, 2, 3]);
-        let w = WaitClock::new();
+        let w = WaitCtx::new(SyncMode::PointToPoint);
         assert_eq!(s.wait(&w), &vec![1, 2, 3]);
-        assert_eq!(w.total_ns(), 0, "no waiting when already published");
+        assert_eq!(w.wait_ns(), 0, "no waiting when already published");
+        assert_eq!(
+            w.tally(),
+            AssistTally::default(),
+            "no assist activity on the fast path"
+        );
         assert_eq!(s.into_inner(), Some(vec![1, 2, 3]));
     }
 
@@ -313,7 +440,7 @@ mod tests {
                 1,
                 "exactly one publish must win"
             );
-            let w = WaitClock::new();
+            let w = WaitCtx::new(SyncMode::PointToPoint);
             let got = *s.wait(&w);
             assert!(got == 1 || got == 2);
         }
@@ -325,7 +452,7 @@ mod tests {
             let s: Arc<Slot<u64>> = Arc::new(Slot::new());
             let s2 = s.clone();
             let h = std::thread::spawn(move || {
-                let w = WaitClock::new();
+                let w = WaitCtx::new(SyncMode::PointToPoint);
                 *s2.wait(&w)
             });
             std::thread::yield_now();
@@ -343,7 +470,7 @@ mod tests {
             for t in 0..4 {
                 let slots = slots.clone();
                 scope.spawn(move || {
-                    let w = WaitClock::new();
+                    let w = WaitCtx::new(SyncMode::PointToPoint);
                     // produce my slots
                     for i in (0..64).filter(|i| i % 4 == t) {
                         slots[i].publish(i * 10);
@@ -367,7 +494,7 @@ mod tests {
         std::thread::scope(|scope| {
             for _ in 0..3 {
                 scope.spawn(|| {
-                    let w = WaitClock::new();
+                    let w = WaitCtx::new(SyncMode::Barrier);
                     counter.fetch_add(1, Ordering::SeqCst);
                     ts.phase(&w);
                     // After the barrier every increment is visible.
@@ -380,8 +507,8 @@ mod tests {
     #[test]
     fn p2p_mode_phase_is_noop() {
         let ts = TeamSync::new(SyncMode::PointToPoint, 8);
-        let w = WaitClock::new();
+        let w = WaitCtx::new(SyncMode::PointToPoint);
         ts.phase(&w); // would deadlock in Barrier mode with 1 caller
-        assert_eq!(w.total_ns(), 0);
+        assert_eq!(w.wait_ns(), 0);
     }
 }

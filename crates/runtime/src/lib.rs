@@ -31,18 +31,29 @@
 //!
 //! Every concurrently-live rank of a broadcast genuinely runs on its own
 //! OS thread (except the width-1 fast path, which runs inline on the
-//! caller): Basker's spin-wait slot hand-off requires all team members to
-//! make progress at once, so no sequential fallback is possible.
+//! caller): Basker's slot hand-off requires all team members to make
+//! progress at once, so no sequential fallback is possible.
+//!
+//! Since the work-assisting refactor, both entry points execute through
+//! the **single task loop** of the `task` module: a broadcast is an
+//! SPMD `TaskCore` whose participants claim their rank from the
+//! shared work index, and a worklist is a claim-loop task *registered
+//! for assistance*, so a rank blocked elsewhere (e.g. on a
+//! not-yet-published pipeline column) can [`try_assist`] and run queued
+//! jobs instead of spinning.
 
 #![warn(missing_docs)]
 
-use std::any::Any;
+mod task;
+
+pub use task::{assist_counters, run_assistable, try_assist, AssistCounters};
+
 use std::cell::{Cell, UnsafeCell};
 use std::collections::HashMap;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use task::TaskCore;
 
 /// Configuration of a [`WorkerTeam`].
 #[derive(Debug, Clone, Copy)]
@@ -101,23 +112,12 @@ pub fn os_threads_spawned() -> usize {
     SPAWNED.load(Ordering::SeqCst)
 }
 
-/// A job posted to a worker mailbox: a type-erased closure pointer plus
-/// its monomorphized trampoline. The submitter keeps the pointee alive
-/// until every worker reports completion, which is what makes borrowing
-/// jobs (scoped join) sound.
-#[derive(Clone, Copy)]
-struct Job {
-    data: *const (),
-    run: unsafe fn(*const (), usize, usize),
-}
-
-// Safety: the pointee is a `Payload` whose fields are all `Sync`
-// references; the submitter outlives the job (it blocks on the done
-// latch before returning).
-unsafe impl Send for Job {}
-
 struct MailSlot {
-    job: Option<Job>,
+    /// The next task this worker should participate in (SPMD broadcasts
+    /// post the same `TaskCore` to every mailbox). The submitter keeps
+    /// the task's borrowed payload alive until the task's done latch,
+    /// which is what makes borrowing jobs (scoped join) sound.
+    task: Option<Arc<TaskCore>>,
     shutdown: bool,
 }
 
@@ -130,7 +130,7 @@ impl Mailbox {
     fn new() -> Mailbox {
         Mailbox {
             slot: Mutex::new(MailSlot {
-                job: None,
+                task: None,
                 shutdown: false,
             }),
             cv: Condvar::new(),
@@ -144,9 +144,6 @@ struct Shared {
     /// Pin ranks to cores (workers at spawn; rank 0 per job).
     pin: bool,
     mailboxes: Vec<Mailbox>,
-    /// Ranks still running the current broadcast.
-    remaining: Mutex<usize>,
-    done_cv: Condvar,
 }
 
 /// A cell written by exactly one rank and read by the submitter only
@@ -155,29 +152,39 @@ struct ResultCell<R>(UnsafeCell<Option<R>>);
 
 unsafe impl<R: Send> Sync for ResultCell<R> {}
 
-struct Payload<'a, OP, R> {
+/// Payload of an SPMD broadcast task: item index = rank.
+struct BroadcastPayload<'a, OP, R> {
     op: &'a OP,
     results: &'a [ResultCell<R>],
-    panic: &'a Mutex<Option<Box<dyn Any + Send>>>,
 }
 
-unsafe fn run_one<OP, R>(data: *const (), rank: usize, width: usize)
+unsafe fn run_rank<OP, R>(data: *const (), rank: usize, width: usize)
 where
     OP: Fn(TeamContext) -> R + Sync,
     R: Send,
 {
     // Safety: the submitter keeps the payload alive until the done latch
-    // releases it, and `rank` indexes a cell no other thread touches.
-    let p = unsafe { &*(data as *const Payload<'_, OP, R>) };
-    match catch_unwind(AssertUnwindSafe(|| (p.op)(TeamContext { rank, width }))) {
-        Ok(v) => unsafe { *p.results[rank].0.get() = Some(v) },
-        Err(e) => {
-            let mut g = p.panic.lock().unwrap();
-            if g.is_none() {
-                *g = Some(e);
-            }
-        }
-    }
+    // releases it, and `rank` indexes a cell no other thread touches
+    // (the task's claim made this thread the unique executor of `rank`).
+    // Panics are caught by the task loop and re-raised at the submitter.
+    let p = unsafe { &*(data as *const BroadcastPayload<'_, OP, R>) };
+    let v = (p.op)(TeamContext { rank, width });
+    unsafe { *p.results[rank].0.get() = Some(v) };
+}
+
+/// Payload of a worklist task: item index = job index.
+struct WorklistPayload<'a, OP> {
+    op: &'a OP,
+}
+
+unsafe fn run_worklist_item<OP>(data: *const (), index: usize, _size: usize)
+where
+    OP: Fn(usize) + Sync,
+{
+    // Safety: the submitter keeps the payload alive until the done
+    // latch (run_worklist blocks on `wait_done` before returning).
+    let p = unsafe { &*(data as *const WorklistPayload<'_, OP>) };
+    (p.op)(index);
 }
 
 /// A persistent team of `width` ranks: the submitting thread serves as
@@ -212,8 +219,6 @@ impl WorkerTeam {
             width: config.width,
             pin: config.pin,
             mailboxes: (1..config.width).map(|_| Mailbox::new()).collect(),
-            remaining: Mutex::new(0),
-            done_cv: Condvar::new(),
         });
         let mut handles = Vec::new();
         let ncores = std::thread::available_parallelism()
@@ -257,10 +262,14 @@ impl WorkerTeam {
     /// from the caller's stack). Rank 0 runs **on the calling thread**;
     /// ranks `1..width` on the parked workers.
     ///
-    /// Every rank is live at once on its own OS thread, so closures may
-    /// synchronize point-to-point (spin slots, barriers) across ranks.
-    /// If any rank panics, the panic is re-raised here after the whole
-    /// team has drained; the workers survive for the next job.
+    /// Internally this is an SPMD task on the work-assisting substrate:
+    /// the caller and the woken workers each **claim one index** of the
+    /// task's shared work cursor, and the claimed index *is* the rank
+    /// (the caller claims first, so rank 0 stays on the submitting
+    /// thread). Every rank is live at once on its own OS thread, so
+    /// closures may synchronize point-to-point (slots, barriers) across
+    /// ranks. If any rank panics, the panic is re-raised here after the
+    /// whole team has drained; the workers survive for the next job.
     ///
     /// Called from a thread already acting as one of this team's ranks
     /// (a nested SPMD region inside a job), the persistent ranks are
@@ -273,7 +282,7 @@ impl WorkerTeam {
     {
         let n = self.shared.width;
         if n == 1 {
-            // Inline fast path: no hand-off, no parked thread to wake.
+            // Inline fast path: no task entry, no parked thread to wake.
             return vec![op(TeamContext { rank: 0, width: 1 })];
         }
         if self.on_worker_thread() {
@@ -281,23 +290,25 @@ impl WorkerTeam {
         }
         let results: Vec<ResultCell<R>> =
             (0..n).map(|_| ResultCell(UnsafeCell::new(None))).collect();
-        let panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
-        let payload = Payload {
+        let payload = BroadcastPayload {
             op: &op,
             results: &results,
-            panic: &panic,
         };
-        let job = Job {
-            data: &payload as *const Payload<'_, OP, R> as *const (),
-            run: run_one::<OP, R>,
-        };
+        let core = TaskCore::new(
+            &payload as *const BroadcastPayload<'_, OP, R> as *const (),
+            run_rank::<OP, R>,
+            n,
+            true,
+        );
 
         let guard = self.submit.lock().unwrap();
-        *self.shared.remaining.lock().unwrap() = n - 1;
+        // Claim rank 0 for the caller *before* the workers can claim.
+        let rank0 = core.claim().expect("fresh SPMD task has rank 0 free");
+        debug_assert_eq!(rank0, 0);
         for mb in &self.shared.mailboxes {
             let mut slot = mb.slot.lock().unwrap();
-            debug_assert!(slot.job.is_none(), "mailbox not drained");
-            slot.job = Some(job);
+            debug_assert!(slot.task.is_none(), "mailbox not drained");
+            slot.task = Some(core.clone());
             mb.cv.notify_one();
         }
         // Rank 0 on the caller, marked as a team rank for the duration
@@ -315,22 +326,12 @@ impl WorkerTeam {
             }
             let _unmark = Unmark(WORKER_OF.with(|c| c.replace(self.shared.id)));
             let _affinity = self.shared.pin.then(AffinityGuard::pin_to_core0);
-            // Safety: the payload lives on this stack frame, which
-            // outlives the call; rank 0's result cell is touched by no
-            // other thread.
-            unsafe { (job.run)(job.data, 0, n) };
+            core.run_claimed(rank0);
         }
-        {
-            let mut rem = self.shared.remaining.lock().unwrap();
-            while *rem > 0 {
-                rem = self.shared.done_cv.wait(rem).unwrap();
-            }
-        }
+        core.wait_done();
         drop(guard);
 
-        if let Some(p) = panic.into_inner().unwrap() {
-            resume_unwind(p);
-        }
+        core.rethrow_panic();
         results
             .into_iter()
             .map(|c| c.0.into_inner().expect("worker rank produced no result"))
@@ -351,15 +352,21 @@ impl WorkerTeam {
     /// no per-job thread creation. The call blocks until all jobs have
     /// run (a scoped join: `op` may borrow from the caller's stack).
     ///
+    /// The worklist is a claim-loop task **registered for assistance**:
+    /// while it runs, any rank blocked at an assist point elsewhere in
+    /// the process (e.g. a pipeline rank waiting on a not-yet-published
+    /// column) may [`try_assist`] and run queued jobs — factorization
+    /// columns and cross-stream service jobs genuinely share one pool.
+    ///
     /// Unlike `broadcast`, jobs must not rely on cross-job concurrency:
-    /// when the queue is a single job, when the team has width 1, or when
-    /// the caller **is already one of this team's ranks** (a job
-    /// submitting more jobs), the whole list is executed inline on the
-    /// calling thread. That last case is the re-entrance guard: a job
-    /// that reaches back into the team would otherwise deadlock on the
-    /// busy ranks or fall back to spawning transient threads — the
-    /// inline path does neither, which is what keeps a warm serving
-    /// layer at zero OS-thread creation even under re-entrant jobs.
+    /// when the queue is a single job or the team has width 1, the
+    /// whole list executes inline on the calling thread with no task
+    /// entry (the zero-overhead sequential path). When the caller **is
+    /// already one of this team's ranks** (a job submitting more jobs),
+    /// the caller drains the registered task itself — no deadlock on
+    /// the busy ranks, no transient threads, which is what keeps a warm
+    /// serving layer at zero OS-thread creation even under re-entrant
+    /// jobs — while other ranks remain free to assist.
     pub fn run_worklist<OP>(&self, njobs: usize, op: OP)
     where
         OP: Fn(usize) + Sync,
@@ -367,22 +374,33 @@ impl WorkerTeam {
         if njobs == 0 {
             return;
         }
-        if self.shared.width == 1 || njobs == 1 || self.on_worker_thread() {
-            // Inline-execute guard: sound because worklist jobs are
-            // independent by contract (no cross-job synchronization).
+        if self.shared.width == 1 || njobs == 1 {
+            // Zero-overhead sequential path: sound because worklist
+            // jobs are independent by contract (no cross-job
+            // synchronization).
             for i in 0..njobs {
                 op(i);
             }
             return;
         }
-        let next = AtomicUsize::new(0);
-        self.broadcast(|_ctx| loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= njobs {
-                break;
-            }
-            op(i);
-        });
+        let payload = WorklistPayload { op: &op };
+        let core = TaskCore::new(
+            &payload as *const WorklistPayload<'_, OP> as *const (),
+            run_worklist_item::<OP>,
+            njobs,
+            false,
+        );
+        let registration = task::register(&core);
+        if self.on_worker_thread() {
+            // Re-entrant: this rank drains the task inline; idle ranks
+            // elsewhere may still pick jobs up through the registry.
+            core.participate();
+        } else {
+            self.broadcast(|_ctx| core.participate());
+        }
+        core.wait_done();
+        drop(registration);
+        core.rethrow_panic();
     }
 }
 
@@ -455,11 +473,11 @@ impl Drop for WorkerTeam {
 fn worker_loop(shared: &Shared, rank: usize) {
     let mb = &shared.mailboxes[rank - 1];
     loop {
-        let job = {
+        let core = {
             let mut slot = mb.slot.lock().unwrap();
             loop {
-                if let Some(job) = slot.job.take() {
-                    break job;
+                if let Some(core) = slot.task.take() {
+                    break core;
                 }
                 if slot.shutdown {
                     return;
@@ -467,13 +485,14 @@ fn worker_loop(shared: &Shared, rank: usize) {
                 slot = mb.cv.wait(slot).unwrap();
             }
         };
-        // Safety: the submitter blocks on the done latch, keeping the
-        // payload alive for the duration of this call.
-        unsafe { (job.run)(job.data, rank, shared.width) };
-        let mut rem = shared.remaining.lock().unwrap();
-        *rem -= 1;
-        if *rem == 0 {
-            shared.done_cv.notify_all();
+        // The single work-assisting task loop: an SPMD task hands this
+        // worker exactly one claimed index (its rank for this job);
+        // any other task is drained claim-by-claim. Completion is
+        // reported through the task's own done latch.
+        if core.is_spmd() {
+            core.run_one();
+        } else {
+            core.participate();
         }
     }
 }
@@ -572,6 +591,7 @@ fn current_thread_affinity() -> Option<[u64; 16]> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::AtomicUsize;
 
     #[test]
@@ -592,11 +612,19 @@ mod tests {
     #[test]
     fn threads_are_reused_across_jobs() {
         let team = WorkerTeam::new(TeamConfig::new(3));
-        let ids1: Vec<std::thread::ThreadId> = team.broadcast(|_| std::thread::current().id());
+        let sorted =
+            |v: Vec<std::thread::ThreadId>| v.into_iter().collect::<std::collections::HashSet<_>>();
+        let ids1 = sorted(team.broadcast(|_| std::thread::current().id()));
+        let caller = std::thread::current().id();
         let before = os_threads_spawned();
         for _ in 0..50 {
             let ids: Vec<std::thread::ThreadId> = team.broadcast(|_| std::thread::current().id());
-            assert_eq!(ids, ids1, "ranks must stay on their original threads");
+            // Ranks are claimed, not bound: which worker serves rank 2
+            // may vary between jobs, but the *set* of hot threads must
+            // not, and rank 0 always stays on the submitting thread
+            // (it claims before the workers are woken).
+            assert_eq!(ids[0], caller, "rank 0 must run on the caller");
+            assert_eq!(sorted(ids), ids1, "jobs must reuse the same threads");
         }
         assert_eq!(
             os_threads_spawned(),

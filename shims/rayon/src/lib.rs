@@ -26,7 +26,7 @@
 use basker_runtime::{shared_team, WorkerTeam};
 use std::cell::RefCell;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 thread_local! {
     /// Team installed by [`ThreadPool::install`]; `None` = no pool.
@@ -175,10 +175,15 @@ impl ThreadPool {
 }
 
 /// Runs `f` over `items` split into at most team-width contiguous
-/// chunks, one team rank per chunk, preserving item order in the result.
-/// Falls back to a serial call when no parallel execution is possible
-/// (width 1, a single chunk, or the caller already being a worker of the
-/// only available team).
+/// chunks, preserving item order in the result. Falls back to a serial
+/// call when no parallel execution is possible (width 1 or a single
+/// chunk).
+///
+/// The chunks are dispatched as one **assistable worklist task** over
+/// the team — the same atomically-claimed work loop that runs broadcast
+/// ranks and `SolverService` jobs — so chunks are claimed by whichever
+/// rank is free first, and a thread blocked elsewhere in the process
+/// (e.g. on a pipeline column) can assist the remaining chunks.
 fn chunked_run<'a, T, R, F>(items: &'a [T], f: F) -> Vec<Vec<R>>
 where
     T: Sync,
@@ -189,20 +194,19 @@ where
         .with(|c| c.borrow().clone())
         .unwrap_or_else(|| shared_team(default_width(), false));
     let width = team.width();
-    if width == 1 || items.len() <= 1 || team.on_worker_thread() {
+    if width == 1 || items.len() <= 1 {
         return vec![f(items)];
     }
     let chunk = items.len().div_ceil(width);
-    let f = &f;
-    // Ranks past the last chunk contribute an empty Vec, which flattens
-    // away harmlessly.
-    team.broadcast(|ctx| {
-        items
-            .chunks(chunk)
-            .nth(ctx.rank())
-            .map(f)
-            .unwrap_or_default()
-    })
+    let chunks: Vec<&'a [T]> = items.chunks(chunk).collect();
+    let cells: Vec<Mutex<Option<Vec<R>>>> = (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+    team.run_worklist(chunks.len(), |i| {
+        *cells[i].lock().unwrap() = Some(f(chunks[i]));
+    });
+    cells
+        .into_iter()
+        .map(|c| c.into_inner().unwrap().expect("worklist chunk missing"))
+        .collect()
 }
 
 /// Borrowing parallel iterator over a slice.
