@@ -36,6 +36,10 @@ pub enum SolverError {
     },
     /// A configuration problem (bad engine/threads combination, …).
     Config(String),
+    /// The serving layer was shut down: the step was drained from the
+    /// queue (or rejected at submission) without running. The work never
+    /// started, so resubmitting it against a live service is safe.
+    ServiceShutdown,
     /// Any other failure of the underlying sparse kernels.
     Sparse(SparseError),
 }
@@ -81,6 +85,10 @@ impl std::fmt::Display for SolverError {
                  (structural rank {structural_rank} of {dimension})"
             ),
             SolverError::Config(msg) => write!(f, "solver configuration error: {msg}"),
+            SolverError::ServiceShutdown => write!(
+                f,
+                "solver service is shut down: the step was drained without running"
+            ),
             SolverError::Sparse(e) => write!(f, "{e}"),
         }
     }

@@ -84,6 +84,7 @@ use basker_runtime::{assist_counters, shared_team, AssistCounters, WorkerTeam};
 use basker_sparse::{CscMat, SolveWorkspace, SparseError};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// How the scheduler picks the next jobs when more streams have work
@@ -312,9 +313,31 @@ pub struct StreamStats {
 /// A multi-tenant solver service: `N` concurrent transient streams over
 /// one shared worker team. See the [module docs](self) for the
 /// architecture; cloning is cheap and shares the service.
-#[derive(Clone)]
+///
+/// Dropping the **last** `SolverService` handle shuts the service down
+/// ([`shutdown`](SolverService::shutdown)): queued steps are drained
+/// with [`SolverError::ServiceShutdown`] so no submitter is left
+/// blocked. Outstanding [`StreamHandle`]s and [`StepTicket`]s keep the
+/// shared state alive but cannot submit new work past that point.
 pub struct SolverService {
     inner: Arc<ServiceInner>,
+}
+
+impl Clone for SolverService {
+    fn clone(&self) -> SolverService {
+        self.inner.service_handles.fetch_add(1, Ordering::Relaxed);
+        SolverService {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl Drop for SolverService {
+    fn drop(&mut self) {
+        if self.inner.service_handles.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.inner.shutdown();
+        }
+    }
 }
 
 struct ServiceInner {
@@ -332,6 +355,9 @@ struct ServiceInner {
     /// Process-wide assist counters at service creation; `stats()`
     /// reports the delta since then.
     assist_baseline: AssistCounters,
+    /// Live `SolverService` handles (clones); the last one to drop
+    /// triggers `shutdown`.
+    service_handles: AtomicUsize,
 }
 
 #[derive(Default)]
@@ -353,6 +379,10 @@ struct SchedState {
     next_stream: u64,
     /// True while some caller thread is dispatching a batch.
     driver: bool,
+    /// Set by [`SolverService::shutdown`]: no new streams or steps are
+    /// accepted, queued steps were drained with
+    /// [`SolverError::ServiceShutdown`].
+    shutdown: bool,
     /// Warm solve workspaces shared across all streams, ≤ team width of
     /// them in steady state.
     pool: Vec<SolveWorkspace>,
@@ -443,6 +473,7 @@ impl SolverService {
                     rr_next: 0,
                     next_stream: 0,
                     driver: false,
+                    shutdown: false,
                     pool: Vec::new(),
                     spare_cap: cfg.queue_capacity,
                     stats: Counters::default(),
@@ -450,6 +481,7 @@ impl SolverService {
                 done: Condvar::new(),
                 room: Condvar::new(),
                 assist_baseline: assist_counters(),
+                service_handles: AtomicUsize::new(1),
             }),
         }
     }
@@ -475,6 +507,9 @@ impl SolverService {
         let mut donated = SolveWorkspace::new();
         session.swap_workspace(&mut donated);
         let mut st = self.inner.state.lock().unwrap();
+        if st.shutdown {
+            return Err(SolverError::ServiceShutdown);
+        }
         if st.pool.len() < self.inner.team.width() {
             st.pool.push(donated);
         }
@@ -529,6 +564,31 @@ impl SolverService {
             }
             st = self.inner.done.wait(st).unwrap();
         }
+    }
+
+    /// Shuts the service down in an orderly fashion:
+    ///
+    /// 1. new [`stream`](Self::stream)/[`StreamHandle::submit`] calls
+    ///    are rejected with [`SolverError::ServiceShutdown`];
+    /// 2. every **queued** (not yet running) step is drained — its
+    ///    ticket resolves to [`SolverError::ServiceShutdown`] and every
+    ///    blocked submitter/waiter wakes, so nothing stays parked;
+    /// 3. steps already **executing** on the team run to completion and
+    ///    fulfill their tickets normally, and `shutdown` returns only
+    ///    once they have.
+    ///
+    /// The sequencing makes process-level supervision possible: a shard
+    /// host can shut its service down, answer in-flight work, and exit
+    /// knowing no accepted step is silently lost. Idempotent; also
+    /// invoked automatically when the last `SolverService` handle drops.
+    pub fn shutdown(&self) {
+        self.inner.shutdown();
+    }
+
+    /// Whether [`shutdown`](Self::shutdown) has run (no new work is
+    /// accepted).
+    pub fn is_shut_down(&self) -> bool {
+        self.inner.state.lock().unwrap().shutdown
     }
 
     /// A consistent snapshot of the service's aggregate and per-stream
@@ -665,6 +725,9 @@ impl StreamHandle {
         let mut rhs = Some(rhs);
         let mut st = self.inner.state.lock().unwrap();
         loop {
+            if st.shutdown {
+                return Err(SolverError::ServiceShutdown);
+            }
             let Some(entry) = st.streams.get_mut(&self.id) else {
                 return Err(SolverError::Config("stream is closed".into()));
             };
@@ -785,6 +848,41 @@ impl StepTicket {
 }
 
 impl ServiceInner {
+    /// The shutdown sequence behind [`SolverService::shutdown`]: reject
+    /// new work, drain queued steps with `ServiceShutdown`, wait out the
+    /// executing batch.
+    fn shutdown(&self) {
+        let mut st = self.state.lock().unwrap();
+        if !st.shutdown {
+            st.shutdown = true;
+            let ids: Vec<u64> = st.order.clone();
+            let mut drained = 0usize;
+            for id in ids {
+                let Some(e) = st.streams.get_mut(&id) else {
+                    continue;
+                };
+                let k = e.queue.len();
+                e.steps += k;
+                e.errors += k;
+                drained += k;
+                for job in e.queue.drain(..) {
+                    job.slot.fulfill(Err(SolverError::ServiceShutdown));
+                }
+            }
+            st.stats.steps += drained;
+            st.stats.errors += drained;
+            // Wake everything: ticket waiters see their fulfilled slots,
+            // backpressured submitters re-check and observe the shutdown.
+            self.done.notify_all();
+            self.room.notify_all();
+        }
+        // Executing jobs (and the driver committing them) finish
+        // normally; hold the caller until the service is quiescent.
+        while st.stats.running > 0 || st.driver {
+            st = self.done.wait(st).unwrap();
+        }
+    }
+
     /// Picks and runs one batch of jobs (up to team width, one per
     /// stream) on the shared team, commits the results, and wakes every
     /// waiter. Returns the re-acquired lock and whether anything ran.
@@ -1219,6 +1317,102 @@ mod tests {
         service.drain();
         let stats = service.stats();
         assert_eq!((stats.steps, stats.queued, stats.running), (2, 0, 0));
+    }
+
+    #[test]
+    fn shutdown_drains_pending_tickets_and_rejects_new_work() {
+        let service = SolverService::new(&ServiceConfig::new().threads(1).queue_capacity(8));
+        let a = circuitish(12, 0.0);
+        let mut h = service
+            .stream(&a, &SessionConfig::new().engine(Engine::Klu))
+            .unwrap();
+        // Queue steps without waiting: no caller takes the driver seat,
+        // so every job is still pending when shutdown drains them.
+        let tickets: Vec<StepTicket> = (0..4)
+            .map(|_| h.submit(&a, vec![1.0; 12]).unwrap())
+            .collect();
+        service.shutdown();
+        assert!(service.is_shut_down());
+        for t in tickets {
+            assert!(matches!(t.wait(), Err(SolverError::ServiceShutdown)));
+        }
+        assert!(matches!(
+            h.submit(&a, vec![1.0; 12]),
+            Err(SolverError::ServiceShutdown)
+        ));
+        assert!(matches!(
+            service.stream(&a, &SessionConfig::new().engine(Engine::Klu)),
+            Err(SolverError::ServiceShutdown)
+        ));
+        // Idempotent, and counters account the drained steps as errors.
+        service.shutdown();
+        let stats = service.stats();
+        assert_eq!((stats.steps, stats.errors, stats.queued), (4, 4, 0));
+    }
+
+    #[test]
+    fn shutdown_releases_concurrent_submitters() {
+        // A submitter hammering a capacity-1 queue from another thread
+        // must come back (with ServiceShutdown) instead of staying
+        // parked when the service shuts down under it.
+        let service = SolverService::new(&ServiceConfig::new().threads(1).queue_capacity(1));
+        let a = circuitish(10, 0.0);
+        let mut h = service
+            .stream(&a, &SessionConfig::new().engine(Engine::Klu))
+            .unwrap();
+        let m = a.clone();
+        let submitter = std::thread::spawn(move || {
+            let mut outcomes = (0usize, 0usize); // (completed, shutdown)
+            for _ in 0..200 {
+                match h.submit(&m, vec![1.0; 10]) {
+                    Ok(t) => match t.wait() {
+                        Ok(_) => outcomes.0 += 1,
+                        Err(SolverError::ServiceShutdown) => {
+                            outcomes.1 += 1;
+                            break;
+                        }
+                        Err(e) => panic!("unexpected step error: {e}"),
+                    },
+                    Err(SolverError::ServiceShutdown) => {
+                        outcomes.1 += 1;
+                        break;
+                    }
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+            }
+            outcomes
+        });
+        // Let a few steps land, then pull the plug mid-stream.
+        while service.stats().steps < 3 {
+            std::thread::yield_now();
+        }
+        service.shutdown();
+        let (completed, shutdown) = submitter.join().expect("submitter must not hang");
+        assert!(completed >= 3);
+        // Either the submitter saw the shutdown, or it had already
+        // finished all 200 steps before shutdown landed.
+        assert!(shutdown == 1 || completed == 200);
+    }
+
+    #[test]
+    fn dropping_last_service_handle_shuts_down() {
+        let service = SolverService::new(&ServiceConfig::new().threads(1));
+        let a = circuitish(10, 0.0);
+        let mut h = service
+            .stream(&a, &SessionConfig::new().engine(Engine::Klu))
+            .unwrap();
+        let t = h.submit(&a, vec![1.0; 10]).unwrap();
+        let clone = service.clone();
+        drop(service);
+        assert!(!clone.is_shut_down(), "a live clone keeps the service up");
+        drop(clone);
+        // The ticket and handle keep the shared state alive, but the
+        // last *service* handle going away drained the queue.
+        assert!(matches!(t.wait(), Err(SolverError::ServiceShutdown)));
+        assert!(matches!(
+            h.submit(&a, vec![]),
+            Err(SolverError::ServiceShutdown)
+        ));
     }
 
     #[test]

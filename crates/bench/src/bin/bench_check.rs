@@ -17,7 +17,8 @@
 //!   zero-threads-after-warm-up property are hard failures at any size.
 //!
 //! Usage:
-//! `bench_check --kind {fig6|xyce|streams|fig5|table1|fig7|fig8|table2}
+//! `bench_check --kind
+//! {fig6|xyce|streams|fig5|table1|fig7|fig8|table2|shard}
 //! BASELINE FRESH [--tolerance 0.25]`
 
 use basker_bench::json::Json;
@@ -405,6 +406,81 @@ fn check_table2(r: &mut Report, base: &Json, fresh: &Json, _tol: f64) {
     }
 }
 
+fn check_shard(r: &mut Report, base: &Json, fresh: &Json, tol: f64) {
+    // Hard invariants of the sharded tier, at any scale. The baseline
+    // run is crash-free, so the accounting must be airtight: every
+    // request answered, nothing errored, nothing respawned.
+    gate_exact(
+        r,
+        "shard tickets_lost",
+        0.0,
+        num(fresh, "tickets_lost", "fresh"),
+    );
+    gate_exact(
+        r,
+        "shard requests == responses",
+        num(fresh, "requests", "fresh"),
+        num(fresh, "responses", "fresh"),
+    );
+    gate_exact(
+        r,
+        "shard clean_errors",
+        0.0,
+        num(fresh, "clean_errors", "fresh"),
+    );
+    gate_exact(r, "shard respawns", 0.0, num(fresh, "respawns", "fresh"));
+    gate_exact(r, "shard reopens", 0.0, num(fresh, "reopens", "fresh"));
+    r.check(
+        fresh.get("residual_ok").and_then(Json::bool) == Some(true),
+        || "shard: a refined residual missed the limit".into(),
+    );
+    gate_exact(
+        r,
+        "shard routed_streams",
+        num(fresh, "streams", "fresh"),
+        num(fresh, "routed_streams", "fresh"),
+    );
+
+    // Scale-dependent comparisons only when the fresh run matches the
+    // baseline's shape.
+    let same_shape = ["shards", "clients", "streams", "steps_per_stream"]
+        .iter()
+        .all(|k| num(base, k, "baseline") == num(fresh, k, "fresh"))
+        && base.str_field("scale") == fresh.str_field("scale");
+    if !same_shape {
+        eprintln!("bench_check: shard: fresh run shape differs from baseline; skipping perf gates");
+        return;
+    }
+    // Throughput and tail latency through OS processes and sockets are
+    // noisy on shared CI hosts: gate them loosely (4x), like wall
+    // clock, rather than at the ratio tolerance.
+    let _ = tol;
+    r.check(
+        num(fresh, "steps_per_second", "fresh") >= num(base, "steps_per_second", "baseline") / 4.0,
+        || {
+            format!(
+                "shard: steps/s {:.0} collapsed below 1/4 of baseline {:.0}",
+                num(fresh, "steps_per_second", "fresh"),
+                num(base, "steps_per_second", "baseline")
+            )
+        },
+    );
+    for key in ["p50_us", "p95_us", "p99_us"] {
+        gate_wall_loose(
+            r,
+            &format!("shard {key}"),
+            num(base, key, "baseline") / 1e6,
+            num(fresh, key, "fresh") / 1e6,
+        );
+    }
+    gate_wall_loose(
+        r,
+        "shard wall",
+        num(base, "wall_seconds", "baseline"),
+        num(fresh, "wall_seconds", "fresh"),
+    );
+}
+
 fn run_kind(kind: &str, r: &mut Report, base: &Json, fresh: &Json, tol: f64) {
     match kind {
         "fig6" => check_fig6(r, base, fresh, tol),
@@ -415,6 +491,7 @@ fn run_kind(kind: &str, r: &mut Report, base: &Json, fresh: &Json, tol: f64) {
         "fig7" => check_fig7(r, base, fresh, tol),
         "fig8" => check_fig8(r, base, fresh, tol),
         "table2" => check_table2(r, base, fresh, tol),
+        "shard" => check_shard(r, base, fresh, tol),
         other => {
             eprintln!("bench_check: unknown kind '{other}'");
             std::process::exit(2);
@@ -429,7 +506,7 @@ fn main() {
     let usage = || -> ! {
         eprintln!(
             "usage: bench_check --kind \
-             {{fig6|xyce|streams|fig5|table1|fig7|fig8|table2}} \
+             {{fig6|xyce|streams|fig5|table1|fig7|fig8|table2|shard}} \
              BASELINE FRESH [--tolerance 0.25]"
         );
         std::process::exit(2);
@@ -665,5 +742,58 @@ mod tests {
         let drift = TABLE2_BASE.replace("\"pmkl_lu_nnz\": 21000", "\"pmkl_lu_nnz\": 21001");
         let r = report_for("table2", TABLE2_BASE, &drift, 0.25);
         assert!(r.failures.iter().any(|f| f.contains("pmkl_lu_nnz")));
+    }
+
+    const SHARD_BASE: &str = r#"{"shards": 3, "clients": 16, "streams": 1024,
+        "steps_per_stream": 4, "scale": "bench", "kill_one": false,
+        "wall_seconds": 1.5, "steps_per_second": 2700.0,
+        "p50_us": 1500, "p95_us": 12000, "p99_us": 30000,
+        "requests": 6144, "responses": 6144, "tickets_lost": 0,
+        "clean_errors": 0, "respawns": 0, "reopens": 0, "failovers": 0,
+        "routed_streams": 1024, "worst_residual": 1.2e-16, "residual_ok": true}"#;
+
+    #[test]
+    fn shard_hard_invariants() {
+        let r = report_for("shard", SHARD_BASE, SHARD_BASE, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+
+        // A lost ticket is a hard failure at any scale.
+        let lost = SHARD_BASE
+            .replace("\"tickets_lost\": 0", "\"tickets_lost\": 1")
+            .replace("\"responses\": 6144", "\"responses\": 6143");
+        let r = report_for("shard", SHARD_BASE, &lost, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("tickets_lost")));
+        assert!(r
+            .failures
+            .iter()
+            .any(|f| f.contains("requests == responses")));
+
+        // A crash-free baseline run must not have respawned anything.
+        let respawned = SHARD_BASE.replace("\"respawns\": 0", "\"respawns\": 1");
+        let r = report_for("shard", SHARD_BASE, &respawned, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("respawns")));
+    }
+
+    #[test]
+    fn shard_perf_gated_loosely_and_shape_mismatch_skips() {
+        // 2x latency wobble passes; a collapse past 4x fails.
+        let noisy = SHARD_BASE.replace("\"p99_us\": 30000", "\"p99_us\": 55000");
+        let r = report_for("shard", SHARD_BASE, &noisy, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+
+        let collapsed = SHARD_BASE.replace(
+            "\"steps_per_second\": 2700.0",
+            "\"steps_per_second\": 500.0",
+        );
+        let r = report_for("shard", SHARD_BASE, &collapsed, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("steps/s")));
+
+        // A differently-shaped fresh run keeps only the invariants.
+        let reshaped = SHARD_BASE
+            .replace("\"streams\": 1024", "\"streams\": 16")
+            .replace("\"routed_streams\": 1024", "\"routed_streams\": 16")
+            .replace("\"steps_per_second\": 2700.0", "\"steps_per_second\": 10.0");
+        let r = report_for("shard", SHARD_BASE, &reshaped, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
     }
 }

@@ -6,7 +6,12 @@
 //! grammar the baselines use — objects, arrays, strings (with escapes),
 //! numbers, booleans, null — into a small [`Json`] tree with typed
 //! accessors. It is a reader for trusted, machine-written files, not a
-//! hardened general-purpose parser (no depth limits beyond recursion).
+//! hardened general-purpose parser — but it must **fail loudly, never
+//! panic**, on malformed input: the regression gate and the serving
+//! tier's tooling both read files that can be truncated or corrupted on
+//! disk, and a garbled baseline should surface as a clean error, not a
+//! process abort. Nesting is capped at [`MAX_DEPTH`] so adversarially
+//! deep documents error out instead of overflowing the stack.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,12 +31,23 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
 }
 
+/// Maximum container nesting depth accepted by the parser.
+pub const MAX_DEPTH: usize = 128;
+
 impl Json {
     /// Parses a complete JSON document (trailing whitespace allowed).
     pub fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
+        Json::parse_bytes(text.as_bytes())
+    }
+
+    /// Parses a document from raw bytes — the entry point for readers
+    /// that come straight off a file or a wire frame, where the input
+    /// is not yet known to be UTF-8. Invalid UTF-8 inside a string is a
+    /// clean error, not a panic; bytes outside strings must be ASCII
+    /// JSON syntax to parse at all.
+    pub fn parse_bytes(bytes: &[u8]) -> Result<Json, String> {
         let mut pos = 0usize;
-        let v = parse_value(bytes, &mut pos)?;
+        let v = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing garbage at byte {pos}"));
@@ -96,14 +112,17 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
     skip_ws(b, pos);
     let Some(&c) = b.get(*pos) else {
         return Err("unexpected end of input".into());
     };
     match c {
-        b'{' => parse_obj(b, pos),
-        b'[' => parse_arr(b, pos),
+        b'{' => parse_obj(b, pos, depth),
+        b'[' => parse_arr(b, pos, depth),
         b'"' => Ok(Json::Str(parse_string(b, pos)?)),
         b't' => parse_lit(b, pos, "true", Json::Bool(true)),
         b'f' => parse_lit(b, pos, "false", Json::Bool(false)),
@@ -194,7 +213,7 @@ fn utf8_len(first: u8) -> usize {
     }
 }
 
-fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_arr(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     *pos += 1; // '['
     let mut out = Vec::new();
     skip_ws(b, pos);
@@ -203,7 +222,7 @@ fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(out));
     }
     loop {
-        out.push(parse_value(b, pos)?);
+        out.push(parse_value(b, pos, depth + 1)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -216,7 +235,7 @@ fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_obj(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     *pos += 1; // '{'
     let mut out: Vec<(String, Json)> = Vec::new();
     skip_ws(b, pos);
@@ -235,7 +254,7 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
             return Err(format!("expected ':' at byte {}", *pos));
         }
         *pos += 1;
-        let val = parse_value(b, pos)?;
+        let val = parse_value(b, pos, depth + 1)?;
         if !out.iter().any(|(k, _)| *k == key) {
             out.push((key, val));
         }
@@ -291,5 +310,86 @@ mod tests {
         assert!(Json::parse("[1, 2").is_err());
         assert!(Json::parse("[1] junk").is_err());
         assert!(Json::parse(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn truncated_objects_error_cleanly() {
+        // Every prefix of a valid document must error, never panic —
+        // this is what a half-written baseline or a cut-off wire frame
+        // looks like.
+        let doc = r#"{"rows": [{"solver": "KLU", "seconds": 1.5e-3}], "ok": true}"#;
+        for cut in 0..doc.len() {
+            let prefix = &doc[..cut];
+            if prefix.is_empty() {
+                continue;
+            }
+            // Prefixes that happen to end on a char boundary of a valid
+            // sub-document don't exist for this doc: all cuts fail.
+            assert!(
+                Json::parse(prefix).is_err(),
+                "prefix {cut:?} parsed: {prefix}"
+            );
+        }
+        assert!(Json::parse(r#"{"a":"#).is_err());
+        assert!(Json::parse(r#"{"a""#).is_err());
+        assert!(Json::parse(r#"[{"#).is_err());
+        assert!(Json::parse(r#"{"a": 1,"#).is_err());
+        assert!(Json::parse(r#"{,}"#).is_err());
+    }
+
+    #[test]
+    fn bad_escapes_error_cleanly() {
+        assert!(Json::parse(r#""\x""#).is_err(), "unknown escape");
+        assert!(Json::parse(r#""\"#).is_err(), "escape at end of input");
+        assert!(Json::parse(r#""\u12""#).is_err(), "short \\u escape");
+        assert!(Json::parse(r#""\u"#).is_err(), "truncated \\u escape");
+        assert!(Json::parse(r#""\uZZZZ""#).is_err(), "non-hex \\u escape");
+        assert!(Json::parse(r#""unterminated"#).is_err());
+        // A \u escape of an unpaired surrogate decodes to the
+        // replacement character rather than erroring (lossy, but safe).
+        let j = Json::parse(r#""\ud800""#).unwrap();
+        assert_eq!(j.str(), Some("\u{fffd}"));
+    }
+
+    #[test]
+    fn non_utf8_bytes_error_cleanly() {
+        // parse_bytes is the entry point for readers that haven't
+        // validated UTF-8 yet (files, wire payloads).
+        assert!(Json::parse_bytes(br#""a"#).is_err());
+        assert!(Json::parse_bytes(b"\"\xff\xfe\"").is_err(), "invalid lead");
+        assert!(Json::parse_bytes(b"\"\x80abc\"").is_err(), "stray cont.");
+        assert!(
+            Json::parse_bytes(b"\"\xe2\x82\"").is_err(),
+            "truncated multi-byte sequence"
+        );
+        assert!(Json::parse_bytes(b"\xef\xbb\xbf{}").is_err(), "BOM");
+        // Valid multi-byte UTF-8 still round-trips through parse_bytes.
+        let j = Json::parse_bytes("\"π…✓\"".as_bytes()).unwrap();
+        assert_eq!(j.str(), Some("π…✓"));
+    }
+
+    #[test]
+    fn numbers_and_literals_error_cleanly() {
+        assert!(Json::parse("-").is_err());
+        assert!(Json::parse("1e").is_err());
+        assert!(Json::parse("1.2.3").is_err());
+        assert!(Json::parse("+1").is_err());
+        assert!(Json::parse("tru").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("falsey").is_err(), "trailing garbage");
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // 100k open brackets would overflow the stack in a naive
+        // recursive-descent parser; the depth cap turns it into an
+        // error long before that.
+        let deep = "[".repeat(100_000);
+        assert!(Json::parse(&deep).is_err());
+        let deep_obj = r#"{"a":"#.repeat(10_000);
+        assert!(Json::parse(&deep_obj).is_err());
+        // ... while the cap stays far above any real baseline's shape.
+        let fine = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(Json::parse(&fine).is_ok());
     }
 }

@@ -1,0 +1,465 @@
+//! `loadgen` — the serving-tier load harness: spawns a supervised
+//! shard fleet plus the pattern-hash router, then drives many
+//! concurrent Xyce-style streams through the wire protocol and reports
+//! throughput (steps/s) and step-latency tails (p50/p95/p99).
+//!
+//! With `--kill-one` it hard-kills a shard mid-load and asserts the
+//! failover contract end to end: **zero tickets lost** (every request
+//! answered — in-flight steps on the dead shard resolve to clean
+//! `ShardUnavailable` errors, never hangs), the supervisor respawns
+//! the shard, and subsequent steps on the same patterns succeed after
+//! the router re-establishes the streams.
+//!
+//! Usage: `loadgen [test|bench] [--shards N] [--clients C]
+//! [--streams S] [--steps K] [--threads-per-shard T] [--kill-one]
+//! [--json PATH]`. The checked-in `BENCH_shard.json` baseline is
+//! produced by `loadgen bench --json` (no kill).
+
+use basker_matgen::{CircuitParams, Scale, XyceSequence, XyceSequenceParams};
+use basker_serve::client::{Client, ClientError};
+use basker_serve::proto::{ErrCode, OpenRequest};
+use basker_serve::shard::{sibling_shardd, ShardSet, ShardSpec};
+use basker_serve::wire::{Addr, Listener};
+use basker_serve::Router;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const RESIDUAL_LIMIT: f64 = 1e-7;
+
+struct Args {
+    scale: Scale,
+    shards: usize,
+    clients: usize,
+    streams: usize,
+    steps: usize,
+    threads_per_shard: usize,
+    kill_one: bool,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let usage = || -> ! {
+        eprintln!(
+            "usage: loadgen [test|bench] [--shards N] [--clients C] [--streams S] \
+             [--steps K] [--threads-per-shard T] [--kill-one] [--json PATH]"
+        );
+        std::process::exit(2);
+    };
+    let mut scale = Scale::Bench;
+    let mut shards = None;
+    let mut clients = None;
+    let mut streams = None;
+    let mut steps = None;
+    let mut threads_per_shard = 0;
+    let mut kill_one = false;
+    let mut json = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "test" => scale = Scale::Test,
+            "bench" => scale = Scale::Bench,
+            "--shards" => shards = it.next().and_then(|v| v.parse().ok()),
+            "--clients" => clients = it.next().and_then(|v| v.parse().ok()),
+            "--streams" => streams = it.next().and_then(|v| v.parse().ok()),
+            "--steps" => steps = it.next().and_then(|v| v.parse().ok()),
+            "--threads-per-shard" => {
+                threads_per_shard = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--kill-one" => kill_one = true,
+            "--json" => json = Some(it.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let (dshards, dclients, dstreams, dsteps) = match scale {
+        Scale::Test => (2, 4, 16, 4),
+        Scale::Bench => (3, 16, 1024, 4),
+    };
+    Args {
+        scale,
+        shards: shards.unwrap_or(dshards),
+        clients: clients.unwrap_or(dclients),
+        streams: streams.unwrap_or(dstreams),
+        steps: steps.unwrap_or(dsteps),
+        threads_per_shard,
+        kill_one,
+        json,
+    }
+}
+
+fn circuit_params(seed: u64, scale: Scale) -> CircuitParams {
+    let (nsub, sub_size) = match scale {
+        Scale::Test => (2, 16),
+        Scale::Bench => (3, 24),
+    };
+    CircuitParams {
+        nsub,
+        sub_size,
+        feedthrough: 0.7,
+        seed,
+        ..CircuitParams::default()
+    }
+}
+
+/// Circuit seeds for the pattern groups, chosen so that **every shard
+/// hosts at least one group** (the hash placement is computed
+/// client-side with the same `pattern_hash` the router uses). Without
+/// this, a small group count can leave a shard idle — and an induced
+/// kill of shard 0 would prove nothing.
+fn pattern_seeds(npatterns: usize, shards: usize, scale: Scale) -> Vec<u64> {
+    use basker_serve::proto::pattern_hash;
+    let mut seeds = Vec::with_capacity(npatterns);
+    let mut covered = vec![false; shards];
+    let mut cand = 1000u64;
+    while seeds.len() < npatterns {
+        let m = basker_matgen::circuit(&circuit_params(cand, scale));
+        let shard = (pattern_hash(&m) % shards as u64) as usize;
+        let need_coverage = covered.iter().any(|c| !c);
+        if !need_coverage || !covered[shard] {
+            covered[shard] = true;
+            seeds.push(cand);
+        }
+        cand += 1;
+        assert!(cand < 100_000, "could not cover every shard with patterns");
+    }
+    seeds
+}
+
+/// Stream `k`'s value sequence. Streams share a pattern within their
+/// group (`k % npatterns` picks the circuit seed, which fixes the
+/// structure) but follow independent value trajectories — the shape
+/// the pattern-hash router co-locates on.
+fn sequence(k: usize, seeds: &[u64], steps: usize, scale: Scale) -> XyceSequence {
+    XyceSequence::new(&XyceSequenceParams {
+        circuit: circuit_params(seeds[k % seeds.len()], scale),
+        nsteps: steps + 2,
+        switching_fraction: 0.02,
+        seed: 5000 + k as u64,
+    })
+}
+
+#[derive(Default)]
+struct Shared {
+    requests: AtomicU64,
+    responses: AtomicU64,
+    steps_done: AtomicU64,
+    clean_errors: AtomicU64,
+    hard_failures: AtomicU64,
+}
+
+struct ClientReport {
+    latencies_us: Vec<u64>,
+    worst_residual: f64,
+    final_ok: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_client(
+    addr: &Addr,
+    my_streams: Vec<usize>,
+    seeds: &[u64],
+    steps: usize,
+    scale: Scale,
+    kill_mode: bool,
+    shared: &Shared,
+) -> ClientReport {
+    let mut cl = Client::connect(addr).expect("connect router");
+    cl.set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout");
+    let seqs: Vec<XyceSequence> = my_streams
+        .iter()
+        .map(|&k| sequence(k, seeds, steps, scale))
+        .collect();
+
+    // Open every stream.
+    let mut ids = Vec::with_capacity(seqs.len());
+    for seq in &seqs {
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let open = OpenRequest {
+            engine: basker_api::Engine::Auto,
+            policy: basker_api::ReusePolicy::adaptive(),
+            target_residual: 1e-9,
+            max_refine_iterations: 6,
+            matrix: seq.pattern().clone(),
+        };
+        let (id, _hash) = cl.open_stream(&open).expect("open stream");
+        shared.responses.fetch_add(1, Ordering::Relaxed);
+        ids.push(id);
+    }
+
+    let mut latencies_us = Vec::with_capacity(seqs.len() * steps);
+    let mut worst_residual = 0.0f64;
+    for s in 0..steps {
+        for (i, seq) in seqs.iter().enumerate() {
+            let m = seq.matrix_at(s);
+            let n = m.nrows();
+            let rhs = vec![1.0; n];
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
+            let r = cl.step(ids[i], true, m.values(), &rhs);
+            latencies_us.push(t0.elapsed().as_micros() as u64);
+            match r {
+                Ok(reply) => {
+                    shared.responses.fetch_add(1, Ordering::Relaxed);
+                    if let Some(q) = reply.quality.first() {
+                        worst_residual = worst_residual.max(q.residual);
+                    }
+                }
+                Err(ClientError::Remote(we))
+                    if kill_mode
+                        && matches!(
+                            we.code,
+                            ErrCode::ShardUnavailable | ErrCode::ServiceShutdown
+                        ) =>
+                {
+                    // The induced crash: a clean, classified error —
+                    // the ticket was answered, not lost.
+                    shared.responses.fetch_add(1, Ordering::Relaxed);
+                    shared.clean_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(ClientError::Remote(we)) => {
+                    shared.responses.fetch_add(1, Ordering::Relaxed);
+                    shared.hard_failures.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("stream {i} step {s}: unexpected remote error: {we}");
+                }
+                Err(e) => {
+                    shared.hard_failures.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("stream {i} step {s}: transport failure: {e}");
+                }
+            }
+            shared.steps_done.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    // Final round: after any induced crash and respawn, every stream
+    // must step successfully again (retrying through the respawn
+    // window) — the acceptance criterion for zero-loss failover.
+    let mut final_ok = 0;
+    for (i, seq) in seqs.iter().enumerate() {
+        let m = seq.matrix_at(steps);
+        let rhs = vec![1.0; m.nrows()];
+        let mut tries = 0;
+        loop {
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            match cl.step(ids[i], true, m.values(), &rhs) {
+                Ok(reply) => {
+                    shared.responses.fetch_add(1, Ordering::Relaxed);
+                    if let Some(q) = reply.quality.first() {
+                        worst_residual = worst_residual.max(q.residual);
+                    }
+                    final_ok += 1;
+                    break;
+                }
+                Err(ClientError::Remote(we))
+                    if kill_mode && we.code == ErrCode::ShardUnavailable && tries < 10 =>
+                {
+                    shared.responses.fetch_add(1, Ordering::Relaxed);
+                    shared.clean_errors.fetch_add(1, Ordering::Relaxed);
+                    tries += 1;
+                    thread::sleep(Duration::from_millis(200));
+                }
+                Err(e) => {
+                    shared.hard_failures.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("stream {i} final step failed: {e}");
+                    break;
+                }
+            }
+        }
+    }
+    ClientReport {
+        latencies_us,
+        worst_residual,
+        final_ok,
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+fn main() {
+    let args = parse_args();
+    // A couple of co-located groups per shard, placed so no shard idles.
+    let seeds = Arc::new(pattern_seeds(args.shards * 2, args.shards, args.scale));
+    let shardd = sibling_shardd().expect("find shardd binary");
+    let dir = std::env::temp_dir().join(format!("basker-loadgen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("socket dir");
+
+    let mut spec = ShardSpec::new(&shardd, args.shards, &dir);
+    spec.threads = args.threads_per_shard;
+    let set = Arc::new(ShardSet::spawn(spec).expect("spawn shard fleet"));
+    let listener = Listener::bind(&Addr::Uds(dir.join("router.sock"))).expect("bind router");
+    let router = Router::start(listener, set.clone()).expect("start router");
+    let addr = router.addr();
+
+    // Partition streams round-robin over client connections.
+    let mut per_client: Vec<Vec<usize>> = vec![Vec::new(); args.clients];
+    for k in 0..args.streams {
+        per_client[k % args.clients].push(k);
+    }
+    let shared = Arc::new(Shared::default());
+    let total_steps = (args.streams * args.steps) as u64;
+
+    let t0 = Instant::now();
+    let workers: Vec<_> = per_client
+        .into_iter()
+        .map(|mine| {
+            let addr = addr.clone();
+            let shared = shared.clone();
+            let seeds = seeds.clone();
+            let (steps, scale, kill) = (args.steps, args.scale, args.kill_one);
+            thread::spawn(move || run_client(&addr, mine, &seeds, steps, scale, kill, &shared))
+        })
+        .collect();
+
+    if args.kill_one {
+        // Crash a shard once half the load is through, so requests are
+        // genuinely in flight on it.
+        while shared.steps_done.load(Ordering::Relaxed) < total_steps / 2 {
+            thread::sleep(Duration::from_millis(5));
+        }
+        eprintln!("loadgen: killing shard 0 mid-load");
+        set.kill(0);
+    }
+
+    let reports: Vec<ClientReport> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client"))
+        .collect();
+    let wall_seconds = t0.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = reports
+        .iter()
+        .flat_map(|r| r.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let worst_residual = reports.iter().fold(0.0f64, |a, r| a.max(r.worst_residual));
+    let final_ok: usize = reports.iter().map(|r| r.final_ok).sum();
+
+    // Tier stats through the router, then wind the fleet down.
+    let stats = {
+        let mut cl = Client::connect(&addr).expect("stats conn");
+        cl.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        cl.stats().expect("stats")
+    };
+    drop(router);
+    // Explicit: detached router handler threads may still hold Arc
+    // clones of the set, so Drop alone cannot be relied on to reap the
+    // children before the process exits.
+    set.shutdown_all();
+    drop(set);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let requests = shared.requests.load(Ordering::Relaxed);
+    let responses = shared.responses.load(Ordering::Relaxed);
+    let tickets_lost = requests.saturating_sub(responses);
+    let clean_errors = shared.clean_errors.load(Ordering::Relaxed);
+    let hard_failures = shared.hard_failures.load(Ordering::Relaxed);
+    let steps_per_second = total_steps as f64 / wall_seconds;
+    let (p50, p95, p99) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+    let residual_ok = worst_residual < RESIDUAL_LIMIT;
+
+    println!("| metric | value |");
+    println!("|---|---|");
+    println!(
+        "| shards x clients x streams | {} x {} x {} |",
+        args.shards, args.clients, args.streams
+    );
+    println!("| steps per stream | {} |", args.steps);
+    println!("| wall seconds | {wall_seconds:.3} |");
+    println!("| steps/second | {steps_per_second:.0} |");
+    println!("| step latency p50/p95/p99 (us) | {p50} / {p95} / {p99} |");
+    println!("| requests / responses | {requests} / {responses} |");
+    println!("| tickets lost | {tickets_lost} |");
+    println!("| clean errors (failover) | {clean_errors} |");
+    println!("| shard respawns | {} |", stats.router.respawns);
+    println!("| stream reopens | {} |", stats.router.reopens);
+    println!("| worst refined residual | {worst_residual:.2e} |");
+    for s in &stats.shards {
+        println!(
+            "shard {} (epoch {}): team {}, {} streams, {} steps, {} errors, \
+             {} factors, {} refactors, occupancy {:.2}",
+            s.shard,
+            s.epoch,
+            s.team_width,
+            s.streams,
+            s.steps,
+            s.errors,
+            s.factors,
+            s.refactors,
+            s.occupancy
+        );
+    }
+
+    assert_eq!(
+        hard_failures, 0,
+        "transport failures or unclassified errors"
+    );
+    assert_eq!(tickets_lost, 0, "every accepted request must be answered");
+    assert_eq!(
+        final_ok, args.streams,
+        "every stream must step successfully at the end"
+    );
+    if args.kill_one {
+        assert!(
+            stats.router.respawns >= 1,
+            "the induced crash must be detected and the shard respawned"
+        );
+    } else {
+        assert_eq!(
+            clean_errors, 0,
+            "no errors expected without an induced crash"
+        );
+        assert_eq!(
+            stats.router.respawns, 0,
+            "no respawns expected without a crash"
+        );
+    }
+    if args.scale == Scale::Test {
+        assert!(residual_ok, "worst residual {worst_residual:.2e}");
+    }
+
+    if let Some(path) = args.json {
+        let out = format!(
+            "{{\n  \"shards\": {},\n  \"clients\": {},\n  \"streams\": {},\n  \
+             \"steps_per_stream\": {},\n  \"scale\": \"{}\",\n  \
+             \"kill_one\": {},\n  \
+             \"wall_seconds\": {wall_seconds:.6},\n  \
+             \"steps_per_second\": {steps_per_second:.1},\n  \
+             \"p50_us\": {p50},\n  \"p95_us\": {p95},\n  \"p99_us\": {p99},\n  \
+             \"requests\": {requests},\n  \"responses\": {responses},\n  \
+             \"tickets_lost\": {tickets_lost},\n  \
+             \"clean_errors\": {clean_errors},\n  \
+             \"respawns\": {},\n  \"reopens\": {},\n  \"failovers\": {},\n  \
+             \"routed_streams\": {},\n  \
+             \"worst_residual\": {worst_residual:.3e},\n  \
+             \"residual_ok\": {residual_ok}\n}}\n",
+            args.shards,
+            args.clients,
+            args.streams,
+            args.steps,
+            match args.scale {
+                Scale::Test => "test",
+                Scale::Bench => "bench",
+            },
+            args.kill_one,
+            stats.router.respawns,
+            stats.router.reopens,
+            stats.router.failovers,
+            stats.router.routed_streams,
+        );
+        std::fs::write(&path, out).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,439 @@
+//! The pattern-hash router: one listener in front of N shard
+//! processes.
+//!
+//! Streams are placed by `pattern_hash(matrix) % shards`, so streams
+//! sharing a sparsity pattern **co-locate** on one shard and share its
+//! symbolic analysis and workspace pools — the serving-tier analogue of
+//! the in-process same-pattern fast path. Values differ per stream and
+//! per step; only the pattern decides placement.
+//!
+//! Each client connection gets its own handler thread with its own
+//! shard connections, so concurrency scales with client connections
+//! while every single connection keeps strict request/response order.
+//!
+//! ## Failover contract
+//!
+//! "Zero ticket loss" means **every accepted request is answered** —
+//! never dropped, never hung:
+//!
+//! * a step in flight on a shard that dies answers with a clean
+//!   [`ErrCode::ShardUnavailable`](crate::proto::ErrCode) error and the
+//!   supervisor respawns the shard (the router reports the failure
+//!   synchronously, so the respawn races no one);
+//! * the stream's [`OpenRequest`] is retained by the router, and the
+//!   next step on that stream transparently **re-opens** it on the
+//!   respawned process (fresh epoch, fresh factors) before forwarding;
+//! * requests for other shards never notice.
+
+use crate::client::{Client, ClientError};
+use crate::proto::{
+    pattern_hash, OpenRequest, Request, Response, RouterWireStats, WireError, WireStats,
+};
+use crate::shard::ShardSet;
+use crate::wire::{read_frame, write_frame, Addr, Conn, Listener};
+use std::collections::HashMap;
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Router-wide counters, shared across connection handlers.
+#[derive(Default)]
+struct Counters {
+    routed_streams: AtomicU64,
+    steps: AtomicU64,
+    errors: AtomicU64,
+    failovers: AtomicU64,
+    reopens: AtomicU64,
+}
+
+impl Counters {
+    fn wire(&self, respawns: u64) -> RouterWireStats {
+        RouterWireStats {
+            routed_streams: self.routed_streams.load(Ordering::Relaxed),
+            steps: self.steps.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            reopens: self.reopens.load(Ordering::Relaxed),
+            respawns,
+        }
+    }
+}
+
+/// Where one client stream lives.
+struct StreamRoute {
+    /// Shard slot the pattern hashed to (stable across respawns).
+    shard: usize,
+    /// Retained open request — the failover state used to re-establish
+    /// the stream on a respawned shard.
+    open: OpenRequest,
+    /// The shard-local stream id of the current incarnation.
+    remote_id: u64,
+    /// The shard epoch the stream was opened on.
+    epoch: u64,
+}
+
+/// A running router. Dropping it stops the listener and shuts down the
+/// supervised shard fleet.
+pub struct Router {
+    addr: Addr,
+    stop: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+    shards: Arc<ShardSet>,
+}
+
+impl Router {
+    /// Starts routing connections accepted on `listener` across
+    /// `shards`.
+    pub fn start(listener: Listener, shards: Arc<ShardSet>) -> std::io::Result<Router> {
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let accept = {
+            let stop = stop.clone();
+            let shards = shards.clone();
+            thread::spawn(move || accept_loop(listener, &shards, &stop, &counters))
+        };
+        Ok(Router {
+            addr,
+            stop,
+            accept: Some(accept),
+            shards,
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> Addr {
+        self.addr.clone()
+    }
+
+    /// The supervised fleet behind this router.
+    pub fn shards(&self) -> &Arc<ShardSet> {
+        &self.shards
+    }
+
+    /// Stops accepting and joins the accept thread. Existing client
+    /// connections finish their current request and wind down as the
+    /// clients disconnect; the shard fleet stays up until the set is
+    /// dropped.
+    pub fn stop(&mut self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            let _ = Conn::connect(&self.addr); // unblock accept
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Addr::Uds(p) = &self.addr {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: Listener,
+    shards: &Arc<ShardSet>,
+    stop: &Arc<AtomicBool>,
+    counters: &Arc<Counters>,
+) {
+    loop {
+        let conn = match listener.accept() {
+            Ok(c) => c,
+            Err(_) => break,
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let shards = shards.clone();
+        let counters = counters.clone();
+        // Detached: a handler lives exactly as long as its connection.
+        // Joining here would make shutdown wait on idle clients.
+        thread::spawn(move || {
+            handle_client(conn, &shards, &counters);
+        });
+    }
+}
+
+/// Per-connection shard links, cached by `(slot, epoch)`.
+struct ShardLinks {
+    conns: HashMap<usize, (u64, Client)>,
+}
+
+impl ShardLinks {
+    /// A connected client for shard `i` at its current epoch,
+    /// reconnecting if the cached link is stale or absent. On connect
+    /// failure the shard is reported down (respawning it) and the new
+    /// epoch is retried once.
+    fn get(&mut self, shards: &ShardSet, i: usize) -> Result<(u64, &mut Client), ClientError> {
+        for _attempt in 0..2 {
+            let epoch = shards.epoch(i);
+            let stale = match self.conns.get(&i) {
+                Some((e, _)) => *e != epoch,
+                None => true,
+            };
+            if stale {
+                match Client::connect(&shards.addr(i)) {
+                    Ok(c) => {
+                        let _ = c.set_read_timeout(Some(Duration::from_secs(120)));
+                        self.conns.insert(i, (epoch, c));
+                    }
+                    Err(_) => {
+                        self.conns.remove(&i);
+                        shards.report_down(i, epoch);
+                        continue;
+                    }
+                }
+            }
+            let (e, c) = self.conns.get_mut(&i).expect("just inserted");
+            return Ok((*e, c));
+        }
+        Err(ClientError::Remote(WireError::unavailable(format!(
+            "shard {i} unreachable after respawn"
+        ))))
+    }
+
+    /// Drops the cached link to shard `i` (after an I/O failure).
+    fn invalidate(&mut self, i: usize) {
+        self.conns.remove(&i);
+    }
+}
+
+fn handle_client(conn: Conn, shards: &Arc<ShardSet>, counters: &Arc<Counters>) {
+    let writer_conn = match conn.try_clone() {
+        Ok(c) => c,
+        Err(_) => return,
+    };
+    let mut w = BufWriter::new(writer_conn);
+    let mut conn = conn;
+    let mut links = ShardLinks {
+        conns: HashMap::new(),
+    };
+    let mut routes: HashMap<u64, StreamRoute> = HashMap::new();
+    let mut next_local: u64 = 1;
+
+    while let Ok((kind, req_id, payload)) = read_frame(&mut conn) {
+        let req = match crate::proto::decode_request(kind, &payload) {
+            Ok(r) => r,
+            Err(e) => {
+                let resp = Response::Err(WireError::protocol(e));
+                if reply(&mut w, req_id, &resp).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let resp = match req {
+            Request::Ping => Response::Pong { epoch: 0 },
+            Request::Open(open) => route_open(
+                shards,
+                &mut links,
+                &mut routes,
+                &mut next_local,
+                counters,
+                open,
+            ),
+            Request::Step {
+                stream,
+                refined,
+                values,
+                rhs,
+            } => route_step(
+                shards,
+                &mut links,
+                &mut routes,
+                counters,
+                stream,
+                refined,
+                values,
+                rhs,
+            ),
+            Request::Close { stream } => route_close(shards, &mut links, &mut routes, stream),
+            Request::Stats => gather_stats(shards, &mut links, counters),
+            Request::Shutdown => {
+                let _ = reply(&mut w, req_id, &Response::ShutdownAck);
+                break;
+            }
+        };
+        if matches!(resp, Response::Err(_)) {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if reply(&mut w, req_id, &resp).is_err() {
+            break;
+        }
+    }
+}
+
+fn reply(w: &mut BufWriter<Conn>, req_id: u64, resp: &Response) -> std::io::Result<()> {
+    let (kind, payload) = crate::proto::encode_response(resp);
+    write_frame(w, kind, req_id, &payload)?;
+    w.flush()
+}
+
+fn route_open(
+    shards: &ShardSet,
+    links: &mut ShardLinks,
+    routes: &mut HashMap<u64, StreamRoute>,
+    next_local: &mut u64,
+    counters: &Counters,
+    open: OpenRequest,
+) -> Response {
+    let hash = pattern_hash(&open.matrix);
+    let shard = (hash % shards.num_shards() as u64) as usize;
+    match open_on(shards, links, shard, &open) {
+        Ok((epoch, remote_id)) => {
+            let local = *next_local;
+            *next_local += 1;
+            routes.insert(
+                local,
+                StreamRoute {
+                    shard,
+                    open,
+                    remote_id,
+                    epoch,
+                },
+            );
+            counters.routed_streams.fetch_add(1, Ordering::Relaxed);
+            Response::Opened {
+                stream: local,
+                pattern_hash: hash,
+            }
+        }
+        Err(e) => error_response(counters, links, shards, shard, e),
+    }
+}
+
+/// Opens `open` on shard `i`, returning `(epoch, remote stream id)`.
+fn open_on(
+    shards: &ShardSet,
+    links: &mut ShardLinks,
+    i: usize,
+    open: &OpenRequest,
+) -> Result<(u64, u64), ClientError> {
+    let (epoch, client) = links.get(shards, i)?;
+    let (remote_id, _hash) = client.open_stream(open)?;
+    Ok((epoch, remote_id))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn route_step(
+    shards: &ShardSet,
+    links: &mut ShardLinks,
+    routes: &mut HashMap<u64, StreamRoute>,
+    counters: &Counters,
+    stream: u64,
+    refined: bool,
+    values: Vec<f64>,
+    rhs: Vec<f64>,
+) -> Response {
+    let Some(route) = routes.get_mut(&stream) else {
+        return Response::Err(WireError::protocol(format!("unknown stream {stream}")));
+    };
+    counters.steps.fetch_add(1, Ordering::Relaxed);
+    let shard = route.shard;
+    let attempt = (|| -> Result<Response, ClientError> {
+        let cur_epoch = shards.epoch(shard);
+        if cur_epoch != route.epoch {
+            // The shard was respawned since this stream was opened:
+            // re-establish it from the retained open request before
+            // forwarding. The fresh session re-analyzes and re-factors
+            // on this step.
+            let (epoch, remote_id) = open_on(shards, links, shard, &route.open)?;
+            route.epoch = epoch;
+            route.remote_id = remote_id;
+            counters.reopens.fetch_add(1, Ordering::Relaxed);
+        }
+        let (_, client) = links.get(shards, shard)?;
+        let resp = client.request(&Request::Step {
+            stream: route.remote_id,
+            refined,
+            values,
+            rhs,
+        })?;
+        Ok(resp)
+    })();
+    match attempt {
+        Ok(resp) => resp,
+        Err(e) => error_response(counters, links, shards, shard, e),
+    }
+}
+
+fn route_close(
+    shards: &ShardSet,
+    links: &mut ShardLinks,
+    routes: &mut HashMap<u64, StreamRoute>,
+    stream: u64,
+) -> Response {
+    let Some(route) = routes.remove(&stream) else {
+        return Response::Err(WireError::protocol(format!("unknown stream {stream}")));
+    };
+    // Best effort: if the shard died since, the respawned process never
+    // heard of the stream — closed is closed either way.
+    if shards.epoch(route.shard) == route.epoch {
+        if let Ok((_, client)) = links.get(shards, route.shard) {
+            let _ = client.close_stream(route.remote_id);
+        }
+    }
+    Response::Closed
+}
+
+fn gather_stats(shards: &ShardSet, links: &mut ShardLinks, counters: &Counters) -> Response {
+    let mut stats = WireStats::default();
+    for i in 0..shards.num_shards() {
+        if let Ok((_, client)) = links.get(shards, i) {
+            if let Ok(s) = client.stats() {
+                stats.shards.extend(s.shards);
+                continue;
+            }
+            links.invalidate(i);
+        }
+        // Unreachable shard: report an empty row so the shape is
+        // stable for dashboards.
+        stats.shards.push(crate::proto::ShardStatsWire {
+            shard: i as u32,
+            epoch: shards.epoch(i),
+            ..Default::default()
+        });
+    }
+    stats.router = counters.wire(shards.respawns());
+    Response::Stats(stats)
+}
+
+/// Converts a shard-side failure into the client's error response,
+/// reporting the shard down on transport failures (which respawns it
+/// and lets the *next* request route cleanly).
+fn error_response(
+    counters: &Counters,
+    links: &mut ShardLinks,
+    shards: &ShardSet,
+    shard: usize,
+    e: ClientError,
+) -> Response {
+    match e {
+        ClientError::Remote(we) => Response::Err(we),
+        ClientError::Io(io) => {
+            counters.failovers.fetch_add(1, Ordering::Relaxed);
+            let epoch = links
+                .conns
+                .get(&shard)
+                .map(|(e, _)| *e)
+                .unwrap_or_else(|| shards.epoch(shard));
+            links.invalidate(shard);
+            shards.report_down(shard, epoch);
+            Response::Err(WireError::unavailable(format!(
+                "shard {shard} connection failed mid-request: {io}"
+            )))
+        }
+        ClientError::Protocol(m) => {
+            links.invalidate(shard);
+            Response::Err(WireError::protocol(format!(
+                "shard {shard} protocol error: {m}"
+            )))
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The shard server: one [`SolverService`] behind a wire listener.
+//!
+//! Each accepted connection gets a **reader** thread and a **writer**
+//! thread, preserving the in-process submit/ticket pipelining over the
+//! network:
+//!
+//! * the reader decodes requests and *submits* steps — it never waits
+//!   for a result, so a client that pipelines N steps keeps the shard's
+//!   scheduler batch full exactly like N in-process submitters would;
+//! * the writer drains an in-order queue of tickets and immediate
+//!   replies, waiting each [`StepTicket`] (taking the service's driver
+//!   seat when idle) and encoding the response.
+//!
+//! Responses therefore come back **in request order per connection**,
+//! while concurrency comes from many connections and from pipelining
+//! within one. Streams are owned by their connection's reader: when the
+//! connection drops, its streams close and their queued work drains
+//! through the normal stream-close path, so a dead client cannot leak
+//! sessions.
+
+use crate::proto::{
+    self, decode_request, encode_response, pattern_hash, Request, Response, ShardStatsWire,
+    WireError, WireStats,
+};
+use crate::wire::{read_frame, write_frame, Addr, Conn, Listener};
+use basker_api::{ServiceStats, SolverService, StepTicket};
+use basker_sparse::CscMat;
+use std::collections::HashMap;
+use std::io::{self, BufWriter, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+/// What the reader hands the writer, in request order.
+enum Out {
+    /// An already-known reply (errors, opens, stats, pong, ack).
+    Now(u64, Response),
+    /// A submitted step whose result the writer waits for.
+    Ticket(u64, StepTicket),
+}
+
+/// Shared stop control: the shutdown request flips the flag and
+/// self-dials the listener so the blocking accept observes it.
+struct Ctl {
+    stop: AtomicBool,
+    addr: Addr,
+}
+
+impl Ctl {
+    fn trip(&self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // Wake the accept loop; errors are fine (it may already be
+            // past accept, or the listener may be closing).
+            let _ = Conn::connect(&self.addr);
+        }
+    }
+}
+
+/// Serves `service` on `listener` until a client sends `Shutdown`.
+///
+/// Blocks the calling thread. On shutdown the service drains (queued
+/// steps answer [`ErrCode::ServiceShutdown`](proto::ErrCode), running
+/// steps finish), the ack is sent, and this returns. `shard`/`epoch`
+/// are echoed in stats/pong so supervisors can identify the process
+/// incarnation that answered.
+pub fn serve(
+    listener: Listener,
+    service: &SolverService,
+    shard: u32,
+    epoch: u64,
+) -> io::Result<()> {
+    let ctl = Arc::new(Ctl {
+        stop: AtomicBool::new(false),
+        addr: listener.local_addr()?,
+    });
+    loop {
+        let conn = match listener.accept() {
+            Ok(c) => c,
+            Err(_) if ctl.stop.load(Ordering::SeqCst) => break,
+            Err(e) => return Err(e),
+        };
+        if ctl.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let service = service.clone();
+        let ctl = ctl.clone();
+        // Detached: the shutdown path drains the service before acking,
+        // so returning without joining loses nothing — and joining
+        // would make shutdown wait on idle connections.
+        thread::spawn(move || {
+            handle_conn(conn, &service, shard, epoch, &ctl);
+        });
+    }
+    Ok(())
+}
+
+/// One stream as the server sees it: the handle plus the pattern
+/// template the step values are poured into.
+struct StreamEntry {
+    handle: basker_api::StreamHandle,
+    template: CscMat,
+}
+
+fn handle_conn(conn: Conn, service: &SolverService, shard: u32, epoch: u64, ctl: &Arc<Ctl>) {
+    let writer_conn = match conn.try_clone() {
+        Ok(c) => c,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<Out>();
+
+    // Writer: strictly in-order replies; waiting a ticket may take the
+    // service's driver seat, which is exactly the cooperative
+    // scheduling the in-process tier uses.
+    let writer = thread::spawn(move || {
+        let mut w = BufWriter::new(writer_conn);
+        while let Ok(out) = rx.recv() {
+            let (req_id, resp) = match out {
+                Out::Now(id, resp) => (id, resp),
+                Out::Ticket(id, t) => (id, proto::step_response(&t.wait())),
+            };
+            let (kind, payload) = encode_response(&resp);
+            if write_frame(&mut w, kind, req_id, &payload).is_err() {
+                break; // client gone; keep draining tickets below
+            }
+            if w.flush().is_err() {
+                break;
+            }
+        }
+        // Client vanished mid-pipeline: still wait the remaining
+        // tickets so their slots resolve and the service's counters
+        // stay truthful.
+        while let Ok(out) = rx.recv() {
+            if let Out::Ticket(_, t) = out {
+                let _ = t.wait();
+            }
+        }
+    });
+
+    let mut conn = conn;
+    let mut streams: HashMap<u64, StreamEntry> = HashMap::new();
+    // The frame loop ends on EOF, reset, or a framing violation.
+    while let Ok((kind, req_id, payload)) = read_frame(&mut conn) {
+        let req = match decode_request(kind, &payload) {
+            Ok(r) => r,
+            Err(e) => {
+                let resp = Response::Err(WireError::protocol(e));
+                if tx.send(Out::Now(req_id, resp)).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let out = match req {
+            Request::Ping => Out::Now(req_id, Response::Pong { epoch }),
+            Request::Open(open) => match service.stream(&open.matrix, &open.session_config()) {
+                Ok(handle) => {
+                    let stream = handle.id();
+                    let hash = pattern_hash(&open.matrix);
+                    streams.insert(
+                        stream,
+                        StreamEntry {
+                            handle,
+                            template: open.matrix,
+                        },
+                    );
+                    Out::Now(
+                        req_id,
+                        Response::Opened {
+                            stream,
+                            pattern_hash: hash,
+                        },
+                    )
+                }
+                Err(e) => Out::Now(req_id, Response::Err(WireError::from(&e))),
+            },
+            Request::Step {
+                stream,
+                refined,
+                values,
+                rhs,
+            } => match streams.get_mut(&stream) {
+                None => Out::Now(
+                    req_id,
+                    Response::Err(WireError::protocol(format!("unknown stream {stream}"))),
+                ),
+                Some(entry) => {
+                    if values.len() != entry.template.nnz() {
+                        Out::Now(
+                            req_id,
+                            Response::Err(WireError::protocol(format!(
+                                "step values length {} != pattern nnz {}",
+                                values.len(),
+                                entry.template.nnz()
+                            ))),
+                        )
+                    } else {
+                        entry.template.values_mut().copy_from_slice(&values);
+                        let submitted = if refined {
+                            entry.handle.submit_refined(&entry.template, rhs)
+                        } else {
+                            entry.handle.submit(&entry.template, rhs)
+                        };
+                        match submitted {
+                            Ok(t) => Out::Ticket(req_id, t),
+                            Err(e) => Out::Now(req_id, Response::Err(WireError::from(&e))),
+                        }
+                    }
+                }
+            },
+            Request::Close { stream } => {
+                if streams.remove(&stream).is_some() {
+                    Out::Now(req_id, Response::Closed)
+                } else {
+                    Out::Now(
+                        req_id,
+                        Response::Err(WireError::protocol(format!("unknown stream {stream}"))),
+                    )
+                }
+            }
+            Request::Stats => Out::Now(
+                req_id,
+                Response::Stats(WireStats {
+                    shards: vec![shard_stats_row(shard, epoch, &service.stats())],
+                    router: Default::default(),
+                }),
+            ),
+            Request::Shutdown => {
+                // Drain the service first so every queued step resolves
+                // (to ServiceShutdown) *before* the ack — after the ack
+                // the peer may kill us.
+                service.shutdown();
+                let sent = tx.send(Out::Now(req_id, Response::ShutdownAck)).is_ok();
+                drop(tx);
+                let _ = writer.join();
+                ctl.trip();
+                conn.shutdown();
+                let _ = sent;
+                return;
+            }
+        };
+        if tx.send(out).is_err() {
+            break;
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// Projects a [`ServiceStats`] snapshot onto its wire row.
+pub fn shard_stats_row(shard: u32, epoch: u64, st: &ServiceStats) -> ShardStatsWire {
+    ShardStatsWire {
+        shard,
+        epoch,
+        team_width: st.team_width as u32,
+        streams: st.streams as u64,
+        steps: st.steps as u64,
+        errors: st.errors as u64,
+        factors: st.factors as u64,
+        refactors: st.refactors as u64,
+        occupancy: st.occupancy,
+        worst_residual: st.worst_residual,
+    }
+}

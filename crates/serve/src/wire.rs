@@ -1,0 +1,510 @@
+//! Transport and framing: length-prefixed binary frames over TCP or
+//! Unix-domain sockets.
+//!
+//! The workspace has no registry access, so there is no tokio/serde —
+//! the transport is hand-rolled over `std::net`/`std::os::unix::net`
+//! with blocking I/O and per-connection threads, and every payload is
+//! serialized with the little-endian primitives in this module.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! ┌─────────┬────────┬───────────┬──────────┬───────────────┐
+//! │ magic   │ kind   │ req_id    │ len      │ payload       │
+//! │ 4 bytes │ 1 byte │ 8 bytes   │ 4 bytes  │ `len` bytes   │
+//! │ "BSK1"  │  u8    │ u64 LE    │ u32 LE   │               │
+//! └─────────┴────────┴───────────┴──────────┴───────────────┘
+//! ```
+//!
+//! * `magic` guards against desynchronization and foreign traffic: a
+//!   frame that does not start `BSK1` kills the connection cleanly.
+//! * `kind` selects the request/response variant (see
+//!   [`proto`](crate::proto)).
+//! * `req_id` is chosen by the requester and echoed verbatim in the
+//!   response, so a connection can carry many in-flight requests
+//!   (pipelining) and the requester can match responses out of order.
+//! * `len` bounds the payload ([`MAX_FRAME`]); an oversized length is a
+//!   protocol error, not an allocation attempt.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The frame magic: `b"BSK1"`.
+pub const MAGIC: [u8; 4] = *b"BSK1";
+
+/// Maximum accepted payload size (64 MiB) — far above any matrix this
+/// tier serves, far below an allocation bomb.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// A serve-tier endpoint address: TCP (`tcp:HOST:PORT`) or a
+/// Unix-domain socket path (`uds:/path/to.sock`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Addr {
+    /// TCP host:port, e.g. `127.0.0.1:4100` (port 0 binds ephemeral).
+    Tcp(String),
+    /// Unix-domain socket path.
+    Uds(PathBuf),
+}
+
+impl Addr {
+    /// Parses `tcp:HOST:PORT` / `uds:PATH`.
+    pub fn parse(s: &str) -> Result<Addr, String> {
+        if let Some(rest) = s.strip_prefix("tcp:") {
+            Ok(Addr::Tcp(rest.to_string()))
+        } else if let Some(rest) = s.strip_prefix("uds:") {
+            Ok(Addr::Uds(PathBuf::from(rest)))
+        } else {
+            Err(format!("address '{s}' must start with 'tcp:' or 'uds:'"))
+        }
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Addr::Tcp(hp) => write!(f, "tcp:{hp}"),
+            Addr::Uds(p) => write!(f, "uds:{}", p.display()),
+        }
+    }
+}
+
+/// A listening socket over either transport.
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener.
+    Uds(UnixListener),
+}
+
+impl Listener {
+    /// Binds `addr` (removing a stale UDS path first).
+    pub fn bind(addr: &Addr) -> io::Result<Listener> {
+        match addr {
+            Addr::Tcp(hp) => Ok(Listener::Tcp(TcpListener::bind(hp.as_str())?)),
+            Addr::Uds(p) => {
+                let _ = std::fs::remove_file(p);
+                Ok(Listener::Uds(UnixListener::bind(p)?))
+            }
+        }
+    }
+
+    /// The bound address (for `tcp:…:0`, the actual ephemeral port).
+    pub fn local_addr(&self) -> io::Result<Addr> {
+        match self {
+            Listener::Tcp(l) => Ok(Addr::Tcp(l.local_addr()?.to_string())),
+            Listener::Uds(l) => {
+                let sa = l.local_addr()?;
+                let p = sa
+                    .as_pathname()
+                    .ok_or_else(|| io::Error::other("unnamed unix listener"))?;
+                Ok(Addr::Uds(p.to_path_buf()))
+            }
+        }
+    }
+
+    /// Accepts one connection.
+    pub fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true).ok();
+                Ok(Conn::Tcp(s))
+            }
+            Listener::Uds(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Conn::Uds(s))
+            }
+        }
+    }
+}
+
+/// One established connection over either transport.
+pub enum Conn {
+    /// TCP stream.
+    Tcp(TcpStream),
+    /// Unix-domain stream.
+    Uds(UnixStream),
+}
+
+impl Conn {
+    /// Connects to `addr`.
+    pub fn connect(addr: &Addr) -> io::Result<Conn> {
+        match addr {
+            Addr::Tcp(hp) => {
+                let s = TcpStream::connect(hp.as_str())?;
+                s.set_nodelay(true).ok();
+                Ok(Conn::Tcp(s))
+            }
+            Addr::Uds(p) => Ok(Conn::Uds(UnixStream::connect(p)?)),
+        }
+    }
+
+    /// A second handle to the same socket (for split reader/writer
+    /// threads).
+    pub fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => Ok(Conn::Tcp(s.try_clone()?)),
+            Conn::Uds(s) => Ok(Conn::Uds(s.try_clone()?)),
+        }
+    }
+
+    /// Read timeout (None = block forever).
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(d),
+            Conn::Uds(s) => s.set_read_timeout(d),
+        }
+    }
+
+    /// Shuts both directions down, waking any thread blocked on a read.
+    pub fn shutdown(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Conn::Uds(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Uds(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Uds(s) => s.flush(),
+        }
+    }
+}
+
+/// Writes one frame (header + payload) and flushes nothing — callers
+/// batch frames behind a `BufWriter` and flush at their pipeline
+/// boundary.
+pub fn write_frame<W: Write>(w: &mut W, kind: u8, req_id: u64, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame payload {} exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&MAGIC)?;
+    w.write_all(&[kind])?;
+    w.write_all(&req_id.to_le_bytes())?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame; `Err(UnexpectedEof)` on a cleanly closed peer,
+/// `Err(InvalidData)` on bad magic or an oversized length.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<(u8, u64, Vec<u8>)> {
+    let mut head = [0u8; 17];
+    r.read_exact(&mut head)?;
+    if head[..4] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad frame magic (desynchronized or foreign peer)",
+        ));
+    }
+    let kind = head[4];
+    let req_id = u64::from_le_bytes(head[5..13].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(head[13..17].try_into().expect("4 bytes"));
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok((kind, req_id, payload))
+}
+
+// --------------------------------------------------- payload codec ----
+
+/// Little-endian payload writer.
+#[derive(Default)]
+pub struct Wr {
+    buf: Vec<u8>,
+}
+
+impl Wr {
+    /// An empty payload buffer.
+    pub fn new() -> Wr {
+        Wr::default()
+    }
+    /// The serialized bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    /// Appends a `u32` (LE).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    /// Appends a `u64` (LE).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    /// Appends an `f64` (LE bit pattern).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    /// Appends a length-prefixed `usize` slice as `u32`s.
+    pub fn idx_slice(&mut self, v: &[usize]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.u32(x as u32);
+        }
+    }
+    /// Appends a length-prefixed `f64` slice.
+    pub fn f64_slice(&mut self, v: &[f64]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+}
+
+/// Little-endian payload reader; every accessor fails loudly on a
+/// truncated or oversized payload instead of panicking.
+pub struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    /// Wraps a payload.
+    pub fn new(buf: &'a [u8]) -> Rd<'a> {
+        Rd { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("payload truncated at byte {}", self.pos))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    /// Reads an `f64`.
+    pub fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, String> {
+        let n = self.u32()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| "invalid utf-8 in string field".into())
+    }
+    /// Reads a length-prefixed index slice.
+    pub fn idx_slice(&mut self) -> Result<Vec<usize>, String> {
+        let n = self.u32()? as usize;
+        // Bound the reservation by what the payload can actually hold.
+        if n > self.buf.len().saturating_sub(self.pos) / 4 {
+            return Err(format!("index slice length {n} exceeds payload"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u32()? as usize);
+        }
+        Ok(out)
+    }
+    /// Reads a length-prefixed `f64` slice.
+    pub fn f64_slice(&mut self) -> Result<Vec<f64>, String> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len().saturating_sub(self.pos) / 8 {
+            return Err(format!("f64 slice length {n} exceeds payload"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+    /// Asserts the payload was fully consumed.
+    pub fn finish(self) -> Result<(), String> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "payload has {} trailing bytes",
+                self.buf.len() - self.pos
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 3, 42, b"hello").unwrap();
+        write_frame(&mut buf, 7, u64::MAX, b"").unwrap();
+        let mut r = &buf[..];
+        let (k, id, p) = read_frame(&mut r).unwrap();
+        assert_eq!((k, id, p.as_slice()), (3, 42, &b"hello"[..]));
+        let (k, id, p) = read_frame(&mut r).unwrap();
+        assert_eq!((k, id, p.len()), (7, u64::MAX, 0));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_and_oversize_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, 0, b"x").unwrap();
+        buf[0] = b'Z';
+        assert_eq!(
+            read_frame(&mut &buf[..]).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+
+        let mut huge = MAGIC.to_vec();
+        huge.push(1);
+        huge.extend_from_slice(&0u64.to_le_bytes());
+        huge.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert_eq!(
+            read_frame(&mut &huge[..]).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn truncated_frame_is_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, 9, b"payload").unwrap();
+        for cut in 0..buf.len() {
+            let mut r = &buf[..cut];
+            assert!(read_frame(&mut r).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip_and_truncation() {
+        let mut w = Wr::new();
+        w.u8(7);
+        w.u32(123456);
+        w.u64(1 << 40);
+        w.f64(-1.5e-3);
+        w.str("π shard");
+        w.idx_slice(&[0, 3, 5, 9]);
+        w.f64_slice(&[1.0, -2.5]);
+        let bytes = w.into_bytes();
+
+        let mut r = Rd::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 123456);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.f64().unwrap(), -1.5e-3);
+        assert_eq!(r.str().unwrap(), "π shard");
+        assert_eq!(r.idx_slice().unwrap(), vec![0, 3, 5, 9]);
+        assert_eq!(r.f64_slice().unwrap(), vec![1.0, -2.5]);
+        r.finish().unwrap();
+
+        // Any truncation errors instead of panicking.
+        for cut in 0..bytes.len() {
+            let mut r = Rd::new(&bytes[..cut]);
+            let mut failed = false;
+            for step in 0..7 {
+                let ok = match step {
+                    0 => r.u8().is_ok(),
+                    1 => r.u32().is_ok(),
+                    2 => r.u64().is_ok(),
+                    3 => r.f64().is_ok(),
+                    4 => r.str().is_ok(),
+                    5 => r.idx_slice().is_ok(),
+                    _ => r.f64_slice().is_ok(),
+                };
+                if !ok {
+                    failed = true;
+                    break;
+                }
+            }
+            assert!(failed || r.finish().is_err(), "cut {cut} decoded fully");
+        }
+    }
+
+    #[test]
+    fn length_bomb_rejected_without_allocation() {
+        // A slice header claiming 1 billion entries inside a 12-byte
+        // payload must error before reserving memory.
+        let mut w = Wr::new();
+        w.u32(1_000_000_000);
+        w.u64(0);
+        let bytes = w.into_bytes();
+        assert!(Rd::new(&bytes).idx_slice().is_err());
+        assert!(Rd::new(&bytes).f64_slice().is_err());
+    }
+
+    #[test]
+    fn addr_parse_display() {
+        let t = Addr::parse("tcp:127.0.0.1:0").unwrap();
+        assert_eq!(t.to_string(), "tcp:127.0.0.1:0");
+        let u = Addr::parse("uds:/tmp/x.sock").unwrap();
+        assert_eq!(u.to_string(), "uds:/tmp/x.sock");
+        assert!(Addr::parse("foo:1").is_err());
+    }
+
+    #[test]
+    fn uds_connect_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("bsk-wire-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr = Addr::Uds(dir.join("t.sock"));
+        let l = Listener::bind(&addr).unwrap();
+        let srv = std::thread::spawn(move || {
+            let mut c = l.accept().unwrap();
+            let (k, id, p) = read_frame(&mut c).unwrap();
+            write_frame(&mut c, k + 1, id, &p).unwrap();
+        });
+        let mut c = Conn::connect(&addr).unwrap();
+        write_frame(&mut c, 10, 77, b"ping").unwrap();
+        let (k, id, p) = read_frame(&mut c).unwrap();
+        assert_eq!((k, id, p.as_slice()), (11, 77, &b"ping"[..]));
+        srv.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

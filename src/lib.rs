@@ -30,7 +30,10 @@
 //! engine-only features. One layer *up*,
 //! [`SolverService`](basker_api::SolverService) serves many concurrent
 //! transient streams at once, multiplexing their factor/refactor/solve
-//! jobs over one shared worker team.
+//! jobs over one shared worker team — and [`basker_serve`] puts that
+//! seam on the network: a wire protocol, a pattern-hash router over a
+//! supervised fleet of shard processes, and the `shardd`/`loadgen`
+//! binaries.
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -57,5 +60,6 @@ pub use basker_klu;
 pub use basker_matgen;
 pub use basker_ordering;
 pub use basker_runtime;
+pub use basker_serve;
 pub use basker_snlu;
 pub use basker_sparse;
