@@ -2,6 +2,7 @@
 
 use crate::error::{map_analyze_error, SolverError};
 use basker::{BaskerOptions, SyncMode};
+use basker_kernels::KernelChoice;
 use basker_klu::KluOptions;
 use basker_ordering::btf::btf_form_with;
 use basker_snlu::{SnluMode, SnluOptions};
@@ -63,6 +64,7 @@ pub struct SolverConfig {
     refine_steps: usize,
     auto_small_block: usize,
     auto_circuit_fraction: f64,
+    kernel: KernelChoice,
 }
 
 impl Default for SolverConfig {
@@ -80,6 +82,7 @@ impl Default for SolverConfig {
             refine_steps: 2,
             auto_small_block: 64,
             auto_circuit_fraction: 0.5,
+            kernel: KernelChoice::Auto,
         }
     }
 }
@@ -172,9 +175,24 @@ impl SolverConfig {
         self
     }
 
+    /// Requests a dense micro-kernel rung for the process-wide ladder
+    /// (default [`KernelChoice::Auto`]: the best rung the CPU supports).
+    /// The rung is pinned once per process at the first analyze — the
+    /// `BASKER_KERNEL` environment variable or an earlier request wins
+    /// over later configs.
+    pub fn kernel(mut self, k: KernelChoice) -> Self {
+        self.kernel = k;
+        self
+    }
+
     /// The engine as requested (possibly [`Engine::Auto`]).
     pub fn requested_engine(&self) -> Engine {
         self.engine
+    }
+
+    /// The requested dense-kernel rung.
+    pub fn requested_kernel(&self) -> KernelChoice {
+        self.kernel
     }
 
     /// Requested worker threads.

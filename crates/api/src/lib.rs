@@ -85,6 +85,7 @@ pub mod service;
 pub mod session;
 pub mod solver;
 
+pub use basker_kernels::KernelChoice;
 pub use config::{Engine, SolverConfig};
 pub use error::SolverError;
 pub use service::{

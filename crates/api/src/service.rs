@@ -281,6 +281,9 @@ pub struct ServiceStats {
     /// Assist probes (hits and misses) since the service opened
     /// (process-wide, like `columns_assisted`).
     pub steal_attempts: u64,
+    /// The dense micro-kernel rung the process dispatched (see
+    /// [`SolverStats::kernel`](crate::SolverStats)).
+    pub kernel: &'static str,
     /// Per-stream roll-up.
     pub per_stream: Vec<StreamStats>,
 }
@@ -628,6 +631,7 @@ impl SolverService {
             columns_assisted: assist.items_assisted - base.items_assisted,
             tasks_joined: assist.tasks_joined - base.tasks_joined,
             steal_attempts: assist.steal_attempts - base.steal_attempts,
+            kernel: basker_kernels::active().name(),
             per_stream,
         }
     }

@@ -63,6 +63,11 @@ pub struct SolverStats {
     pub steal_attempts: u64,
     /// Wall-clock seconds of the last (re)factorization, when measured.
     pub factor_seconds: f64,
+    /// The dense micro-kernel rung the process dispatched (`"scalar"`,
+    /// `"unrolled"`, `"avx2+fma"`, `"neon"`); empty on a default
+    /// `SolverStats`. Selected once per process from
+    /// `BASKER_KERNEL`/[`SolverConfig::kernel`](crate::SolverConfig::kernel).
+    pub kernel: &'static str,
 }
 
 impl SolverStats {
@@ -272,6 +277,7 @@ impl LuNumeric for KluNumeric {
     fn stats(&self) -> SolverStats {
         SolverStats {
             engine: Some(Engine::Klu),
+            kernel: basker_kernels::active().name(),
             dimension: self.symbolic().n(),
             lu_nnz: self.lu_nnz(),
             flops: self.flops(),
@@ -346,6 +352,7 @@ impl LuNumeric for BaskerNumeric {
     fn stats(&self) -> SolverStats {
         SolverStats {
             engine: Some(Engine::Basker),
+            kernel: basker_kernels::active().name(),
             dimension: self.symbolic().structure().n,
             lu_nnz: self.stats.lu_nnz,
             flops: self.stats.flops,
@@ -414,6 +421,7 @@ impl LuNumeric for SnluNumeric {
     fn stats(&self) -> SolverStats {
         SolverStats {
             engine: Some(Engine::Snlu),
+            kernel: basker_kernels::active().name(),
             dimension: self.symbolic().n(),
             lu_nnz: self.lu_nnz,
             flops: self.flops,
@@ -472,6 +480,9 @@ enum SymbolicInner {
 impl LinearSolver {
     /// Analyzes `a`, resolving [`Engine::Auto`] from the BTF structure.
     pub fn analyze(a: &CscMat, cfg: &SolverConfig) -> Result<LinearSolver, SolverError> {
+        // Pin the process-wide dense-kernel rung before any numeric work
+        // (first `request` wins; later calls observe the pinned rung).
+        basker_kernels::request(cfg.requested_kernel());
         let engine = cfg.resolve_engine(a)?;
         let inner = match engine {
             Engine::Klu => SymbolicInner::Klu(<KluSymbolic as SparseLuSolver>::analyze(a, cfg)?),
@@ -489,7 +500,7 @@ impl LinearSolver {
         let inner = match &self.inner {
             SymbolicInner::Klu(s) => NumericInner::Klu(SparseLuSolver::factor(s, a)?),
             SymbolicInner::Basker(s) => NumericInner::Basker(SparseLuSolver::factor(s, a)?),
-            SymbolicInner::Snlu(s) => NumericInner::Snlu(SparseLuSolver::factor(s, a)?),
+            SymbolicInner::Snlu(s) => NumericInner::Snlu(Box::new(SparseLuSolver::factor(s, a)?)),
         };
         Ok(Factorization {
             engine: self.engine,
@@ -587,7 +598,7 @@ pub struct Factorization {
 enum NumericInner {
     Klu(KluNumeric),
     Basker(BaskerNumeric),
-    Snlu(SnluNumeric),
+    Snlu(Box<SnluNumeric>),
 }
 
 impl Factorization {
@@ -602,7 +613,7 @@ impl Factorization {
         match &mut self.inner {
             NumericInner::Klu(n) => LuNumeric::refactor(n, a)?,
             NumericInner::Basker(n) => LuNumeric::refactor(n, a)?,
-            NumericInner::Snlu(n) => LuNumeric::refactor(n, a)?,
+            NumericInner::Snlu(n) => LuNumeric::refactor(n.as_mut(), a)?,
         }
         self.factor_seconds = t0.elapsed().as_secs_f64();
         Ok(())
@@ -617,7 +628,7 @@ impl Factorization {
         match &self.inner {
             NumericInner::Klu(n) => LuNumeric::solve_in_place(n, x, ws),
             NumericInner::Basker(n) => LuNumeric::solve_in_place(n, x, ws),
-            NumericInner::Snlu(n) => LuNumeric::solve_in_place(n, x, ws),
+            NumericInner::Snlu(n) => LuNumeric::solve_in_place(n.as_ref(), x, ws),
         }
     }
 
@@ -635,7 +646,7 @@ impl Factorization {
         let mut s = match &self.inner {
             NumericInner::Klu(n) => LuNumeric::stats(n),
             NumericInner::Basker(n) => LuNumeric::stats(n),
-            NumericInner::Snlu(n) => LuNumeric::stats(n),
+            NumericInner::Snlu(n) => LuNumeric::stats(n.as_ref()),
         };
         s.factor_seconds = self.factor_seconds;
         s
@@ -646,7 +657,7 @@ impl Factorization {
         match &self.inner {
             NumericInner::Klu(n) => LuNumeric::dim(n),
             NumericInner::Basker(n) => LuNumeric::dim(n),
-            NumericInner::Snlu(n) => LuNumeric::dim(n),
+            NumericInner::Snlu(n) => LuNumeric::dim(n.as_ref()),
         }
     }
 
@@ -656,7 +667,7 @@ impl Factorization {
         match &self.inner {
             NumericInner::Klu(n) => LuNumeric::quality(n),
             NumericInner::Basker(n) => LuNumeric::quality(n),
-            NumericInner::Snlu(n) => LuNumeric::quality(n),
+            NumericInner::Snlu(n) => LuNumeric::quality(n.as_ref()),
         }
     }
 

@@ -18,7 +18,7 @@
 //!
 //! Usage:
 //! `bench_check --kind
-//! {fig6|xyce|streams|fig5|table1|fig7|fig8|table2|shard}
+//! {fig6|xyce|streams|fig5|table1|fig7|fig8|table2|shard|kernels}
 //! BASELINE FRESH [--tolerance 0.25]`
 
 use basker_bench::json::Json;
@@ -481,6 +481,63 @@ fn check_shard(r: &mut Report, base: &Json, fresh: &Json, tol: f64) {
     );
 }
 
+fn check_kernels(r: &mut Report, base: &Json, fresh: &Json, tol: f64) {
+    // Flop rates are host-dependent, so absolute GF/s is gated loosely
+    // (4×, like wall clock). What is hard at any size is the shape of
+    // the ladder: a scalar rung must exist, exactly one rung must be
+    // dispatched, and wherever runtime detection picks a SIMD rung it
+    // must actually pay — ≥2× the scalar rank-k flop rate (the
+    // tentpole invariant of the dense kernel ladder).
+    let _ = tol;
+    let brows = rows_of(base, "kernel_ladder", "baseline");
+    let frows = rows_of(fresh, "kernel_ladder", "fresh");
+
+    let scalar = find_row(frows, &[("kernel", "scalar")], &[]);
+    r.check(scalar.is_some(), || {
+        "kernels: scalar rung missing from fresh run".into()
+    });
+    let dispatched: Vec<&Json> = frows
+        .iter()
+        .filter(|row| row.get("dispatch").and_then(Json::bool) == Some(true))
+        .collect();
+    r.check(dispatched.len() == 1, || {
+        format!(
+            "kernels: expected exactly one dispatched rung, found {}",
+            dispatched.len()
+        )
+    });
+    if let (Some(s), [d]) = (scalar, dispatched.as_slice()) {
+        if d.str_field("kernel") != Some("scalar") {
+            let sr = num(s, "rank_k_gflops", "fresh");
+            let dr = num(d, "rank_k_gflops", "fresh");
+            r.check(dr >= 2.0 * sr, || {
+                format!(
+                    "kernels: dispatched rung '{}' rank-k {dr:.2} GF/s is under 2x scalar {sr:.2}",
+                    d.str_field("kernel").unwrap_or("?")
+                )
+            });
+        }
+    }
+
+    // Per-rung rate comparisons, only for rungs the fresh host also
+    // has (the SIMD rung differs across architectures).
+    for b in brows {
+        let kernel = b.str_field("kernel").expect("baseline row kernel");
+        let Some(f) = find_row(frows, &[("kernel", kernel)], &[]) else {
+            eprintln!("bench_check: kernels: rung '{kernel}' absent on this host; skipping");
+            continue;
+        };
+        for op in ["axpy_gflops", "dot_gflops", "rank_k_gflops", "trsv_gflops"] {
+            let (bv, fv) = (num(b, op, "baseline"), num(f, op, "fresh"));
+            r.check(fv >= bv / 4.0, || {
+                format!(
+                    "kernels {kernel} {op}: {fv:.2} GF/s collapsed below 1/4 of baseline {bv:.2}"
+                )
+            });
+        }
+    }
+}
+
 fn run_kind(kind: &str, r: &mut Report, base: &Json, fresh: &Json, tol: f64) {
     match kind {
         "fig6" => check_fig6(r, base, fresh, tol),
@@ -492,6 +549,7 @@ fn run_kind(kind: &str, r: &mut Report, base: &Json, fresh: &Json, tol: f64) {
         "fig8" => check_fig8(r, base, fresh, tol),
         "table2" => check_table2(r, base, fresh, tol),
         "shard" => check_shard(r, base, fresh, tol),
+        "kernels" => check_kernels(r, base, fresh, tol),
         other => {
             eprintln!("bench_check: unknown kind '{other}'");
             std::process::exit(2);
@@ -506,7 +564,7 @@ fn main() {
     let usage = || -> ! {
         eprintln!(
             "usage: bench_check --kind \
-             {{fig6|xyce|streams|fig5|table1|fig7|fig8|table2|shard}} \
+             {{fig6|xyce|streams|fig5|table1|fig7|fig8|table2|shard|kernels}} \
              BASELINE FRESH [--tolerance 0.25]"
         );
         std::process::exit(2);
@@ -742,6 +800,57 @@ mod tests {
         let drift = TABLE2_BASE.replace("\"pmkl_lu_nnz\": 21000", "\"pmkl_lu_nnz\": 21001");
         let r = report_for("table2", TABLE2_BASE, &drift, 0.25);
         assert!(r.failures.iter().any(|f| f.contains("pmkl_lu_nnz")));
+    }
+
+    const KERNELS_BASE: &str = r#"[
+        {"kernel": "scalar", "dispatch": false, "axpy_gflops": 3.0,
+         "dot_gflops": 4.0, "rank_k_gflops": 6.0, "trsv_gflops": 2.0},
+        {"kernel": "unrolled", "dispatch": false, "axpy_gflops": 3.1,
+         "dot_gflops": 4.2, "rank_k_gflops": 4.4, "trsv_gflops": 2.1},
+        {"kernel": "avx2+fma", "dispatch": true, "axpy_gflops": 6.0,
+         "dot_gflops": 8.0, "rank_k_gflops": 17.0, "trsv_gflops": 3.0}]"#;
+
+    #[test]
+    fn kernels_dispatch_must_beat_scalar_twofold() {
+        let r = report_for("kernels", KERNELS_BASE, KERNELS_BASE, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+
+        // Dispatched SIMD rung sagging under 2x scalar is a hard fail.
+        let sagged = KERNELS_BASE.replace("\"rank_k_gflops\": 17.0", "\"rank_k_gflops\": 11.0");
+        let r = report_for("kernels", KERNELS_BASE, &sagged, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("under 2x scalar")));
+
+        // A scalar-only host (dispatch falls back to scalar) skips it.
+        let scalar_only = r#"[
+            {"kernel": "scalar", "dispatch": true, "axpy_gflops": 3.0,
+             "dot_gflops": 4.0, "rank_k_gflops": 6.0, "trsv_gflops": 2.0}]"#;
+        let r = report_for("kernels", scalar_only, scalar_only, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn kernels_ladder_shape_and_loose_rates() {
+        // Exactly one rung may be dispatched.
+        let doubled = KERNELS_BASE.replace(
+            "\"kernel\": \"unrolled\", \"dispatch\": false",
+            "\"kernel\": \"unrolled\", \"dispatch\": true",
+        );
+        let r = report_for("kernels", KERNELS_BASE, &doubled, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("exactly one")));
+
+        // Host noise (half the rate) passes; a 5x collapse fails.
+        let noisy = KERNELS_BASE.replace("\"dot_gflops\": 4.0", "\"dot_gflops\": 2.1");
+        let r = report_for("kernels", KERNELS_BASE, &noisy, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+        let collapsed = KERNELS_BASE.replace("\"axpy_gflops\": 3.0", "\"axpy_gflops\": 0.5");
+        let r = report_for("kernels", KERNELS_BASE, &collapsed, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("collapsed")));
+
+        // A different architecture's SIMD rung: the baseline avx2 row
+        // has no fresh counterpart (skipped), the neon rung dispatches.
+        let other_arch = KERNELS_BASE.replace("avx2+fma", "neon");
+        let r = report_for("kernels", KERNELS_BASE, &other_arch, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
     }
 
     const SHARD_BASE: &str = r#"{"shards": 3, "clients": 16, "streams": 1024,

@@ -1,0 +1,157 @@
+//! **Dense kernel-ladder microbenchmark** — measures the flop rate of
+//! every rung this host supports (`scalar`, `unrolled`, and the SIMD
+//! rung where available) on the four dense primitives the factorization
+//! hot paths lean on: `axpy`, `dot`, the cache-blocked rank-k panel
+//! update (`gemm_sub`), and the small unit-lower triangular solve.
+//!
+//! Usage: `kernel_bench [test|bench] [--json PATH]` (default `bench`).
+//! `--json` writes one row per rung with GF/s per op plus a `dispatch`
+//! flag marking the rung runtime detection actually selected — the
+//! checked-in `BENCH_kernels.json` baseline gated by
+//! `bench_check --kind kernels` (dispatched rank-k must beat scalar by
+//! 2× wherever a SIMD rung dispatches).
+
+use basker_bench::{print_markdown_table, BenchArgs};
+use basker_kernels::Kernels;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Measures one op: pilots a single rep, scales the rep count to reach
+/// `target` seconds, and returns GF/s over the timed batch.
+fn gflops(flops_per_rep: f64, target: f64, mut f: impl FnMut()) -> f64 {
+    f(); // warm caches and the dispatch cell
+    let t0 = Instant::now();
+    f();
+    let pilot = t0.elapsed().as_secs_f64().max(1e-7);
+    let reps = ((target / pilot) as usize).clamp(3, 2_000_000);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    flops_per_rep * reps as f64 / t0.elapsed().as_secs_f64() / 1e9
+}
+
+struct Row {
+    kernel: &'static str,
+    dispatch: bool,
+    axpy: f64,
+    dot: f64,
+    rank_k: f64,
+    trsv: f64,
+}
+
+fn bench_rung(ks: &'static Kernels, dispatch: bool, test_scale: bool) -> Row {
+    let (nv, m, k, n, nt, target) = if test_scale {
+        (4096usize, 128usize, 16usize, 128usize, 64usize, 0.01f64)
+    } else {
+        (65536, 768, 32, 768, 512, 0.15)
+    };
+
+    // Vector ops. Tiny alpha keeps repeated accumulation bounded.
+    let x: Vec<f64> = (0..nv).map(|i| 0.5 + (i % 13) as f64 * 0.01).collect();
+    let mut y = vec![1.0f64; nv];
+    let axpy = gflops(2.0 * nv as f64, target, || ks.axpy(&mut y, 1e-6, &x));
+    let mut sink = 0.0f64;
+    let dot = gflops(2.0 * nv as f64, target, || sink += ks.dot(&x, &y));
+    black_box(sink);
+
+    // Cache-blocked rank-k panel update: C (m×n) −= A (m×k) · B (k×n).
+    // Entries are small so linear accumulation never overflows.
+    let a: Vec<f64> = (0..m * k).map(|i| 1e-4 * (1 + i % 7) as f64).collect();
+    let b: Vec<f64> = (0..k * n).map(|i| 1e-4 * (1 + i % 5) as f64).collect();
+    let mut c = vec![0.0f64; m * n];
+    let rank_k = gflops(2.0 * (m * n * k) as f64, target, || {
+        ks.gemm_sub(&mut c, m, &a, m, &b, k, m, n, k)
+    });
+    black_box(&c);
+
+    // Small unit-lower triangular solve (column-major, lda = nt). The
+    // rhs is re-seeded each rep so values stay bounded; the copy is
+    // noise next to the O(n²) solve.
+    let mut l = vec![0.0f64; nt * nt];
+    for j in 0..nt {
+        for i in j + 1..nt {
+            l[j * nt + i] = -0.01 * (1 + (i + j) % 3) as f64;
+        }
+    }
+    let rhs: Vec<f64> = (0..nt).map(|i| 1.0 + (i % 9) as f64 * 0.125).collect();
+    let mut xt = rhs.clone();
+    let trsv = gflops((nt * (nt - 1)) as f64, target, || {
+        xt.copy_from_slice(&rhs);
+        ks.trsv_lower_unit(&mut xt, &l, nt);
+    });
+    black_box(&xt);
+
+    Row {
+        kernel: ks.name(),
+        dispatch,
+        axpy,
+        dot,
+        rank_k,
+        trsv,
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse("kernel_bench", false);
+    let test_scale = matches!(args.scale, basker_matgen::Scale::Test);
+    let active = basker_kernels::active().name();
+    println!("# Dense kernel ladder (dispatched: {active})\n");
+
+    let rows: Vec<Row> = basker_kernels::supported()
+        .into_iter()
+        .map(|ks| bench_rung(ks, ks.name() == active, test_scale))
+        .collect();
+
+    print_markdown_table(
+        &[
+            "kernel",
+            "dispatch",
+            "axpy GF/s",
+            "dot GF/s",
+            "rank-k GF/s",
+            "trsv GF/s",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.kernel.to_string(),
+                    if r.dispatch { "*" } else { "" }.to_string(),
+                    format!("{:.2}", r.axpy),
+                    format!("{:.2}", r.dot),
+                    format!("{:.2}", r.rank_k),
+                    format!("{:.2}", r.trsv),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    if let Some(scalar) = rows.iter().find(|r| r.kernel == "scalar") {
+        if let Some(d) = rows.iter().find(|r| r.dispatch) {
+            println!(
+                "\ndispatched rank-k vs scalar: {:.2}x",
+                d.rank_k / scalar.rank_k
+            );
+        }
+    }
+
+    if let Some(path) = args.json {
+        let mut out = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"kernel\": \"{}\", \"dispatch\": {}, \"axpy_gflops\": {:.3}, \
+                 \"dot_gflops\": {:.3}, \"rank_k_gflops\": {:.3}, \"trsv_gflops\": {:.3}}}{}\n",
+                r.kernel,
+                r.dispatch,
+                r.axpy,
+                r.dot,
+                r.rank_k,
+                r.trsv,
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(&path, out).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

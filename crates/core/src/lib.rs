@@ -413,9 +413,12 @@ impl BaskerNumeric {
             for c in lo..hi {
                 let xc = y[c];
                 if xc != 0.0 {
-                    for (i, v) in self.offdiag.col_iter(c) {
-                        y[i] -= v * xc;
-                    }
+                    basker_kernels::active().scatter_axpy(
+                        &mut y[..],
+                        self.offdiag.col_rows(c),
+                        self.offdiag.col_values(c),
+                        -xc,
+                    );
                 }
             }
         }

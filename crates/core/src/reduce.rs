@@ -63,9 +63,20 @@ pub fn reduce_col_into(
         ws.mark[i] = stamp;
         ws.pat.push(i);
     }
+    let ks = basker_kernels::active();
     for &(l, urows, uvals) in terms {
         debug_assert_eq!(l.nrows(), m, "L term row mismatch");
         for (&t, &uv) in urows.iter().zip(uvals) {
+            if ws.pat.len() == m {
+                // The accumulator has gone fully dense: every row is
+                // already in the pattern, so the stamp bookkeeping is
+                // dead weight and the update is a pure indexed axpy on
+                // the kernel ladder (separator blocks hit this early).
+                if uv != 0.0 {
+                    ks.scatter_axpy(&mut ws.x, l.col_rows(t), l.col_values(t), -uv);
+                }
+                continue;
+            }
             if uv == 0.0 {
                 // keep the pattern contribution even for exact zeros
                 for (r, _) in l.col_iter(t) {

@@ -41,9 +41,12 @@ pub fn solve_nd_in_place(st: &NdStructure, f: &NdFactors, z: &mut [f64], scratch
             for c in 0..below.ncols() {
                 let xc = z[r.start + c];
                 if xc != 0.0 {
-                    for (row, val) in below.col_iter(c) {
-                        z[a0 + row] -= val * xc;
-                    }
+                    basker_kernels::active().scatter_axpy(
+                        &mut z[a0..],
+                        below.col_rows(c),
+                        below.col_values(c),
+                        -xc,
+                    );
                 }
             }
         }
@@ -67,9 +70,12 @@ pub fn solve_nd_in_place(st: &NdStructure, f: &NdFactors, z: &mut [f64], scratch
             for c in 0..panel.ncols() {
                 let xc = z[r.start + c];
                 if xc != 0.0 {
-                    for (row, val) in panel.col_iter(c) {
-                        z[k0 + row] -= val * xc;
-                    }
+                    basker_kernels::active().scatter_axpy(
+                        &mut z[k0..],
+                        panel.col_rows(c),
+                        panel.col_values(c),
+                        -xc,
+                    );
                 }
             }
         }

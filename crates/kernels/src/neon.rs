@@ -1,0 +1,145 @@
+//! NEON rung (aarch64). 2×f64 lanes are part of the aarch64 baseline,
+//! so no runtime detection is needed; the dispatcher still labels it
+//! `simd` so the knob behaves the same on both architectures.
+
+#![allow(unsafe_code)]
+
+use std::arch::aarch64::*;
+
+pub(crate) fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
+    let n = y.len().min(x.len());
+    // SAFETY: NEON is baseline on aarch64; pointers bounded by `n`.
+    unsafe {
+        let yp = y.as_mut_ptr();
+        let xp = x.as_ptr();
+        let va = vdupq_n_f64(alpha);
+        let n4 = n - n % 4;
+        let mut i = 0;
+        while i < n4 {
+            let y0 = vld1q_f64(yp.add(i));
+            let y1 = vld1q_f64(yp.add(i + 2));
+            let x0 = vld1q_f64(xp.add(i));
+            let x1 = vld1q_f64(xp.add(i + 2));
+            vst1q_f64(yp.add(i), vfmaq_f64(y0, va, x0));
+            vst1q_f64(yp.add(i + 2), vfmaq_f64(y1, va, x1));
+            i += 4;
+        }
+        while i < n {
+            *yp.add(i) = alpha.mul_add(*xp.add(i), *yp.add(i));
+            i += 1;
+        }
+    }
+}
+
+pub(crate) fn dot(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len().min(y.len());
+    // SAFETY: NEON is baseline on aarch64; pointers bounded by `n`.
+    unsafe {
+        let xp = x.as_ptr();
+        let yp = y.as_ptr();
+        let mut a0 = vdupq_n_f64(0.0);
+        let mut a1 = vdupq_n_f64(0.0);
+        let n4 = n - n % 4;
+        let mut i = 0;
+        while i < n4 {
+            a0 = vfmaq_f64(a0, vld1q_f64(xp.add(i)), vld1q_f64(yp.add(i)));
+            a1 = vfmaq_f64(a1, vld1q_f64(xp.add(i + 2)), vld1q_f64(yp.add(i + 2)));
+            i += 4;
+        }
+        let mut acc = vaddvq_f64(a0) + vaddvq_f64(a1);
+        while i < n {
+            acc = (*xp.add(i)).mul_add(*yp.add(i), acc);
+            i += 1;
+        }
+        acc
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_tile(
+    c: &mut [f64],
+    ldc: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    assert!(a.len() >= (k - 1) * lda + m, "gemm_tile: A too short");
+    assert!(b.len() >= (n - 1) * ldb + k, "gemm_tile: B too short");
+    assert!(c.len() >= (n - 1) * ldc + m, "gemm_tile: C too short");
+    // SAFETY: NEON is baseline on aarch64; bounds asserted above.
+    unsafe {
+        let cp = c.as_mut_ptr();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut j = 0;
+        // 4-row × 2-column register block.
+        while j + 2 <= n {
+            let cj0 = cp.add(j * ldc);
+            let cj1 = cp.add((j + 1) * ldc);
+            let bj = bp.add(j * ldb);
+            let mut i = 0;
+            while i + 4 <= m {
+                let mut c00 = vld1q_f64(cj0.add(i));
+                let mut c10 = vld1q_f64(cj0.add(i + 2));
+                let mut c01 = vld1q_f64(cj1.add(i));
+                let mut c11 = vld1q_f64(cj1.add(i + 2));
+                for l in 0..k {
+                    let a0 = vld1q_f64(ap.add(i + l * lda));
+                    let a1 = vld1q_f64(ap.add(i + 2 + l * lda));
+                    let b0 = vdupq_n_f64(*bj.add(l));
+                    let b1 = vdupq_n_f64(*bj.add(l + ldb));
+                    c00 = vfmsq_f64(c00, a0, b0);
+                    c10 = vfmsq_f64(c10, a1, b0);
+                    c01 = vfmsq_f64(c01, a0, b1);
+                    c11 = vfmsq_f64(c11, a1, b1);
+                }
+                vst1q_f64(cj0.add(i), c00);
+                vst1q_f64(cj0.add(i + 2), c10);
+                vst1q_f64(cj1.add(i), c01);
+                vst1q_f64(cj1.add(i + 2), c11);
+                i += 4;
+            }
+            while i < m {
+                let mut acc0 = *cj0.add(i);
+                let mut acc1 = *cj1.add(i);
+                for l in 0..k {
+                    let al = *ap.add(i + l * lda);
+                    acc0 = (-al).mul_add(*bj.add(l), acc0);
+                    acc1 = (-al).mul_add(*bj.add(l + ldb), acc1);
+                }
+                *cj0.add(i) = acc0;
+                *cj1.add(i) = acc1;
+                i += 1;
+            }
+            j += 2;
+        }
+        if j < n {
+            let cj = cp.add(j * ldc);
+            let bj = bp.add(j * ldb);
+            for l in 0..k {
+                let blj = *bj.add(l);
+                if blj != 0.0 {
+                    let al = ap.add(l * lda);
+                    let mut i = 0;
+                    while i + 2 <= m {
+                        let cv = vld1q_f64(cj.add(i));
+                        let av = vld1q_f64(al.add(i));
+                        vst1q_f64(cj.add(i), vfmsq_f64(cv, av, vdupq_n_f64(blj)));
+                        i += 2;
+                    }
+                    while i < m {
+                        *cj.add(i) = (-blj).mul_add(*al.add(i), *cj.add(i));
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Portable scalar rung: the simplest correct loops, and the reference
+//! the differential tests hold every other rung against. The compiler
+//! may still auto-vectorize these with the baseline target features —
+//! that is the honest "what you get for free" floor the ladder is
+//! measured from.
+
+pub(crate) fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+pub(crate) fn dot(x: &[f64], y: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (xi, yi) in x.iter().zip(y) {
+        acc += xi * yi;
+    }
+    acc
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_tile(
+    c: &mut [f64],
+    ldc: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    for j in 0..n {
+        let cj = &mut c[j * ldc..j * ldc + m];
+        for l in 0..k {
+            let blj = b[l + j * ldb];
+            if blj != 0.0 {
+                let al = &a[l * lda..l * lda + m];
+                for i in 0..m {
+                    cj[i] -= al[i] * blj;
+                }
+            }
+        }
+    }
+}

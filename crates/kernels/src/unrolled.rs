@@ -1,0 +1,112 @@
+//! 4×-unrolled portable rung: independent accumulator chains give the
+//! out-of-order core parallel FMA work without any `std::arch`. Uses
+//! `f64::mul_add` when the compile target has native FMA; without the
+//! target feature `mul_add` lowers to a libm call, so the plain
+//! multiply-add form is used instead (same unrolling, one extra
+//! rounding per term).
+
+/// Fused multiply-add `a·b + c` when the target has hardware FMA,
+/// plain `a*b + c` otherwise.
+#[inline(always)]
+fn fmad(a: f64, b: f64, c: f64) -> f64 {
+    if cfg!(target_feature = "fma") || cfg!(target_arch = "aarch64") {
+        a.mul_add(b, c)
+    } else {
+        a * b + c
+    }
+}
+
+pub(crate) fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
+    let n = y.len().min(x.len());
+    let n4 = n - n % 4;
+    let mut i = 0;
+    while i < n4 {
+        y[i] = fmad(alpha, x[i], y[i]);
+        y[i + 1] = fmad(alpha, x[i + 1], y[i + 1]);
+        y[i + 2] = fmad(alpha, x[i + 2], y[i + 2]);
+        y[i + 3] = fmad(alpha, x[i + 3], y[i + 3]);
+        i += 4;
+    }
+    while i < n {
+        y[i] = fmad(alpha, x[i], y[i]);
+        i += 1;
+    }
+}
+
+pub(crate) fn dot(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len().min(y.len());
+    let n4 = n - n % 4;
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut i = 0;
+    while i < n4 {
+        a0 = fmad(x[i], y[i], a0);
+        a1 = fmad(x[i + 1], y[i + 1], a1);
+        a2 = fmad(x[i + 2], y[i + 2], a2);
+        a3 = fmad(x[i + 3], y[i + 3], a3);
+        i += 4;
+    }
+    let mut acc = (a0 + a1) + (a2 + a3);
+    while i < n {
+        acc = fmad(x[i], y[i], acc);
+        i += 1;
+    }
+    acc
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_tile(
+    c: &mut [f64],
+    ldc: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    let m4 = m - m % 4;
+    let mut j = 0;
+    // Two columns of C at a time: each A load feeds two accumulator
+    // chains, halving the load:fma ratio.
+    while j + 2 <= n {
+        let (cj0, rest) = c[j * ldc..].split_at_mut(ldc);
+        let cj0 = &mut cj0[..m];
+        let cj1 = &mut rest[..m];
+        for l in 0..k {
+            let b0 = b[l + j * ldb];
+            let b1 = b[l + (j + 1) * ldb];
+            if b0 == 0.0 && b1 == 0.0 {
+                continue;
+            }
+            let al = &a[l * lda..l * lda + m];
+            let mut i = 0;
+            while i < m4 {
+                cj0[i] = fmad(-b0, al[i], cj0[i]);
+                cj0[i + 1] = fmad(-b0, al[i + 1], cj0[i + 1]);
+                cj0[i + 2] = fmad(-b0, al[i + 2], cj0[i + 2]);
+                cj0[i + 3] = fmad(-b0, al[i + 3], cj0[i + 3]);
+                cj1[i] = fmad(-b1, al[i], cj1[i]);
+                cj1[i + 1] = fmad(-b1, al[i + 1], cj1[i + 1]);
+                cj1[i + 2] = fmad(-b1, al[i + 2], cj1[i + 2]);
+                cj1[i + 3] = fmad(-b1, al[i + 3], cj1[i + 3]);
+                i += 4;
+            }
+            while i < m {
+                cj0[i] = fmad(-b0, al[i], cj0[i]);
+                cj1[i] = fmad(-b1, al[i], cj1[i]);
+                i += 1;
+            }
+        }
+        j += 2;
+    }
+    if j < n {
+        let cj = &mut c[j * ldc..j * ldc + m];
+        for l in 0..k {
+            let blj = b[l + j * ldb];
+            if blj != 0.0 {
+                axpy(cj, -blj, &a[l * lda..l * lda + m]);
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! AVX2+FMA rung (x86-64). Only reachable through the dispatcher after
+//! `is_x86_feature_detected!("avx2") && ("fma")` passed, so the
+//! `#[target_feature]` functions are sound to call. All loads/stores
+//! are unaligned (`loadu`/`storeu`) — panel slices carry no alignment
+//! guarantee.
+
+#![allow(unsafe_code)]
+
+use std::arch::x86_64::*;
+
+pub(crate) fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
+    let n = y.len().min(x.len());
+    // SAFETY: feature-gated at dispatch; pointers stay within the
+    // first `n` elements of both slices.
+    unsafe { axpy_avx(y.as_mut_ptr(), alpha, x.as_ptr(), n) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn axpy_avx(y: *mut f64, alpha: f64, x: *const f64, n: usize) {
+    let va = _mm256_set1_pd(alpha);
+    let n8 = n - n % 8;
+    let mut i = 0;
+    while i < n8 {
+        let y0 = _mm256_loadu_pd(y.add(i));
+        let y1 = _mm256_loadu_pd(y.add(i + 4));
+        let x0 = _mm256_loadu_pd(x.add(i));
+        let x1 = _mm256_loadu_pd(x.add(i + 4));
+        _mm256_storeu_pd(y.add(i), _mm256_fmadd_pd(va, x0, y0));
+        _mm256_storeu_pd(y.add(i + 4), _mm256_fmadd_pd(va, x1, y1));
+        i += 8;
+    }
+    while i + 4 <= n {
+        let y0 = _mm256_loadu_pd(y.add(i));
+        let x0 = _mm256_loadu_pd(x.add(i));
+        _mm256_storeu_pd(y.add(i), _mm256_fmadd_pd(va, x0, y0));
+        i += 4;
+    }
+    while i < n {
+        *y.add(i) = alpha.mul_add(*x.add(i), *y.add(i));
+        i += 1;
+    }
+}
+
+pub(crate) fn dot(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len().min(y.len());
+    // SAFETY: feature-gated at dispatch; bounded by `n`.
+    unsafe { dot_avx(x.as_ptr(), y.as_ptr(), n) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_avx(x: *const f64, y: *const f64, n: usize) -> f64 {
+    let mut a0 = _mm256_setzero_pd();
+    let mut a1 = _mm256_setzero_pd();
+    let n8 = n - n % 8;
+    let mut i = 0;
+    while i < n8 {
+        a0 = _mm256_fmadd_pd(_mm256_loadu_pd(x.add(i)), _mm256_loadu_pd(y.add(i)), a0);
+        a1 = _mm256_fmadd_pd(
+            _mm256_loadu_pd(x.add(i + 4)),
+            _mm256_loadu_pd(y.add(i + 4)),
+            a1,
+        );
+        i += 8;
+    }
+    while i + 4 <= n {
+        a0 = _mm256_fmadd_pd(_mm256_loadu_pd(x.add(i)), _mm256_loadu_pd(y.add(i)), a0);
+        i += 4;
+    }
+    let s = _mm256_add_pd(a0, a1);
+    let lo = _mm256_castpd256_pd128(s);
+    let hi = _mm256_extractf128_pd(s, 1);
+    let q = _mm_add_pd(lo, hi);
+    let mut acc = _mm_cvtsd_f64(_mm_add_sd(q, _mm_unpackhi_pd(q, q)));
+    while i < n {
+        acc = (*x.add(i)).mul_add(*y.add(i), acc);
+        i += 1;
+    }
+    acc
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_tile(
+    c: &mut [f64],
+    ldc: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // Bounds that make every raw-pointer access below in-range.
+    assert!(a.len() >= (k - 1) * lda + m, "gemm_tile: A too short");
+    assert!(b.len() >= (n - 1) * ldb + k, "gemm_tile: B too short");
+    assert!(c.len() >= (n - 1) * ldc + m, "gemm_tile: C too short");
+    // SAFETY: feature-gated at dispatch; bounds asserted above.
+    unsafe {
+        gemm_avx(
+            c.as_mut_ptr(),
+            ldc,
+            a.as_ptr(),
+            lda,
+            b.as_ptr(),
+            ldb,
+            m,
+            n,
+            k,
+        )
+    }
+}
+
+/// `C -= A·B`, column-major, register-blocked 8×4: eight C registers
+/// carry a full 8-row × 4-column block across the entire k loop, so
+/// the inner loop is pure load-broadcast-FMA with no C traffic.
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_avx(
+    c: *mut f64,
+    ldc: usize,
+    a: *const f64,
+    lda: usize,
+    b: *const f64,
+    ldb: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    let mut j = 0;
+    while j + 4 <= n {
+        let bj = b.add(j * ldb);
+        let cj = c.add(j * ldc);
+        let mut i = 0;
+        while i + 8 <= m {
+            kernel_8x4(cj.add(i), ldc, a.add(i), lda, bj, ldb, k);
+            i += 8;
+        }
+        while i + 4 <= m {
+            kernel_4xq::<4>(cj.add(i), ldc, a.add(i), lda, bj, ldb, k);
+            i += 4;
+        }
+        while i < m {
+            // scalar rows tail over the 4 columns
+            for q in 0..4 {
+                let mut acc = *cj.add(i + q * ldc);
+                for l in 0..k {
+                    acc = (-*a.add(i + l * lda)).mul_add(*bj.add(l + q * ldb), acc);
+                }
+                *cj.add(i + q * ldc) = acc;
+            }
+            i += 1;
+        }
+        j += 4;
+    }
+    // column remainder: vectorized broadcast-axpy per column
+    while j < n {
+        let bj = b.add(j * ldb);
+        let cj = c.add(j * ldc);
+        for l in 0..k {
+            let blj = *bj.add(l);
+            if blj != 0.0 {
+                axpy_avx(cj, -blj, a.add(l * lda), m);
+            }
+        }
+        j += 1;
+    }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn kernel_8x4(
+    c: *mut f64,
+    ldc: usize,
+    a: *const f64,
+    lda: usize,
+    b: *const f64,
+    ldb: usize,
+    k: usize,
+) {
+    let mut c00 = _mm256_loadu_pd(c);
+    let mut c10 = _mm256_loadu_pd(c.add(4));
+    let mut c01 = _mm256_loadu_pd(c.add(ldc));
+    let mut c11 = _mm256_loadu_pd(c.add(ldc + 4));
+    let mut c02 = _mm256_loadu_pd(c.add(2 * ldc));
+    let mut c12 = _mm256_loadu_pd(c.add(2 * ldc + 4));
+    let mut c03 = _mm256_loadu_pd(c.add(3 * ldc));
+    let mut c13 = _mm256_loadu_pd(c.add(3 * ldc + 4));
+    for l in 0..k {
+        let a0 = _mm256_loadu_pd(a.add(l * lda));
+        let a1 = _mm256_loadu_pd(a.add(l * lda + 4));
+        let b0 = _mm256_set1_pd(*b.add(l));
+        c00 = _mm256_fnmadd_pd(a0, b0, c00);
+        c10 = _mm256_fnmadd_pd(a1, b0, c10);
+        let b1 = _mm256_set1_pd(*b.add(l + ldb));
+        c01 = _mm256_fnmadd_pd(a0, b1, c01);
+        c11 = _mm256_fnmadd_pd(a1, b1, c11);
+        let b2 = _mm256_set1_pd(*b.add(l + 2 * ldb));
+        c02 = _mm256_fnmadd_pd(a0, b2, c02);
+        c12 = _mm256_fnmadd_pd(a1, b2, c12);
+        let b3 = _mm256_set1_pd(*b.add(l + 3 * ldb));
+        c03 = _mm256_fnmadd_pd(a0, b3, c03);
+        c13 = _mm256_fnmadd_pd(a1, b3, c13);
+    }
+    _mm256_storeu_pd(c, c00);
+    _mm256_storeu_pd(c.add(4), c10);
+    _mm256_storeu_pd(c.add(ldc), c01);
+    _mm256_storeu_pd(c.add(ldc + 4), c11);
+    _mm256_storeu_pd(c.add(2 * ldc), c02);
+    _mm256_storeu_pd(c.add(2 * ldc + 4), c12);
+    _mm256_storeu_pd(c.add(3 * ldc), c03);
+    _mm256_storeu_pd(c.add(3 * ldc + 4), c13);
+}
+
+/// 4-row × `Q`-column register block (the 4 ≤ m-remainder < 8 edge).
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn kernel_4xq<const Q: usize>(
+    c: *mut f64,
+    ldc: usize,
+    a: *const f64,
+    lda: usize,
+    b: *const f64,
+    ldb: usize,
+    k: usize,
+) {
+    let mut acc = [_mm256_setzero_pd(); Q];
+    for (q, accq) in acc.iter_mut().enumerate() {
+        *accq = _mm256_loadu_pd(c.add(q * ldc));
+    }
+    for l in 0..k {
+        let a0 = _mm256_loadu_pd(a.add(l * lda));
+        for (q, accq) in acc.iter_mut().enumerate() {
+            let bq = _mm256_set1_pd(*b.add(l + q * ldb));
+            *accq = _mm256_fnmadd_pd(a0, bq, *accq);
+        }
+    }
+    for (q, accq) in acc.iter().enumerate() {
+        _mm256_storeu_pd(c.add(q * ldc), *accq);
+    }
+}

@@ -254,11 +254,14 @@ impl BlockColumnFactorizer {
             let t = self.topo[ti];
             let xt = self.xd[self.prow_of[t]];
             if xt != 0.0 {
-                for p in self.lcolptr[t]..self.lcolptr[t + 1] {
-                    let r = self.lrows[p];
-                    self.xd[r] -= self.lvals[p] * xt;
-                    self.flops += 2.0;
-                }
+                let (lo, hi) = (self.lcolptr[t], self.lcolptr[t + 1]);
+                basker_kernels::active().scatter_axpy(
+                    &mut self.xd,
+                    &self.lrows[lo..hi],
+                    &self.lvals[lo..hi],
+                    -xt,
+                );
+                self.flops += 2.0 * (hi - lo) as f64;
                 for bi in 0..nbelow {
                     for p in self.bcolptr[bi][t]..self.bcolptr[bi][t + 1] {
                         let r = self.brows[bi][p];
@@ -491,19 +494,16 @@ pub fn refactor_block_column(
             let t = urows[k];
             let xt = xd[t];
             if xt != 0.0 {
+                let ks = basker_kernels::active();
                 let lr = factors.l.col_rows(t);
                 let lv = factors.l.col_values(t);
-                for p in 1..lr.len() {
-                    xd[lr[p]] -= lv[p] * xt;
-                    flops += 2.0;
-                }
+                ks.scatter_axpy(&mut xd, &lr[1..], &lv[1..], -xt);
+                flops += 2.0 * (lr.len() - 1) as f64;
                 for (bi, bm) in factors.below.iter().enumerate() {
                     let br = bm.col_rows(t);
                     let bv = bm.col_values(t);
-                    for p in 0..br.len() {
-                        xb[bi][br[p]] -= bv[p] * xt;
-                        flops += 2.0;
-                    }
+                    ks.scatter_axpy(&mut xb[bi], br, bv, -xt);
+                    flops += 2.0 * br.len() as f64;
                 }
             }
         }
@@ -635,9 +635,7 @@ pub fn lsolve_col(
         if xt != 0.0 {
             let lr = l.col_rows(t);
             let lv = l.col_values(t);
-            for p in 1..lr.len() {
-                ws.x[lr[p]] -= lv[p] * xt;
-            }
+            basker_kernels::active().scatter_axpy(&mut ws.x, &lr[1..], &lv[1..], -xt);
         }
     }
     // gather (sorted pattern for a valid column)
@@ -684,9 +682,7 @@ pub fn lsolve_panel_refresh(blu: &BlockLu, b: &CscMat, out: &mut CscMat) {
             if xt != 0.0 {
                 let lr = l.col_rows(t);
                 let lv = l.col_values(t);
-                for p in 1..lr.len() {
-                    x[lr[p]] -= lv[p] * xt;
-                }
+                basker_kernels::active().scatter_axpy(&mut x, &lr[1..], &lv[1..], -xt);
             }
         }
         let vals = out.values_mut();

@@ -18,14 +18,13 @@ pub fn spmv(a: &CscMat, x: &[f64]) -> Vec<f64> {
 pub fn spmv_acc(a: &CscMat, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
+    let ks = basker_kernels::active();
     for j in 0..a.ncols() {
         let xj = x[j];
         if xj == 0.0 {
             continue;
         }
-        for (i, v) in a.col_iter(j) {
-            y[i] += v * xj;
-        }
+        ks.scatter_axpy(y, a.col_rows(j), a.col_values(j), xj);
     }
 }
 
@@ -33,14 +32,13 @@ pub fn spmv_acc(a: &CscMat, x: &[f64], y: &mut [f64]) {
 pub fn spmv_sub(a: &CscMat, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
+    let ks = basker_kernels::active();
     for j in 0..a.ncols() {
         let xj = x[j];
         if xj == 0.0 {
             continue;
         }
-        for (i, v) in a.col_iter(j) {
-            y[i] -= v * xj;
-        }
+        ks.scatter_axpy(y, a.col_rows(j), a.col_values(j), -xj);
     }
 }
 
@@ -51,13 +49,12 @@ pub fn spmv_sub(a: &CscMat, x: &[f64], y: &mut [f64]) {
 pub fn spmv_sub_sparse(a: &CscMat, xpat: &[usize], xval: &[f64], y: &mut [f64]) {
     assert_eq!(xpat.len(), xval.len());
     assert_eq!(y.len(), a.nrows());
+    let ks = basker_kernels::active();
     for (&j, &xj) in xpat.iter().zip(xval.iter()) {
         if xj == 0.0 {
             continue;
         }
-        for (i, v) in a.col_iter(j) {
-            y[i] -= v * xj;
-        }
+        ks.scatter_axpy(y, a.col_rows(j), a.col_values(j), -xj);
     }
 }
 
@@ -65,12 +62,9 @@ pub fn spmv_sub_sparse(a: &CscMat, xpat: &[usize], xval: &[f64], y: &mut [f64]) 
 pub fn spmv_t(a: &CscMat, x: &[f64]) -> Vec<f64> {
     assert_eq!(x.len(), a.nrows());
     let mut y = vec![0.0; a.ncols()];
+    let ks = basker_kernels::active();
     for j in 0..a.ncols() {
-        let mut acc = 0.0;
-        for (i, v) in a.col_iter(j) {
-            acc += v * x[i];
-        }
-        y[j] = acc;
+        y[j] = ks.gather_dot(x, a.col_rows(j), a.col_values(j));
     }
     y
 }

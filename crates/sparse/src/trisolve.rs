@@ -17,6 +17,7 @@ pub fn lower_solve_in_place(l: &CscMat, b: &mut [f64], unit_diag: bool) {
     let n = l.ncols();
     assert_eq!(l.nrows(), n);
     assert_eq!(b.len(), n);
+    let ks = basker_kernels::active();
     for j in 0..n {
         let rows = l.col_rows(j);
         let vals = l.col_values(j);
@@ -27,9 +28,7 @@ pub fn lower_solve_in_place(l: &CscMat, b: &mut [f64], unit_diag: bool) {
         let xj = if unit_diag { b[j] } else { b[j] / vals[0] };
         b[j] = xj;
         if xj != 0.0 {
-            for k in 1..rows.len() {
-                b[rows[k]] -= vals[k] * xj;
-            }
+            ks.scatter_axpy(b, &rows[1..], &vals[1..], -xj);
         }
     }
 }
@@ -39,6 +38,7 @@ pub fn upper_solve_in_place(u: &CscMat, b: &mut [f64]) {
     let n = u.ncols();
     assert_eq!(u.nrows(), n);
     assert_eq!(b.len(), n);
+    let ks = basker_kernels::active();
     for j in (0..n).rev() {
         let rows = u.col_rows(j);
         let vals = u.col_values(j);
@@ -50,9 +50,7 @@ pub fn upper_solve_in_place(u: &CscMat, b: &mut [f64]) {
         let xj = b[j] / vals[last];
         b[j] = xj;
         if xj != 0.0 {
-            for k in 0..last {
-                b[rows[k]] -= vals[k] * xj;
-            }
+            ks.scatter_axpy(b, &rows[..last], &vals[..last], -xj);
         }
     }
 }
@@ -62,6 +60,7 @@ pub fn lower_solve_t_in_place(l: &CscMat, b: &mut [f64], unit_diag: bool) {
     let n = l.ncols();
     assert_eq!(l.nrows(), n);
     assert_eq!(b.len(), n);
+    let ks = basker_kernels::active();
     for j in (0..n).rev() {
         let rows = l.col_rows(j);
         let vals = l.col_values(j);
@@ -69,10 +68,7 @@ pub fn lower_solve_t_in_place(l: &CscMat, b: &mut [f64], unit_diag: bool) {
             continue;
         }
         debug_assert_eq!(rows[0], j);
-        let mut acc = b[j];
-        for k in 1..rows.len() {
-            acc -= vals[k] * b[rows[k]];
-        }
+        let acc = b[j] - ks.gather_dot(b, &rows[1..], &vals[1..]);
         b[j] = if unit_diag { acc } else { acc / vals[0] };
     }
 }
@@ -82,6 +78,7 @@ pub fn upper_solve_t_in_place(u: &CscMat, b: &mut [f64]) {
     let n = u.ncols();
     assert_eq!(u.nrows(), n);
     assert_eq!(b.len(), n);
+    let ks = basker_kernels::active();
     for j in 0..n {
         let rows = u.col_rows(j);
         let vals = u.col_values(j);
@@ -90,10 +87,7 @@ pub fn upper_solve_t_in_place(u: &CscMat, b: &mut [f64]) {
         }
         let last = rows.len() - 1;
         debug_assert_eq!(rows[last], j);
-        let mut acc = b[j];
-        for k in 0..last {
-            acc -= vals[k] * b[rows[k]];
-        }
+        let acc = b[j] - ks.gather_dot(b, &rows[..last], &vals[..last]);
         b[j] = acc / vals[last];
     }
 }

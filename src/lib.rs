@@ -39,7 +39,7 @@
 pub mod prelude {
     pub use basker::{Basker, BaskerNumeric, BaskerOptions, BaskerStats, SyncMode};
     pub use basker_api::{
-        Engine, FactorQuality, Factorization, LinearSolver, LuNumeric, ReusePolicy,
+        Engine, FactorQuality, Factorization, KernelChoice, LinearSolver, LuNumeric, ReusePolicy,
         SchedulingPolicy, ServiceConfig, ServiceStats, SessionConfig, SessionState, SessionStats,
         SolveQuality, SolveSession, SolverConfig, SolverError, SolverService, SolverStats,
         SparseLuSolver, StepResult, StepTicket, StreamHandle, StreamStats,
@@ -56,6 +56,7 @@ pub mod prelude {
 
 pub use basker;
 pub use basker_api;
+pub use basker_kernels;
 pub use basker_klu;
 pub use basker_matgen;
 pub use basker_ordering;
