@@ -1,0 +1,62 @@
+//! `basker-lint` — checks the workspace's concurrency-discipline
+//! invariants (see the `basker_analysis` crate docs for the rule set).
+//!
+//! Usage: `cargo run -p basker-analysis --bin basker-lint [root]`
+//!
+//! `root` defaults to the workspace root (resolved from this crate's
+//! manifest directory). Exit status 0 when clean; 1 with one
+//! `path:line: [rule] message` diagnostic per line when not; 2 on I/O
+//! errors.
+
+use basker_analysis::{check_file, walk, Allowlist};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(workspace_root);
+    let allow = match std::fs::read_to_string(root.join("crates/analysis/lint.allow")) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(_) => Allowlist::default(),
+    };
+    let files = match walk::workspace_files(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("basker-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut violations = 0usize;
+    let mut checked = 0usize;
+    for f in &files {
+        let src = match std::fs::read_to_string(root.join(f)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("basker-lint: cannot read {f}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        checked += 1;
+        for d in check_file(f, &src, &allow) {
+            println!("{d}");
+            violations += 1;
+        }
+    }
+    if violations == 0 {
+        eprintln!("basker-lint: {checked} files clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("basker-lint: {violations} violation(s) in {checked} files");
+        ExitCode::FAILURE
+    }
+}

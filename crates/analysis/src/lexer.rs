@@ -1,0 +1,345 @@
+//! A line-oriented Rust scanner: strips comments, strings, and char
+//! literals from source text so the rule engine can pattern-match code
+//! without tripping over `"unsafe"` inside a string or a doc comment.
+//!
+//! This is deliberately *not* a full Rust lexer. It tracks exactly the
+//! lexical states that can hide rule-relevant tokens — line comments,
+//! (nested) block comments, string literals, raw strings with hash
+//! fences, and char literals — and resolves the classic `'a` ambiguity
+//! (lifetime vs char literal) with a lookahead heuristic that is exact
+//! for the code shapes in this workspace.
+
+/// One source line, split into what the rules may match against.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line with comment/string/char interiors blanked out
+    /// (replaced by spaces so column positions survive).
+    pub code: String,
+    /// The concatenated comment text that appeared *on* this line
+    /// (both `//` and `/* */` interiors), without the delimiters.
+    pub comment: String,
+    /// True when any comment (even an empty `///`) touched this line —
+    /// distinguishes comment-only lines from genuinely blank ones.
+    pub has_comment: bool,
+    /// True when the line carries an inner doc comment (`//!`) — the
+    /// file-header doc block, where file-scoped pragmas live.
+    pub inner_doc: bool,
+}
+
+impl Line {
+    /// True when the line holds no code at all (blank or comment-only).
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    /// Inside `/* ... */`, tracking nesting depth.
+    Block(u32),
+    Str,
+    /// Inside `r##"..."##`, remembering the hash-fence length.
+    RawStr(u32),
+}
+
+/// Scans `src` into per-line code/comment splits.
+///
+/// The scanner blanks the *interior* of strings and comments but keeps
+/// the delimiters in `code` (so `""` still reads as an expression) and
+/// collects comment interiors into `comment` for the `SAFETY:` /
+/// `ORDER:` rules.
+pub fn scan(src: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut state = State::Code;
+    for (idx, raw) in src.lines().enumerate() {
+        // A line that *starts* inside a block comment is a comment line
+        // even if the comment closes with no text on it.
+        let opened_in_comment = matches!(state, State::Block(_));
+        let (line, next) = scan_line(raw, state);
+        state = next;
+        out.push(Line {
+            number: idx + 1,
+            code: line.0,
+            comment: line.1,
+            has_comment: line.2 || opened_in_comment,
+            inner_doc: line.3,
+        });
+    }
+    out
+}
+
+/// Scans one line starting in `state`; returns
+/// `(code, comment, has_comment, inner_doc)` and the state the next
+/// line starts in.
+fn scan_line(raw: &str, mut state: State) -> ((String, String, bool, bool), State) {
+    let b = raw.as_bytes();
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let mut has_comment = false;
+    let mut inner_doc = false;
+    let mut i = 0usize;
+    while i < b.len() {
+        match state {
+            State::Code => {
+                let c = b[i];
+                if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    // Line comment: the rest of the line is comment
+                    // text. Doc comments (`///`, `//!`) count too.
+                    has_comment = true;
+                    if raw[i + 2..].starts_with('!') {
+                        inner_doc = true;
+                    }
+                    comment.push_str(raw[i + 2..].trim_start_matches(['/', '!']));
+                    i = b.len();
+                } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    has_comment = true;
+                    if i + 2 < b.len() && b[i + 2] == b'!' {
+                        inner_doc = true;
+                    }
+                    code.push_str("  ");
+                    i += 2;
+                    state = State::Block(1);
+                } else if c == b'"' {
+                    code.push('"');
+                    i += 1;
+                    state = State::Str;
+                } else if c == b'r' && !prev_is_ident(&code) && raw_string_fence(&b[i..]).is_some()
+                {
+                    let hashes = raw_string_fence(&b[i..]).unwrap();
+                    // Emit `r#"` … as blanks-with-quote so the code
+                    // stream still shows a string expression here.
+                    code.push('r');
+                    for _ in 0..hashes {
+                        code.push(' ');
+                    }
+                    code.push('"');
+                    i += 1 + hashes as usize + 1;
+                    state = State::RawStr(hashes);
+                } else if c == b'b' && i + 1 < b.len() && b[i + 1] == b'"' {
+                    code.push_str("b\"");
+                    i += 2;
+                    state = State::Str;
+                } else if c == b'\'' {
+                    match char_literal_len(&b[i..], &code) {
+                        Some(len) => {
+                            // Blank the interior, keep the quotes.
+                            code.push('\'');
+                            for _ in 0..len.saturating_sub(2) {
+                                code.push(' ');
+                            }
+                            code.push('\'');
+                            i += len;
+                        }
+                        None => {
+                            // A lifetime (or label): keep it verbatim.
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                } else {
+                    code.push(c as char);
+                    i += 1;
+                }
+            }
+            State::Block(depth) => {
+                if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    if state == State::Code {
+                        code.push_str("  ");
+                    }
+                } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    i += 2;
+                    state = State::Block(depth + 1);
+                } else {
+                    comment.push(b[i] as char);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    code.push_str("  ");
+                    i += 2;
+                } else if b[i] == b'"' {
+                    code.push('"');
+                    i += 1;
+                    state = State::Code;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b[i] == b'"' && closes_raw(&b[i..], hashes) {
+                    code.push('"');
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Unterminated string at end of line: plain strings don't span
+    // lines in practice for this codebase style, but keep the state
+    // conservative (multi-line string literals stay blanked).
+    ((code, comment, has_comment, inner_doc), state)
+}
+
+/// True when the last pushed code char continues an identifier (so an
+/// `r` here is part of a name like `ptr`, not a raw-string sigil).
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .last()
+        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// If `b` starts a raw string (`r"`, `r#"`, `r##"`…), the hash count.
+fn raw_string_fence(b: &[u8]) -> Option<u32> {
+    debug_assert_eq!(b[0], b'r');
+    let mut h = 0u32;
+    let mut i = 1usize;
+    while i < b.len() && b[i] == b'#' {
+        h += 1;
+        i += 1;
+    }
+    (i < b.len() && b[i] == b'"').then_some(h)
+}
+
+/// True when the `"` at `b[0]` is followed by `hashes` `#`s — the
+/// closing fence of the current raw string.
+fn closes_raw(b: &[u8], hashes: u32) -> bool {
+    let need = hashes as usize;
+    b.len() > need && b[1..=need].iter().all(|&c| c == b'#')
+}
+
+/// Distinguishes a char literal starting at `b[0] == '\''` from a
+/// lifetime: returns the literal's byte length, or `None` for a
+/// lifetime/label.
+///
+/// Heuristic: `'x'` (three bytes, closing quote) and `'\n'`-style
+/// escapes are literals; `'a` followed by an identifier continuation or
+/// anything but a closing quote is a lifetime. Exact for ASCII source;
+/// a multi-byte char literal is detected by scanning for the close
+/// quote within a small window.
+fn char_literal_len(b: &[u8], code: &str) -> Option<usize> {
+    if b.len() < 2 {
+        return None;
+    }
+    if b[1] == b'\\' {
+        // Escape: scan to the closing quote.
+        let mut i = 2;
+        while i < b.len() && i < 12 {
+            if b[i] == b'\'' {
+                return Some(i + 1);
+            }
+            i += 1;
+        }
+        return None;
+    }
+    // `b'...'`? The caller already consumed the `b` into `code`.
+    let after_byte_sigil = code.ends_with('b') && !prev_is_ident(&code[..code.len() - 1]);
+    // A plain `'x'`: literal iff the *next* char closes it. Multi-byte
+    // chars: find the quote within a 6-byte window with no
+    // identifier-like run.
+    let mut i = 1;
+    let mut saw_ident = false;
+    while i < b.len() && i < 7 {
+        if b[i] == b'\'' {
+            // `''` is never a char literal; `'a'` is, unless the body
+            // looks like a lifetime used as `<'a>` (single ident char
+            // then `>` etc. — but then there is no closing quote).
+            return (i > 1).then_some(i + 1);
+        }
+        if !(b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            saw_ident = false;
+            if i == 1 {
+                // Punctuation right after the quote, e.g. `'('` — a
+                // char literal if a quote follows.
+                if i + 1 < b.len() && b[i + 1] == b'\'' {
+                    return Some(i + 2);
+                }
+            }
+            break;
+        }
+        saw_ident = true;
+        i += 1;
+    }
+    let _ = (saw_ident, after_byte_sigil);
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        scan(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strips_line_comments_into_comment_field() {
+        let lines = scan("let x = 1; // SAFETY: fine\n");
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert!(lines[0].comment.contains("SAFETY: fine"));
+    }
+
+    #[test]
+    fn blanks_string_interiors() {
+        let c = codes("let s = \"unsafe { }\";");
+        assert!(!c[0].contains("unsafe"));
+        assert!(c[0].contains('"'));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* one /* two */ still */ b";
+        let c = codes(src);
+        assert!(c[0].contains('a') && c[0].contains('b'));
+        assert!(!c[0].contains("still"));
+    }
+
+    #[test]
+    fn block_comment_spans_lines() {
+        let src = "x /* start\nunsafe\nend */ y";
+        let c = codes(src);
+        assert!(!c[1].contains("unsafe"));
+        assert!(c[2].contains('y'));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let s = r#\"has \"quotes\" and unsafe\"#; tail();";
+        let c = codes(src);
+        assert!(!c[0].contains("unsafe"));
+        assert!(c[0].contains("tail()"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_blank() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }";
+        let c = codes(src);
+        assert!(c[0].contains("<'a>"));
+        assert!(c[0].contains("&'a str"));
+        assert!(
+            !c[0].contains('x') || c[0].matches('x').count() == 1,
+            "{}",
+            c[0]
+        );
+    }
+
+    #[test]
+    fn doc_comments_collected() {
+        let lines = scan("/// ORDER: docs here\nfn f() {}");
+        assert!(lines[0].comment.contains("ORDER: docs here"));
+        assert!(lines[0].is_code_blank());
+    }
+}

@@ -1,0 +1,54 @@
+//! Workspace traversal: which files `basker-lint` checks.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: generated output, test-only
+/// trees (integration tests, examples, and benches follow test rules —
+/// they are exercised by the compiler and CI, not by the lint), and
+/// the lint's own fixtures.
+const SKIP_DIRS: &[&str] = &["target", "tests", "examples", "benches", "fixtures", ".git"];
+
+/// Source roots checked, relative to the workspace root.
+const ROOTS: &[&str] = &["crates", "shims", "src"];
+
+/// Collects every lintable `.rs` file under the workspace root,
+/// returned as sorted workspace-relative paths with `/` separators.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for r in ROOTS {
+        let dir = root.join(r);
+        if dir.is_dir() {
+            visit(&dir, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn visit(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            visit(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel_slash(&path, root));
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated.
+fn rel_slash(path: &Path, root: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

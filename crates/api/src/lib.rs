@@ -63,11 +63,13 @@
 //! // Values drift, pattern fixed: the policy decides factor vs
 //! // refactor vs re-pivot — the loop body stays two calls.
 //! for step in 0..3 {
-//!     let m = CscMat::from_parts_unchecked(
+//!     // SAFETY: pattern arrays are copied from the valid matrix `a`;
+//!     // values map 1:1.
+//!     let m = unsafe { CscMat::from_parts_unchecked(
 //!         3, 3,
 //!         a.colptr().to_vec(), a.rowind().to_vec(),
 //!         a.values().iter().map(|v| v * (1.0 + 0.1 * step as f64)).collect(),
-//!     );
+//!     ) };
 //!     session.step(&m).unwrap();
 //!     let mut x = vec![1.0, 0.0, -1.0]; // b in, x out
 //!     let quality = session.solve_refined(&mut x).unwrap();

@@ -328,6 +328,10 @@ pub struct SolverService {
 
 impl Clone for SolverService {
     fn clone(&self) -> SolverService {
+        // ORDER: Relaxed — same contract as `Arc`'s refcount: an
+        // increment needs no ordering (the cloner already owns a
+        // handle); the final decrement in `drop` is AcqRel, which
+        // orders all prior handle use before shutdown.
         self.inner.service_handles.fetch_add(1, Ordering::Relaxed);
         SolverService {
             inner: self.inner.clone(),
@@ -1437,13 +1441,17 @@ mod tests {
         // panics inside the engine's refactor assertions is not
         // guaranteed), so instead verify the *error* isolation path:
         // a genuinely singular step errors `bad` only.
-        let singular = CscMat::from_parts_unchecked(
-            12,
-            12,
-            a.colptr().to_vec(),
-            a.rowind().to_vec(),
-            vec![0.0; a.nnz()],
-        );
+        // SAFETY: pattern arrays are copied from the valid matrix `a`; the
+        // zero vector matches its nnz.
+        let singular = unsafe {
+            CscMat::from_parts_unchecked(
+                12,
+                12,
+                a.colptr().to_vec(),
+                a.rowind().to_vec(),
+                vec![0.0; a.nnz()],
+            )
+        };
         bad.step(&a, vec![]).unwrap();
         let err = bad.step(&singular, vec![]).unwrap_err();
         assert!(matches!(

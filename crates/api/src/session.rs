@@ -41,11 +41,13 @@
 //!
 //! // the transient loop body — no manual factor/refactor branching:
 //! for scale in [1.0, 1.1, 1.2] {
-//!     let m = CscMat::from_parts_unchecked(
+//!     // SAFETY: pattern arrays are copied from the valid matrix `a`;
+//!     // values map 1:1.
+//!     let m = unsafe { CscMat::from_parts_unchecked(
 //!         2, 2,
 //!         a.colptr().to_vec(), a.rowind().to_vec(),
 //!         a.values().iter().map(|v| v * scale).collect(),
-//!     );
+//!     ) };
 //!     session.step(&m).unwrap();
 //!     let mut x = vec![1.0, 1.0]; // b in, x out
 //!     let q = session.solve_refined(&mut x).unwrap();
@@ -721,13 +723,17 @@ mod tests {
     }
 
     fn scaled(a: &CscMat, f: f64) -> CscMat {
-        CscMat::from_parts_unchecked(
-            a.nrows(),
-            a.ncols(),
-            a.colptr().to_vec(),
-            a.rowind().to_vec(),
-            a.values().iter().map(|v| v * f).collect(),
-        )
+        // SAFETY: pattern arrays are copied from the valid matrix `a`;
+        // values map 1:1.
+        unsafe {
+            CscMat::from_parts_unchecked(
+                a.nrows(),
+                a.ncols(),
+                a.colptr().to_vec(),
+                a.rowind().to_vec(),
+                a.values().iter().map(|v| v * f).collect(),
+            )
+        }
     }
 
     #[test]
@@ -854,13 +860,17 @@ mod tests {
         let mut s = SolveSession::new(&a, &cfg).unwrap();
         s.step(&a).unwrap();
         // exactly singular: [[4, 2], [2, 1]]
-        let singular = CscMat::from_parts_unchecked(
-            2,
-            2,
-            a.colptr().to_vec(),
-            a.rowind().to_vec(),
-            vec![4.0, 2.0, 2.0, 1.0],
-        );
+        // SAFETY: pattern arrays are copied from the valid 2x2 matrix `a`;
+        // the value vector matches its nnz.
+        let singular = unsafe {
+            CscMat::from_parts_unchecked(
+                2,
+                2,
+                a.colptr().to_vec(),
+                a.rowind().to_vec(),
+                vec![4.0, 2.0, 2.0, 1.0],
+            )
+        };
         assert!(s.step(&singular).is_err());
         assert_eq!(s.state(), SessionState::Analyzed);
         assert!(s.numeric().is_none());

@@ -296,7 +296,10 @@ fn upper_block_part(ap: &CscMat, block_of: &[usize]) -> CscMat {
         }
         colptr.push(rowind.len());
     }
-    CscMat::from_parts_unchecked(n, n, colptr, rowind, values)
+    // SAFETY: `col_iter` yields strictly ascending in-bounds rows; the
+    // filter keeps that order and `colptr` tracks `rowind.len()` per
+    // column.
+    unsafe { CscMat::from_parts_unchecked(n, n, colptr, rowind, values) }
 }
 
 /// Numeric factors of one BTF block.
@@ -642,13 +645,17 @@ mod tests {
         let sym = Basker::analyze(&a, &opts).unwrap();
         let mut num = sym.factor(&a).unwrap();
         // scale values, same pattern
-        let a2 = CscMat::from_parts_unchecked(
-            a.nrows(),
-            a.ncols(),
-            a.colptr().to_vec(),
-            a.rowind().to_vec(),
-            a.values().iter().map(|v| v * 1.25 + 0.001).collect(),
-        );
+        // SAFETY: pattern arrays are copied from the valid matrix `a`;
+        // values map 1:1.
+        let a2 = unsafe {
+            CscMat::from_parts_unchecked(
+                a.nrows(),
+                a.ncols(),
+                a.colptr().to_vec(),
+                a.rowind().to_vec(),
+                a.values().iter().map(|v| v * 1.25 + 0.001).collect(),
+            )
+        };
         num.refactor(&a2).unwrap();
         let xtrue: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.1).cos()).collect();
         let b = spmv(&a2, &xtrue);

@@ -159,7 +159,9 @@ pub fn reduce_block(a: &CscMat, terms: &[(&CscMat, &CscMat)]) -> CscMat {
         );
         colptr.push(rowind.len());
     }
-    CscMat::from_parts_unchecked(m, nc, colptr, rowind, values)
+    // SAFETY: `reduce_col_into` emits each column's rows ascending and `<
+    // m`; `colptr` tracks `rowind.len()`.
+    unsafe { CscMat::from_parts_unchecked(m, nc, colptr, rowind, values) }
 }
 
 /// Estimated flop count of a reduction (2 per multiply-add).

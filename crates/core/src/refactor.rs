@@ -138,13 +138,17 @@ mod tests {
             factor_nd_parallel(&blocks, st, 0.001, SyncMode::PointToPoint, 0, &pool).unwrap();
 
         // New values, same pattern.
-        let a2 = CscMat::from_parts_unchecked(
-            a.nrows(),
-            a.ncols(),
-            a.colptr().to_vec(),
-            a.rowind().to_vec(),
-            a.values().iter().map(|v| v * 1.1 - 0.05).collect(),
-        );
+        // SAFETY: pattern arrays are copied from the valid matrix `a`;
+        // values map 1:1.
+        let a2 = unsafe {
+            CscMat::from_parts_unchecked(
+                a.nrows(),
+                a.ncols(),
+                a.colptr().to_vec(),
+                a.rowind().to_vec(),
+                a.values().iter().map(|v| v * 1.1 - 0.05).collect(),
+            )
+        };
         let ap2 = Perm::permute_both(&s.row_perm, &s.col_perm, &a2);
         let blocks2 = crate::structure::NdBlocks::extract(&ap2, 0, st);
         refactor_nd_serial(&blocks2, st, &mut f, 0).unwrap();

@@ -6,6 +6,11 @@
 //! pushing contributions into ancestor row blocks), and a backward sweep
 //! ascends it. Across BTF blocks the usual block back-substitution runs in
 //! reverse block order using the retained off-diagonal entries.
+//!
+//! The production sweeps work entirely in the caller's `z`/`scratch`
+//! buffers:
+//!
+//! basker-lint: deny-alloc
 
 use crate::parnum::NdFactors;
 use crate::structure::NdStructure;

@@ -115,6 +115,7 @@ impl Kernels {
 
     /// Rank-1 update `C ← C − x·yᵀ` on an `m × n` column-major block
     /// with leading dimension `ldc`.
+    // basker-lint: deny-alloc
     #[inline]
     pub fn rank1_sub(&self, c: &mut [f64], ldc: usize, x: &[f64], y: &[f64]) {
         (self.gemm_tile)(c, ldc, x, x.len(), y, 1, x.len(), y.len(), 1);
@@ -122,6 +123,7 @@ impl Kernels {
 
     /// `y ← y − A·x` for a column-major `y.len() × x.len()` block of
     /// `A` with leading dimension `lda`.
+    // basker-lint: deny-alloc
     #[inline]
     pub fn gemv_sub(&self, y: &mut [f64], a: &[f64], lda: usize, x: &[f64]) {
         let m = y.len();
@@ -134,6 +136,7 @@ impl Kernels {
     /// `k × n` (ld `ldb`), all column-major. Blocks over `k` then `m`
     /// so each `A` panel stays cache-resident, handing L2-sized tiles
     /// to the selected micro-kernel.
+    // basker-lint: deny-alloc
     #[allow(clippy::too_many_arguments)]
     pub fn gemm_sub(
         &self,
@@ -183,6 +186,7 @@ impl Kernels {
     /// entries above it are ignored). This is the supernode
     /// diagonal-block solve: each step is a tail `axpy` on the rung's
     /// contiguous kernel.
+    // basker-lint: deny-alloc
     pub fn trsv_lower_unit(&self, x: &mut [f64], a: &[f64], lda: usize) {
         let n = x.len();
         for c in 0..n {
@@ -201,6 +205,7 @@ impl Kernels {
     /// all is decided in O(1) from the index span, so genuinely sparse
     /// columns (the Gilbert–Peierls common case) pay nothing over the
     /// plain loop.
+    // basker-lint: deny-alloc
     #[inline]
     pub fn scatter_axpy(&self, x: &mut [f64], rows: &[usize], vals: &[f64], alpha: f64) {
         debug_assert_eq!(rows.len(), vals.len());
@@ -246,6 +251,7 @@ impl Kernels {
     /// Indexed dot `Σ_t vals[t]·b[rows[t]]`, with the same
     /// consecutive-run routing (and O(1) span guard) as
     /// [`scatter_axpy`](Kernels::scatter_axpy).
+    // basker-lint: deny-alloc
     #[inline]
     pub fn gather_dot(&self, b: &[f64], rows: &[usize], vals: &[f64]) -> f64 {
         debug_assert_eq!(rows.len(), vals.len());

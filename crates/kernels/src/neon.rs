@@ -1,6 +1,8 @@
 //! NEON rung (aarch64). 2×f64 lanes are part of the aarch64 baseline,
 //! so no runtime detection is needed; the dispatcher still labels it
 //! `simd` so the knob behaves the same on both architectures.
+//!
+//! basker-lint: deny-alloc
 
 #![allow(unsafe_code)]
 

@@ -3,6 +3,8 @@
 //! may still auto-vectorize these with the baseline target features —
 //! that is the honest "what you get for free" floor the ladder is
 //! measured from.
+//!
+//! basker-lint: deny-alloc
 
 pub(crate) fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
     for (yi, xi) in y.iter_mut().zip(x) {

@@ -4,6 +4,8 @@
 //! target feature `mul_add` lowers to a libm call, so the plain
 //! multiply-add form is used instead (same unrolling, one extra
 //! rounding per term).
+//!
+//! basker-lint: deny-alloc
 
 /// Fused multiply-add `a·b + c` when the target has hardware FMA,
 /// plain `a*b + c` otherwise.

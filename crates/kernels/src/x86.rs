@@ -3,6 +3,8 @@
 //! `#[target_feature]` functions are sound to call. All loads/stores
 //! are unaligned (`loadu`/`storeu`) — panel slices carry no alignment
 //! guarantee.
+//!
+//! basker-lint: deny-alloc
 
 #![allow(unsafe_code)]
 
@@ -15,6 +17,8 @@ pub(crate) fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
     unsafe { axpy_avx(y.as_mut_ptr(), alpha, x.as_ptr(), n) }
 }
 
+// SAFETY: contract — caller verified avx2+fma at dispatch; `y` and `x`
+// must be valid for `n` elements (unaligned ok).
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn axpy_avx(y: *mut f64, alpha: f64, x: *const f64, n: usize) {
     let va = _mm256_set1_pd(alpha);
@@ -47,6 +51,8 @@ pub(crate) fn dot(x: &[f64], y: &[f64]) -> f64 {
     unsafe { dot_avx(x.as_ptr(), y.as_ptr(), n) }
 }
 
+// SAFETY: contract — caller verified avx2+fma at dispatch; `x` and `y`
+// must be valid for `n` elements.
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn dot_avx(x: *const f64, y: *const f64, n: usize) -> f64 {
     let mut a0 = _mm256_setzero_pd();
@@ -116,6 +122,9 @@ pub(crate) fn gemm_tile(
 /// `C -= A·B`, column-major, register-blocked 8×4: eight C registers
 /// carry a full 8-row × 4-column block across the entire k loop, so
 /// the inner loop is pure load-broadcast-FMA with no C traffic.
+// SAFETY: contract — caller verified avx2+fma at dispatch; the pointers
+// must address column-major panels of at least `m×k` (`a`, leading dim
+// `lda`), `k×n` (`b`, `ldb`), and `m×n` (`c`, `ldc`) elements.
 #[target_feature(enable = "avx2", enable = "fma")]
 #[allow(clippy::too_many_arguments)]
 unsafe fn gemm_avx(
@@ -169,6 +178,9 @@ unsafe fn gemm_avx(
     }
 }
 
+// SAFETY: contract — caller verified avx2+fma at dispatch; the panel
+// pointers must cover a full 8-row × 4-column C block and the `k`-deep
+// A/B panels it consumes.
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn kernel_8x4(
     c: *mut f64,
@@ -214,6 +226,8 @@ unsafe fn kernel_8x4(
 }
 
 /// 4-row × `Q`-column register block (the 4 ≤ m-remainder < 8 edge).
+// SAFETY: contract — caller verified avx2+fma at dispatch; pointers must
+// cover a 4-row × `Q`-column C block and its `k`-deep A/B panels.
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn kernel_4xq<const Q: usize>(
     c: *mut f64,

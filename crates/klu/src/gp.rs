@@ -379,7 +379,9 @@ impl BlockColumnFactorizer {
             }
             flcolptr.push(flrows.len());
         }
-        let l = CscMat::from_parts_unchecked(nb, nb, flcolptr, flrows, flvals);
+        // SAFETY: each L column was pushed in ascending row order (sorted
+        // `scratch`) and `flcolptr` tracks `flrows.len()` per column.
+        let l = unsafe { CscMat::from_parts_unchecked(nb, nb, flcolptr, flrows, flvals) };
 
         let mut fucolptr: Vec<usize> = Vec::with_capacity(nb + 1);
         let mut furows: Vec<usize> = Vec::with_capacity(self.urows.len());
@@ -397,7 +399,9 @@ impl BlockColumnFactorizer {
             }
             fucolptr.push(furows.len());
         }
-        let u = CscMat::from_parts_unchecked(nb, nb, fucolptr, furows, fuvals);
+        // SAFETY: each U column was pushed in ascending row order (sorted
+        // `scratch`) and `fucolptr` tracks `furows.len()` per column.
+        let u = unsafe { CscMat::from_parts_unchecked(nb, nb, fucolptr, furows, fuvals) };
 
         let mut fbelow = Vec::with_capacity(self.below_nrows.len());
         for bi in 0..self.below_nrows.len() {
@@ -418,7 +422,10 @@ impl BlockColumnFactorizer {
                 }
                 cp.push(rs.len());
             }
-            fbelow.push(CscMat::from_parts_unchecked(m, nb, cp, rs, vs));
+            // SAFETY: each below-block column was pushed in ascending row
+            // order (sorted `scratch`), rows are `< m`, and `cp` tracks
+            // `rs.len()`.
+            fbelow.push(unsafe { CscMat::from_parts_unchecked(m, nb, cp, rs, vs) });
         }
 
         BlockLu {

@@ -192,7 +192,10 @@ fn upper_block_part(ap: &CscMat, block_of: &[usize]) -> CscMat {
         }
         colptr.push(rowind.len());
     }
-    CscMat::from_parts_unchecked(n, n, colptr, rowind, values)
+    // SAFETY: `col_iter` yields strictly ascending in-bounds rows; the
+    // filter keeps that order and `colptr` tracks `rowind.len()` per
+    // column.
+    unsafe { CscMat::from_parts_unchecked(n, n, colptr, rowind, values) }
 }
 
 /// Numeric LU factors over the BTF structure.
@@ -387,13 +390,17 @@ mod tests {
             for (k, v) in vals.iter_mut().enumerate() {
                 *v = *v * 1.5 + 0.01 * ((k % 5) as f64);
             }
-            CscMat::from_parts_unchecked(
-                a.nrows(),
-                a.ncols(),
-                a.colptr().to_vec(),
-                a.rowind().to_vec(),
-                vals,
-            )
+            // SAFETY: pattern arrays are copied from the valid matrix `a`;
+            // `vals` maps its values 1:1.
+            unsafe {
+                CscMat::from_parts_unchecked(
+                    a.nrows(),
+                    a.ncols(),
+                    a.colptr().to_vec(),
+                    a.rowind().to_vec(),
+                    vals,
+                )
+            }
         };
         num.refactor(&a2).unwrap();
         let xtrue: Vec<f64> = (0..a.ncols()).map(|i| 1.0 + i as f64).collect();

@@ -123,13 +123,17 @@ impl XyceSequence {
                 x
             })
             .collect();
-        CscMat::from_parts_unchecked(
-            self.base.nrows(),
-            self.base.ncols(),
-            self.base.colptr().to_vec(),
-            self.base.rowind().to_vec(),
-            vals,
-        )
+        // SAFETY: pattern arrays are copied from the valid `base` matrix;
+        // `vals` maps its values 1:1.
+        unsafe {
+            CscMat::from_parts_unchecked(
+                self.base.nrows(),
+                self.base.ncols(),
+                self.base.colptr().to_vec(),
+                self.base.rowind().to_vec(),
+                vals,
+            )
+        }
     }
 }
 

@@ -109,7 +109,12 @@ thread_local! {
 /// must leave it unchanged (the thread-reuse regression test asserts
 /// exactly that).
 pub fn os_threads_spawned() -> usize {
-    SPAWNED.load(Ordering::SeqCst)
+    // ORDER: Relaxed — SPAWNED is a monotonic diagnostic counter; the
+    // thread-reuse test reads it only after `factor` returns, and the
+    // team teardown's join supplies the happens-before edge. The model
+    // checker's task suite covers the claim/latch protocol this count
+    // rides on; nothing orders *through* it.
+    SPAWNED.load(Ordering::Relaxed)
 }
 
 struct MailSlot {
@@ -150,6 +155,9 @@ struct Shared {
 /// after the done latch — no concurrent access despite the `Sync` impl.
 struct ResultCell<R>(UnsafeCell<Option<R>>);
 
+// SAFETY: each cell is written by exactly one rank (the task claim
+// hands out each index once) and read by the submitter only after the
+// done latch, so no two threads ever access a cell concurrently.
 unsafe impl<R: Send> Sync for ResultCell<R> {}
 
 /// Payload of an SPMD broadcast task: item index = rank.
@@ -158,12 +166,19 @@ struct BroadcastPayload<'a, OP, R> {
     results: &'a [ResultCell<R>],
 }
 
+/// Type-erased trampoline running one SPMD rank.
+///
+/// # Safety
+///
+/// `data` must point at a live `BroadcastPayload<'_, OP, R>` and
+/// `rank` must be an index the task's claim cursor handed out exactly
+/// once (it addresses that rank's private `ResultCell`).
 unsafe fn run_rank<OP, R>(data: *const (), rank: usize, width: usize)
 where
     OP: Fn(TeamContext) -> R + Sync,
     R: Send,
 {
-    // Safety: the submitter keeps the payload alive until the done latch
+    // SAFETY: the submitter keeps the payload alive until the done latch
     // releases it, and `rank` indexes a cell no other thread touches
     // (the task's claim made this thread the unique executor of `rank`).
     // Panics are caught by the task loop and re-raised at the submitter.
@@ -177,11 +192,17 @@ struct WorklistPayload<'a, OP> {
     op: &'a OP,
 }
 
+/// Type-erased trampoline running one worklist job.
+///
+/// # Safety
+///
+/// `data` must point at a live `WorklistPayload<'_, OP>` (the
+/// submitter blocks on the done latch before releasing it).
 unsafe fn run_worklist_item<OP>(data: *const (), index: usize, _size: usize)
 where
     OP: Fn(usize) + Sync,
 {
-    // Safety: the submitter keeps the payload alive until the done
+    // SAFETY: the submitter keeps the payload alive until the done
     // latch (run_worklist blocks on `wait_done` before returning).
     let p = unsafe { &*(data as *const WorklistPayload<'_, OP>) };
     (p.op)(index);
@@ -215,6 +236,7 @@ impl WorkerTeam {
     pub fn new(config: TeamConfig) -> WorkerTeam {
         assert!(config.width >= 1, "team width must be at least 1");
         let shared = Arc::new(Shared {
+            // ORDER: Relaxed — id generation only needs uniqueness.
             id: NEXT_TEAM_ID.fetch_add(1, Ordering::Relaxed),
             width: config.width,
             pin: config.pin,
@@ -227,7 +249,10 @@ impl WorkerTeam {
         for rank in 1..config.width {
             let sh = shared.clone();
             let pin = config.pin;
-            SPAWNED.fetch_add(1, Ordering::SeqCst);
+            // ORDER: Relaxed — monotonic counter (see
+            // `os_threads_spawned`); the spawn below is the real
+            // synchronization point for the worker itself.
+            SPAWNED.fetch_add(1, Ordering::Relaxed);
             let h = std::thread::Builder::new()
                 .name(format!("basker-worker-{rank}"))
                 .spawn(move || {
@@ -418,7 +443,10 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = (1..n)
             .map(|rank| {
-                SPAWNED.fetch_add(1, Ordering::SeqCst);
+                // ORDER: Relaxed — monotonic counter (see
+                // `os_threads_spawned`); the scope join orders it for
+                // readers.
+                SPAWNED.fetch_add(1, Ordering::Relaxed);
                 scope.spawn(move || op(TeamContext { rank, width: n }))
             })
             .collect();
@@ -535,7 +563,7 @@ fn set_current_thread_affinity(mask: &[u64; 16]) -> bool {
     #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
     {
         let ret: isize;
-        // Safety: sched_setaffinity reads `mask.len() * 8` bytes from the
+        // SAFETY: sched_setaffinity reads `mask.len() * 8` bytes from the
         // pointer and touches no other memory; pid 0 = calling thread.
         unsafe {
             std::arch::asm!(
@@ -565,7 +593,7 @@ fn current_thread_affinity() -> Option<[u64; 16]> {
     {
         let mut mask = [0u64; 16];
         let ret: isize;
-        // Safety: sched_getaffinity writes at most `mask.len() * 8`
+        // SAFETY: sched_getaffinity writes at most `mask.len() * 8`
         // bytes to the pointer; pid 0 = calling thread.
         unsafe {
             std::arch::asm!(

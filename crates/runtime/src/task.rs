@@ -44,7 +44,23 @@ use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The primitives under model-checking scrutiny: the claim cursor, the
+/// completion counter, and the done latch. Under `--cfg basker_model`
+/// (the model-checking CI leg) they swap onto `basker_model`'s
+/// schedule-explored facades; the registry, the process-wide counters,
+/// and the panic slot stay on std — their critical sections contain no
+/// schedule points, so they cannot hide an interleaving.
+#[cfg(basker_model)]
+mod msync {
+    pub(super) use basker_model::sync::{AtomicUsize, Condvar, Mutex};
+}
+#[cfg(not(basker_model))]
+mod msync {
+    pub(super) use std::sync::atomic::AtomicUsize;
+    pub(super) use std::sync::{Condvar, Mutex};
+}
 
 /// Monotonic task-id source (distinguishes tasks for the
 /// `tasks_joined` counter and re-join detection).
@@ -86,6 +102,8 @@ pub struct AssistCounters {
 /// Reads the process-wide assist counters (monotonic since process
 /// start; diff two snapshots to scope a measurement).
 pub fn assist_counters() -> AssistCounters {
+    // ORDER: Relaxed ×3 — monotonic diagnostics with no ordering role;
+    // consumers diff snapshots taken on one thread.
     AssistCounters {
         tasks_joined: TASKS_JOINED.load(Ordering::Relaxed),
         items_assisted: ITEMS_ASSISTED.load(Ordering::Relaxed),
@@ -101,49 +119,64 @@ pub fn assist_counters() -> AssistCounters {
 pub(crate) struct TaskCore {
     pub(crate) id: u64,
     data: *const (),
+    // SAFETY: the trampoline's contract (a live payload behind `data`,
+    // each index run at most once) is upheld by `run_claimed` — the
+    // only caller — via the claim cursor and the owner's done latch.
     run: unsafe fn(*const (), usize, usize),
-    next: AtomicUsize,
-    completed: AtomicUsize,
+    next: msync::AtomicUsize,
+    completed: msync::AtomicUsize,
     size: usize,
     /// SPMD tasks hand each participant exactly one index (its rank)
     /// and are never registered for assist — their items synchronize
     /// with each other, so they must all be live concurrently.
     spmd: bool,
-    done: Mutex<bool>,
-    done_cv: Condvar,
+    done: msync::Mutex<bool>,
+    done_cv: msync::Condvar,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
-// Safety: `data` points at a payload of `Sync` references owned by the
+// SAFETY: `data` points at a payload of `Sync` references owned by the
 // task's owner, which blocks on the done latch for as long as any claim
 // can still dereference it (see module docs); all other fields are
 // plain sync primitives.
 unsafe impl Send for TaskCore {}
+// SAFETY: as above — shared access routes through the claim cursor and
+// the sync primitives; `data` dereferences are claim-guarded.
 unsafe impl Sync for TaskCore {}
 
 impl TaskCore {
     pub(crate) fn new(
         data: *const (),
+        // SAFETY: forwarded to `run_claimed` (see the field docs); the
+        // constructor only stores the pointer pair.
         run: unsafe fn(*const (), usize, usize),
         size: usize,
         spmd: bool,
     ) -> Arc<TaskCore> {
         Arc::new(TaskCore {
+            // ORDER: Relaxed — id generation only needs uniqueness,
+            // not ordering.
             id: NEXT_TASK_ID.fetch_add(1, Ordering::Relaxed),
             data,
             run,
-            next: AtomicUsize::new(0),
-            completed: AtomicUsize::new(0),
+            next: msync::AtomicUsize::new(0),
+            completed: msync::AtomicUsize::new(0),
             size,
             spmd,
-            done: Mutex::new(false),
-            done_cv: Condvar::new(),
+            done: msync::Mutex::new(false),
+            done_cv: msync::Condvar::new(),
             panic: Mutex::new(None),
         })
     }
 
     /// Claims the next index; `None` when the task is exhausted.
     pub(crate) fn claim(&self) -> Option<usize> {
+        // ORDER: Relaxed — the claim only needs atomicity (each index
+        // handed out once); the item's *data* visibility comes from
+        // whatever published the task to this thread (mailbox hand-off
+        // or registry mutex), and completion visibility from the
+        // AcqRel counter in `run_claimed`. Verified exhaustively by
+        // `model_checks::claim_cursor_hands_out_each_item_exactly_once`.
         let i = self.next.fetch_add(1, Ordering::Relaxed);
         (i < self.size).then_some(i)
     }
@@ -151,13 +184,16 @@ impl TaskCore {
     /// True when every index has been handed out (items may still be
     /// executing; see [`wait_done`](Self::wait_done)).
     fn is_exhausted(&self) -> bool {
+        // ORDER: Relaxed — a stale read is harmless: the racing
+        // `claim` below it is what decides, this is only a fast-path
+        // filter for the registry scan.
         self.next.load(Ordering::Relaxed) >= self.size
     }
 
     /// Runs one already-claimed item, capturing a panic into the task's
     /// panic slot, and counts it completed.
     pub(crate) fn run_claimed(&self, index: usize) {
-        // Safety: the claim made this thread the unique executor of
+        // SAFETY: the claim made this thread the unique executor of
         // `index`, and the owner keeps `data` alive until `completed`
         // reaches `size` — which cannot happen before this item is
         // counted below.
@@ -170,6 +206,11 @@ impl TaskCore {
                 *g = Some(e);
             }
         }
+        // ORDER: AcqRel — the Release half publishes this item's
+        // effects to whoever observes the final count; the Acquire
+        // half makes every *other* item's effects visible to the
+        // thread that trips the latch (and thus to the owner via the
+        // latch mutex).
         if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.size {
             *self.done.lock().unwrap() = true;
             self.done_cv.notify_all();
@@ -241,6 +282,9 @@ pub(crate) fn register(core: &Arc<TaskCore>) -> Registration {
     let reg = registry();
     let id = core.id;
     reg.tasks.lock().unwrap().push(core.clone());
+    // ORDER: Relaxed — `active` is a fast-path hint; the registry
+    // mutex above is the real synchronization, and a stale zero only
+    // costs a missed assist opportunity.
     reg.active.fetch_add(1, Ordering::Relaxed);
     Registration { id }
 }
@@ -251,6 +295,8 @@ impl Drop for Registration {
         let mut g = reg.tasks.lock().unwrap();
         if let Some(pos) = g.iter().position(|t| t.id == self.id) {
             g.remove(pos);
+            // ORDER: Relaxed — hint counter, mutex-guarded list is
+            // authoritative (see `register`).
             reg.active.fetch_sub(1, Ordering::Relaxed);
         }
     }
@@ -266,6 +312,9 @@ impl Drop for Registration {
 /// job instead of a spin.
 pub fn try_assist() -> Option<u64> {
     let reg = registry();
+    // ORDER: Relaxed — fast-path emptiness hint; a stale nonzero just
+    // takes the mutex and finds nothing, a stale zero skips one
+    // assist opportunity. The registry mutex is authoritative.
     if reg.active.load(Ordering::Relaxed) == 0 {
         return None;
     }
@@ -273,10 +322,30 @@ pub fn try_assist() -> Option<u64> {
     if depth >= MAX_ASSIST_DEPTH {
         return None;
     }
+    // ORDER: Relaxed — monotonic diagnostic (see `assist_counters`).
     STEAL_ATTEMPTS.fetch_add(1, Ordering::Relaxed);
+    // The exhaustion probe must not run under the registry lock: the
+    // atomic load inside `is_exhausted` is a schedule point under the
+    // model checker, and a thread descheduled there while holding the
+    // OS lock wedges whichever peer needs it next (in production the
+    // narrower critical section is simply cheaper). So take the lock
+    // only long enough to clone one candidate, probe it unlocked, and
+    // move on. The scan is advisory anyway — `claim` re-checks.
     let task = {
-        let g = reg.tasks.lock().unwrap();
-        g.iter().find(|t| !t.is_exhausted()).cloned()
+        let mut found = None;
+        let mut idx = 0;
+        loop {
+            let candidate = reg.tasks.lock().unwrap().get(idx).cloned();
+            match candidate {
+                None => break,
+                Some(t) if !t.is_exhausted() => {
+                    found = Some(t);
+                    break;
+                }
+                Some(_) => idx += 1,
+            }
+        }
+        found
     }?;
     let claimed = task.claim()?;
     ASSIST_DEPTH.with(|d| d.set(depth + 1));
@@ -288,6 +357,7 @@ pub fn try_assist() -> Option<u64> {
     }
     let _guard = DepthGuard(depth);
     task.run_claimed(claimed);
+    // ORDER: Relaxed ×2 — monotonic diagnostics (see `assist_counters`).
     ITEMS_ASSISTED.fetch_add(1, Ordering::Relaxed);
     LAST_JOINED.with(|c| {
         if c.get() != task.id {
@@ -302,11 +372,17 @@ struct ItemsPayload<'a, F> {
     f: &'a F,
 }
 
+/// Dispatches one claimed index to the payload closure.
+///
+/// # Safety
+///
+/// `data` must point at a live `ItemsPayload<'_, F>`; the owner keeps
+/// it alive until the done latch (see `TaskCore::run_claimed`).
 unsafe fn run_items<F>(data: *const (), index: usize, _size: usize)
 where
     F: Fn(usize) + Sync,
 {
-    // Safety: the owner keeps the payload alive until the done latch
+    // SAFETY: the owner keeps the payload alive until the done latch
     // (see `TaskCore::run_claimed`).
     let p = unsafe { &*(data as *const ItemsPayload<'_, F>) };
     (p.f)(index);
@@ -346,7 +422,7 @@ where
     core.rethrow_panic();
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(basker_model)))]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
@@ -465,5 +541,86 @@ mod tests {
         assert!(b.items_assisted >= a.items_assisted);
         assert!(b.tasks_joined >= a.tasks_joined);
         assert!(b.steal_attempts >= b.items_assisted);
+    }
+}
+
+/// Exhaustive interleaving checks for the claim cursor and the done
+/// latch, runnable only under the model checker:
+///
+/// ```text
+/// RUSTFLAGS="--cfg basker_model" cargo test -p basker_runtime --lib model_checks
+/// ```
+///
+/// Under `--cfg basker_model` the cursor (`next`), the completion
+/// counter, and the done latch swap onto the model's primitives, so
+/// these tests explore every interleaving of claim / complete / latch /
+/// wait between the owner and an assisting thread — including the
+/// lost-wakeup class on the latch condvar, which the model reports as
+/// a deadlock.
+#[cfg(all(test, basker_model))]
+mod model_checks {
+    use super::*;
+    use basker_model as model;
+    use model::Outcome;
+    use std::sync::atomic::AtomicU32;
+
+    /// Owner + one assisting thread drain a 2-item task: in every
+    /// interleaving each item runs exactly once, the owner's
+    /// `wait_done` returns only after all items finished, and no
+    /// latch wakeup is lost (a lost one would surface as a model
+    /// deadlock with the owner parked on the latch condvar).
+    ///
+    /// The helper issues two bounded `try_assist` probes rather than
+    /// looping until dry: the probes can steal zero, one, or both
+    /// items depending on the schedule, which covers the same
+    /// owner/assister claim races at a fraction of the schedule tree
+    /// (an unbounded helper loop pushes the bounded-DFS budget past
+    /// CI time).
+    #[test]
+    fn claim_cursor_hands_out_each_item_exactly_once() {
+        let outcome = model::check(model::Config::default(), || {
+            // Hit counters are std atomics: they are the *oracle*, not
+            // the protocol under test, so they add no schedule points.
+            let hits: Vec<AtomicU32> = (0..2).map(|_| AtomicU32::new(0)).collect();
+            fn core_of<F: Fn(usize) + Sync>(
+                payload: &ItemsPayload<'_, F>,
+                size: usize,
+            ) -> Arc<TaskCore> {
+                TaskCore::new(
+                    payload as *const ItemsPayload<'_, F> as *const (),
+                    run_items::<F>,
+                    size,
+                    false,
+                )
+            }
+            let f = |i: usize| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            };
+            let payload = ItemsPayload { f: &f };
+            let core = core_of(&payload, hits.len());
+            let reg = register(&core);
+            let helper = model::thread::spawn(|| {
+                let _ = try_assist();
+                let _ = try_assist();
+            });
+            core.participate();
+            core.wait_done();
+            drop(reg);
+            core.rethrow_panic();
+            helper.join().unwrap();
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(Ordering::Relaxed),
+                    1,
+                    "item {i} must run exactly once"
+                );
+            }
+        });
+        match outcome {
+            Outcome::Pass { executions } => {
+                assert!(executions > 1, "explorer must branch, got 1 schedule")
+            }
+            other => panic!("expected exhaustive pass, got {other:?}"),
+        }
     }
 }

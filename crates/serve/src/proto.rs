@@ -423,16 +423,25 @@ fn matrix_from_wire(r: &mut Rd) -> Result<CscMat, String> {
     if colptr.first() != Some(&0) || colptr.windows(2).any(|w| w[0] > w[1]) {
         return Err("matrix colptr is not monotone from 0".into());
     }
-    let nnz = *colptr.last().expect("ncols + 1 >= 1");
+    let nnz = match colptr.last() {
+        Some(&n) => n,
+        None => return Err("matrix colptr is empty".into()),
+    };
     if rowind.len() != nnz || values.len() != nnz {
         return Err("matrix rowind/values length != nnz".into());
     }
     if rowind.iter().any(|&i| i >= nrows) {
         return Err("matrix row index out of bounds".into());
     }
-    Ok(CscMat::from_parts_unchecked(
-        nrows, ncols, colptr, rowind, values,
-    ))
+    if colptr
+        .windows(2)
+        .any(|w| rowind[w[0]..w[1]].windows(2).any(|r| r[0] >= r[1]))
+    {
+        return Err("matrix row indices not strictly increasing within a column".into());
+    }
+    // SAFETY: every invariant `CscMat::new` checks was validated just
+    // above against the untrusted wire data.
+    Ok(unsafe { CscMat::from_parts_unchecked(nrows, ncols, colptr, rowind, values) })
 }
 
 /// Encodes a request into `(kind, payload)`.

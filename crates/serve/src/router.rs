@@ -51,6 +51,8 @@ struct Counters {
 impl Counters {
     fn wire(&self, respawns: u64) -> RouterWireStats {
         RouterWireStats {
+            // ORDER: Relaxed ×5 — monotonic diagnostics; snapshots
+            // are advisory and consumers diff them on one thread.
             routed_streams: self.routed_streams.load(Ordering::Relaxed),
             steps: self.steps.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
@@ -118,6 +120,9 @@ impl Router {
     /// clients disconnect; the shard fleet stays up until the set is
     /// dropped.
     pub fn stop(&mut self) {
+        // ORDER: SeqCst — one-shot stop latch on a cold shutdown
+        // path; the strongest ordering keeps every worker's view of
+        // the latch trivially consistent and costs nothing here.
         if !self.stop.swap(true, Ordering::SeqCst) {
             let _ = Conn::connect(&self.addr); // unblock accept
         }
@@ -147,6 +152,8 @@ fn accept_loop(
             Ok(c) => c,
             Err(_) => break,
         };
+        // ORDER: SeqCst — pairs with the shutdown latch swap (cold
+        // path, see `stop`).
         if stop.load(Ordering::SeqCst) {
             break;
         }
@@ -261,6 +268,7 @@ fn handle_client(conn: Conn, shards: &Arc<ShardSet>, counters: &Arc<Counters>) {
             }
         };
         if matches!(resp, Response::Err(_)) {
+            // ORDER: Relaxed — monotonic diagnostic (see `counters`).
             counters.errors.fetch_add(1, Ordering::Relaxed);
         }
         if reply(&mut w, req_id, &resp).is_err() {
@@ -298,6 +306,7 @@ fn route_open(
                     epoch,
                 },
             );
+            // ORDER: Relaxed — monotonic diagnostic (see `counters`).
             counters.routed_streams.fetch_add(1, Ordering::Relaxed);
             Response::Opened {
                 stream: local,
@@ -334,6 +343,7 @@ fn route_step(
     let Some(route) = routes.get_mut(&stream) else {
         return Response::Err(WireError::protocol(format!("unknown stream {stream}")));
     };
+    // ORDER: Relaxed — monotonic diagnostic (see `counters`).
     counters.steps.fetch_add(1, Ordering::Relaxed);
     let shard = route.shard;
     let attempt = (|| -> Result<Response, ClientError> {
@@ -346,6 +356,7 @@ fn route_step(
             let (epoch, remote_id) = open_on(shards, links, shard, &route.open)?;
             route.epoch = epoch;
             route.remote_id = remote_id;
+            // ORDER: Relaxed — monotonic diagnostic (see `counters`).
             counters.reopens.fetch_add(1, Ordering::Relaxed);
         }
         let (_, client) = links.get(shards, shard)?;
@@ -417,6 +428,7 @@ fn error_response(
     match e {
         ClientError::Remote(we) => Response::Err(we),
         ClientError::Io(io) => {
+            // ORDER: Relaxed — monotonic diagnostic (see `counters`).
             counters.failovers.fetch_add(1, Ordering::Relaxed);
             let epoch = links
                 .conns

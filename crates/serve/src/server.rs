@@ -48,6 +48,9 @@ struct Ctl {
 
 impl Ctl {
     fn trip(&self) {
+        // ORDER: SeqCst — one-shot stop latch on the cold shutdown
+        // path; strongest ordering keeps the accept loop's view
+        // trivially consistent.
         if !self.stop.swap(true, Ordering::SeqCst) {
             // Wake the accept loop; errors are fine (it may already be
             // past accept, or the listener may be closing).
@@ -76,6 +79,8 @@ pub fn serve(
     loop {
         let conn = match listener.accept() {
             Ok(c) => c,
+            // ORDER: SeqCst ×2 — stop-latch reads in the accept loop
+            // (cold; pair with the `shutdown` swap).
             Err(_) if ctl.stop.load(Ordering::SeqCst) => break,
             Err(e) => return Err(e),
         };

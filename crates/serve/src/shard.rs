@@ -170,6 +170,9 @@ impl ShardSet {
 
     /// Total respawns performed so far.
     pub fn respawns(&self) -> u64 {
+        // ORDER: SeqCst — respawn accounting on the crash-recovery
+        // path; cold enough that the strongest ordering is free and
+        // keeps failover assertions exact across observer threads.
         self.inner.respawns.load(Ordering::SeqCst)
     }
 
@@ -187,6 +190,8 @@ impl ShardSet {
     /// (the epoch moved on). Returns the epoch now serving.
     pub fn report_down(&self, i: usize, epoch: u64) -> u64 {
         let mut slots = self.inner.slots.lock().unwrap();
+        // ORDER: SeqCst — shutdown latch read on the failover path
+        // (cold; pairs with the `stop` store in `shutdown`).
         if slots[i].epoch != epoch || self.inner.stop.load(Ordering::SeqCst) {
             return slots[i].epoch; // already respawned (or shutting down)
         }
@@ -196,6 +201,8 @@ impl ShardSet {
         match spawn_child(&self.inner.spec, i, next) {
             Ok(slot) => {
                 slots[i] = slot;
+                // ORDER: SeqCst — crash-recovery accounting (see
+                // `respawns`).
                 self.inner.respawns.fetch_add(1, Ordering::SeqCst);
             }
             Err(e) => {
@@ -208,6 +215,8 @@ impl ShardSet {
     /// Gracefully shuts down every shard (wire `Shutdown`, then kill
     /// stragglers) and stops the health thread. Idempotent.
     pub fn shutdown_all(&self) {
+        // ORDER: SeqCst — one-shot shutdown latch (cold path); the
+        // monitor and routers re-check it after every blocking step.
         self.inner.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.health.lock().unwrap().take() {
             let _ = h.join();
@@ -236,6 +245,8 @@ impl Drop for ShardSet {
 }
 
 fn health_loop(inner: &Inner) {
+    // ORDER: SeqCst ×3 — shutdown latch reads in the monitor loop
+    // (cold; pairs with the `shutdown` store).
     while !inner.stop.load(Ordering::SeqCst) {
         thread::sleep(Duration::from_millis(100));
         if inner.stop.load(Ordering::SeqCst) {
@@ -247,6 +258,8 @@ fn health_loop(inner: &Inner) {
             if !exited {
                 continue;
             }
+            // ORDER: SeqCst — re-check the shutdown latch before a
+            // respawn (cold; pairs with the `shutdown` store).
             if inner.stop.load(Ordering::SeqCst) {
                 return;
             }
@@ -254,6 +267,8 @@ fn health_loop(inner: &Inner) {
             match spawn_child(&inner.spec, i, next) {
                 Ok(slot) => {
                     slots[i] = slot;
+                    // ORDER: SeqCst — crash-recovery accounting
+                    // (see `respawns`).
                     inner.respawns.fetch_add(1, Ordering::SeqCst);
                 }
                 Err(e) => {

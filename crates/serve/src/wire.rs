@@ -225,8 +225,12 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<(u8, u64, Vec<u8>)> {
         ));
     }
     let kind = head[4];
-    let req_id = u64::from_le_bytes(head[5..13].try_into().expect("8 bytes"));
-    let len = u32::from_le_bytes(head[13..17].try_into().expect("4 bytes"));
+    let mut req_bytes = [0u8; 8];
+    req_bytes.copy_from_slice(&head[5..13]);
+    let req_id = u64::from_le_bytes(req_bytes);
+    let mut len_bytes = [0u8; 4];
+    len_bytes.copy_from_slice(&head[13..17]);
+    let len = u32::from_le_bytes(len_bytes);
     if len > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -316,21 +320,33 @@ impl<'a> Rd<'a> {
         Ok(s)
     }
 
+    /// Four payload bytes as an array (for the LE integer decoders).
+    fn take4(&mut self) -> Result<[u8; 4], String> {
+        let s = self.take(4)?;
+        Ok([s[0], s[1], s[2], s[3]])
+    }
+
+    /// Eight payload bytes as an array.
+    fn take8(&mut self) -> Result<[u8; 8], String> {
+        let s = self.take(8)?;
+        Ok([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]])
+    }
+
     /// Reads a `u8`.
     pub fn u8(&mut self) -> Result<u8, String> {
         Ok(self.take(1)?[0])
     }
     /// Reads a `u32`.
     pub fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(self.take4()?))
     }
     /// Reads a `u64`.
     pub fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(self.take8()?))
     }
     /// Reads an `f64`.
     pub fn f64(&mut self) -> Result<f64, String> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(f64::from_le_bytes(self.take8()?))
     }
     /// Reads a length-prefixed UTF-8 string.
     pub fn str(&mut self) -> Result<String, String> {

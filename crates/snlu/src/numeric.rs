@@ -204,8 +204,12 @@ impl Snlu {
                 lu_nnz += (nr - c) + f.u_segments[c].iter().map(|(_, v)| v.len()).sum::<usize>();
             }
         }
-        let l = CscMat::from_parts_unchecked(n, n, lcolptr, lrows, lvals);
-        let u = CscMat::from_parts_unchecked(n, n, ucolptr, urows, uvals);
+        // SAFETY: U columns emit ascending earlier-supernode segments then
+        // the pivot row `j`; `ucolptr` tracks `urows.len()`.
+        let l = unsafe { CscMat::from_parts_unchecked(n, n, lcolptr, lrows, lvals) };
+        // SAFETY: L columns emit the unit diagonal then the panel's sorted
+        // below-diagonal rows; `lcolptr` tracks `lrows.len()`.
+        let u = unsafe { CscMat::from_parts_unchecked(n, n, ucolptr, urows, uvals) };
 
         Ok(SnluNumeric {
             sym: self.clone(),

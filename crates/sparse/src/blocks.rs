@@ -32,7 +32,9 @@ pub fn extract_range(a: &CscMat, rows: Range<usize>, cols: Range<usize>) -> CscM
         }
         colptr.push(rowind.len());
     }
-    CscMat::from_parts_unchecked(nr, nc, colptr, rowind, values)
+    // SAFETY: the source columns are sorted, so the `lo..hi` slice keeps
+    // ascending rows, and the `- rows.start` shift keeps them `< nr`.
+    unsafe { CscMat::from_parts_unchecked(nr, nc, colptr, rowind, values) }
 }
 
 /// Extracts `A[rows, cols]` for arbitrary index sets (must be duplicate
@@ -66,7 +68,10 @@ pub fn extract_general(a: &CscMat, rows: &[usize], cols: &[usize]) -> CscMat {
         }
         colptr.push(rowind.len());
     }
-    CscMat::from_parts_unchecked(rows.len(), cols.len(), colptr, rowind, values)
+    // SAFETY: each output column was sorted via `scratch`, local rows are
+    // `< rows.len()` by the `rowmap` construction, and `colptr` tracks
+    // `rowind.len()`.
+    unsafe { CscMat::from_parts_unchecked(rows.len(), cols.len(), colptr, rowind, values) }
 }
 
 /// Splits a square matrix into a 2-D grid of blocks along the given

@@ -54,7 +54,10 @@ pub fn cols_to_csc(nrows: usize, cols: Vec<SparseCol>) -> CscMat {
         values.extend_from_slice(&col.vals);
         colptr.push(rowind.len());
     }
-    CscMat::from_parts_unchecked(nrows, ncols, colptr, rowind, values)
+    // SAFETY: every `SparseCol` holds sorted, unique rows (its documented
+    // contract, debug-asserted in-bounds above) and `colptr` tracks
+    // `rowind.len()`.
+    unsafe { CscMat::from_parts_unchecked(nrows, ncols, colptr, rowind, values) }
 }
 
 #[cfg(test)]

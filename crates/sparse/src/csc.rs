@@ -100,10 +100,18 @@ impl CscMat {
 
     /// Builds a matrix from raw arrays **without** validation.
     ///
-    /// Callers must uphold the same invariants `new` checks; this exists for
-    /// hot paths that construct already-normalised data (factor assembly).
-    /// Debug builds still assert the invariants.
-    pub fn from_parts_unchecked(
+    /// This exists for hot paths that construct already-normalised data
+    /// (factor assembly). Debug builds still assert the invariants.
+    ///
+    /// # Safety
+    ///
+    /// The arrays must satisfy every invariant [`CscMat::new`] checks:
+    /// `colptr` has `ncols + 1` monotone entries starting at 0, `rowind`
+    /// and `values` have `colptr[ncols]` entries, and each column's row
+    /// indices are strictly increasing and below `nrows`. Downstream
+    /// code indexes by these arrays without bounds re-checks, so a
+    /// malformed matrix is undefined behavior, not just a wrong answer.
+    pub unsafe fn from_parts_unchecked(
         nrows: usize,
         ncols: usize,
         colptr: Vec<usize>,

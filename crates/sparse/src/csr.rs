@@ -33,13 +33,17 @@ impl CsrMat {
     pub fn to_csc(&self) -> CscMat {
         // Interpret our arrays as a CSC matrix of the transpose, then
         // transpose it.
-        CscMat::from_parts_unchecked(
-            self.ncols,
-            self.nrows,
-            self.rowptr.clone(),
-            self.colind.clone(),
-            self.values.clone(),
-        )
+        // SAFETY: the private fields always hold a valid CSC image of the
+        // transpose (they are only ever built from one in `from_csc`).
+        unsafe {
+            CscMat::from_parts_unchecked(
+                self.ncols,
+                self.nrows,
+                self.rowptr.clone(),
+                self.colind.clone(),
+                self.values.clone(),
+            )
+        }
         .transpose()
     }
 

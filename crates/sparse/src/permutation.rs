@@ -148,7 +148,9 @@ impl Perm {
             }
             colptr.push(rowind.len());
         }
-        CscMat::from_parts_unchecked(a.nrows(), a.ncols(), colptr, rowind, values)
+        // SAFETY: rows were remapped through a permutation (in-bounds,
+        // unique) and re-sorted per column; `colptr` tracks `rowind.len()`.
+        unsafe { CscMat::from_parts_unchecked(a.nrows(), a.ncols(), colptr, rowind, values) }
     }
 
     /// Column-permutes: returns `A·Pᵀ` in the sense that column `k` of the
@@ -164,7 +166,9 @@ impl Perm {
             values.extend_from_slice(a.col_values(old_j));
             colptr.push(rowind.len());
         }
-        CscMat::from_parts_unchecked(a.nrows(), a.ncols(), colptr, rowind, values)
+        // SAFETY: whole columns of the valid source are copied intact
+        // (sorted, in-bounds); only the column order changes.
+        unsafe { CscMat::from_parts_unchecked(a.nrows(), a.ncols(), colptr, rowind, values) }
     }
 
     /// Applies row and column permutations together: `P·A·Qᵀ` with

@@ -137,7 +137,10 @@ impl TripletMat {
             }
             colptr.push(rowind.len());
         }
-        CscMat::from_parts_unchecked(self.nrows, self.ncols, colptr, rowind, values)
+        // SAFETY: each column was sorted and duplicate-merged via
+        // `scratch`; rows were bounds-asserted by `push`, and `colptr`
+        // tracks `rowind.len()`.
+        unsafe { CscMat::from_parts_unchecked(self.nrows, self.ncols, colptr, rowind, values) }
     }
 }
 

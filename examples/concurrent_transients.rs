@@ -71,13 +71,17 @@ fn main() {
             .map(|(k, h)| {
                 let m = if k == 4 && s == 10 {
                     let p = seqs[k].pattern();
-                    CscMat::from_parts_unchecked(
-                        n,
-                        n,
-                        p.colptr().to_vec(),
-                        p.rowind().to_vec(),
-                        vec![0.0; p.nnz()],
-                    )
+                    // SAFETY: pattern arrays are copied from the valid
+                    // pattern matrix; the zero vector matches its nnz.
+                    unsafe {
+                        CscMat::from_parts_unchecked(
+                            n,
+                            n,
+                            p.colptr().to_vec(),
+                            p.rowind().to_vec(),
+                            vec![0.0; p.nnz()],
+                        )
+                    }
                 } else {
                     seqs[k].matrix_at(s)
                 };

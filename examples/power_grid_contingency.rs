@@ -61,13 +61,11 @@ fn main() {
                 seen += 1;
             }
         }
-        let outage = CscMat::from_parts_unchecked(
-            n,
-            n,
-            grid.colptr().to_vec(),
-            grid.rowind().to_vec(),
-            vals,
-        );
+        // SAFETY: pattern arrays are copied from the valid `grid` matrix;
+        // `vals` maps its values 1:1.
+        let outage = unsafe {
+            CscMat::from_parts_unchecked(n, n, grid.colptr().to_vec(), grid.rowind().to_vec(), vals)
+        };
         session.step(&outage).expect("step");
         x.copy_from_slice(&b);
         let q = session.solve_refined(&mut x).expect("solve");

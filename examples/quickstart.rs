@@ -56,13 +56,17 @@ fn main() {
     // For a *stream* of same-pattern matrices, `SolveSession` owns the
     // factor/refactor lifecycle: its policy takes the value-only fast
     // path here and would re-pivot on its own if a pivot collapsed.
-    let a2 = CscMat::from_parts_unchecked(
-        a.nrows(),
-        a.ncols(),
-        a.colptr().to_vec(),
-        a.rowind().to_vec(),
-        a.values().iter().map(|v| v * 1.3).collect(),
-    );
+    // SAFETY: pattern arrays are copied from the valid matrix `a`; values
+    // map 1:1.
+    let a2 = unsafe {
+        CscMat::from_parts_unchecked(
+            a.nrows(),
+            a.ncols(),
+            a.colptr().to_vec(),
+            a.rowind().to_vec(),
+            a.values().iter().map(|v| v * 1.3).collect(),
+        )
+    };
     let mut session = SolveSession::new(&a, &SessionConfig::new().threads(2)).expect("analyze");
     session.step(&a).expect("factor");
     session.step(&a2).expect("refactor");

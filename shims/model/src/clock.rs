@@ -1,0 +1,78 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Every model thread carries a clock; synchronization edges (Release
+//! stores observed by Acquire loads, mutex release/acquire, spawn,
+//! join, condvar notify) join clocks. Two accesses to the same
+//! unsynchronized location race iff neither access's clock is ≤ the
+//! other thread's clock at its access — the classic vector-clock race
+//! criterion (FastTrack without the epoch compression; executions here
+//! have a handful of threads, so full clocks are cheap).
+
+/// A vector clock: component `i` counts schedule points executed by
+/// model thread `i` (plus joins). Missing components are zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Clock(Vec<u32>);
+
+impl Clock {
+    /// The zero clock (const so atomics can embed one in a `static`).
+    pub const fn new() -> Clock {
+        Clock(Vec::new())
+    }
+
+    /// Advances this clock's own component for thread `tid`.
+    pub fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Component-wise maximum (the happens-before join).
+    pub fn join(&mut self, other: &Clock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// True when `self` ≤ `other` component-wise: everything known at
+    /// `self` happens-before the point `other` was taken.
+    pub fn le(&self, other: &Clock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.0.get(i).copied().unwrap_or(0))
+    }
+
+    /// Resets to the zero clock (a Relaxed store clears the location's
+    /// release clock — it publishes nothing).
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_le() {
+        let mut a = Clock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = Clock::new();
+        b.tick(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.le(&j));
+        assert!(b.le(&j));
+        j.clear();
+        assert!(j.le(&a));
+    }
+}

@@ -1,0 +1,802 @@
+//! The execution engine: one cooperative lock-step scheduler per
+//! explored execution, plus the bounded-DFS explorer that enumerates
+//! schedules.
+//!
+//! Model threads are real OS threads, but exactly **one** is ever
+//! runnable: every model operation (atomic access, mutex acquire,
+//! condvar notify, yield, spawn, join) first calls [`Exec::point`],
+//! which hands control to the scheduler. The scheduler picks the next
+//! thread from the runnable set; when more than one thread is runnable
+//! the pick is a *decision*, recorded in the execution's trace. The
+//! explorer replays a trace prefix and takes the next untried
+//! alternative at the deepest incompletely-explored decision —
+//! depth-first over the schedule tree, visiting every interleaving of
+//! the recorded decision points exactly once.
+//!
+//! Yield semantics make spin loops explorable: a thread that calls
+//! `yield_now` is descheduled until some *other* thread passes a
+//! schedule point, so `while !ready { yield }` loops add only a
+//! bounded number of interleavings per producer step instead of
+//! diverging. A spin loop whose exit condition no other thread can
+//! ever satisfy runs into the per-execution step budget and is
+//! reported as a livelock.
+
+use crate::clock::Clock;
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering as AOrd};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Identity source for model mutexes/condvars (process-wide; only
+/// uniqueness matters, not density).
+static OBJECT_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh id for a model sync object.
+pub(crate) fn next_object_id() -> u64 {
+    // ORDER: Relaxed — id generation only needs uniqueness.
+    OBJECT_IDS.fetch_add(1, AOrd::Relaxed)
+}
+
+/// Bounds for one [`check`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Schedule points allowed per execution before the run is
+    /// declared a livelock (a spin loop no peer can release).
+    pub max_steps: usize,
+    /// Executions (schedules) explored before giving up with
+    /// [`Outcome::Exhausted`]. The protocols under test here fully
+    /// enumerate in far fewer.
+    pub max_executions: usize,
+    /// Hard cap on live model threads per execution.
+    pub max_threads: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            max_steps: 20_000,
+            max_executions: 500_000,
+            max_threads: 8,
+        }
+    }
+}
+
+/// Why an execution failed.
+#[derive(Debug, Clone)]
+pub enum FailureKind {
+    /// Two accesses to the same unsynchronized cell without a
+    /// happens-before edge between them.
+    DataRace {
+        /// Thread performing the racing access.
+        current_thread: usize,
+        /// Kind of the racing access (`"write"` / `"read"`).
+        current_access: &'static str,
+        /// Thread that performed the unordered prior access.
+        prior_thread: usize,
+        /// Kind of the prior access.
+        prior_access: &'static str,
+    },
+    /// A model thread panicked (assertion failure or an unexpected
+    /// library panic).
+    Panic {
+        /// The panicking thread.
+        thread: usize,
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// Unfinished threads with nothing runnable — a lost wakeup or
+    /// circular wait.
+    Deadlock {
+        /// The threads stuck blocked.
+        waiting: Vec<usize>,
+    },
+    /// The per-execution step budget ran out — a spin loop no peer
+    /// could release.
+    Livelock {
+        /// Steps executed when the budget tripped.
+        steps: usize,
+    },
+}
+
+/// A recorded schedule: the decision sequence that reproduces one
+/// execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// At each decision point (>1 runnable thread), the index chosen
+    /// from the sorted runnable set.
+    pub choices: Vec<usize>,
+    /// The thread ids those choices resolved to (diagnostic only; the
+    /// seed encodes `choices`).
+    pub threads: Vec<usize>,
+}
+
+impl Schedule {
+    /// Encodes the schedule as a replayable seed string, e.g. `"0.2.1"`.
+    pub fn seed(&self) -> String {
+        if self.choices.is_empty() {
+            return "-".to_string();
+        }
+        let parts: Vec<String> = self.choices.iter().map(|c| c.to_string()).collect();
+        parts.join(".")
+    }
+
+    /// Parses a seed produced by [`Schedule::seed`].
+    pub fn from_seed(seed: &str) -> Option<Schedule> {
+        let seed = seed.trim();
+        if seed == "-" {
+            return Some(Schedule {
+                choices: Vec::new(),
+                threads: Vec::new(),
+            });
+        }
+        let mut choices = Vec::new();
+        for part in seed.split('.') {
+            choices.push(part.parse().ok()?);
+        }
+        Some(Schedule {
+            choices,
+            threads: Vec::new(),
+        })
+    }
+}
+
+/// A failing execution: what went wrong and the schedule to replay it.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// The failure class.
+    pub kind: FailureKind,
+    /// The schedule that produced it (feed [`Schedule::seed`] to
+    /// [`replay`]).
+    pub schedule: Schedule,
+    /// How many executions had been explored when it surfaced.
+    pub executions: usize,
+}
+
+/// Result of a [`check`] or [`replay`] call.
+#[derive(Debug)]
+pub enum Outcome {
+    /// Every schedule explored, no failure: the protocol is correct
+    /// under the model's semantics for this closure.
+    Pass {
+        /// Number of distinct schedules executed.
+        executions: usize,
+    },
+    /// The execution budget ran out before the schedule tree was
+    /// exhausted (no failure seen so far).
+    Exhausted {
+        /// Number of schedules executed.
+        executions: usize,
+    },
+    /// A schedule failed.
+    Fail(Box<FailureReport>),
+}
+
+impl Outcome {
+    /// True for [`Outcome::Pass`].
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Outcome::Pass { .. })
+    }
+
+    /// The failure report, if any.
+    pub fn failure(&self) -> Option<&FailureReport> {
+        match self {
+            Outcome::Fail(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Marker payload used to unwind model threads when an execution
+/// aborts (failure detected elsewhere). Never surfaces to callers.
+pub(crate) struct ModelAbort;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum TState {
+    Runnable,
+    /// Descheduled until another thread passes a schedule point.
+    Yielded,
+    /// Waiting to acquire the mutex with this id.
+    BlockedMutex(u64),
+    /// Parked on the condvar with this id.
+    BlockedCond(u64),
+    /// Waiting for this thread id to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct SchedState {
+    threads: Vec<TState>,
+    clocks: Vec<Clock>,
+    active: Option<usize>,
+    steps: usize,
+    /// Decision indices taken this execution (into the sorted runnable
+    /// set at each decision point).
+    trace: Vec<usize>,
+    /// Alternatives available at each decision.
+    alts: Vec<usize>,
+    /// Thread ids the decisions resolved to.
+    picked: Vec<usize>,
+    /// Prefix to replay before exploring fresh choices.
+    replay: Vec<usize>,
+    failure: Option<FailureKind>,
+    aborting: bool,
+}
+
+pub(crate) struct Exec {
+    sched: Mutex<SchedState>,
+    cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    max_steps: usize,
+    max_threads: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+    /// Set while this OS thread runs as a model thread — the wrapped
+    /// panic hook stays quiet for these (panics are part of the
+    /// exploration, reported through [`FailureReport`] instead).
+    static IN_MODEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The calling thread's model identity.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Exec>,
+    pub(crate) tid: usize,
+}
+
+/// The current model context; panics when called from outside
+/// [`check`]/[`replay`] (model primitives are only meaningful under
+/// the explorer).
+pub(crate) fn ctx() -> Ctx {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("basker_model primitive used outside model::check / model::replay")
+    })
+}
+
+impl Exec {
+    fn new(config: &Config, replay: Vec<usize>) -> Exec {
+        Exec {
+            sched: Mutex::new(SchedState {
+                threads: Vec::new(),
+                clocks: Vec::new(),
+                active: None,
+                steps: 0,
+                trace: Vec::new(),
+                alts: Vec::new(),
+                picked: Vec::new(),
+                replay,
+                failure: None,
+                aborting: false,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+            max_steps: config.max_steps,
+            max_threads: config.max_threads,
+        }
+    }
+
+    /// Locks the scheduler, shrugging off poisoning (a panicking model
+    /// thread is a normal explored outcome, not corruption: all state
+    /// transitions are single-field writes).
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        self.sched.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Picks the next thread to run. `Err(())` means a failure was
+    /// recorded (deadlock or replay divergence).
+    fn choose_locked(&self, st: &mut SchedState) -> Result<Option<usize>, ()> {
+        loop {
+            let runnable: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| **t == TState::Runnable)
+                .map(|(i, _)| i)
+                .collect();
+            if !runnable.is_empty() {
+                let k = if runnable.len() == 1 {
+                    0
+                } else {
+                    let d = st.trace.len();
+                    let k = if d < st.replay.len() { st.replay[d] } else { 0 };
+                    assert!(
+                        k < runnable.len(),
+                        "schedule replay diverged (non-deterministic model closure?)"
+                    );
+                    st.trace.push(k);
+                    st.alts.push(runnable.len());
+                    st.picked.push(runnable[k]);
+                    k
+                };
+                return Ok(Some(runnable[k]));
+            }
+            let yielded: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| **t == TState::Yielded)
+                .map(|(i, _)| i)
+                .collect();
+            if !yielded.is_empty() {
+                // Everyone still alive has yielded: let them all retry
+                // (progress is re-checked against the step budget).
+                for y in yielded {
+                    st.threads[y] = TState::Runnable;
+                }
+                continue;
+            }
+            let waiting: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !matches!(t, TState::Finished))
+                .map(|(i, _)| i)
+                .collect();
+            if waiting.is_empty() {
+                return Ok(None);
+            }
+            self.fail_locked(st, FailureKind::Deadlock { waiting });
+            return Err(());
+        }
+    }
+
+    /// Records the first failure and flips the execution into abort
+    /// mode; every thread parked in the scheduler unwinds out at its
+    /// next wakeup.
+    fn fail_locked(&self, st: &mut SchedState, kind: FailureKind) {
+        if st.failure.is_none() {
+            st.failure = Some(kind);
+        }
+        st.aborting = true;
+        self.cv.notify_all();
+    }
+
+    /// Records a failure from the active thread and unwinds it.
+    pub(crate) fn fail_now(&self, kind: FailureKind) -> ! {
+        {
+            let mut st = self.lock();
+            self.fail_locked(&mut st, kind);
+        }
+        std::panic::panic_any(ModelAbort);
+    }
+
+    /// The canonical schedule point: every model operation calls this
+    /// first. May deschedule the caller in favor of any other runnable
+    /// thread; returns once the caller is scheduled again.
+    pub(crate) fn point(&self, me: usize) {
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            let steps = st.steps;
+            self.fail_locked(&mut st, FailureKind::Livelock { steps });
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        st.clocks[me].tick(me);
+        // Another thread has made progress: yielded peers may retry.
+        for (i, t) in st.threads.iter_mut().enumerate() {
+            if i != me && *t == TState::Yielded {
+                *t = TState::Runnable;
+            }
+        }
+        self.handoff(st, me);
+    }
+
+    /// Yield point: like [`point`], but the caller is descheduled
+    /// until some other thread passes a schedule point.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            let steps = st.steps;
+            self.fail_locked(&mut st, FailureKind::Livelock { steps });
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        st.clocks[me].tick(me);
+        for (i, t) in st.threads.iter_mut().enumerate() {
+            if i != me && *t == TState::Yielded {
+                *t = TState::Runnable;
+            }
+        }
+        st.threads[me] = TState::Yielded;
+        self.handoff(st, me);
+    }
+
+    /// Deschedules the caller in state `blocked` until a peer wakes it
+    /// (sets it Runnable) and the scheduler picks it.
+    pub(crate) fn deschedule(&self, me: usize, blocked: TState) {
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        st.threads[me] = blocked;
+        self.handoff(st, me);
+    }
+
+    /// Chooses the next active thread and parks the caller until it is
+    /// scheduled again.
+    fn handoff(&self, mut st: MutexGuard<'_, SchedState>, me: usize) {
+        match self.choose_locked(&mut st) {
+            Err(()) => {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            Ok(next) => {
+                st.active = next;
+                if next == Some(me) {
+                    return;
+                }
+                self.cv.notify_all();
+                while st.active != Some(me) {
+                    if st.aborting {
+                        drop(st);
+                        std::panic::panic_any(ModelAbort);
+                    }
+                    st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Registers a new model thread spawned by `parent`; returns its id.
+    pub(crate) fn register_thread(&self, parent: Option<usize>) -> usize {
+        let mut st = self.lock();
+        let tid = st.threads.len();
+        assert!(
+            tid < self.max_threads,
+            "model closure spawned more than max_threads ({}) threads",
+            self.max_threads
+        );
+        st.threads.push(TState::Runnable);
+        let mut clock = match parent {
+            Some(p) => st.clocks[p].clone(),
+            None => Clock::new(),
+        };
+        clock.tick(tid);
+        st.clocks.push(clock);
+        if parent.is_none() {
+            st.active = Some(tid);
+        }
+        tid
+    }
+
+    pub(crate) fn collect_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(h);
+    }
+
+    /// Marks the caller finished, wakes joiners, and hands the
+    /// schedule to the next runnable thread.
+    fn finish_thread(&self, me: usize, failure: Option<FailureKind>) {
+        let mut st = self.lock();
+        if let Some(kind) = failure {
+            self.fail_locked(&mut st, kind);
+        }
+        st.clocks[me].tick(me);
+        st.threads[me] = TState::Finished;
+        for t in st.threads.iter_mut() {
+            if *t == TState::BlockedJoin(me) {
+                *t = TState::Runnable;
+            }
+        }
+        if st.aborting {
+            self.cv.notify_all();
+            return;
+        }
+        if st.active == Some(me) {
+            match self.choose_locked(&mut st) {
+                Err(()) => {}
+                Ok(next) => st.active = next,
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks the caller until thread `target` finishes, then joins
+    /// its final clock (the join happens-before edge).
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        self.point(me);
+        loop {
+            {
+                let mut st = self.lock();
+                if st.aborting {
+                    drop(st);
+                    std::panic::panic_any(ModelAbort);
+                }
+                if st.threads[target] == TState::Finished {
+                    let final_clock = st.clocks[target].clone();
+                    st.clocks[me].join(&final_clock);
+                    return;
+                }
+            }
+            self.deschedule(me, TState::BlockedJoin(target));
+        }
+    }
+
+    // ---- clock plumbing for the sync facades ----
+
+    pub(crate) fn clock_of(&self, tid: usize) -> Clock {
+        self.lock().clocks[tid].clone()
+    }
+
+    pub(crate) fn join_clock(&self, tid: usize, other: &Clock) {
+        self.lock().clocks[tid].join(other);
+    }
+
+    // ---- mutex / condvar hooks (state lives in the sync objects;
+    //      blocking and wakeups live here) ----
+
+    pub(crate) fn block_on_mutex(&self, me: usize, id: u64) {
+        self.deschedule(me, TState::BlockedMutex(id));
+    }
+
+    pub(crate) fn wake_mutex_waiters(&self, id: u64) {
+        let mut st = self.lock();
+        for t in st.threads.iter_mut() {
+            if *t == TState::BlockedMutex(id) {
+                *t = TState::Runnable;
+            }
+        }
+    }
+
+    pub(crate) fn block_on_cond(&self, me: usize, id: u64) {
+        self.deschedule(me, TState::BlockedCond(id));
+    }
+
+    /// Wakes waiters on condvar `id` (all, or just the lowest id when
+    /// `all` is false), joining the notifier's clock into each.
+    pub(crate) fn notify_cond(&self, me: usize, id: u64, all: bool) {
+        let mut st = self.lock();
+        let notifier_clock = st.clocks[me].clone();
+        let waiters: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == TState::BlockedCond(id))
+            .map(|(i, _)| i)
+            .collect();
+        let chosen: Vec<usize> = if all {
+            waiters
+        } else {
+            waiters.into_iter().take(1).collect()
+        };
+        for w in chosen {
+            st.threads[w] = TState::Runnable;
+            st.clocks[w].join(&notifier_clock);
+        }
+    }
+}
+
+struct ExecResult {
+    trace: Vec<usize>,
+    alts: Vec<usize>,
+    picked: Vec<usize>,
+    failure: Option<FailureKind>,
+}
+
+fn payload_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs one model thread: installs the context, waits for its first
+/// schedule, runs the body, and reports completion (or a escaped
+/// panic) to the scheduler.
+pub(crate) fn run_model_thread(exec: Arc<Exec>, tid: usize, body: Box<dyn FnOnce() + Send>) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            exec: exec.clone(),
+            tid,
+        })
+    });
+    IN_MODEL.with(|c| c.set(true));
+    // Wait to be scheduled for the first time.
+    let aborted_before_start = {
+        let mut st = exec.lock();
+        loop {
+            if st.aborting {
+                break true;
+            }
+            if st.active == Some(tid) {
+                break false;
+            }
+            st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    };
+    let failure = if aborted_before_start {
+        None
+    } else {
+        match catch_unwind(AssertUnwindSafe(body)) {
+            Ok(()) => None,
+            Err(p) => {
+                if p.downcast_ref::<ModelAbort>().is_some() {
+                    None
+                } else {
+                    Some(FailureKind::Panic {
+                        thread: tid,
+                        message: payload_message(p.as_ref()),
+                    })
+                }
+            }
+        }
+    };
+    exec.finish_thread(tid, failure);
+    IN_MODEL.with(|c| c.set(false));
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Spawns a model thread (used by `model::thread::spawn`); returns its
+/// tid. The OS thread parks until the scheduler picks it.
+pub(crate) fn spawn_model_thread(parent: &Ctx, body: Box<dyn FnOnce() + Send>) -> usize {
+    let tid = parent.exec.register_thread(Some(parent.tid));
+    let exec = parent.exec.clone();
+    let h = std::thread::Builder::new()
+        .name(format!("basker-model-{tid}"))
+        .spawn(move || run_model_thread(exec, tid, body))
+        .expect("failed to spawn model thread");
+    parent.exec.collect_handle(h);
+    // Spawning is itself a schedule point: the child is now in the
+    // runnable set and may be picked before the parent's next op.
+    parent.exec.point(parent.tid);
+    tid
+}
+
+/// Installs (once) a panic hook that stays quiet for panics inside
+/// model threads — explored panics are reported via [`FailureReport`],
+/// not stderr spam, and aborts are internal control flow.
+fn install_quiet_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if IN_MODEL.with(|c| c.get()) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn run_once(config: &Config, replay: Vec<usize>, f: Arc<dyn Fn() + Send + Sync>) -> ExecResult {
+    let exec = Arc::new(Exec::new(config, replay));
+    let tid = exec.register_thread(None);
+    debug_assert_eq!(tid, 0);
+    let exec2 = exec.clone();
+    let f2 = f.clone();
+    let root = std::thread::Builder::new()
+        .name("basker-model-0".to_string())
+        .spawn(move || run_model_thread(exec2, tid, Box::new(move || f2())))
+        .expect("failed to spawn model root thread");
+    // Wait until every model thread has finished, then reap the OS
+    // threads (they exit promptly once finished or aborted).
+    {
+        let mut st = exec.lock();
+        while !st.threads.iter().all(|t| *t == TState::Finished) {
+            st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    root.join().ok();
+    for h in exec
+        .handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .drain(..)
+    {
+        h.join().ok();
+    }
+    let st = exec.lock();
+    ExecResult {
+        trace: st.trace.clone(),
+        alts: st.alts.clone(),
+        picked: st.picked.clone(),
+        failure: st.failure.clone(),
+    }
+}
+
+/// Exhaustively explores every interleaving of `f`'s model operations
+/// (bounded by `config`), checking for data races, deadlocks / lost
+/// wakeups, livelocks, and assertion failures. On failure the
+/// replayable schedule seed is printed to stderr and returned.
+pub fn check<F>(config: Config, f: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    // Opt-in progress telemetry for long explorations (CI logs, local
+    // debugging): BASKER_MODEL_PROGRESS=<n> prints a line every n
+    // executions.
+    let progress: usize = std::env::var("BASKER_MODEL_PROGRESS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut replay: Vec<usize> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        if progress > 0 && executions % progress == 0 {
+            eprintln!("basker_model: {executions} executions explored...");
+        }
+        let res = run_once(&config, replay.clone(), f.clone());
+        if let Some(kind) = res.failure {
+            let schedule = Schedule {
+                choices: res.trace,
+                threads: res.picked,
+            };
+            eprintln!(
+                "basker_model: failure after {executions} execution(s): {kind:?}\n\
+                 basker_model: replay seed: {}",
+                schedule.seed()
+            );
+            return Outcome::Fail(Box::new(FailureReport {
+                kind,
+                schedule,
+                executions,
+            }));
+        }
+        // Backtrack: deepest decision with an untried alternative.
+        let mut next = None;
+        for i in (0..res.trace.len()).rev() {
+            if res.trace[i] + 1 < res.alts[i] {
+                next = Some(i);
+                break;
+            }
+        }
+        match next {
+            None => return Outcome::Pass { executions },
+            Some(i) => {
+                replay = res.trace[..i].to_vec();
+                replay.push(res.trace[i] + 1);
+            }
+        }
+        if executions >= config.max_executions {
+            return Outcome::Exhausted { executions };
+        }
+    }
+}
+
+/// Replays a single schedule from a seed produced by a failing
+/// [`check`] (printed to stderr and available via
+/// [`FailureReport::schedule`]). Deterministic: the same seed over the
+/// same closure reproduces the same failure.
+pub fn replay<F>(config: Config, seed: &str, f: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    let schedule = Schedule::from_seed(seed)
+        .unwrap_or_else(|| panic!("malformed basker_model seed: {seed:?}"));
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let res = run_once(&config, schedule.choices, f);
+    match res.failure {
+        Some(kind) => Outcome::Fail(Box::new(FailureReport {
+            kind,
+            schedule: Schedule {
+                choices: res.trace,
+                threads: res.picked,
+            },
+            executions: 1,
+        })),
+        None => Outcome::Pass { executions: 1 },
+    }
+}

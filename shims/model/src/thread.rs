@@ -1,0 +1,80 @@
+//! Model threads: spawn/join with deterministic ids, plus the yield
+//! primitive that makes spin loops explorable.
+//!
+//! Mirrors the slice of `std::thread` the sync core's model tests
+//! need. A panic in a spawned thread is delivered through
+//! [`JoinHandle::join`] as `Err(payload)` — std semantics — so tests
+//! can assert "exactly one of the racing publishers panics" by
+//! catching at the join. A panic that instead escapes the *root*
+//! closure is reported as a [`FailureKind::Panic`] execution failure.
+//!
+//! [`FailureKind::Panic`]: crate::FailureKind::Panic
+
+use crate::exec::{ctx, spawn_model_thread, ModelAbort};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+type ThreadResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<StdMutex<Option<ThreadResult<T>>>>,
+}
+
+/// Spawns a model thread running `f`. The child's vector clock starts
+/// as the parent's (spawn is a happens-before edge); the spawn itself
+/// is a schedule point, so the child may run before the parent's next
+/// operation.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let c = ctx();
+    let result: Arc<StdMutex<Option<ThreadResult<T>>>> = Arc::new(StdMutex::new(None));
+    let slot = result.clone();
+    let body = Box::new(move || {
+        let outcome = match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(v) => Ok(v),
+            Err(p) => {
+                if p.downcast_ref::<ModelAbort>().is_some() {
+                    // Execution teardown, not a user panic: keep
+                    // unwinding so the scheduler reaps this thread.
+                    resume_unwind(p);
+                }
+                Err(p)
+            }
+        };
+        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+    });
+    let tid = spawn_model_thread(&c, body);
+    JoinHandle { tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (through the scheduler) until the thread finishes;
+    /// returns its value, or `Err(payload)` if it panicked. Joining
+    /// establishes happens-before from everything the child did.
+    pub fn join(self) -> ThreadResult<T> {
+        let c = ctx();
+        c.exec.join_thread(c.tid, self.tid);
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("model thread finished without storing a result")
+    }
+}
+
+/// Cooperative yield: the caller is descheduled until some *other*
+/// thread passes a schedule point. This is what keeps
+/// `while !ready { yield_now() }` loops finite under exploration — the
+/// spinner only retries after a peer has had a chance to make the
+/// condition true, and a spin no peer can ever release trips the step
+/// budget as a livelock.
+pub fn yield_now() {
+    let c = ctx();
+    c.exec.yield_point(c.tid);
+}

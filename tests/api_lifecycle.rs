@@ -7,17 +7,21 @@ use basker_repro::prelude::*;
 use basker_sparse::spmv::spmv;
 
 fn scaled_values(a: &CscMat, f: impl Fn(usize, f64) -> f64) -> CscMat {
-    CscMat::from_parts_unchecked(
-        a.nrows(),
-        a.ncols(),
-        a.colptr().to_vec(),
-        a.rowind().to_vec(),
-        a.values()
-            .iter()
-            .enumerate()
-            .map(|(k, &v)| f(k, v))
-            .collect(),
-    )
+    // SAFETY: pattern arrays are copied from the valid matrix `a`; values
+    // map 1:1.
+    unsafe {
+        CscMat::from_parts_unchecked(
+            a.nrows(),
+            a.ncols(),
+            a.colptr().to_vec(),
+            a.rowind().to_vec(),
+            a.values()
+                .iter()
+                .enumerate()
+                .map(|(k, &v)| f(k, v))
+                .collect(),
+        )
+    }
 }
 
 #[test]

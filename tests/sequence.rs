@@ -85,13 +85,17 @@ fn refactor_and_fresh_factor_agree_when_pivots_stable() {
     // identical solutions.
     let seq = sequence(10);
     let a0 = seq.pattern().clone();
-    let gentle = CscMat::from_parts_unchecked(
-        a0.nrows(),
-        a0.ncols(),
-        a0.colptr().to_vec(),
-        a0.rowind().to_vec(),
-        a0.values().iter().map(|v| v * 1.01).collect(),
-    );
+    // SAFETY: pattern arrays are copied from the valid matrix `a0`; values
+    // map 1:1.
+    let gentle = unsafe {
+        CscMat::from_parts_unchecked(
+            a0.nrows(),
+            a0.ncols(),
+            a0.colptr().to_vec(),
+            a0.rowind().to_vec(),
+            a0.values().iter().map(|v| v * 1.01).collect(),
+        )
+    };
     let cfg = SessionConfig::new()
         .engine(Engine::Basker)
         .policy(ReusePolicy::AlwaysRefactor);

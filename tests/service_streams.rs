@@ -26,13 +26,17 @@ fn circuitish(n: usize, shift: f64) -> CscMat {
 /// fallback both fail on the pivoting engines — the hard collapse of
 /// `tests/session_lifecycle.rs`, aimed at one stream of a service.
 fn collapsed(a: &CscMat) -> CscMat {
-    CscMat::from_parts_unchecked(
-        a.nrows(),
-        a.ncols(),
-        a.colptr().to_vec(),
-        a.rowind().to_vec(),
-        vec![0.0; a.nnz()],
-    )
+    // SAFETY: pattern arrays are copied from the valid matrix `a`; the zero
+    // vector matches its nnz.
+    unsafe {
+        CscMat::from_parts_unchecked(
+            a.nrows(),
+            a.ncols(),
+            a.colptr().to_vec(),
+            a.rowind().to_vec(),
+            vec![0.0; a.nnz()],
+        )
+    }
 }
 
 fn stream_cfg(engine: Engine) -> SessionConfig {

@@ -25,13 +25,17 @@ fn os_thread_count() -> Option<usize> {
 fn warm_team_spawns_no_new_threads() {
     let a = mesh2d(16, 7);
     let scaled = |f: f64| {
-        CscMat::from_parts_unchecked(
-            a.nrows(),
-            a.ncols(),
-            a.colptr().to_vec(),
-            a.rowind().to_vec(),
-            a.values().iter().map(|v| v * f + 0.01).collect(),
-        )
+        // SAFETY: pattern arrays are copied from the valid matrix `a`;
+        // values map 1:1.
+        unsafe {
+            CscMat::from_parts_unchecked(
+                a.nrows(),
+                a.ncols(),
+                a.colptr().to_vec(),
+                a.rowind().to_vec(),
+                a.values().iter().map(|v| v * f + 0.01).collect(),
+            )
+        }
     };
 
     // Warm-up: bring up the teams every later call will reuse (Basker at

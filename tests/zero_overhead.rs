@@ -54,16 +54,20 @@ fn single_thread_is_pure_sequential() {
 
     let mut ws = SolveWorkspace::for_dim(a.ncols());
     for step in 0..6 {
-        let a2 = CscMat::from_parts_unchecked(
-            a.nrows(),
-            a.ncols(),
-            a.colptr().to_vec(),
-            a.rowind().to_vec(),
-            a.values()
-                .iter()
-                .map(|v| v * (1.0 + 0.05 * step as f64) + 0.01)
-                .collect(),
-        );
+        // SAFETY: pattern arrays are copied from the valid matrix `a`;
+        // values map 1:1.
+        let a2 = unsafe {
+            CscMat::from_parts_unchecked(
+                a.nrows(),
+                a.ncols(),
+                a.colptr().to_vec(),
+                a.rowind().to_vec(),
+                a.values()
+                    .iter()
+                    .map(|v| v * (1.0 + 0.05 * step as f64) + 0.01)
+                    .collect(),
+            )
+        };
         num.refactor(&a2).unwrap();
         let mut x = spmv(&a2, &vec![1.0; a.ncols()]);
         num.solve_in_place(&mut x, &mut ws).unwrap();
