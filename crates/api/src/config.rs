@@ -1,6 +1,7 @@
 //! Engine selection and the unified configuration builder.
 
 use crate::error::{map_analyze_error, SolverError};
+use basker::hybrid::HybridOptions;
 use basker::{BaskerOptions, SyncMode};
 use basker_kernels::KernelChoice;
 use basker_klu::KluOptions;
@@ -26,6 +27,10 @@ pub enum Engine {
     /// The supernodal level-scheduled solver (static pivoting +
     /// iterative refinement).
     Snlu,
+    /// Per-BTF-block mixed-strategy factorization: each diagonal block
+    /// is classified by its own structure and routed to GP, supernodal
+    /// or pipelined-ND independently (see [`BlockRouting`]).
+    Hybrid,
 }
 
 impl std::fmt::Display for Engine {
@@ -35,6 +40,61 @@ impl std::fmt::Display for Engine {
             Engine::Basker => write!(f, "basker"),
             Engine::Klu => write!(f, "klu"),
             Engine::Snlu => write!(f, "snlu"),
+            Engine::Hybrid => write!(f, "hybrid"),
+        }
+    }
+}
+
+/// The engine named by the `BASKER_ENGINE` environment variable, if set
+/// and recognised (`auto`/`basker`/`klu`/`snlu`/`hybrid`, any case).
+/// [`SolverConfig::default`] starts from this, so a CI matrix leg can
+/// steer a whole test binary onto one engine without code changes.
+pub fn env_default_engine() -> Option<Engine> {
+    parse_engine(&std::env::var("BASKER_ENGINE").ok()?)
+}
+
+fn parse_engine(v: &str) -> Option<Engine> {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "auto" => Some(Engine::Auto),
+        "basker" => Some(Engine::Basker),
+        "klu" => Some(Engine::Klu),
+        "snlu" => Some(Engine::Snlu),
+        "hybrid" => Some(Engine::Hybrid),
+        _ => None,
+    }
+}
+
+/// Thresholds of the per-block classifier behind [`Engine::Hybrid`]
+/// (defaults mirror [`basker::hybrid::HybridOptions`]).
+#[derive(Debug, Clone)]
+pub struct BlockRouting {
+    /// Blocks up to this size always route to GP.
+    pub gp_small: usize,
+    /// Mid-size blocks at least this dense route to the supernodal
+    /// strategy.
+    pub dense_threshold: f64,
+    /// Mid-size blocks whose supernodal pattern fraction reaches this
+    /// route to the supernodal strategy.
+    pub supernodal_min: f64,
+    /// ND-laid-out blocks keep the pipelined-ND strategy only while the
+    /// root separator covers at most this fraction of the block.
+    pub max_separator_fraction: f64,
+    /// Let multi-step sessions measure contested blocks and install the
+    /// per-block winner (and share it across same-pattern streams via
+    /// the process-wide routing cache). `false` pins the classifier's
+    /// static plan.
+    pub learn: bool,
+}
+
+impl Default for BlockRouting {
+    fn default() -> Self {
+        let h = HybridOptions::default();
+        BlockRouting {
+            gp_small: h.gp_small,
+            dense_threshold: h.dense_threshold,
+            supernodal_min: h.supernodal_min,
+            max_separator_fraction: h.max_separator_fraction,
+            learn: true,
         }
     }
 }
@@ -65,12 +125,13 @@ pub struct SolverConfig {
     auto_small_block: usize,
     auto_circuit_fraction: f64,
     kernel: KernelChoice,
+    routing: BlockRouting,
 }
 
 impl Default for SolverConfig {
     fn default() -> Self {
         SolverConfig {
-            engine: Engine::Auto,
+            engine: env_default_engine().unwrap_or(Engine::Auto),
             nthreads: basker::env_default_threads().unwrap_or(2),
             pin_threads: false,
             pivot_tol: 0.001,
@@ -83,6 +144,7 @@ impl Default for SolverConfig {
             auto_small_block: 64,
             auto_circuit_fraction: 0.5,
             kernel: KernelChoice::Auto,
+            routing: BlockRouting::default(),
         }
     }
 }
@@ -185,6 +247,18 @@ impl SolverConfig {
         self
     }
 
+    /// Per-block classifier thresholds of [`Engine::Hybrid`] and the
+    /// learned-routing switch.
+    pub fn block_routing(mut self, r: BlockRouting) -> Self {
+        self.routing = r;
+        self
+    }
+
+    /// The configured [`BlockRouting`].
+    pub fn requested_routing(&self) -> &BlockRouting {
+        &self.routing
+    }
+
     /// The engine as requested (possibly [`Engine::Auto`]).
     pub fn requested_engine(&self) -> Engine {
         self.engine
@@ -233,6 +307,18 @@ impl SolverConfig {
         }
     }
 
+    /// The derived hybrid-engine options.
+    pub fn hybrid_options(&self) -> HybridOptions {
+        HybridOptions {
+            base: self.basker_options(),
+            gp_small: self.routing.gp_small,
+            dense_threshold: self.routing.dense_threshold,
+            supernodal_min: self.routing.supernodal_min,
+            max_separator_fraction: self.routing.max_separator_fraction,
+            snlu: self.snlu_options(),
+        }
+    }
+
     /// Resolves [`Engine::Auto`] against a concrete matrix; concrete
     /// requests pass through untouched.
     ///
@@ -246,6 +332,11 @@ impl SolverConfig {
     /// as circuit-like when its small-block row fraction reaches
     /// [`auto_circuit_fraction`](Self::auto_circuit_fraction) **or** its
     /// largest BTF block covers at most half the rows.
+    ///
+    /// Matrices that are **both** — a large irreducible block *and* a
+    /// meaningful share of rows in small blocks — are heterogeneous:
+    /// no single strategy fits every block, so they resolve to
+    /// [`Engine::Hybrid`] and are routed per block.
     pub fn resolve_engine(&self, a: &CscMat) -> Result<Engine, SolverError> {
         if self.engine != Engine::Auto {
             return Ok(self.engine);
@@ -275,6 +366,11 @@ impl SolverConfig {
         }
         let frac = small_rows as f64 / n as f64;
         let decomposes = largest * 2 <= n;
+        // Heterogeneous shape: a block big enough for the ND treatment
+        // next to a non-trivial tail of small blocks (≥ 10% of rows).
+        if largest >= self.nd_threshold && small_rows * 10 >= n {
+            return Ok(Engine::Hybrid);
+        }
         Ok(if frac >= self.auto_circuit_fraction || decomposes {
             if self.nthreads > 1 {
                 Engine::Basker
@@ -328,19 +424,62 @@ mod tests {
     #[test]
     fn auto_picks_gilbert_peierls_for_circuit_shapes() {
         let a = diagonal_chain(50);
-        // Pin the thread counts: the default honours BASKER_NUM_THREADS,
-        // and CI runs this suite at 1 thread too.
-        let cfg = SolverConfig::new().threads(2);
+        // Pin the thread count and engine: the defaults honour the
+        // BASKER_NUM_THREADS / BASKER_ENGINE environment overrides, and
+        // CI runs this suite at 1 thread and under pinned engines too.
+        let cfg = SolverConfig::new().engine(Engine::Auto).threads(2);
         assert_eq!(cfg.resolve_engine(&a).unwrap(), Engine::Basker);
-        let serial = SolverConfig::new().threads(1);
+        let serial = SolverConfig::new().engine(Engine::Auto).threads(1);
         assert_eq!(serial.resolve_engine(&a).unwrap(), Engine::Klu);
     }
 
     #[test]
     fn auto_picks_supernodal_for_mesh_shapes() {
         let a = grid2d(12);
-        let cfg = SolverConfig::new();
+        let cfg = SolverConfig::new().engine(Engine::Auto);
         assert_eq!(cfg.resolve_engine(&a).unwrap(), Engine::Snlu);
+    }
+
+    #[test]
+    fn auto_picks_hybrid_for_heterogeneous_shapes() {
+        // One grid2d(12) irreducible block (144 rows ≥ nd_threshold when
+        // lowered) plus 60 decoupled 1x1 blocks: both shapes at once.
+        let g = grid2d(12);
+        let tiny = 60;
+        let n = g.nrows() + tiny;
+        let mut t = TripletMat::new(n, n);
+        for (i, j, v) in g.iter() {
+            t.push(i, j, v);
+        }
+        for q in g.nrows()..n {
+            t.push(q, q, 3.0);
+        }
+        let a = t.to_csc();
+        let cfg = SolverConfig::new().engine(Engine::Auto).nd_threshold(128);
+        assert_eq!(cfg.resolve_engine(&a).unwrap(), Engine::Hybrid);
+        // Without the small-block tail it is a plain mesh.
+        assert_eq!(
+            SolverConfig::new()
+                .engine(Engine::Auto)
+                .resolve_engine(&g)
+                .unwrap(),
+            Engine::Snlu
+        );
+    }
+
+    #[test]
+    fn engine_env_values_parse() {
+        for (s, e) in [
+            ("auto", Engine::Auto),
+            ("Basker", Engine::Basker),
+            (" klu ", Engine::Klu),
+            ("SNLU", Engine::Snlu),
+            ("hybrid", Engine::Hybrid),
+        ] {
+            assert_eq!(parse_engine(s), Some(e));
+            assert_eq!(parse_engine(&e.to_string()), Some(e));
+        }
+        assert_eq!(parse_engine("superlu"), None);
     }
 
     #[test]
@@ -356,7 +495,10 @@ mod tests {
         t.push(0, 0, 1.0);
         t.push(1, 0, 1.0);
         let a = t.to_csc();
-        let e = SolverConfig::new().resolve_engine(&a).unwrap_err();
+        let e = SolverConfig::new()
+            .engine(Engine::Auto)
+            .resolve_engine(&a)
+            .unwrap_err();
         assert!(matches!(e, SolverError::StructurallySingular { .. }));
     }
 }

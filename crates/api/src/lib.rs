@@ -25,8 +25,14 @@
 //! * [`Engine::Basker`] — the paper's threaded hierarchical solver,
 //! * [`Engine::Klu`] — the serial BTF + Gilbert–Peierls baseline,
 //! * [`Engine::Snlu`] — the supernodal level-scheduled comparator,
+//! * [`Engine::Hybrid`] — per-BTF-block mixed-strategy factorization:
+//!   each diagonal block is classified by its own structure and routed
+//!   to GP, supernodal or pipelined-ND independently,
 //! * [`Engine::Auto`] — pick per matrix from the BTF structure (the
-//!   paper's circuit-vs-mesh crossover heuristic).
+//!   paper's circuit-vs-mesh crossover heuristic); heterogeneous
+//!   matrices resolve to [`Engine::Hybrid`], and multi-step sessions
+//!   *measure* contested blocks and cache the per-pattern winner in
+//!   [`routing`] for sibling same-pattern streams to inherit.
 //!
 //! The design goals, in order:
 //!
@@ -83,12 +89,14 @@
 
 pub mod config;
 pub mod error;
+pub mod routing;
 pub mod service;
 pub mod session;
 pub mod solver;
 
+pub use basker::hybrid::{BlockRoute, BlockStrategy};
 pub use basker_kernels::KernelChoice;
-pub use config::{Engine, SolverConfig};
+pub use config::{BlockRouting, Engine, SolverConfig};
 pub use error::SolverError;
 pub use service::{
     SchedulingPolicy, ServiceConfig, ServiceStats, SolverService, StepResult, StepTicket,

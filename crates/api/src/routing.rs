@@ -1,0 +1,105 @@
+//! The process-wide learned block-routing cache.
+//!
+//! When a multi-step [`SolveSession`](crate::session::SolveSession)
+//! over [`Engine::Hybrid`](crate::Engine::Hybrid) measures candidate
+//! per-block plans and settles on a winner, it records the plan here,
+//! keyed by [`pattern_hash`](basker_sparse::metrics::pattern_hash).
+//! Sibling sessions over the same pattern — other streams of a
+//! [`SolverService`](crate::service::SolverService), or a later session
+//! in the same process — then inherit the measured routing and skip
+//! probing entirely.
+//!
+//! The cache stores only [`BlockStrategy`] vectors: pure pattern-level
+//! facts, valid for any matrix with the hashed pattern. Quality gates
+//! that trip in a session ([`SessionStats::quality_repivots`]) call
+//! [`forget`], so the next same-pattern session re-measures instead of
+//! inheriting a plan whose value assumptions went stale.
+//!
+//! [`SessionStats::quality_repivots`]: crate::session::SessionStats::quality_repivots
+//!
+//! Concurrency: a plain [`Mutex`] around a [`HashMap`], held only for
+//! the few instructions of a lookup/insert — never across a
+//! factorization. No new sync protocol, nothing to model-check.
+
+use basker::hybrid::BlockStrategy;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+fn cache() -> &'static Mutex<HashMap<u64, Vec<BlockStrategy>>> {
+    static CACHE: OnceLock<Mutex<HashMap<u64, Vec<BlockStrategy>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The plan a prior session measured for this pattern, if any.
+pub fn learned(pattern: u64) -> Option<Vec<BlockStrategy>> {
+    cache()
+        .lock()
+        .expect("routing cache lock poisoned")
+        .get(&pattern)
+        .cloned()
+}
+
+/// Records a measured plan for `pattern`. First writer wins: two
+/// streams probing the same pattern concurrently measured the same
+/// candidates, and keeping the first result makes the cache stable
+/// under racing writers.
+pub fn learn(pattern: u64, plan: Vec<BlockStrategy>) {
+    cache()
+        .lock()
+        .expect("routing cache lock poisoned")
+        .entry(pattern)
+        .or_insert(plan);
+}
+
+/// Drops the learned plan for `pattern` (quality gates tripped — the
+/// next same-pattern session re-measures).
+pub fn forget(pattern: u64) {
+    cache()
+        .lock()
+        .expect("routing cache lock poisoned")
+        .remove(&pattern);
+}
+
+/// Number of patterns with a learned plan (observability/tests).
+pub fn len() -> usize {
+    cache().lock().expect("routing cache lock poisoned").len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Distinct hash keys per test: the cache is process-global and the
+    // test harness runs tests concurrently in one process.
+
+    #[test]
+    fn first_writer_wins_and_forget_clears() {
+        let key = 0xA110_C8ED_0000_0001;
+        assert_eq!(learned(key), None);
+        learn(key, vec![BlockStrategy::Gp, BlockStrategy::Nd]);
+        learn(key, vec![BlockStrategy::Supernodal]);
+        assert_eq!(
+            learned(key),
+            Some(vec![BlockStrategy::Gp, BlockStrategy::Nd])
+        );
+        forget(key);
+        assert_eq!(learned(key), None);
+    }
+
+    #[test]
+    fn concurrent_learners_converge() {
+        let key = 0xA110_C8ED_0000_0002;
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    learn(key, vec![BlockStrategy::Gp]);
+                    learned(key)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Some(vec![BlockStrategy::Gp]));
+        }
+        forget(key);
+    }
+}

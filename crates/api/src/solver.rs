@@ -17,6 +17,7 @@
 
 use crate::config::{Engine, SolverConfig};
 use crate::error::{map_analyze_error, map_engine_error, SolverError};
+use basker::hybrid::{HybridLu, HybridNumeric};
 use basker::{Basker, BaskerNumeric};
 use basker_klu::{KluNumeric, KluSymbolic};
 use basker_snlu::{Snlu, SnluNumeric};
@@ -68,6 +69,10 @@ pub struct SolverStats {
     /// `SolverStats`. Selected once per process from
     /// `BASKER_KERNEL`/[`SolverConfig::kernel`](crate::SolverConfig::kernel).
     pub kernel: &'static str,
+    /// Per-BTF-block routing + timing of the last (re)factorization
+    /// ([`Engine::Hybrid`] only; empty for the single-strategy engines).
+    /// One entry per diagonal block, in block order.
+    pub routing: Vec<basker::hybrid::BlockRoute>,
 }
 
 impl SolverStats {
@@ -143,6 +148,14 @@ pub trait SparseLuSolver: Sized {
 
     /// Matrix dimension this analysis is for.
     fn dim(&self) -> usize;
+
+    /// Borrows the hybrid per-block routing handle when this symbolic
+    /// analysis is [`Engine::Hybrid`]'s — the hook the session layer's
+    /// feedback-driven router uses to probe and install per-block plans.
+    /// `None` for the single-strategy engines.
+    fn hybrid(&self) -> Option<&HybridLu> {
+        None
+    }
 
     /// Lifts this symbolic handle into a [`SolveSession`] — the
     /// policy-driven transient-simulation surface (statically dispatched
@@ -446,6 +459,88 @@ impl LuNumeric for SnluNumeric {
     }
 }
 
+// ------------------------------------------------------------- Hybrid --
+
+impl SparseLuSolver for HybridLu {
+    type Numeric = HybridNumeric;
+
+    fn analyze(a: &CscMat, cfg: &SolverConfig) -> Result<Self, SolverError> {
+        HybridLu::analyze(a, &cfg.hybrid_options())
+            .map_err(|e| map_analyze_error(Engine::Hybrid, a.nrows(), e))
+    }
+
+    fn factor(&self, a: &CscMat) -> Result<HybridNumeric, SolverError> {
+        let st = self.structure();
+        HybridLu::factor(self, a)
+            .map_err(|e| map_engine_error(Engine::Hybrid, st.col_perm.as_slice(), &st.bounds, e))
+    }
+
+    fn engine(&self) -> Engine {
+        Engine::Hybrid
+    }
+
+    fn dim(&self) -> usize {
+        self.structure().n
+    }
+
+    fn hybrid(&self) -> Option<&HybridLu> {
+        Some(self)
+    }
+}
+
+impl LuNumeric for HybridNumeric {
+    fn refactor(&mut self, a: &CscMat) -> Result<(), SolverError> {
+        // As for KLU/Basker: resolve error context lazily, on failure only.
+        match HybridNumeric::refactor(self, a) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let st = self.symbolic().structure();
+                Err(map_engine_error(
+                    Engine::Hybrid,
+                    st.col_perm.as_slice(),
+                    &st.bounds,
+                    e,
+                ))
+            }
+        }
+    }
+
+    fn solve_in_place(&self, x: &mut [f64], ws: &mut SolveWorkspace) -> Result<(), SolverError> {
+        check_rhs(self.symbolic().structure().n, x.len())?;
+        HybridNumeric::solve_in_place(self, x, ws);
+        Ok(())
+    }
+
+    fn stats(&self) -> SolverStats {
+        SolverStats {
+            engine: Some(Engine::Hybrid),
+            kernel: basker_kernels::active().name(),
+            dimension: self.symbolic().structure().n,
+            lu_nnz: self.stats.lu_nnz,
+            flops: self.stats.flops,
+            btf_blocks: self.stats.btf_blocks,
+            threads: self.stats.threads,
+            perturbed_pivots: self.perturbed_pivots(),
+            factor_seconds: self.stats.numeric_seconds,
+            routing: self.stats.routes.clone(),
+            ..SolverStats::default()
+        }
+    }
+
+    fn quality(&self) -> FactorQuality {
+        let (min_pivot, max_pivot) = self.pivot_range();
+        FactorQuality {
+            min_pivot,
+            max_pivot,
+            perturbed_pivots: self.perturbed_pivots(),
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.symbolic().structure().n
+    }
+}
+
 // ------------------------------------------------- type-erased facade --
 
 /// An engine-agnostic symbolic handle.
@@ -475,6 +570,7 @@ enum SymbolicInner {
     Klu(KluSymbolic),
     Basker(Basker),
     Snlu(Snlu),
+    Hybrid(HybridLu),
 }
 
 impl LinearSolver {
@@ -488,6 +584,7 @@ impl LinearSolver {
             Engine::Klu => SymbolicInner::Klu(<KluSymbolic as SparseLuSolver>::analyze(a, cfg)?),
             Engine::Basker => SymbolicInner::Basker(<Basker as SparseLuSolver>::analyze(a, cfg)?),
             Engine::Snlu => SymbolicInner::Snlu(<Snlu as SparseLuSolver>::analyze(a, cfg)?),
+            Engine::Hybrid => SymbolicInner::Hybrid(<HybridLu as SparseLuSolver>::analyze(a, cfg)?),
             Engine::Auto => unreachable!("resolve_engine returns a concrete engine"),
         };
         Ok(LinearSolver { engine, inner })
@@ -501,6 +598,9 @@ impl LinearSolver {
             SymbolicInner::Klu(s) => NumericInner::Klu(SparseLuSolver::factor(s, a)?),
             SymbolicInner::Basker(s) => NumericInner::Basker(SparseLuSolver::factor(s, a)?),
             SymbolicInner::Snlu(s) => NumericInner::Snlu(Box::new(SparseLuSolver::factor(s, a)?)),
+            SymbolicInner::Hybrid(s) => {
+                NumericInner::Hybrid(Box::new(SparseLuSolver::factor(s, a)?))
+            }
         };
         Ok(Factorization {
             engine: self.engine,
@@ -521,6 +621,7 @@ impl LinearSolver {
             SymbolicInner::Klu(s) => s.n(),
             SymbolicInner::Basker(s) => s.structure().n,
             SymbolicInner::Snlu(s) => s.n(),
+            SymbolicInner::Hybrid(s) => s.structure().n,
         }
     }
 
@@ -548,6 +649,15 @@ impl LinearSolver {
             _ => None,
         }
     }
+
+    /// Borrows the underlying hybrid analysis when that engine was
+    /// chosen.
+    pub fn as_hybrid(&self) -> Option<&HybridLu> {
+        match &self.inner {
+            SymbolicInner::Hybrid(s) => Some(s),
+            _ => None,
+        }
+    }
 }
 
 impl SparseLuSolver for LinearSolver {
@@ -567,6 +677,10 @@ impl SparseLuSolver for LinearSolver {
 
     fn dim(&self) -> usize {
         LinearSolver::dim(self)
+    }
+
+    fn hybrid(&self) -> Option<&HybridLu> {
+        self.as_hybrid()
     }
 }
 
@@ -599,6 +713,7 @@ enum NumericInner {
     Klu(KluNumeric),
     Basker(BaskerNumeric),
     Snlu(Box<SnluNumeric>),
+    Hybrid(Box<HybridNumeric>),
 }
 
 impl Factorization {
@@ -614,6 +729,7 @@ impl Factorization {
             NumericInner::Klu(n) => LuNumeric::refactor(n, a)?,
             NumericInner::Basker(n) => LuNumeric::refactor(n, a)?,
             NumericInner::Snlu(n) => LuNumeric::refactor(n.as_mut(), a)?,
+            NumericInner::Hybrid(n) => LuNumeric::refactor(n.as_mut(), a)?,
         }
         self.factor_seconds = t0.elapsed().as_secs_f64();
         Ok(())
@@ -629,6 +745,7 @@ impl Factorization {
             NumericInner::Klu(n) => LuNumeric::solve_in_place(n, x, ws),
             NumericInner::Basker(n) => LuNumeric::solve_in_place(n, x, ws),
             NumericInner::Snlu(n) => LuNumeric::solve_in_place(n.as_ref(), x, ws),
+            NumericInner::Hybrid(n) => LuNumeric::solve_in_place(n.as_ref(), x, ws),
         }
     }
 
@@ -647,6 +764,7 @@ impl Factorization {
             NumericInner::Klu(n) => LuNumeric::stats(n),
             NumericInner::Basker(n) => LuNumeric::stats(n),
             NumericInner::Snlu(n) => LuNumeric::stats(n.as_ref()),
+            NumericInner::Hybrid(n) => LuNumeric::stats(n.as_ref()),
         };
         s.factor_seconds = self.factor_seconds;
         s
@@ -658,6 +776,7 @@ impl Factorization {
             NumericInner::Klu(n) => LuNumeric::dim(n),
             NumericInner::Basker(n) => LuNumeric::dim(n),
             NumericInner::Snlu(n) => LuNumeric::dim(n.as_ref()),
+            NumericInner::Hybrid(n) => LuNumeric::dim(n.as_ref()),
         }
     }
 
@@ -668,6 +787,7 @@ impl Factorization {
             NumericInner::Klu(n) => LuNumeric::quality(n),
             NumericInner::Basker(n) => LuNumeric::quality(n),
             NumericInner::Snlu(n) => LuNumeric::quality(n.as_ref()),
+            NumericInner::Hybrid(n) => LuNumeric::quality(n.as_ref()),
         }
     }
 
@@ -675,6 +795,14 @@ impl Factorization {
     pub fn as_basker(&self) -> Option<&BaskerNumeric> {
         match &self.inner {
             NumericInner::Basker(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Borrows the hybrid per-block factors when that engine was chosen.
+    pub fn as_hybrid(&self) -> Option<&HybridNumeric> {
+        match &self.inner {
+            NumericInner::Hybrid(n) => Some(n),
             _ => None,
         }
     }
@@ -743,9 +871,22 @@ mod tests {
 
     #[test]
     fn all_engines_through_the_facade() {
-        for e in [Engine::Klu, Engine::Basker, Engine::Snlu] {
+        for e in [Engine::Klu, Engine::Basker, Engine::Snlu, Engine::Hybrid] {
             check_engine(e);
         }
+    }
+
+    #[test]
+    fn hybrid_facade_exposes_routing() {
+        let a = circuitish(30);
+        let cfg = SolverConfig::new().engine(Engine::Hybrid);
+        let solver = LinearSolver::analyze(&a, &cfg).unwrap();
+        assert!(solver.as_hybrid().is_some());
+        assert!(SparseLuSolver::hybrid(&solver).is_some());
+        let num = SparseLuSolver::factor(&solver, &a).unwrap();
+        let st = num.stats();
+        assert_eq!(st.routing.len(), st.btf_blocks);
+        assert!(num.as_hybrid().is_some());
     }
 
     #[test]
@@ -771,7 +912,7 @@ mod tests {
     #[test]
     fn quality_uniform_across_engines() {
         let a = circuitish(25);
-        for engine in [Engine::Klu, Engine::Basker, Engine::Snlu] {
+        for engine in [Engine::Klu, Engine::Basker, Engine::Snlu, Engine::Hybrid] {
             let solver = LinearSolver::analyze(&a, &SolverConfig::new().engine(engine)).unwrap();
             let num = SparseLuSolver::factor(&solver, &a).unwrap();
             let q = num.quality();

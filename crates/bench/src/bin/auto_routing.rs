@@ -1,0 +1,286 @@
+//! **Per-block routing harness** — measures the hybrid engine's
+//! feedback-driven `Engine::Auto` routing against the single-strategy
+//! global engines on a deliberately heterogeneous BTF structure (one
+//! large irreducible mesh block plus a long tail of tiny chain blocks).
+//!
+//! Three questions, answered with multi-step [`SolveSession`] runs over
+//! the same drifting-value sequence:
+//!
+//! 1. **Does the classifier mix strategies?** The executed plan
+//!    (visible in `SolverStats::routing`) must route the mesh block and
+//!    the tiny tail differently — a mixed plan with ≥ 2 distinct
+//!    strategies.
+//! 2. **Does the learner settle?** The first hybrid session of the
+//!    pattern spends its leading factorizations probing candidate
+//!    plans (`routing_probes > 0`), then installs the measured winner.
+//! 3. **Do siblings inherit?** A second session over the same pattern
+//!    must pull the settled plan from the process-wide routing cache
+//!    (`routing_from_cache`, zero probes) and execute the identical
+//!    per-block plan.
+//!
+//! Every step is solved with iterative refinement and the residual
+//! recorded, so the JSON rows carry a hard `residual_ok` invariant at
+//! any scale.
+//!
+//! Usage: `auto_routing [nsteps] [test|bench] [--json PATH]`
+//! (defaults: 6, bench). `test` runs a smaller matrix and additionally
+//! hard-asserts the three properties above; `--json` writes the
+//! measured rows (the checked-in `BENCH_auto.json` baseline is produced
+//! this way).
+
+use basker_api::{
+    routing, BlockStrategy, Engine, SessionConfig, SessionStats, SolveSession, SolverConfig,
+};
+use basker_sparse::metrics::pattern_hash;
+use basker_sparse::{CscMat, TripletMat};
+use std::time::Instant;
+
+/// One large 5-point `k x k` mesh block (irreducible, ND-friendly)
+/// followed by `tiny` decoupled-downward chain rows (each its own BTF
+/// block): the heterogeneous shape the per-block router exists for.
+fn heterogeneous(k: usize, tiny: usize) -> CscMat {
+    let n0 = k * k;
+    let idx = |r: usize, c: usize| r * k + c;
+    let mut t = TripletMat::new(n0 + tiny, n0 + tiny);
+    for r in 0..k {
+        for c in 0..k {
+            let u = idx(r, c);
+            t.push(u, u, 8.0 + (u % 3) as f64);
+            if r + 1 < k {
+                t.push(u, idx(r + 1, c), -1.0);
+                t.push(idx(r + 1, c), u, -2.0);
+            }
+            if c + 1 < k {
+                t.push(u, idx(r, c + 1), -1.5);
+                t.push(idx(r, c + 1), u, -0.5);
+            }
+        }
+    }
+    for q in n0..n0 + tiny {
+        t.push(q, q, 5.0 + (q % 4) as f64);
+        if q + 1 < n0 + tiny {
+            t.push(q, q + 1, -0.25);
+        }
+    }
+    t.to_csc()
+}
+
+/// Same pattern, values scaled by `f` — one step of the drifting-value
+/// sequence.
+fn scaled(a: &CscMat, f: f64) -> CscMat {
+    // SAFETY: pattern arrays are copied from the valid matrix `a`;
+    // values map 1:1.
+    unsafe {
+        CscMat::from_parts_unchecked(
+            a.nrows(),
+            a.ncols(),
+            a.colptr().to_vec(),
+            a.rowind().to_vec(),
+            a.values().iter().map(|v| v * f).collect(),
+        )
+    }
+}
+
+struct Row {
+    solver: &'static str,
+    seconds: f64,
+    stats: SessionStats,
+    worst_residual: f64,
+    residual_ok: bool,
+    gp_blocks: usize,
+    sn_blocks: usize,
+    nd_blocks: usize,
+    distinct: usize,
+}
+
+/// Drives one engine config through `nsteps` drifting-value steps,
+/// refining and residual-checking every solve.
+fn run(solver: &'static str, cfg: SolverConfig, a: &CscMat, nsteps: usize) -> Row {
+    let scfg = SessionConfig::new().solver(cfg).target_residual(1e-9);
+    let mut s = SolveSession::new(a, &scfg).expect("analyze");
+    let mut worst_residual = 0.0f64;
+    let mut residual_ok = true;
+    let t0 = Instant::now();
+    for k in 0..nsteps {
+        let m = scaled(a, 1.0 + 0.01 * k as f64);
+        s.step(&m).expect("step");
+        let mut x = vec![1.0; a.nrows()];
+        let q = s.solve_refined(&mut x).expect("solve");
+        worst_residual = worst_residual.max(q.residual);
+        residual_ok &= q.converged;
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    let stats = s.stats().clone();
+    let (mut gp_blocks, mut sn_blocks, mut nd_blocks) = (0usize, 0usize, 0usize);
+    for r in &stats.last_factor.routing {
+        match r.strategy {
+            BlockStrategy::Gp => gp_blocks += 1,
+            BlockStrategy::Supernodal => sn_blocks += 1,
+            BlockStrategy::Nd => nd_blocks += 1,
+        }
+    }
+    let distinct = [gp_blocks, sn_blocks, nd_blocks]
+        .iter()
+        .filter(|&&c| c > 0)
+        .count();
+    Row {
+        solver,
+        seconds,
+        stats,
+        worst_residual,
+        residual_ok,
+        gp_blocks,
+        sn_blocks,
+        nd_blocks,
+        distinct,
+    }
+}
+
+fn main() {
+    let mut nsteps: usize = 6;
+    let mut scale_test = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "test" => scale_test = true,
+            "bench" => scale_test = false,
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("usage: auto_routing [nsteps] [test|bench] [--json PATH]");
+                    std::process::exit(2);
+                }))
+            }
+            s => match s.parse() {
+                Ok(n) => nsteps = n,
+                Err(_) => {
+                    eprintln!("usage: auto_routing [nsteps] [test|bench] [--json PATH]");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+
+    let (k, tiny) = if scale_test { (12, 40) } else { (18, 96) };
+    let a = heterogeneous(k, tiny);
+    println!(
+        "# per-block routing: {nsteps} steps, n = {} ({k}x{k} mesh block + {tiny} tiny blocks), \
+         |A| = {}\n",
+        a.nrows(),
+        a.nnz()
+    );
+
+    // The harness may share a process with nothing, but start from a
+    // clean slate anyway so `hybrid_first` always measures and
+    // `hybrid_sibling` always inherits.
+    routing::forget(pattern_hash(&a));
+
+    let hybrid = || SolverConfig::new().engine(Engine::Hybrid).threads(2);
+    let rows = vec![
+        run("klu", SolverConfig::new().engine(Engine::Klu), &a, nsteps),
+        run(
+            "basker",
+            SolverConfig::new().engine(Engine::Basker).threads(2),
+            &a,
+            nsteps,
+        ),
+        run(
+            "snlu",
+            SolverConfig::new().engine(Engine::Snlu).threads(2),
+            &a,
+            nsteps,
+        ),
+        run("hybrid_first", hybrid(), &a, nsteps),
+        run("hybrid_sibling", hybrid(), &a, nsteps),
+    ];
+
+    println!(
+        "| session | seconds | factors | refactors | probes | from cache | gp/sn/nd blocks | \
+         worst residual |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
+    for r in &rows {
+        println!(
+            "| {} | {:.4} | {} | {} | {} | {} | {}/{}/{} | {:.2e} |",
+            r.solver,
+            r.seconds,
+            r.stats.factors,
+            r.stats.refactors,
+            r.stats.routing_probes,
+            r.stats.routing_from_cache,
+            r.gp_blocks,
+            r.sn_blocks,
+            r.nd_blocks,
+            r.worst_residual,
+        );
+    }
+
+    let first = rows.iter().find(|r| r.solver == "hybrid_first").unwrap();
+    let sibling = rows.iter().find(|r| r.solver == "hybrid_sibling").unwrap();
+    println!(
+        "\nhybrid settled a {}-strategy plan after {} probe factorization(s); \
+         the sibling inherited it from the routing cache: {}",
+        first.distinct, first.stats.routing_probes, sibling.stats.routing_from_cache
+    );
+
+    assert!(
+        rows.iter().all(|r| r.residual_ok),
+        "a refined solve missed the 1e-9 target"
+    );
+    if scale_test {
+        assert!(
+            first.stats.routing_probes > 0,
+            "first hybrid session must probe contested blocks"
+        );
+        assert!(!first.stats.routing_from_cache);
+        assert!(
+            first.distinct >= 2,
+            "expected a mixed per-block plan, got {}/{}/{}",
+            first.gp_blocks,
+            first.sn_blocks,
+            first.nd_blocks
+        );
+        assert!(
+            sibling.stats.routing_from_cache && sibling.stats.routing_probes == 0,
+            "sibling must inherit the settled plan without re-measuring"
+        );
+        assert_eq!(
+            (sibling.gp_blocks, sibling.sn_blocks, sibling.nd_blocks),
+            (first.gp_blocks, first.sn_blocks, first.nd_blocks),
+            "sibling must execute the measured plan"
+        );
+        println!("\nall routing invariants hold at test scale");
+    }
+
+    if let Some(path) = json_path {
+        let mut out = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"solver\": \"{}\", \"nsteps\": {nsteps}, \"n\": {}, \
+                 \"seconds\": {:.6}, \"factors\": {}, \"refactors\": {}, \
+                 \"routing_probes\": {}, \"from_cache\": {}, \
+                 \"btf_blocks\": {}, \"gp_blocks\": {}, \"sn_blocks\": {}, \
+                 \"nd_blocks\": {}, \"distinct\": {}, \
+                 \"worst_residual\": {:.3e}, \"residual_ok\": {}}}{}\n",
+                r.solver,
+                a.nrows(),
+                r.seconds,
+                r.stats.factors,
+                r.stats.refactors,
+                r.stats.routing_probes,
+                r.stats.routing_from_cache,
+                r.stats.last_factor.btf_blocks,
+                r.gp_blocks,
+                r.sn_blocks,
+                r.nd_blocks,
+                r.distinct,
+                r.worst_residual,
+                r.residual_ok,
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(&path, out).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -18,8 +18,13 @@
 //!
 //! Usage:
 //! `bench_check --kind
-//! {fig6|xyce|streams|fig5|table1|fig7|fig8|table2|shard|kernels}
-//! BASELINE FRESH [--tolerance 0.25]`
+//! {fig6|xyce|streams|fig5|table1|fig7|fig8|table2|shard|kernels|auto}
+//! BASELINE FRESH [--tolerance 0.25] [--summary PATH]`
+//!
+//! `--summary` appends one markdown table row (pass/fail + the worst
+//! ratio drift the gates saw) to `PATH` — pointed at
+//! `$GITHUB_STEP_SUMMARY` in CI so every kind's outcome lands in the
+//! job summary.
 
 use basker_bench::json::Json;
 
@@ -28,6 +33,10 @@ use basker_bench::json::Json;
 struct Report {
     failures: Vec<String>,
     checks: usize,
+    /// Largest relative drift `|fresh/base - 1|` the ratio gates saw —
+    /// surfaced in the step-summary table so a passing-but-sliding
+    /// metric is visible before it trips a tolerance.
+    worst_drift: f64,
 }
 
 impl Report {
@@ -35,6 +44,12 @@ impl Report {
         self.checks += 1;
         if !ok {
             self.failures.push(msg());
+        }
+    }
+
+    fn drift(&mut self, base: f64, fresh: f64) {
+        if base.abs() > 1e-12 {
+            self.worst_drift = self.worst_drift.max((fresh / base - 1.0).abs());
         }
     }
 }
@@ -62,6 +77,7 @@ fn num(row: &Json, key: &str, path: &str) -> f64 {
 /// `fresh` must be within `tol` *below* `base` (ratios where bigger is
 /// better: speedups, reuse fractions).
 fn gate_not_worse_down(r: &mut Report, what: &str, base: f64, fresh: f64, tol: f64) {
+    r.drift(base, fresh);
     r.check(fresh >= base * (1.0 - tol), || {
         format!(
             "{what}: {fresh:.4} regressed more than {:.0}% below baseline {base:.4}",
@@ -73,6 +89,7 @@ fn gate_not_worse_down(r: &mut Report, what: &str, base: f64, fresh: f64, tol: f
 /// `fresh` must be within `tol` *above* `base` (ratios where smaller is
 /// better: refactor-vs-factor time).
 fn gate_not_worse_up(r: &mut Report, what: &str, base: f64, fresh: f64, tol: f64) {
+    r.drift(base, fresh);
     r.check(fresh <= base * (1.0 + tol), || {
         format!(
             "{what}: {fresh:.4} regressed more than {:.0}% above baseline {base:.4}",
@@ -538,6 +555,133 @@ fn check_kernels(r: &mut Report, base: &Json, fresh: &Json, tol: f64) {
     }
 }
 
+/// The per-block routing harness. Functional invariants are hard at
+/// any scale: refined residuals converge, the first hybrid session
+/// probes then settles a mixed plan, the sibling session inherits that
+/// exact plan from the routing cache without re-measuring. Probe
+/// counts and block totals are structure-driven (the classifier is
+/// deterministic) and gated exactly at matched shape; which strategy
+/// wins a contested block is timing-driven, so per-strategy counts are
+/// only compared *within* the fresh run (sibling == first), never
+/// against the baseline host. Wall clock stays on the loose 4× band.
+fn check_auto(r: &mut Report, base: &Json, fresh: &Json, _tol: f64) {
+    let brows = rows_of(base, "auto_routing", "baseline");
+    let frows = rows_of(fresh, "auto_routing", "fresh");
+    for f in frows {
+        let solver = f.str_field("solver").unwrap_or("?");
+        r.check(
+            f.get("residual_ok").and_then(Json::bool) == Some(true),
+            || format!("auto {solver}: a refined residual missed the target"),
+        );
+    }
+
+    let first = find_row(frows, &[("solver", "hybrid_first")], &[]);
+    let sibling = find_row(frows, &[("solver", "hybrid_sibling")], &[]);
+    r.check(first.is_some(), || {
+        "auto: hybrid_first row missing from fresh run".into()
+    });
+    r.check(sibling.is_some(), || {
+        "auto: hybrid_sibling row missing from fresh run".into()
+    });
+    if let Some(f) = first {
+        r.check(num(f, "routing_probes", "fresh") >= 1.0, || {
+            "auto hybrid_first: never probed a candidate plan".into()
+        });
+        r.check(
+            f.get("from_cache").and_then(Json::bool) == Some(false),
+            || "auto hybrid_first: first session of the pattern claims a cache hit".into(),
+        );
+        r.check(num(f, "distinct", "fresh") >= 2.0, || {
+            "auto hybrid_first: plan is not mixed (fewer than 2 distinct strategies)".into()
+        });
+        let total = num(f, "gp_blocks", "fresh")
+            + num(f, "sn_blocks", "fresh")
+            + num(f, "nd_blocks", "fresh");
+        gate_exact(
+            r,
+            "auto hybrid_first per-strategy blocks sum to btf_blocks",
+            num(f, "btf_blocks", "fresh"),
+            total,
+        );
+    }
+    if let (Some(f), Some(s)) = (first, sibling) {
+        gate_exact(
+            r,
+            "auto hybrid_sibling routing_probes",
+            0.0,
+            num(s, "routing_probes", "fresh"),
+        );
+        r.check(
+            s.get("from_cache").and_then(Json::bool) == Some(true),
+            || "auto hybrid_sibling: did not inherit the plan from the routing cache".into(),
+        );
+        for key in ["gp_blocks", "sn_blocks", "nd_blocks"] {
+            gate_exact(
+                r,
+                &format!("auto hybrid_sibling {key} == hybrid_first"),
+                num(f, key, "fresh"),
+                num(s, key, "fresh"),
+            );
+        }
+    }
+
+    // Convergence: a session running the learned plan must not be
+    // slower than 4× the best single global engine (the same loose
+    // build-problem band as wall clock — routing that *loses* to every
+    // global strategy by that much is a broken learner, not noise).
+    let best_global = ["klu", "basker", "snlu"]
+        .iter()
+        .filter_map(|g| find_row(frows, &[("solver", g)], &[]))
+        .map(|row| num(row, "seconds", "fresh"))
+        .fold(f64::INFINITY, f64::min);
+    if let Some(s) = sibling {
+        if best_global.is_finite() {
+            let sec = num(s, "seconds", "fresh");
+            r.check(sec <= best_global * 4.0 + 1e-9, || {
+                format!(
+                    "auto hybrid_sibling: {sec:.4}s is over 4x the best global \
+                     engine's {best_global:.4}s"
+                )
+            });
+        }
+    }
+
+    for b in brows {
+        let solver = b.str_field("solver").expect("baseline row solver");
+        let label = format!("auto {solver}");
+        let Some(f) = find_row(frows, &[("solver", solver)], &[]) else {
+            r.check(false, || format!("{label}: row missing from fresh run"));
+            continue;
+        };
+        gate_wall_loose(
+            r,
+            &format!("{label} seconds"),
+            num(b, "seconds", "baseline"),
+            num(f, "seconds", "fresh"),
+        );
+        for counter in ["factors", "refactors"] {
+            gate_counter(
+                r,
+                &format!("{label} {counter}"),
+                num(b, counter, "baseline"),
+                num(f, counter, "fresh"),
+            );
+        }
+        // Structure-driven at matched shape: BTF decomposition and the
+        // number of candidate plans the learner measures.
+        if num(b, "n", "baseline") == num(f, "n", "fresh") {
+            for key in ["btf_blocks", "routing_probes"] {
+                gate_exact(
+                    r,
+                    &format!("{label} {key}"),
+                    num(b, key, "baseline"),
+                    num(f, key, "fresh"),
+                );
+            }
+        }
+    }
+}
+
 fn run_kind(kind: &str, r: &mut Report, base: &Json, fresh: &Json, tol: f64) {
     match kind {
         "fig6" => check_fig6(r, base, fresh, tol),
@@ -550,6 +694,7 @@ fn run_kind(kind: &str, r: &mut Report, base: &Json, fresh: &Json, tol: f64) {
         "table2" => check_table2(r, base, fresh, tol),
         "shard" => check_shard(r, base, fresh, tol),
         "kernels" => check_kernels(r, base, fresh, tol),
+        "auto" => check_auto(r, base, fresh, tol),
         other => {
             eprintln!("bench_check: unknown kind '{other}'");
             std::process::exit(2);
@@ -557,15 +702,47 @@ fn run_kind(kind: &str, r: &mut Report, base: &Json, fresh: &Json, tol: f64) {
     }
 }
 
+/// Appends one markdown table row for `kind` to the summary file,
+/// writing the table header first when the file is new or empty — the
+/// shape `$GITHUB_STEP_SUMMARY` renders in the CI job summary.
+fn write_summary(path: &str, kind: &str, report: &Report) {
+    use std::io::Write;
+    let header_needed = std::fs::metadata(path)
+        .map(|m| m.len() == 0)
+        .unwrap_or(true);
+    let mut out = String::new();
+    if header_needed {
+        out.push_str("| bench kind | checks | result | worst ratio drift |\n");
+        out.push_str("|---|---|---|---|\n");
+    }
+    let result = if report.failures.is_empty() {
+        "pass ✅".to_string()
+    } else {
+        format!("**{} FAIL** ❌", report.failures.len())
+    };
+    out.push_str(&format!(
+        "| {kind} | {} | {result} | {:.1}% |\n",
+        report.checks,
+        report.worst_drift * 100.0
+    ));
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(out.as_bytes()))
+        .unwrap_or_else(|e| panic!("bench_check: cannot write summary {path}: {e}"));
+}
+
 fn main() {
     let mut kind: Option<String> = None;
     let mut tol = 0.25f64;
+    let mut summary: Option<String> = None;
     let mut paths: Vec<String> = Vec::new();
     let usage = || -> ! {
         eprintln!(
             "usage: bench_check --kind \
-             {{fig6|xyce|streams|fig5|table1|fig7|fig8|table2|shard|kernels}} \
-             BASELINE FRESH [--tolerance 0.25]"
+             {{fig6|xyce|streams|fig5|table1|fig7|fig8|table2|shard|kernels|auto}} \
+             BASELINE FRESH [--tolerance 0.25] [--summary PATH]"
         );
         std::process::exit(2);
     };
@@ -579,6 +756,7 @@ fn main() {
                     .and_then(|t| t.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--summary" => summary = Some(args.next().unwrap_or_else(|| usage())),
             _ => paths.push(a),
         }
     }
@@ -600,6 +778,9 @@ fn main() {
     );
     for f in &report.failures {
         println!("  FAIL {f}");
+    }
+    if let Some(path) = summary {
+        write_summary(&path, &kind, &report);
     }
     if !report.failures.is_empty() {
         std::process::exit(1);
@@ -881,6 +1062,133 @@ mod tests {
         let respawned = SHARD_BASE.replace("\"respawns\": 0", "\"respawns\": 1");
         let r = report_for("shard", SHARD_BASE, &respawned, 0.25);
         assert!(r.failures.iter().any(|f| f.contains("respawns")));
+    }
+
+    const AUTO_BASE: &str = r#"[
+        {"solver": "klu", "nsteps": 6, "n": 420, "seconds": 0.020, "factors": 1,
+         "refactors": 5, "routing_probes": 0, "from_cache": false, "btf_blocks": 97,
+         "gp_blocks": 0, "sn_blocks": 0, "nd_blocks": 0, "distinct": 0,
+         "worst_residual": 1.0e-12, "residual_ok": true},
+        {"solver": "basker", "nsteps": 6, "n": 420, "seconds": 0.025, "factors": 1,
+         "refactors": 5, "routing_probes": 0, "from_cache": false, "btf_blocks": 97,
+         "gp_blocks": 0, "sn_blocks": 0, "nd_blocks": 0, "distinct": 0,
+         "worst_residual": 1.0e-12, "residual_ok": true},
+        {"solver": "snlu", "nsteps": 6, "n": 420, "seconds": 0.030, "factors": 1,
+         "refactors": 5, "routing_probes": 0, "from_cache": false, "btf_blocks": 97,
+         "gp_blocks": 0, "sn_blocks": 0, "nd_blocks": 0, "distinct": 0,
+         "worst_residual": 1.0e-12, "residual_ok": true},
+        {"solver": "hybrid_first", "nsteps": 6, "n": 420, "seconds": 0.040, "factors": 3,
+         "refactors": 3, "routing_probes": 2, "from_cache": false, "btf_blocks": 97,
+         "gp_blocks": 96, "sn_blocks": 0, "nd_blocks": 1, "distinct": 2,
+         "worst_residual": 1.0e-12, "residual_ok": true},
+        {"solver": "hybrid_sibling", "nsteps": 6, "n": 420, "seconds": 0.022, "factors": 1,
+         "refactors": 5, "routing_probes": 0, "from_cache": true, "btf_blocks": 97,
+         "gp_blocks": 96, "sn_blocks": 0, "nd_blocks": 1, "distinct": 2,
+         "worst_residual": 1.0e-12, "residual_ok": true}]"#;
+
+    #[test]
+    fn auto_routing_invariants_hold_and_break_loudly() {
+        let r = report_for("auto", AUTO_BASE, AUTO_BASE, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+
+        // A sibling that re-probed did not inherit: hard fail.
+        let reprobed = AUTO_BASE.replace(
+            r#""solver": "hybrid_sibling", "nsteps": 6, "n": 420, "seconds": 0.022, "factors": 1,
+         "refactors": 5, "routing_probes": 0, "from_cache": true"#,
+            r#""solver": "hybrid_sibling", "nsteps": 6, "n": 420, "seconds": 0.022, "factors": 3,
+         "refactors": 3, "routing_probes": 2, "from_cache": false"#,
+        );
+        let r = report_for("auto", AUTO_BASE, &reprobed, 0.25);
+        assert!(r
+            .failures
+            .iter()
+            .any(|f| f.contains("hybrid_sibling routing_probes")));
+        assert!(r.failures.iter().any(|f| f.contains("routing cache")));
+
+        // A single-strategy plan means the classifier stopped mixing.
+        let unmixed = AUTO_BASE.replace(
+            r#""gp_blocks": 96, "sn_blocks": 0, "nd_blocks": 1, "distinct": 2"#,
+            r#""gp_blocks": 97, "sn_blocks": 0, "nd_blocks": 0, "distinct": 1"#,
+        );
+        let r = report_for("auto", AUTO_BASE, &unmixed, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("not mixed")));
+
+        // A missed residual is a hard failure at any scale.
+        let bad = AUTO_BASE.replacen("\"residual_ok\": true", "\"residual_ok\": false", 1);
+        let r = report_for("auto", AUTO_BASE, &bad, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("residual")));
+    }
+
+    #[test]
+    fn auto_sibling_must_execute_the_first_sessions_plan() {
+        // Sibling routed a contested block differently from what it
+        // claims to have inherited — counts diverge within the fresh
+        // run, independent of host timing.
+        let diverged = AUTO_BASE.replace(
+            r#""from_cache": true, "btf_blocks": 97,
+         "gp_blocks": 96, "sn_blocks": 0, "nd_blocks": 1"#,
+            r#""from_cache": true, "btf_blocks": 97,
+         "gp_blocks": 95, "sn_blocks": 1, "nd_blocks": 1"#,
+        );
+        let r = report_for("auto", AUTO_BASE, &diverged, 0.25);
+        assert!(r
+            .failures
+            .iter()
+            .any(|f| f.contains("hybrid_sibling gp_blocks == hybrid_first")));
+
+        // A learner that loses 4x to every global engine is broken.
+        let slow = AUTO_BASE.replace(
+            r#""solver": "hybrid_sibling", "nsteps": 6, "n": 420, "seconds": 0.022"#,
+            r#""solver": "hybrid_sibling", "nsteps": 6, "n": 420, "seconds": 0.30"#,
+        );
+        let r = report_for("auto", AUTO_BASE, &slow, 0.25);
+        assert!(r.failures.iter().any(|f| f.contains("best global")));
+    }
+
+    #[test]
+    fn summary_appends_rows_with_one_header() {
+        let path = std::env::temp_dir().join(format!(
+            "bench_check_summary_{}_{:?}.md",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = path.to_str().unwrap().to_string();
+        let _ = std::fs::remove_file(&path);
+
+        let ok = Report {
+            checks: 12,
+            ..Report::default()
+        };
+        write_summary(&path, "auto", &ok);
+        let mut failing = Report {
+            checks: 9,
+            worst_drift: 0.183,
+            ..Report::default()
+        };
+        failing.failures.push("xyce KLU: ratio regressed".into());
+        write_summary(&path, "xyce", &failing);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(
+            text.matches("| bench kind |").count(),
+            1,
+            "exactly one header:\n{text}"
+        );
+        assert!(text.contains("| auto | 12 | pass ✅ | 0.0% |"), "{text}");
+        assert!(
+            text.contains("| xyce | 9 | **1 FAIL** ❌ | 18.3% |"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn ratio_gates_record_worst_drift() {
+        let mut r = Report::default();
+        gate_not_worse_down(&mut r, "x", 1.0, 0.95, 0.25);
+        gate_not_worse_up(&mut r, "y", 0.30, 0.33, 0.25);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+        assert!((r.worst_drift - 0.10).abs() < 1e-9, "{}", r.worst_drift);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod fine_btf;
+pub mod hybrid;
 pub mod parnum;
 pub mod reduce;
 pub mod refactor;
@@ -281,7 +282,7 @@ impl Basker {
 }
 
 /// Extracts the strictly-upper-block couplings between BTF blocks.
-fn upper_block_part(ap: &CscMat, block_of: &[usize]) -> CscMat {
+pub(crate) fn upper_block_part(ap: &CscMat, block_of: &[usize]) -> CscMat {
     let n = ap.ncols();
     let mut colptr = Vec::with_capacity(n + 1);
     let mut rowind = Vec::new();

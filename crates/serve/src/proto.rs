@@ -331,6 +331,7 @@ fn engine_to_u8(e: Engine) -> u8 {
         Engine::Basker => 1,
         Engine::Klu => 2,
         Engine::Snlu => 3,
+        Engine::Hybrid => 4,
     }
 }
 
@@ -340,6 +341,7 @@ fn engine_from_u8(v: u8) -> Result<Engine, String> {
         1 => Engine::Basker,
         2 => Engine::Klu,
         3 => Engine::Snlu,
+        4 => Engine::Hybrid,
         other => return Err(format!("unknown engine {other}")),
     })
 }
@@ -666,29 +668,14 @@ pub fn step_response(result: &Result<StepResult, SolverError>) -> Response {
 
 // -------------------------------------------------------------- hash --
 
-/// FNV-1a over the sparsity pattern (dimensions + colptr + rowind),
-/// ignoring values: two matrices of the same pattern hash identically,
+/// The shared FNV-1a pattern hash (dimensions + colptr + rowind,
+/// ignoring values): two matrices of the same pattern hash identically,
 /// which is the property the router shards on — same-pattern streams
 /// co-locate on one shard and share its symbolic analysis and
-/// workspace pools.
-pub fn pattern_hash(m: &CscMat) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    let mut eat = |x: u64| {
-        for b in x.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    };
-    eat(m.nrows() as u64);
-    eat(m.ncols() as u64);
-    for &p in m.colptr() {
-        eat(p as u64);
-    }
-    for &i in m.rowind() {
-        eat(i as u64);
-    }
-    h
-}
+/// workspace pools. The same hash keys the session layer's learned
+/// block-routing cache, so a shard's sibling streams inherit measured
+/// routings too.
+pub use basker_sparse::metrics::pattern_hash;
 
 #[cfg(test)]
 mod tests {

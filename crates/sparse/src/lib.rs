@@ -12,7 +12,8 @@
 //!   application to matrices and vectors.
 //! * Block extraction ([`blocks`]), sparse matrix–vector products
 //!   ([`spmv`]), sparse triangular solves ([`trisolve`]), Matrix Market I/O
-//!   ([`io`]) and norm/residual utilities ([`util`]).
+//!   ([`io`]), norm/residual utilities ([`util`]) and pattern-level
+//!   structure metrics + the shared pattern hash ([`metrics`]).
 //!
 //! All matrices hold `f64` values and use `usize` indices. Row indices
 //! within each column are kept **sorted and unique** by every constructor;
@@ -26,6 +27,7 @@ pub mod col;
 pub mod csc;
 pub mod csr;
 pub mod io;
+pub mod metrics;
 pub mod permutation;
 pub mod spmv;
 pub mod triplet;

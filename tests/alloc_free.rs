@@ -55,7 +55,7 @@ fn warmed_solves_do_not_allocate_for_any_engine() {
     let b = spmv(&a, &xtrue);
     let mut x = vec![0.0; n];
 
-    for engine in [Engine::Klu, Engine::Basker, Engine::Snlu] {
+    for engine in [Engine::Klu, Engine::Basker, Engine::Snlu, Engine::Hybrid] {
         let cfg = SolverConfig::new().engine(engine).threads(2);
         let solver = LinearSolver::analyze(&a, &cfg).unwrap();
         let num = solver.factor(&a).unwrap();

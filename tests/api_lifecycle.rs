@@ -36,7 +36,10 @@ fn auto_selects_different_engines_for_circuit_vs_mesh() {
     });
     let mesh_like = mesh2d(16, 1);
 
-    let cfg = SolverConfig::new().threads(2);
+    // Engine pinned to Auto explicitly: the default honours the
+    // BASKER_ENGINE override, and CI runs this suite under pinned
+    // engines too.
+    let cfg = SolverConfig::new().engine(Engine::Auto).threads(2);
     let c = LinearSolver::analyze(&circuit_like, &cfg).unwrap();
     let m = LinearSolver::analyze(&mesh_like, &cfg).unwrap();
     assert_eq!(c.engine(), Engine::Basker, "powergrid should go to Basker");
@@ -47,7 +50,11 @@ fn auto_selects_different_engines_for_circuit_vs_mesh() {
     );
 
     // Serial circuit-like work goes to KLU instead.
-    let serial = LinearSolver::analyze(&circuit_like, &SolverConfig::new().threads(1)).unwrap();
+    let serial = LinearSolver::analyze(
+        &circuit_like,
+        &SolverConfig::new().engine(Engine::Auto).threads(1),
+    )
+    .unwrap();
     assert_eq!(serial.engine(), Engine::Klu);
 
     // A real circuit matrix also classifies as circuit-like.

@@ -104,7 +104,16 @@ fn snlu_all_classes_both_modes() {
 fn auto_engine_all_classes() {
     let mut ws = SolveWorkspace::new();
     for (name, a) in workloads() {
-        check(&SolverConfig::new().threads(2), name, &a, 1e-8, &mut ws);
+        // Auto pinned explicitly: the default engine honours the
+        // BASKER_ENGINE override, and CI runs this suite under pinned
+        // engines too.
+        check(
+            &SolverConfig::new().engine(Engine::Auto).threads(2),
+            name,
+            &a,
+            1e-8,
+            &mut ws,
+        );
     }
 }
 
